@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablations over the mechanism's sizing knobs (the paper fixes 128
+ * registers x 4 elements and a confidence threshold of 2; Section 4.1
+ * justifies VL=4 by the short average vector lengths of Spec95):
+ *   - vector register count (8 ... 128),
+ *   - vector length (2 / 4 / 8),
+ *   - TL confidence threshold (1 / 2 / 3).
+ * Reported as suite-average IPC on the 4-way, 1-wide-port machine.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace sdv;
+
+namespace {
+
+double
+suiteIpc(const bench::Options &opt, const CoreConfig &cfg)
+{
+    double sum = 0;
+    unsigned n = 0;
+    bench::forEachWorkload(opt, [&](const Workload &, const Program &p) {
+        sum += bench::run(cfg, p).ipc;
+        ++n;
+    });
+    return n ? sum / n : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner("Ablation - vector registers, vector length, TL "
+                  "confidence",
+                  "the paper fixes 128 x 4 x 64-bit and confidence 2; "
+                  "these sweeps show the sensitivity of that choice");
+
+    const CoreConfig base = makeConfig(4, 1, BusMode::WideBusSdv);
+    std::printf("baseline (128 regs, VL 4, conf 2): IPC %.3f\n\n",
+                suiteIpc(opt, base));
+
+    std::printf("vector register count:\n");
+    for (unsigned regs : {8u, 16u, 32u, 64u, 128u}) {
+        CoreConfig cfg = base;
+        cfg.engine.numVregs = regs;
+        std::printf("  %3u regs : IPC %.3f\n", regs, suiteIpc(opt, cfg));
+    }
+
+    std::printf("\nvector length (elements per register):\n");
+    for (unsigned vl : {2u, 4u, 8u}) {
+        CoreConfig cfg = base;
+        cfg.engine.vlen = vl;
+        std::printf("  VL %u    : IPC %.3f\n", vl, suiteIpc(opt, cfg));
+    }
+
+    std::printf("\nTable of Loads confidence threshold:\n");
+    for (unsigned conf : {1u, 2u, 3u}) {
+        CoreConfig cfg = base;
+        cfg.engine.tlConfidence = std::uint8_t(conf);
+        std::printf("  conf %u  : IPC %.3f\n", conf, suiteIpc(opt, cfg));
+    }
+
+    std::printf("\nwide-bus ride-along disabled (scalar ports + SDV):\n");
+    {
+        CoreConfig cfg = makeConfig(4, 1, BusMode::WideBusSdv);
+        cfg.widePorts = false;
+        std::printf("  1 scalar port + SDV : IPC %.3f (vs %.3f with the "
+                    "wide bus)\n",
+                    suiteIpc(opt, cfg), suiteIpc(opt, base));
+    }
+    return 0;
+}

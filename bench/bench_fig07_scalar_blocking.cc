@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 7: IPC with decode blocking on not-ready captured-scalar
+ * operands (real) versus no blocking (ideal), 4-way, one wide port,
+ * 128 vector registers.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace sdv;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner("Figure 7 - IPC blocking vs not blocking mixed-operand "
+                  "vector instructions",
+                  "blocking on a not-ready scalar operand costs little "
+                  "(real vs ideal bars nearly equal)");
+
+    bench::SuiteTable table({"real", "ideal", "loss"});
+    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
+        CoreConfig real_cfg = makeConfig(4, 1, BusMode::WideBusSdv);
+        real_cfg.engine.blockOnScalarOperand = true;
+        CoreConfig ideal_cfg = real_cfg;
+        ideal_cfg.engine.blockOnScalarOperand = false;
+
+        const SimResult real = bench::run(real_cfg, p);
+        const SimResult ideal = bench::run(ideal_cfg, p);
+        const double loss =
+            ideal.ipc > 0 ? (ideal.ipc - real.ipc) / ideal.ipc : 0.0;
+        table.add(w.name, w.isFp, {real.ipc, ideal.ipc, 100.0 * loss});
+    });
+    std::printf("%s\n",
+                table.render("IPC, 4-way, 1 wide port, 128 vregs "
+                             "(loss column in %)")
+                    .c_str());
+    return 0;
+}

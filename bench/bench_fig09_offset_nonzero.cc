@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 9: percentage of vector instructions whose source operands
+ * start at a non-zero element offset (8-way, 128 vector registers).
+ * The paper reports this is low everywhere (< ~25%).
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace sdv;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner("Figure 9 - vector instructions with source offset != 0",
+                  "the fraction of vector instances whose sources start "
+                  "mid-register is low");
+
+    bench::SuiteTable table({"offset!=0"});
+    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
+        const SimResult r =
+            bench::run(makeConfig(8, 1, BusMode::WideBusSdv), p);
+        const double frac =
+            r.datapath.arithInstances == 0
+                ? 0.0
+                : double(r.datapath.instancesWithNonzeroSrcOffset) /
+                      double(r.datapath.arithInstances);
+        table.add(w.name, w.isFp, {frac});
+    });
+    std::printf("%s\n",
+                table.render("Vector arithmetic instances with a "
+                             "non-zero source offset, 8-way",
+                             /*percent=*/true, 1)
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 13: effectiveness of wide buses — the percentage of read line
+ * accesses contributing 1, 2, 3 or 4 useful words and the percentage
+ * of entirely speculative (unused) accesses, 4-way, one wide port,
+ * with dynamic vectorization.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace sdv;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner("Figure 13 - useful words per wide-bus line read",
+                  "most accesses serve multiple words; unused "
+                  "(speculative) accesses are small except compress");
+
+    bench::SuiteTable table({"1pos", "2pos", "3pos", "4pos", "unused"});
+    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
+        const SimResult r =
+            bench::run(makeConfig(4, 1, BusMode::WideBusSdv), p);
+        table.add(w.name, w.isFp,
+                  {r.wideBus.fraction(1), r.wideBus.fraction(2),
+                   r.wideBus.fraction(3), r.wideBus.fraction(4),
+                   r.wideBus.unusedFraction()});
+    });
+    std::printf("%s\n",
+                table.render("Read line accesses by useful word count, "
+                             "4-way, 1 wide port",
+                             /*percent=*/true, 1)
+                    .c_str());
+    return 0;
+}

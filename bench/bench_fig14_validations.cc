@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 14: percentage of committed instructions that are turned into
+ * validation operations (8-way, one wide bus). Paper: 28% for SpecInt,
+ * 23% for SpecFP.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace sdv;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner("Figure 14 - percentage of validation instructions",
+                  "28% of SpecInt and 23% of SpecFP instructions "
+                  "validate a vector element instead of executing");
+
+    bench::SuiteTable table({"validations", "load vals", "arith vals"});
+    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
+        const SimResult r =
+            bench::run(makeConfig(8, 1, BusMode::WideBusSdv), p);
+        const double total = double(r.insts ? r.insts : 1);
+        table.add(w.name, w.isFp,
+                  {r.validationFraction(),
+                   double(r.core.committedLoadValidations) / total,
+                   double(r.core.committedValidations -
+                          r.core.committedLoadValidations) /
+                       total});
+    });
+    std::printf("%s\n",
+                table.render("Committed validations / committed "
+                             "instructions, 8-way, 1 wide port",
+                             /*percent=*/true, 1)
+                    .c_str());
+    return 0;
+}

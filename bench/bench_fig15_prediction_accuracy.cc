@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 15: prediction accuracy of the speculative work — the average
+ * number of vector register elements that were computed and used
+ * (validated), computed but never used, and never computed, at register
+ * release (8-way, 128 x 4-element registers). Paper: on average only
+ * 1.75 of 3.75 computed elements are validated.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+using namespace sdv;
+
+int
+main(int argc, char **argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner("Figure 15 - vector element fates",
+                  "avg per released register: ~1.75 computed+used, "
+                  "~2.0 computed-not-used, ~0.25 not computed");
+
+    bench::SuiteTable table({"comp. used", "comp. not used", "not comp."});
+    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
+        const SimResult r =
+            bench::run(makeConfig(8, 1, BusMode::WideBusSdv), p);
+        table.add(w.name, w.isFp,
+                  {r.fates.avgComputedUsed(), r.fates.avgComputedNotUsed(),
+                   r.fates.avgNotComputed()});
+    });
+    std::printf("%s\n",
+                table.render("Average elements per released vector "
+                             "register (of 4), 8-way")
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator substrate itself:
+ * cache tag lookups, predictor updates, Table of Loads observations,
+ * VRMT lookups, sparse-memory access and whole-core simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/memory.hh"
+#include "branch/gshare.hh"
+#include "harness.hh"
+#include "mem/cache.hh"
+#include "vector/table_of_loads.hh"
+#include "vector/vrmt.hh"
+
+using namespace sdv;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache("bench", 64 * 1024, 2, 32);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(a, false).hit);
+        a = (a + 4096 + 32) & 0xfffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_GsharePredictUpdate(benchmark::State &state)
+{
+    Gshare g(64 * 1024, 16);
+    Addr pc = 0x10000;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.predict(pc));
+        g.update(pc, taken);
+        taken = !taken;
+        pc += 8;
+    }
+}
+BENCHMARK(BM_GsharePredictUpdate);
+
+void
+BM_TableOfLoadsObserve(benchmark::State &state)
+{
+    TableOfLoads tl;
+    Addr pc = 0x10000, addr = 0x100000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tl.observe(pc, addr));
+        addr += 8;
+        pc = 0x10000 + (addr & 0x3f8);
+    }
+}
+BENCHMARK(BM_TableOfLoadsObserve);
+
+void
+BM_VrmtLookup(benchmark::State &state)
+{
+    Vrmt vrmt;
+    VrmtEntry e;
+    e.valid = true;
+    for (Addr pc = 0x10000; pc < 0x10000 + 128 * 8; pc += 8) {
+        e.pc = pc;
+        vrmt.install(e);
+    }
+    Addr pc = 0x10000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(vrmt.lookup(pc));
+        pc = 0x10000 + ((pc + 8) & 0x3f8);
+    }
+}
+BENCHMARK(BM_VrmtLookup);
+
+void
+BM_SparseMemoryRead64(benchmark::State &state)
+{
+    SparseMemory mem;
+    for (Addr a = 0; a < 1 << 20; a += 4096)
+        mem.write64(a, a);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.read64(a));
+        a = (a + 264) & 0xfffff;
+    }
+}
+BENCHMARK(BM_SparseMemoryRead64);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    // Whole-machine simulation rate (cycles/second) on a small kernel.
+    const Program prog = buildWorkload("compress");
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const SimResult r =
+            simulate(makeConfig(4, 1, BusMode::WideBusSdv), prog,
+                     10'000'000, /*verify=*/false);
+        cycles += r.cycles;
+        benchmark::DoNotOptimize(r.ipc);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

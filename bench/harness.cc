@@ -1,0 +1,161 @@
+#include "harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace sdv {
+namespace bench {
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            opt.scale = unsigned(std::atoi(argv[++i]));
+            if (opt.scale == 0)
+                opt.scale = 1;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            opt.quick = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--scale N] [--quick]\n", argv[0]);
+            std::exit(2);
+        }
+    }
+    detail::setQuiet(true);
+    return opt;
+}
+
+void
+banner(const std::string &title, const std::string &paper_line)
+{
+    std::printf(
+        "==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("paper: %s\n", paper_line.c_str());
+    std::printf(
+        "==============================================================\n\n");
+}
+
+SimResult
+run(const CoreConfig &cfg, const Program &prog)
+{
+    return simulate(cfg, prog, 200'000'000, /*verify=*/false);
+}
+
+SuiteTable::SuiteTable(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+}
+
+void
+SuiteTable::add(const std::string &name, bool is_fp,
+                const std::vector<double> &values)
+{
+    sdv_assert(values.size() == columns_.size(), "row/column mismatch");
+    rows_.push_back({name, is_fp, values});
+}
+
+double
+SuiteTable::intAvg(size_t col) const
+{
+    double sum = 0;
+    unsigned n = 0;
+    for (const Row &r : rows_)
+        if (!r.isFp) {
+            sum += r.values[col];
+            ++n;
+        }
+    return n ? sum / n : 0.0;
+}
+
+double
+SuiteTable::fpAvg(size_t col) const
+{
+    double sum = 0;
+    unsigned n = 0;
+    for (const Row &r : rows_)
+        if (r.isFp) {
+            sum += r.values[col];
+            ++n;
+        }
+    return n ? sum / n : 0.0;
+}
+
+double
+SuiteTable::totalAvg(size_t col) const
+{
+    double sum = 0;
+    for (const Row &r : rows_)
+        sum += r.values[col];
+    return rows_.empty() ? 0.0 : sum / double(rows_.size());
+}
+
+std::string
+SuiteTable::render(const std::string &title, bool percent,
+                   int precision) const
+{
+    TextTable t(title);
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &c : columns_)
+        header.push_back(c);
+    t.setHeader(header);
+
+    auto add_row = [&](const std::string &name,
+                       const std::vector<double> &vals) {
+        if (percent)
+            t.addPercentRow(name, vals, precision);
+        else
+            t.addRow(name, vals, precision);
+    };
+
+    bool fp_started = false;
+    for (const Row &r : rows_) {
+        if (r.isFp && !fp_started) {
+            // INT average row before the FP block, as in the figures.
+            std::vector<double> avgs;
+            for (size_t c = 0; c < columns_.size(); ++c)
+                avgs.push_back(intAvg(c));
+            add_row("INT", avgs);
+            t.addSeparator();
+            fp_started = true;
+        }
+        add_row(r.name, r.values);
+    }
+    std::vector<double> fp_avgs, total_avgs;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+        fp_avgs.push_back(fpAvg(c));
+        total_avgs.push_back(totalAvg(c));
+    }
+    if (fp_started)
+        add_row("FP", fp_avgs);
+    t.addSeparator();
+    add_row("Spec95", total_avgs);
+    return t.render();
+}
+
+void
+forEachWorkload(
+    const Options &opt,
+    const std::function<void(const Workload &, const Program &)> &fn)
+{
+    unsigned ints_done = 0, fps_done = 0;
+    for (const Workload &w : allWorkloads()) {
+        if (opt.quick) {
+            if (!w.isFp && ints_done >= 2)
+                continue;
+            if (w.isFp && fps_done >= 1)
+                continue;
+        }
+        const Program prog = w.build(opt.scale);
+        fn(w, prog);
+        (w.isFp ? fps_done : ints_done) += 1;
+    }
+}
+
+} // namespace bench
+} // namespace sdv

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure benchmark binaries: workload
+ * construction, simulation helpers, suite averaging and paper-style
+ * table output.
+ */
+
+#ifndef SDV_BENCH_HARNESS_HH
+#define SDV_BENCH_HARNESS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace sdv {
+namespace bench {
+
+/** Command-line options shared by all bench binaries. */
+struct Options
+{
+    unsigned scale = 1; ///< workload scale factor (--scale N)
+    bool quick = false; ///< --quick: restrict to a subset of runs
+};
+
+/** Parse argv (unknown flags are fatal with usage help). */
+Options parseArgs(int argc, char **argv);
+
+/** Print the figure banner. */
+void banner(const std::string &title, const std::string &paper_line);
+
+/**
+ * Run one workload on one configuration (verification off: the test
+ * suite covers correctness; benches measure).
+ */
+SimResult run(const CoreConfig &cfg, const Program &prog);
+
+/** Per-benchmark metric collection with INT / FP / total averages. */
+struct SuiteTable
+{
+    explicit SuiteTable(std::vector<std::string> columns);
+
+    /** Add one benchmark row. */
+    void add(const std::string &name, bool is_fp,
+             const std::vector<double> &values);
+
+    /**
+     * Render with INT / FP / Spec95 average rows appended, formatting
+     * cells via @p fmt (defaults to 2-decimal numbers).
+     */
+    std::string render(const std::string &title, bool percent = false,
+                       int precision = 2) const;
+
+    /** @return the average over INT rows for column @p col. */
+    double intAvg(size_t col) const;
+
+    /** @return the average over FP rows for column @p col. */
+    double fpAvg(size_t col) const;
+
+    /** @return the average over all rows for column @p col. */
+    double totalAvg(size_t col) const;
+
+  private:
+    std::vector<std::string> columns_;
+    struct Row
+    {
+        std::string name;
+        bool isFp;
+        std::vector<double> values;
+    };
+    std::vector<Row> rows_;
+};
+
+/** Run @p fn over every workload (honouring Options::quick = first two
+ *  INT + first FP only). */
+void forEachWorkload(
+    const Options &opt,
+    const std::function<void(const Workload &, const Program &)> &fn);
+
+} // namespace bench
+} // namespace sdv
+
+#endif // SDV_BENCH_HARNESS_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Architectural register state: program counter plus the unified
+ * 64-entry register file (r0 hardwired to zero).
+ */
+
+#ifndef SDV_ARCH_ARCH_STATE_HH
+#define SDV_ARCH_ARCH_STATE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace sdv {
+
+/** The committed architectural state of one hardware context. */
+class ArchState
+{
+  public:
+    /** Current program counter. */
+    Addr pc = 0;
+
+    /** Read register @p reg (reads of r0 return zero). */
+    std::uint64_t
+    reg(RegId reg) const
+    {
+        sdv_assert(reg < numLogicalRegs, "bad register ", unsigned(reg));
+        return regs_[reg];
+    }
+
+    /** Write register @p reg (writes to r0 are discarded). */
+    void
+    setReg(RegId reg, std::uint64_t value)
+    {
+        sdv_assert(reg < numLogicalRegs, "bad register ", unsigned(reg));
+        if (reg != zeroReg)
+            regs_[reg] = value;
+    }
+
+    /** Read a register's bits as a double. */
+    double
+    regAsDouble(RegId r) const
+    {
+        double d;
+        const std::uint64_t v = reg(r);
+        std::memcpy(&d, &v, 8);
+        return d;
+    }
+
+    /** Write a double's bits to a register. */
+    void
+    setRegFromDouble(RegId r, double d)
+    {
+        std::uint64_t v;
+        std::memcpy(&v, &d, 8);
+        setReg(r, v);
+    }
+
+    /** Compare full register state (including pc). */
+    bool
+    operator==(const ArchState &o) const
+    {
+        return pc == o.pc && regs_ == o.regs_;
+    }
+
+  private:
+    std::array<std::uint64_t, numLogicalRegs> regs_{};
+};
+
+} // namespace sdv
+
+#endif // SDV_ARCH_ARCH_STATE_HH

@@ -1,0 +1,174 @@
+#include "arch/executor.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+#include "isa/alu.hh"
+
+namespace sdv {
+
+ExecRecord
+executeOne(const Program &prog, ArchState &state, SparseMemory &mem)
+{
+    ExecRecord rec;
+    rec.pc = state.pc;
+    sdv_assert(prog.validPc(state.pc), "pc out of code region: ", state.pc);
+    rec.inst = prog.instAt(state.pc);
+    const Instruction &in = rec.inst;
+    rec.nextPc = state.pc + instBytes;
+
+    const std::uint64_t a = state.reg(in.rs1);
+    const std::uint64_t b = state.reg(in.rs2);
+    const auto sa = std::int64_t(a);
+    const std::int64_t imm = in.imm;
+    const OpInfo &info = in.info();
+    rec.srcValue1 = a;
+    rec.srcValue2 = b;
+
+    std::uint64_t result = 0;
+
+    switch (in.op) {
+      case Opcode::LDQ:
+      case Opcode::FLD:
+        rec.isMem = true;
+        rec.addr = a + std::uint64_t(imm);
+        rec.size = 8;
+        result = mem.read64(rec.addr);
+        break;
+      case Opcode::LDL:
+        rec.isMem = true;
+        rec.addr = a + std::uint64_t(imm);
+        rec.size = 4;
+        result = std::uint64_t(signExtend(mem.read32(rec.addr), 32));
+        break;
+      case Opcode::STQ:
+      case Opcode::FST:
+        rec.isMem = true;
+        rec.isStore = true;
+        rec.addr = a + std::uint64_t(imm);
+        rec.size = 8;
+        rec.value = b;
+        rec.prevMemValue = mem.read64(rec.addr);
+        mem.write64(rec.addr, b);
+        break;
+      case Opcode::STL:
+        rec.isMem = true;
+        rec.isStore = true;
+        rec.addr = a + std::uint64_t(imm);
+        rec.size = 4;
+        rec.value = b;
+        rec.prevMemValue = mem.read32(rec.addr);
+        mem.write32(rec.addr, std::uint32_t(b));
+        break;
+
+      case Opcode::BEQZ:
+        rec.taken = sa == 0;
+        break;
+      case Opcode::BNEZ:
+        rec.taken = sa != 0;
+        break;
+      case Opcode::BLTZ:
+        rec.taken = sa < 0;
+        break;
+      case Opcode::BGEZ:
+        rec.taken = sa >= 0;
+        break;
+      case Opcode::BR:
+        rec.taken = true;
+        break;
+      case Opcode::JAL:
+        rec.taken = true;
+        result = state.pc + instBytes;
+        break;
+      case Opcode::JR:
+        rec.taken = true;
+        rec.nextPc = a;
+        break;
+      case Opcode::JALR:
+        rec.taken = true;
+        rec.nextPc = a;
+        result = state.pc + instBytes;
+        break;
+
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        rec.halted = true;
+        break;
+
+      default:
+        // Every remaining opcode is a pure register operation.
+        result = evalScalarOp(in.op, a, b, in.imm);
+        break;
+    }
+
+    // pc-relative control targets.
+    if ((in.isCondBranch() && rec.taken) || in.op == Opcode::BR ||
+        in.op == Opcode::JAL) {
+        rec.nextPc = state.pc + Addr(std::int64_t(imm) * instBytes);
+    }
+
+    if (info.writesRd) {
+        state.setReg(in.rd, result);
+        rec.writesReg = in.rd != zeroReg;
+        if (!rec.isStore)
+            rec.value = result;
+    } else if (!rec.isStore) {
+        rec.value = result;
+    }
+
+    state.pc = rec.nextPc;
+    return rec;
+}
+
+Addr
+loadProgram(const Program &prog, SparseMemory &mem)
+{
+    // Code: one encoded 64-bit word per instruction slot.
+    Addr pc = prog.codeBase();
+    for (std::uint64_t word : prog.codeWords()) {
+        mem.write64(pc, word);
+        pc += instBytes;
+    }
+    for (const DataSegment &seg : prog.dataSegments())
+        mem.writeBytes(seg.base, seg.bytes.data(), seg.bytes.size());
+    return prog.entry();
+}
+
+ArchState
+initialState(const Program &prog)
+{
+    ArchState st;
+    st.pc = prog.entry();
+    st.setReg(30, Program::defaultStackTop); // conventional stack pointer
+    return st;
+}
+
+FunctionalCore::FunctionalCore(const Program &prog) : prog_(prog)
+{
+    loadProgram(prog_, mem_);
+    state_ = initialState(prog_);
+}
+
+ExecRecord
+FunctionalCore::step()
+{
+    sdv_assert(!halted_, "step() after halt");
+    ExecRecord rec = executeOne(prog_, state_, mem_);
+    ++instCount_;
+    if (rec.halted)
+        halted_ = true;
+    return rec;
+}
+
+std::uint64_t
+FunctionalCore::run(std::uint64_t max_insts)
+{
+    std::uint64_t n = 0;
+    while (!halted_ && n < max_insts) {
+        step();
+        ++n;
+    }
+    return n;
+}
+
+} // namespace sdv

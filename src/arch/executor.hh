@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Functional (architectural) execution of the mini-ISA. Used standalone
+ * as the reference simulator and inside the timing model as the
+ * oracle-at-decode executor (the SimpleScalar sim-outorder convention).
+ */
+
+#ifndef SDV_ARCH_EXECUTOR_HH
+#define SDV_ARCH_EXECUTOR_HH
+
+#include <cstdint>
+
+#include "arch/arch_state.hh"
+#include "arch/memory.hh"
+#include "isa/program.hh"
+
+namespace sdv {
+
+/** Everything observable about one executed dynamic instruction. */
+struct ExecRecord
+{
+    Addr pc = 0;           ///< instruction address
+    Instruction inst;      ///< the decoded instruction
+    Addr nextPc = 0;       ///< successor pc actually taken
+    bool taken = false;    ///< control transfer redirected the pc
+    bool isMem = false;    ///< memory operation
+    bool isStore = false;  ///< store (subset of isMem)
+    Addr addr = 0;         ///< effective address (when isMem)
+    unsigned size = 0;     ///< access size in bytes (when isMem)
+    std::uint64_t value = 0; ///< register result or store value
+    bool writesReg = false;  ///< value went to inst.rd
+    bool halted = false;   ///< this instruction was HALT
+    std::uint64_t srcValue1 = 0; ///< rs1 value at execution
+    std::uint64_t srcValue2 = 0; ///< rs2 value at execution
+    std::uint64_t prevMemValue = 0; ///< store: memory value overwritten
+};
+
+/**
+ * Execute the instruction at @p state.pc, updating state and memory.
+ *
+ * @param prog program image (source of instruction words)
+ * @param state architectural state (pc advanced)
+ * @param mem data memory
+ * @return the execution record
+ */
+ExecRecord executeOne(const Program &prog, ArchState &state,
+                      SparseMemory &mem);
+
+/**
+ * A complete functional simulation context: program + state + memory,
+ * loaded and ready to step.
+ */
+class FunctionalCore
+{
+  public:
+    /** Load @p prog into a fresh memory image and reset the state. */
+    explicit FunctionalCore(const Program &prog);
+
+    /** Execute one instruction. Must not be called after halt. */
+    ExecRecord step();
+
+    /** Run until HALT or until @p max_insts more have executed.
+     *  @return number of instructions executed. */
+    std::uint64_t run(std::uint64_t max_insts);
+
+    /** @return true once HALT has executed. */
+    bool halted() const { return halted_; }
+
+    /** @return dynamic instruction count so far. */
+    std::uint64_t instCount() const { return instCount_; }
+
+    /** @return the architectural state. */
+    const ArchState &state() const { return state_; }
+
+    /** @return mutable architectural state (for test setup). */
+    ArchState &state() { return state_; }
+
+    /** @return the memory image. */
+    const SparseMemory &memory() const { return mem_; }
+
+    /** @return mutable memory (for test setup). */
+    SparseMemory &memory() { return mem_; }
+
+    /** @return the program being executed. */
+    const Program &program() const { return prog_; }
+
+  private:
+    const Program &prog_;
+    ArchState state_;
+    SparseMemory mem_;
+    bool halted_ = false;
+    std::uint64_t instCount_ = 0;
+};
+
+/** Load a program image (code + data) into @p mem; @return entry pc. */
+Addr loadProgram(const Program &prog, SparseMemory &mem);
+
+/** Build the reset-time architectural state for @p prog. */
+ArchState initialState(const Program &prog);
+
+} // namespace sdv
+
+#endif // SDV_ARCH_EXECUTOR_HH

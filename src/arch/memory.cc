@@ -1,0 +1,98 @@
+#include "arch/memory.hh"
+
+#include <cstring>
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace sdv {
+
+const SparseMemory::Page *
+SparseMemory::findPage(Addr page_addr) const
+{
+    auto it = pages_.find(page_addr);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+SparseMemory::Page &
+SparseMemory::getPage(Addr page_addr)
+{
+    auto it = pages_.find(page_addr);
+    if (it == pages_.end())
+        it = pages_.emplace(page_addr, Page(pageBytes, 0)).first;
+    return it->second;
+}
+
+std::uint8_t
+SparseMemory::readByte(Addr addr) const
+{
+    const Page *page = findPage(alignDown(addr, pageBytes));
+    return page ? (*page)[addr % pageBytes] : 0;
+}
+
+void
+SparseMemory::writeByte(Addr addr, std::uint8_t value)
+{
+    getPage(alignDown(addr, pageBytes))[addr % pageBytes] = value;
+}
+
+std::uint64_t
+SparseMemory::read(Addr addr, unsigned size) const
+{
+    sdv_assert(size == 1 || size == 2 || size == 4 || size == 8,
+               "bad access size ", size);
+    // Fast path: access within a single page.
+    const Addr page_addr = alignDown(addr, pageBytes);
+    if (alignDown(addr + size - 1, pageBytes) == page_addr) {
+        const Page *page = findPage(page_addr);
+        if (!page)
+            return 0;
+        std::uint64_t v = 0;
+        std::memcpy(&v, page->data() + (addr % pageBytes), size);
+        return v;
+    }
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < size; ++i)
+        v |= std::uint64_t(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+SparseMemory::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    sdv_assert(size == 1 || size == 2 || size == 4 || size == 8,
+               "bad access size ", size);
+    const Addr page_addr = alignDown(addr, pageBytes);
+    if (alignDown(addr + size - 1, pageBytes) == page_addr) {
+        Page &page = getPage(page_addr);
+        std::memcpy(page.data() + (addr % pageBytes), &value, size);
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, std::uint8_t(value >> (8 * i)));
+}
+
+void
+SparseMemory::writeBytes(Addr addr, const std::uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        writeByte(addr + i, data[i]);
+}
+
+bool
+SparseMemory::equals(const SparseMemory &other) const
+{
+    auto covered = [](const SparseMemory &a, const SparseMemory &b) {
+        static const Page zeros(pageBytes, 0);
+        for (const auto &[page_addr, page] : a.pages_) {
+            const Page *peer = b.findPage(page_addr);
+            const Page &ref = peer ? *peer : zeros;
+            if (std::memcmp(page.data(), ref.data(), pageBytes) != 0)
+                return false;
+        }
+        return true;
+    };
+    return covered(*this, other) && covered(other, *this);
+}
+
+} // namespace sdv

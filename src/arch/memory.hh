@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sparse byte-addressable memory backing store. Pages are materialized
+ * on first touch and read as zero before any write, which also makes
+ * speculative vector-load prefetches to arbitrary addresses safe.
+ */
+
+#ifndef SDV_ARCH_MEMORY_HH
+#define SDV_ARCH_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sdv {
+
+/** Page-granular sparse memory. */
+class SparseMemory
+{
+  public:
+    /** Bytes per backing page. */
+    static constexpr unsigned pageBytes = 4096;
+
+    /** Read @p size bytes (1, 2, 4 or 8) little-endian. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value little-endian. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    /** Read a 64-bit word. */
+    std::uint64_t read64(Addr addr) const { return read(addr, 8); }
+
+    /** Write a 64-bit word. */
+    void write64(Addr addr, std::uint64_t v) { write(addr, v, 8); }
+
+    /** Read a 32-bit word. */
+    std::uint32_t
+    read32(Addr addr) const
+    {
+        return std::uint32_t(read(addr, 4));
+    }
+
+    /** Write a 32-bit word. */
+    void write32(Addr addr, std::uint32_t v) { write(addr, v, 4); }
+
+    /** Bulk copy-in. */
+    void writeBytes(Addr addr, const std::uint8_t *data, size_t len);
+
+    /** @return number of materialized pages. */
+    size_t numPages() const { return pages_.size(); }
+
+    /**
+     * Compare the union of both memories' touched pages.
+     * @retval true when every byte matches (untouched reads as zero).
+     */
+    bool equals(const SparseMemory &other) const;
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+
+    const Page *findPage(Addr page_addr) const;
+    Page &getPage(Addr page_addr);
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace sdv
+
+#endif // SDV_ARCH_MEMORY_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Branch target buffer: caches the most recent target of control
+ * instructions so the front end can redirect on a predicted-taken
+ * branch without waiting for decode.
+ */
+
+#ifndef SDV_BRANCH_BTB_HH
+#define SDV_BRANCH_BTB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sdv {
+
+/** Set-associative branch target buffer with per-set LRU. */
+class Btb
+{
+  public:
+    /**
+     * @param sets number of sets (power of two)
+     * @param ways associativity
+     */
+    explicit Btb(unsigned sets = 512, unsigned ways = 4);
+
+    /**
+     * Look up the target of the control instruction at @p pc.
+     * @retval true and sets @p target on a hit.
+     */
+    bool lookup(Addr pc, Addr &target);
+
+    /** Install/refresh the target for @p pc. */
+    void update(Addr pc, Addr target);
+
+    /** Drop all entries. */
+    void reset();
+
+    /** @return hit count since construction/reset. */
+    std::uint64_t hits() const { return hits_; }
+
+    /** @return lookup count since construction/reset. */
+    std::uint64_t lookups() const { return lookups_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(Addr pc) const;
+
+    std::vector<Entry> entries_; ///< sets * ways, way-major within set
+    unsigned sets_;
+    unsigned ways_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t lookups_ = 0;
+};
+
+} // namespace sdv
+
+#endif // SDV_BRANCH_BTB_HH

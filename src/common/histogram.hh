@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fixed-bucket histogram used for stride distributions, useful-word
+ * counts and similar per-figure statistics.
+ */
+
+#ifndef SDV_COMMON_HISTOGRAM_HH
+#define SDV_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdv {
+
+/**
+ * Histogram over the integer buckets [0, numBuckets); samples outside the
+ * range land in a separate overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param num_buckets number of in-range buckets */
+    explicit Histogram(unsigned num_buckets = 10);
+
+    /** Add @p weight samples to the bucket for @p value. */
+    void sample(std::int64_t value, std::uint64_t weight = 1);
+
+    /** Discard all samples. */
+    void reset();
+
+    /** @return raw count of bucket @p b. */
+    std::uint64_t bucket(unsigned b) const;
+
+    /** @return count of samples that fell outside [0, numBuckets). */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** @return total number of samples (including overflow). */
+    std::uint64_t total() const { return total_; }
+
+    /** @return bucket count as a fraction of all samples (0 when empty). */
+    double fraction(unsigned b) const;
+
+    /** @return overflow count as a fraction of all samples. */
+    double overflowFraction() const;
+
+    /** @return number of in-range buckets. */
+    unsigned numBuckets() const { return unsigned(buckets_.size()); }
+
+    /** Merge another histogram of identical shape into this one. */
+    void merge(const Histogram &other);
+
+    /** @return a one-line textual rendering (for logs and tests). */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/** Incremental mean tracker. */
+class RunningMean
+{
+  public:
+    /** Add one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++n_;
+    }
+
+    /** Add a pre-weighted sample. */
+    void
+    sampleWeighted(double sum, std::uint64_t n)
+    {
+        sum_ += sum;
+        n_ += n;
+    }
+
+    /** @return the current mean (0 when no samples). */
+    double mean() const { return n_ == 0 ? 0.0 : sum_ / double(n_); }
+
+    /** @return the number of samples. */
+    std::uint64_t count() const { return n_; }
+
+    /** @return the sum of samples. */
+    double sum() const { return sum_; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t n_ = 0;
+};
+
+} // namespace sdv
+
+#endif // SDV_COMMON_HISTOGRAM_HH

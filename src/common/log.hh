@@ -1,0 +1,99 @@
+/**
+ * @file
+ * gem5-style status/error reporting: panic() for simulator bugs, fatal()
+ * for user/configuration errors, warn()/inform() for status messages.
+ */
+
+#ifndef SDV_COMMON_LOG_HH
+#define SDV_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace sdv {
+
+namespace detail {
+
+/** Concatenate a parameter pack through an ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Abort after printing a panic message (simulator bug). */
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+
+/** Exit(1) after printing a fatal message (user error). */
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return whether warn()/inform() are silenced. */
+bool quiet();
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use when a condition can
+ * only arise from broken sdv code, never from user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...),
+                      __builtin_FILE(), __builtin_LINE());
+}
+
+/**
+ * Report an unrecoverable user error (bad configuration, malformed
+ * program) and exit.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...),
+                      __builtin_FILE(), __builtin_LINE());
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Panic unless a condition holds. */
+#define sdv_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sdv::panic("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+} // namespace sdv
+
+#endif // SDV_COMMON_LOG_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Saturating up/down counter, the building block of the gshare predictor
+ * and of the Table of Loads confidence field.
+ */
+
+#ifndef SDV_COMMON_SAT_COUNTER_HH
+#define SDV_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace sdv {
+
+/** An n-bit saturating counter (n <= 8). */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits counter width in bits (1..8)
+     * @param initial initial count (clamped to the maximum)
+     */
+    explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 0)
+        : max_(static_cast<std::uint8_t>((1u << bits) - 1)),
+          count_(initial > max_ ? max_ : initial)
+    {
+        sdv_assert(bits >= 1 && bits <= 8, "bad counter width");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (count_ < max_)
+            ++count_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (count_ > 0)
+            --count_;
+    }
+
+    /** Reset to zero. */
+    void reset() { count_ = 0; }
+
+    /** Set to an explicit value (clamped). */
+    void
+    set(std::uint8_t v)
+    {
+        count_ = v > max_ ? max_ : v;
+    }
+
+    /** @return the current count. */
+    std::uint8_t count() const { return count_; }
+
+    /** @return the saturation value. */
+    std::uint8_t max() const { return max_; }
+
+    /** @return true when the counter is in its upper half (taken). */
+    bool taken() const { return count_ > max_ / 2; }
+
+    /** @return true when saturated at the maximum. */
+    bool saturated() const { return count_ == max_; }
+
+  private:
+    std::uint8_t max_;
+    std::uint8_t count_;
+};
+
+} // namespace sdv
+
+#endif // SDV_COMMON_SAT_COUNTER_HH

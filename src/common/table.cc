@@ -1,0 +1,125 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace sdv {
+
+const std::string TextTable::separatorTag = "\x01--";
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRow(const std::string &label, const std::vector<double> &cells,
+                  int precision)
+{
+    std::vector<std::string> row;
+    row.push_back(label);
+    for (double c : cells)
+        row.push_back(num(c, precision));
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addPercentRow(const std::string &label,
+                         const std::vector<double> &fractions, int precision)
+{
+    std::vector<std::string> row;
+    row.push_back(label);
+    for (double f : fractions)
+        row.push_back(percent(f, precision));
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({separatorTag});
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << "%";
+    return os.str();
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header and all data rows.
+    size_t cols = header_.size();
+    for (const auto &r : rows_)
+        if (r.empty() || r[0] != separatorTag)
+            cols = std::max(cols, r.size());
+
+    std::vector<size_t> width(cols, 0);
+    auto account = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    if (!header_.empty())
+        account(header_);
+    for (const auto &r : rows_)
+        if (r.empty() || r[0] != separatorTag)
+            account(r);
+
+    size_t line_len = 0;
+    for (size_t w : width)
+        line_len += w + 2;
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << "\n";
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < cols; ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            // Left-align the first (label) column, right-align the rest.
+            if (i == 0)
+                os << std::left << std::setw(int(width[i])) << cell;
+            else
+                os << std::right << std::setw(int(width[i])) << cell;
+            if (i + 1 < cols)
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        os << std::string(line_len, '-') << "\n";
+    }
+    for (const auto &r : rows_) {
+        if (!r.empty() && r[0] == separatorTag)
+            os << std::string(line_len, '-') << "\n";
+        else
+            emit(r);
+    }
+    return os.str();
+}
+
+} // namespace sdv

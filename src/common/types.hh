@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every sdv subsystem.
+ */
+
+#ifndef SDV_COMMON_TYPES_HH
+#define SDV_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace sdv {
+
+/** A byte address in the simulated memory space. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** A dynamic instruction sequence number (1-based; 0 means "none"). */
+using InstSeqNum = std::uint64_t;
+
+/** A logical or physical register identifier. */
+using RegId = std::uint8_t;
+
+/** A vector physical register identifier. */
+using VecRegId = std::uint16_t;
+
+/** Sentinel for "no vector register". */
+constexpr VecRegId invalidVecReg = std::numeric_limits<VecRegId>::max();
+
+/** Sentinel cycle meaning "never / not scheduled". */
+constexpr Cycle neverCycle = std::numeric_limits<Cycle>::max();
+
+/** Number of architectural registers (0..31 integer, 32..63 FP). */
+constexpr unsigned numLogicalRegs = 64;
+
+/** The hardwired-zero register. */
+constexpr RegId zeroReg = 0;
+
+/** First floating-point logical register. */
+constexpr RegId firstFpReg = 32;
+
+} // namespace sdv
+
+#endif // SDV_COMMON_TYPES_HH

@@ -1,0 +1,535 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace sdv {
+
+Core::Core(const CoreConfig &cfg, const Program &prog)
+    : cfg_(cfg), prog_(prog), oracle_(prog), mem_(cfg.mem),
+      ports_(cfg.dcachePorts, cfg.widePorts, cfg.mem.l1dLineBytes),
+      gshare_(cfg.gshareEntries, cfg.gshareHistoryBits),
+      btb_(cfg.btbSets, cfg.btbWays), ras_(cfg.rasDepth),
+      lsq_(cfg.lsqEntries), fuPool_(cfg.fu), engine_(cfg.engine),
+      fetchPc_(prog.entry())
+{
+    // Speculative vector-element loads read their values from the
+    // oracle memory image (sequentially correct state); conflicts with
+    // later stores are caught by the Section 3.6 range check.
+    engine_.datapath().setLoadValueProvider(
+        [this](Addr addr, unsigned size) -> std::uint64_t {
+            const std::uint64_t raw = readCommittedMemory(addr, size);
+            if (size == 4)
+                return std::uint64_t(std::int64_t(std::int32_t(raw)));
+            return raw;
+        });
+    engine_.vrf().setElemResolver(
+        [this](ElemLoadId id, bool used) { ports_.resolveElem(id, used); });
+    engine_.datapath().setSeqCompleted(
+        [this](InstSeqNum seq) { return producerCompleted(seq); });
+}
+
+bool
+Core::producerCompleted(InstSeqNum seq) const
+{
+    if (seq == 0)
+        return true;
+    if (rob_.empty() || seq < rob_.front()->seq)
+        return true; // already retired
+    const std::uint64_t idx = seq - rob_.front()->seq;
+    if (idx >= rob_.size())
+        return true; // unknown (post-squash reference): treat as done
+    return rob_[size_t(idx)]->completed;
+}
+
+std::uint64_t
+Core::readCommittedMemory(Addr addr, unsigned size) const
+{
+    std::uint64_t val = oracle_.memory().read(addr, size);
+    // Overlay pre-images youngest-first so the oldest in-flight store's
+    // pre-image (the committed state) ends up authoritative per byte.
+    for (auto it = pendingStores_.rbegin(); it != pendingStores_.rend();
+         ++it) {
+        const Addr s_lo = it->addr;
+        const Addr s_hi = it->addr + it->size;
+        const Addr l_lo = addr;
+        const Addr l_hi = addr + size;
+        const Addr lo = s_lo > l_lo ? s_lo : l_lo;
+        const Addr hi = s_hi < l_hi ? s_hi : l_hi;
+        for (Addr b = lo; b < hi; ++b) {
+            const unsigned load_idx = unsigned(b - l_lo);
+            const unsigned store_idx = unsigned(b - s_lo);
+            const std::uint64_t pre =
+                (it->preValue >> (8 * store_idx)) & 0xff;
+            val &= ~(0xffULL << (8 * load_idx));
+            val |= pre << (8 * load_idx);
+        }
+    }
+    return val;
+}
+
+DynInst *
+Core::robFind(InstSeqNum seq) const
+{
+    if (rob_.empty() || seq < rob_.front()->seq)
+        return nullptr;
+    const std::uint64_t idx = seq - rob_.front()->seq;
+    if (idx >= rob_.size())
+        return nullptr;
+    return rob_[size_t(idx)].get();
+}
+
+void
+Core::tick()
+{
+    ports_.beginCycle();
+    fuPool_.beginCycle();
+    cycleAccessDone_.clear();
+
+    commitStage();
+    completionStage();
+    issueStage();
+    engine_.tick(cycle_, ports_, mem_);
+    decodeStage();
+    fetchStage();
+
+    ++cycle_;
+    stats_.cycles = cycle_;
+}
+
+// --- commit ---------------------------------------------------------------
+
+void
+Core::commitCommon(DynInst &d)
+{
+    d.commitCycle = cycle_;
+
+    // Figure 10: count instructions inside an open post-mispredict
+    // window before possibly opening a new one below.
+    if (fig10Remaining_ > 0) {
+        ++stats_.postMispredictWindowInsts;
+        if (d.isValidation())
+            ++stats_.postMispredictReused;
+        --fig10Remaining_;
+    }
+
+    ++stats_.committedInsts;
+    if (d.isLoad())
+        ++stats_.committedLoads;
+    if (d.isStore())
+        ++stats_.committedStores;
+    if (d.isControl()) {
+        ++stats_.committedBranches;
+        if (d.mispredicted) {
+            ++stats_.branchMispredicts;
+            fig10Remaining_ = 100;
+        }
+        engine_.onControlCommit(d);
+    }
+    if (d.isValidation()) {
+        ++stats_.committedValidations;
+        if (d.isLoad())
+            ++stats_.committedLoadValidations;
+        engine_.onValidationCommit(d);
+    } else {
+        engine_.onScalarWriterCommit(d);
+    }
+    if (d.inst().writesReg() || d.isValidation())
+        rt_.onWriterCommit(d.inst().rd, d.seq);
+    if (d.inst().isMem())
+        lsq_.erase(d.seq);
+
+    commitHash_ = (commitHash_ ^ d.pc()) * 1099511628211ULL;
+    if (d.rec.halted)
+        haltCommitted_ = true;
+}
+
+void
+Core::commitStage()
+{
+    unsigned committed = 0;
+    unsigned stores = 0;
+    while (committed < cfg_.commitWidth && !rob_.empty()) {
+        DynInst *d = rob_.front().get();
+        if (!d->completed)
+            break;
+
+        if (d->isStore()) {
+            if (stores >= cfg_.maxStoresPerCycle)
+                break;
+            const auto grant = ports_.requestStoreWord(d->rec.addr);
+            if (!grant.ok)
+                break; // no port for the cache write this cycle
+            mem_.storeAccess(d->rec.addr, cycle_);
+            // This store's value is now architecturally committed.
+            sdv_assert(!pendingStores_.empty() &&
+                           pendingStores_.front().addr == d->rec.addr,
+                       "pending-store FIFO out of sync");
+            pendingStores_.pop_front();
+            ++stores;
+            const bool conflict = engine_.onStoreCommit(*d);
+            commitCommon(*d);
+            rob_.pop_front();
+            ++committed;
+            if (conflict) {
+                ++stats_.storeConflictSquashes;
+                squashAllInFlight();
+                break;
+            }
+            continue;
+        }
+
+        commitCommon(*d);
+        rob_.pop_front();
+        ++committed;
+    }
+}
+
+void
+Core::squashAllInFlight()
+{
+    // Undo decode effects youngest-first.
+    for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
+        engine_.undoDecode(**it, rt_);
+        ++stats_.squashedInsts;
+    }
+
+    // Collect the oracle records (oldest first) for replay through
+    // fetch, including not-yet-decoded entries in the fetch queue.
+    std::vector<ExecRecord> recs;
+    recs.reserve(rob_.size() + fetchQueue_.size());
+    for (const auto &up : rob_)
+        recs.push_back(up->rec);
+    for (const auto &f : fetchQueue_)
+        recs.push_back(f.rec);
+    for (auto it = recs.rbegin(); it != recs.rend(); ++it)
+        replayQueue_.push_front(*it);
+
+    rob_.clear();
+    iq_.clear();
+    fetchQueue_.clear();
+    lsq_.squashAfter(0);
+
+    fetchStalled_ = false;
+    stallBranchSeq_ = 0;
+    icacheReadyAt_ = 0;
+    if (!replayQueue_.empty())
+        fetchPc_ = replayQueue_.front().pc;
+}
+
+// --- completion monitoring -----------------------------------------------
+
+void
+Core::completionStage()
+{
+    for (auto &up : rob_) {
+        DynInst *d = up.get();
+        if (d->completed)
+            continue;
+
+        if (d->isValidation()) {
+            switch (engine_.validationStatus(*d)) {
+              case ValStatus::Ready:
+                d->completed = true;
+                d->readyCycle = cycle_;
+                break;
+              case ValStatus::Dead: {
+                // The element will never be computed: re-execute this
+                // instance in scalar mode.
+                engine_.fallbackValidation(*d);
+                auto pos = std::lower_bound(
+                    iq_.begin(), iq_.end(), d->seq,
+                    [](const DynInst *a, InstSeqNum s) {
+                        return a->seq < s;
+                    });
+                iq_.insert(pos, d);
+                d->inIq = true;
+                break;
+              }
+              case ValStatus::Waiting:
+                break;
+            }
+        } else if (d->issued && !d->completed &&
+                   d->readyCycle <= cycle_) {
+            d->completed = true;
+        }
+
+        if (d->completed && d->seq == stallBranchSeq_) {
+            fetchStalled_ = false;
+            stallBranchSeq_ = 0;
+            fetchPc_ = d->rec.nextPc;
+        }
+    }
+}
+
+// --- issue ------------------------------------------------------------------
+
+void
+Core::issueStage()
+{
+    unsigned issued = 0;
+    auto it = iq_.begin();
+    while (it != iq_.end() && issued < cfg_.issueWidth) {
+        DynInst *d = *it;
+        bool remove = false;
+
+        const bool deps_ready =
+            producerCompleted(d->dep1) && producerCompleted(d->dep2);
+        if (deps_ready) {
+            if (d->isLoad()) {
+                const LoadCheck chk = lsq_.checkLoad(d);
+                if (chk == LoadCheck::Forward) {
+                    d->issued = true;
+                    d->readyCycle = cycle_ + 1;
+                    lsq_.noteForward();
+                    ++stats_.loadForwards;
+                    remove = true;
+                } else if (chk == LoadCheck::Ready) {
+                    const auto grant =
+                        ports_.requestLoadWord(d->rec.addr);
+                    if (grant.ok) {
+                        Cycle done = 0;
+                        bool ok = true;
+                        if (grant.newAccess) {
+                            ok = mem_.loadAccess(d->rec.addr, cycle_,
+                                                 done);
+                            if (ok) {
+                                cycleAccessDone_.emplace_back(
+                                    grant.accessId, done);
+                                ++stats_.scalarLoadAccesses;
+                            }
+                        } else {
+                            // Riding along a wide access made earlier
+                            // this cycle.
+                            done = neverCycle;
+                            for (const auto &[id, c] : cycleAccessDone_)
+                                if (id == grant.accessId)
+                                    done = c;
+                            if (done == neverCycle)
+                                ok = mem_.loadAccess(d->rec.addr, cycle_,
+                                                     done);
+                        }
+                        if (ok) {
+                            d->issued = true;
+                            d->readyCycle = done;
+                            remove = true;
+                        }
+                    }
+                } else {
+                    lsq_.noteConflictStall();
+                }
+            } else if (d->isStore()) {
+                // Address generation; the memory write happens at
+                // commit through a port.
+                d->issued = true;
+                d->readyCycle = cycle_ + 1;
+                remove = true;
+            } else {
+                const OpClass cls = d->inst().info().opClass;
+                if (fuPool_.tryIssue(cls)) {
+                    d->issued = true;
+                    d->readyCycle = cycle_ + opClassLatency(cls);
+                    remove = true;
+                }
+            }
+        }
+
+        if (remove) {
+            d->inIq = false;
+            it = iq_.erase(it);
+            ++issued;
+        } else {
+            ++it;
+        }
+    }
+}
+
+// --- decode / rename / dispatch --------------------------------------------
+
+void
+Core::decodeStage()
+{
+    unsigned decoded = 0;
+    const auto completed_fn = [this](InstSeqNum s) {
+        return producerCompleted(s);
+    };
+
+    while (decoded < cfg_.decodeWidth && !fetchQueue_.empty()) {
+        FetchedInst &f = fetchQueue_.front();
+        if (rob_.size() >= cfg_.robEntries) {
+            ++stats_.robFullStalls;
+            break;
+        }
+        if (f.rec.inst.isMem() && lsq_.full()) {
+            ++stats_.lsqFullStalls;
+            break;
+        }
+
+        auto d = std::make_unique<DynInst>();
+        d->seq = nextSeq_;
+        d->rec = f.rec;
+        d->predTaken = f.predTaken;
+        d->predTarget = f.predTarget;
+        d->mispredicted = f.mispredicted;
+        d->fetchCycle = f.fetchCycle;
+
+        // Capture scalar dependences before the engine rewrites the
+        // rename entries.
+        const OpInfo &info = f.rec.inst.info();
+        if (info.readsRs1 && f.rec.inst.rs1 != zeroReg) {
+            const InstSeqNum w = rt_.entry(f.rec.inst.rs1).lastWriter;
+            if (w != 0 && !producerCompleted(w))
+                d->dep1 = w;
+        }
+        if (info.readsRs2 && f.rec.inst.rs2 != zeroReg) {
+            const InstSeqNum w = rt_.entry(f.rec.inst.rs2).lastWriter;
+            if (w != 0 && !producerCompleted(w))
+                d->dep2 = w;
+        }
+
+        const DecodeAction action = engine_.decode(*d, rt_, completed_fn);
+        if (action == DecodeAction::Blocked) {
+            ++stats_.decodeBlockCycles;
+            break; // retry next cycle; d is discarded unmodified
+        }
+
+        ++nextSeq_;
+        if (f.mispredicted)
+            stallBranchSeq_ = d->seq;
+
+        if (f.rec.inst.isMem())
+            lsq_.insert(d.get());
+
+        if (d->isValidation()) {
+            // Monitored by completionStage; no FU, no issue slot.
+        } else if (info.opClass == OpClass::None) {
+            d->completed = true;
+            d->readyCycle = cycle_;
+        } else {
+            d->inIq = true;
+            iq_.push_back(d.get());
+        }
+
+        rob_.push_back(std::move(d));
+        fetchQueue_.pop_front();
+        ++decoded;
+    }
+}
+
+// --- fetch ---------------------------------------------------------------------
+
+void
+Core::predictControl(FetchedInst &f)
+{
+    const Instruction &in = f.rec.inst;
+    const Addr pc = f.rec.pc;
+    const Addr fallthrough = pc + instBytes;
+
+    if (in.isCondBranch()) {
+        f.predTaken = gshare_.predict(pc);
+        f.predTarget =
+            pc + Addr(std::int64_t(in.imm) * std::int64_t(instBytes));
+        gshare_.update(pc, f.rec.taken);
+        f.mispredicted = f.predTaken != f.rec.taken;
+        return;
+    }
+
+    switch (in.op) {
+      case Opcode::BR:
+        f.predTaken = true;
+        f.predTarget = f.rec.nextPc;
+        break;
+      case Opcode::JAL:
+        f.predTaken = true;
+        f.predTarget = f.rec.nextPc;
+        ras_.push(fallthrough);
+        break;
+      case Opcode::JALR: {
+        f.predTaken = true;
+        ras_.push(fallthrough);
+        Addr t = fallthrough;
+        if (!btb_.lookup(pc, t))
+            t = fallthrough;
+        f.predTarget = t;
+        f.mispredicted = t != f.rec.nextPc;
+        btb_.update(pc, f.rec.nextPc);
+        break;
+      }
+      case Opcode::JR: {
+        f.predTaken = true;
+        Addr t = 0;
+        if (!ras_.pop(t) && !btb_.lookup(pc, t))
+            t = fallthrough;
+        f.predTarget = t;
+        f.mispredicted = t != f.rec.nextPc;
+        btb_.update(pc, f.rec.nextPc);
+        break;
+      }
+      default:
+        panic("unhandled control op in predictControl");
+    }
+}
+
+void
+Core::fetchStage()
+{
+    if (fetchStalled_) {
+        ++stats_.fetchStallCycles;
+        return;
+    }
+    if (replayQueue_.empty() && oracle_.halted())
+        return; // nothing left to fetch
+    if (cycle_ < icacheReadyAt_)
+        return; // I-cache miss in progress
+    if (fetchQueue_.size() >= cfg_.fetchQueueEntries)
+        return;
+
+    const Cycle ready = mem_.fetchAccess(fetchPc_, cycle_);
+    if (ready > cycle_ + cfg_.mem.l1iHitCycles) {
+        icacheReadyAt_ = ready;
+        return;
+    }
+
+    unsigned fetched = 0;
+    while (fetched < cfg_.fetchWidth &&
+           fetchQueue_.size() < cfg_.fetchQueueEntries) {
+        ExecRecord rec;
+        if (!replayQueue_.empty()) {
+            rec = replayQueue_.front();
+            sdv_assert(rec.pc == fetchPc_, "replay pc mismatch");
+            replayQueue_.pop_front();
+        } else if (!oracle_.halted()) {
+            sdv_assert(oracle_.state().pc == fetchPc_,
+                       "oracle pc diverged from fetch pc");
+            rec = oracle_.step();
+            if (rec.isStore)
+                pendingStores_.push_back(
+                    {rec.addr, rec.size, rec.prevMemValue});
+        } else {
+            break;
+        }
+
+        FetchedInst f;
+        f.rec = rec;
+        f.fetchCycle = cycle_;
+        if (rec.inst.isControl())
+            predictControl(f);
+        fetchQueue_.push_back(f);
+        ++fetched;
+
+        if (rec.halted)
+            break;
+        if (f.mispredicted) {
+            // No wrong-path fetch: stall until the branch resolves.
+            fetchStalled_ = true;
+            stallBranchSeq_ = 0; // assigned at decode
+            break;
+        }
+        fetchPc_ = rec.nextPc;
+        if (rec.inst.isControl() && rec.taken)
+            break; // at most one taken branch per fetch group
+    }
+}
+
+} // namespace sdv

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * The out-of-order superscalar core (the SimpleScalar-like substrate of
+ * Section 4.1) extended with the speculative dynamic vectorization
+ * engine. Execution values come from an in-order oracle at fetch (the
+ * sim-outorder convention); the cycle model charges fetch, decode,
+ * queue, FU, cache-port and commit resources.
+ *
+ * Branch mispredictions stall fetch until the branch resolves (no
+ * wrong-path fetch); vector state deliberately survives them
+ * (control-flow independence, Section 3.5). Store-set conflicts with
+ * vector registers (Section 3.6) squash all younger instructions; the
+ * squashed oracle records replay through fetch.
+ */
+
+#ifndef SDV_CORE_CORE_HH
+#define SDV_CORE_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arch/executor.hh"
+#include "branch/btb.hh"
+#include "branch/gshare.hh"
+#include "branch/ras.hh"
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/lsq.hh"
+#include "core/rename.hh"
+#include "core/sdv_engine.hh"
+#include "mem/hierarchy.hh"
+#include "mem/port.hh"
+
+namespace sdv {
+
+/** Full machine configuration (Table 1 shapes live in sim/config). */
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;   ///< instructions per cycle, <=1 taken branch
+    unsigned decodeWidth = 4;  ///< rename/dispatch bandwidth
+    unsigned issueWidth = 4;   ///< out-of-order issue bandwidth
+    unsigned commitWidth = 4;  ///< in-order commit bandwidth
+    unsigned maxStoresPerCycle = 2; ///< Section 3.6 commit constraint
+    unsigned robEntries = 128; ///< instruction window
+    unsigned lsqEntries = 32;  ///< load/store queue
+    unsigned fetchQueueEntries = 8; ///< fetch/decode decoupling queue
+
+    ScalarFuConfig fu;         ///< scalar FU counts
+
+    unsigned dcachePorts = 1;  ///< L1D ports (1/2/4)
+    bool widePorts = false;    ///< scalar buses vs wide (line) buses
+
+    unsigned gshareEntries = 64 * 1024;
+    unsigned gshareHistoryBits = 16;
+    unsigned btbSets = 512;
+    unsigned btbWays = 4;
+    unsigned rasDepth = 16;
+
+    MemHierarchyConfig mem;    ///< cache geometry and latencies
+    EngineConfig engine;       ///< dynamic vectorization engine
+};
+
+/** Statistics exported by the core. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::uint64_t committedInsts = 0;
+    std::uint64_t committedLoads = 0;
+    std::uint64_t committedStores = 0;
+    std::uint64_t committedBranches = 0;
+    std::uint64_t committedValidations = 0;       ///< Figure 14
+    std::uint64_t committedLoadValidations = 0;
+    std::uint64_t scalarLoadAccesses = 0; ///< demand loads through ports
+    std::uint64_t loadForwards = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t fetchStallCycles = 0;  ///< cycles fetch sat stalled
+    std::uint64_t decodeBlockCycles = 0; ///< Figure 7 stalls
+    std::uint64_t robFullStalls = 0;
+    std::uint64_t lsqFullStalls = 0;
+    std::uint64_t storeConflictSquashes = 0;
+    std::uint64_t squashedInsts = 0;
+
+    // Figure 10: reuse among the 100 instructions after a mispredict.
+    std::uint64_t postMispredictWindowInsts = 0;
+    std::uint64_t postMispredictReused = 0;
+
+    /** @return instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0 : double(committedInsts) / double(cycles);
+    }
+};
+
+/** The core. */
+class Core
+{
+  public:
+    /**
+     * @param cfg machine configuration
+     * @param prog the program to run (must outlive the core)
+     */
+    Core(const CoreConfig &cfg, const Program &prog);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** @return true once HALT has committed. */
+    bool done() const { return haltCommitted_; }
+
+    /** @return current cycle. */
+    Cycle cycle() const { return cycle_; }
+
+    /** @return core statistics. */
+    const CoreStats &stats() const { return stats_; }
+
+    /** @return the vectorization engine. */
+    SdvEngine &engine() { return engine_; }
+
+    /** @return the D-cache port network. */
+    DCachePorts &ports() { return ports_; }
+
+    /** @return the memory hierarchy. */
+    MemHierarchy &memHierarchy() { return mem_; }
+
+    /** @return the in-order oracle (architectural state source). */
+    const FunctionalCore &oracle() const { return oracle_; }
+
+    /** @return rolling hash over committed PCs (equivalence checks). */
+    std::uint64_t commitPcHash() const { return commitHash_; }
+
+    /** @return number of in-flight instructions. */
+    size_t robOccupancy() const { return rob_.size(); }
+
+    /** Release remaining vector state and resolve ledgers. */
+    void finalize() { engine_.finalize(); }
+
+  private:
+    /** An instruction fetched but not yet renamed. */
+    struct FetchedInst
+    {
+        ExecRecord rec;
+        bool predTaken = false;
+        Addr predTarget = 0;
+        bool mispredicted = false;
+        Cycle fetchCycle = 0;
+    };
+
+    void commitStage();
+    void completionStage();
+    void issueStage();
+    void decodeStage();
+    void fetchStage();
+
+    /** Commit bookkeeping shared by all instruction kinds. */
+    void commitCommon(DynInst &d);
+
+    /** Squash every in-flight instruction (store conflict path). */
+    void squashAllInFlight();
+
+    /**
+     * Read memory as the caches see it: the oracle image with the
+     * pre-images of not-yet-committed stores rewound. Speculative
+     * vector-element loads must read this committed view, not the
+     * oracle-at-fetch state which may already contain future stores.
+     */
+    std::uint64_t readCommittedMemory(Addr addr, unsigned size) const;
+
+    /** @return true when producer @p seq has completed (or retired). */
+    bool producerCompleted(InstSeqNum seq) const;
+
+    /** @return the ROB entry for @p seq, or nullptr. */
+    DynInst *robFind(InstSeqNum seq) const;
+
+    /** Predict + classify one fetched control instruction. */
+    void predictControl(FetchedInst &f);
+
+    CoreConfig cfg_;
+    const Program &prog_;
+
+    // Substrate components.
+    FunctionalCore oracle_;
+    MemHierarchy mem_;
+    DCachePorts ports_;
+    Gshare gshare_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    LoadStoreQueue lsq_;
+    FuPool fuPool_;
+    RenameTable rt_;
+    SdvEngine engine_;
+
+    // Fetch state.
+    Addr fetchPc_;
+    bool fetchStalled_ = false;
+    InstSeqNum stallBranchSeq_ = 0; ///< 0: branch still in fetch queue
+    bool stallPendingDecode_ = false;
+    Cycle icacheReadyAt_ = 0;
+    std::deque<FetchedInst> fetchQueue_;
+    std::deque<ExecRecord> replayQueue_;
+
+    // Backend state.
+    std::deque<std::unique_ptr<DynInst>> rob_;
+    std::vector<DynInst *> iq_; ///< seq-ordered issue queue
+    InstSeqNum nextSeq_ = 1;
+
+    // Per-cycle issue-stage access completion map (wide-bus riders).
+    std::vector<std::pair<std::int32_t, Cycle>> cycleAccessDone_;
+
+    /** Pre-images of oracle-executed stores that have not committed
+     *  yet, in program order (stores commit in order -> FIFO). */
+    struct PendingStore
+    {
+        Addr addr;
+        unsigned size;
+        std::uint64_t preValue;
+    };
+    std::deque<PendingStore> pendingStores_;
+
+    Cycle cycle_ = 0;
+    bool haltCommitted_ = false;
+    std::uint64_t commitHash_ = 1469598103934665603ULL;
+
+    // Figure 10 window.
+    unsigned fig10Remaining_ = 0;
+
+    CoreStats stats_;
+};
+
+} // namespace sdv
+
+#endif // SDV_CORE_CORE_HH

@@ -1,0 +1,65 @@
+#include "core/lsq.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace sdv {
+
+LoadStoreQueue::LoadStoreQueue(unsigned capacity) : capacity_(capacity)
+{
+    sdv_assert(capacity >= 2, "LSQ too small");
+}
+
+void
+LoadStoreQueue::insert(DynInst *inst)
+{
+    sdv_assert(!full(), "LSQ overflow");
+    sdv_assert(entries_.empty() || entries_.back()->seq < inst->seq,
+               "LSQ inserts must be in program order");
+    entries_.push_back(inst);
+}
+
+void
+LoadStoreQueue::erase(InstSeqNum seq)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if ((*it)->seq == seq) {
+            entries_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+LoadStoreQueue::squashAfter(InstSeqNum seq)
+{
+    while (!entries_.empty() && entries_.back()->seq > seq)
+        entries_.pop_back();
+}
+
+LoadCheck
+LoadStoreQueue::checkLoad(const DynInst *ld) const
+{
+    const Addr lo = ld->rec.addr;
+    const Addr hi = lo + ld->rec.size - 1;
+
+    // Scan older entries youngest-first; the nearest older store that
+    // overlaps decides.
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        const DynInst *e = *it;
+        if (e->seq >= ld->seq || !e->isStore())
+            continue;
+        const Addr slo = e->rec.addr;
+        const Addr shi = slo + e->rec.size - 1;
+        if (hi < slo || lo > shi)
+            continue; // disjoint
+        const bool covers = slo <= lo && shi >= hi;
+        if (covers && e->completed)
+            return LoadCheck::Forward;
+        return LoadCheck::Stall;
+    }
+    return LoadCheck::Ready;
+}
+
+} // namespace sdv

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The modified register rename table of Section 3.2 / Figure 6. Every
+ * logical register carries, besides the usual in-flight producer
+ * tracking, a V/S flag (vector or scalar mapping), the vector register
+ * it maps to and the offset of the latest element for which a
+ * validation has entered the pipeline.
+ */
+
+#ifndef SDV_CORE_RENAME_HH
+#define SDV_CORE_RENAME_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "vector/vreg_file.hh"
+
+namespace sdv {
+
+/** Rename state of one logical register. */
+struct RenameEntry
+{
+    /** Sequence number of the youngest in-flight writer (0 when the
+     *  architectural value is current). */
+    InstSeqNum lastWriter = 0;
+
+    /** V/S flag: true when the register maps to a vector register. */
+    bool isVector = false;
+
+    /** Vector register incarnation (valid when isVector). */
+    VecRegRef vreg;
+
+    /** Latest element for which a validation entered the pipeline
+     *  (equals the number of validations issued on this incarnation). */
+    std::uint8_t offset = 0;
+
+    /**
+     * Identity of the element holding the register's *current* value:
+     * the validation target of the most recent validation writer. Used
+     * to match VRMT source operands across chained incarnations.
+     */
+    VecRegRef curElemVreg;
+    std::uint8_t curElem = 0;
+    bool hasCurElem = false;
+};
+
+/** The rename table over the 64 logical registers. */
+class RenameTable
+{
+  public:
+    /** @return the entry for @p reg. */
+    const RenameEntry &
+    entry(RegId reg) const
+    {
+        return entries_[reg];
+    }
+
+    /** Overwrite the entry for @p reg (decode) — r0 stays pinned. */
+    void
+    set(RegId reg, const RenameEntry &e)
+    {
+        if (reg != zeroReg)
+            entries_[reg] = e;
+    }
+
+    /** Clear a writer when the producing instruction commits (the
+     *  architectural value is now current). */
+    void
+    onWriterCommit(RegId reg, InstSeqNum seq)
+    {
+        if (reg != zeroReg && entries_[reg].lastWriter == seq)
+            entries_[reg].lastWriter = 0;
+    }
+
+    /** Reset every entry (context-switch semantics). */
+    void
+    reset()
+    {
+        for (auto &e : entries_)
+            e = RenameEntry{};
+    }
+
+  private:
+    std::array<RenameEntry, numLogicalRegs> entries_{};
+};
+
+} // namespace sdv
+
+#endif // SDV_CORE_RENAME_HH

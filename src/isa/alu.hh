@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Pure arithmetic semantics of the mini-ISA, shared by the functional
+ * executor and the vector functional units (which apply the same
+ * operation element-wise).
+ */
+
+#ifndef SDV_ISA_ALU_HH
+#define SDV_ISA_ALU_HH
+
+#include <cstdint>
+
+#include "isa/opcodes.hh"
+
+namespace sdv {
+
+/**
+ * Evaluate a non-memory, non-control operation.
+ *
+ * @param op opcode (must be an ALU/FP/constant op)
+ * @param a rs1 value (ignored when the op does not read rs1)
+ * @param b rs2 value (ignored when the op does not read rs2)
+ * @param imm immediate field
+ * @return the result value (register bits)
+ */
+std::uint64_t evalScalarOp(Opcode op, std::uint64_t a, std::uint64_t b,
+                           std::int32_t imm);
+
+} // namespace sdv
+
+#endif // SDV_ISA_ALU_HH

@@ -1,0 +1,462 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/bitutils.hh"
+#include "isa/builder.hh"
+
+namespace sdv {
+
+namespace {
+
+/** One parsed source line. */
+struct Line
+{
+    int number = 0;
+    std::vector<std::string> labels; ///< labels bound at this statement
+    std::string head;                ///< directive or mnemonic ("" if none)
+    std::vector<std::string> operands;
+};
+
+std::string
+strip(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Split an operand list on commas and/or whitespace. */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+            if (!strip(cur).empty())
+                out.push_back(strip(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!strip(cur).empty())
+        out.push_back(strip(cur));
+    return out;
+}
+
+bool
+parseInt(const std::string &text, std::int64_t &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 0);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+isIdentifier(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')
+        return false;
+    for (char c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+            return false;
+    return true;
+}
+
+/** Shared state of one assembly run. */
+class Assembler
+{
+  public:
+    explicit Assembler(Addr code_base) : builder_(code_base) {}
+
+    AsmResult
+    run(const std::string &source)
+    {
+        AsmResult result;
+        if (!tokenize(source, result.error))
+            return result;
+        if (!passAllocate(result.error))
+            return result;
+        if (!passEmit(result.error))
+            return result;
+        for (const auto &[name, label] : codeLabels_) {
+            if (!boundLabels_.count(name)) {
+                result.error = "undefined label '" + name + "'";
+                return result;
+            }
+        }
+        result.program = builder_.finish();
+        if (!entryLabel_.empty()) {
+            Addr addr = 0;
+            if (!result.program.symbol(entryLabel_, addr)) {
+                result.error = ".entry label '" + entryLabel_ +
+                               "' is not defined";
+                return result;
+            }
+            result.program.setEntry(addr);
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    bool
+    fail(std::string &err, int line, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << "line " << line << ": " << msg;
+        err = os.str();
+        return false;
+    }
+
+    bool
+    tokenize(const std::string &source, std::string &err)
+    {
+        std::istringstream is(source);
+        std::string raw;
+        int number = 0;
+        std::vector<std::string> pending_labels;
+        while (std::getline(is, raw)) {
+            ++number;
+            const auto cut = raw.find_first_of(";#");
+            if (cut != std::string::npos)
+                raw = raw.substr(0, cut);
+            std::string text = strip(raw);
+
+            // Peel leading "label:" prefixes.
+            while (true) {
+                const auto colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                const std::string head = strip(text.substr(0, colon));
+                if (!isIdentifier(head))
+                    return fail(err, number, "bad label '" + head + "'");
+                pending_labels.push_back(head);
+                text = strip(text.substr(colon + 1));
+            }
+            if (text.empty())
+                continue;
+
+            Line line;
+            line.number = number;
+            line.labels = std::move(pending_labels);
+            pending_labels.clear();
+
+            const auto sp = text.find_first_of(" \t");
+            if (sp == std::string::npos) {
+                line.head = text;
+            } else {
+                line.head = text.substr(0, sp);
+                line.operands = splitOperands(strip(text.substr(sp)));
+            }
+            lines_.push_back(std::move(line));
+        }
+        if (!pending_labels.empty()) {
+            // Labels at end of file bind to a trailing halt-less slot;
+            // treat as error to avoid silent fallthrough.
+            return fail(err, number,
+                        "label '" + pending_labels.front() +
+                            "' binds past the last instruction");
+        }
+        return true;
+    }
+
+    /** First pass: data directives and symbol table only. */
+    bool
+    passAllocate(std::string &err)
+    {
+        for (const Line &line : lines_) {
+            if (line.head == ".data") {
+                if (line.operands.size() != 2 ||
+                    !isIdentifier(line.operands[0]))
+                    return fail(err, line.number, ".data name count");
+                std::int64_t count = 0;
+                if (!parseInt(line.operands[1], count) || count <= 0)
+                    return fail(err, line.number, "bad .data count");
+                builder_.allocWords(line.operands[0], size_t(count));
+            }
+        }
+        return true;
+    }
+
+    std::optional<ProgramBuilder::Label>
+    labelFor(const std::string &name)
+    {
+        if (!isIdentifier(name))
+            return std::nullopt;
+        auto it = codeLabels_.find(name);
+        if (it != codeLabels_.end())
+            return it->second;
+        const auto label = builder_.newLabel();
+        codeLabels_.emplace(name, label);
+        return label;
+    }
+
+    bool
+    emitInstruction(const Line &line, std::string &err);
+
+    /** Second pass: emit instructions and data pokes. */
+    bool
+    passEmit(std::string &err)
+    {
+        for (const Line &line : lines_) {
+            for (const std::string &name : line.labels) {
+                auto label = labelFor(name);
+                if (!label)
+                    return fail(err, line.number, "bad label " + name);
+                if (boundLabels_.count(name))
+                    return fail(err, line.number,
+                                "label '" + name + "' bound twice");
+                boundLabels_.insert(name);
+                builder_.bind(*label);
+                // Also expose the label as a symbol.
+                builder_.defineSymbol(name, builder_.nextPc());
+            }
+
+            if (line.head.empty())
+                continue;
+            if (line.head == ".data")
+                continue; // handled in pass 1
+            if (line.head == ".entry") {
+                if (line.operands.size() != 1)
+                    return fail(err, line.number, ".entry label");
+                entryLabel_ = line.operands[0];
+                continue;
+            }
+            if (line.head == ".word" || line.head == ".double") {
+                if (line.operands.size() != 3)
+                    return fail(err, line.number,
+                                line.head + " name index value");
+                Addr base = 0;
+                if (!builder_.symbol(line.operands[0], base))
+                    return fail(err, line.number,
+                                "unknown allocation '" + line.operands[0] +
+                                    "'");
+                std::int64_t idx = 0;
+                if (!parseInt(line.operands[1], idx) || idx < 0)
+                    return fail(err, line.number, "bad index");
+                if (line.head == ".word") {
+                    std::int64_t value = 0;
+                    if (!parseInt(line.operands[2], value))
+                        return fail(err, line.number, "bad value");
+                    builder_.pokeWord(base + Addr(idx) * 8,
+                                      std::uint64_t(value));
+                } else {
+                    double value = 0;
+                    if (!parseDouble(line.operands[2], value))
+                        return fail(err, line.number, "bad value");
+                    builder_.pokeDouble(base + Addr(idx) * 8, value);
+                }
+                continue;
+            }
+            if (line.head[0] == '.')
+                return fail(err, line.number,
+                            "unknown directive " + line.head);
+
+            if (!emitInstruction(line, err))
+                return false;
+        }
+        return true;
+    }
+
+    ProgramBuilder builder_;
+    std::vector<Line> lines_;
+    std::map<std::string, ProgramBuilder::Label> codeLabels_;
+    std::set<std::string> boundLabels_;
+    std::string entryLabel_;
+};
+
+bool
+Assembler::emitInstruction(const Line &line, std::string &err)
+{
+    Opcode op;
+    const bool known = parseMnemonic(line.head, op);
+
+    auto reg = [&](const std::string &text, RegId &out) {
+        return parseRegName(text, out);
+    };
+
+    // Pseudo instructions first.
+    if (!known) {
+        if (line.head == "li") {
+            RegId rd;
+            std::int64_t value;
+            if (line.operands.size() != 2 || !reg(line.operands[0], rd) ||
+                !parseInt(line.operands[1], value))
+                return fail(err, line.number, "li rd, imm64");
+            builder_.loadImm64(rd, std::uint64_t(value));
+            return true;
+        }
+        if (line.head == "la") {
+            RegId rd;
+            if (line.operands.size() != 2 || !reg(line.operands[0], rd))
+                return fail(err, line.number, "la rd, symbol");
+            Addr addr = 0;
+            if (!builder_.symbol(line.operands[1], addr))
+                return fail(err, line.number,
+                            "unknown symbol '" + line.operands[1] + "'");
+            // Fixed two-slot encoding so pass structure stays single.
+            builder_.ldi(rd, std::int32_t(std::uint32_t(addr)));
+            builder_.ldih(rd, rd, std::int32_t(std::uint32_t(addr >> 32)));
+            return true;
+        }
+        if (line.head == "mov") {
+            RegId rd, rs;
+            if (line.operands.size() != 2 || !reg(line.operands[0], rd) ||
+                !reg(line.operands[1], rs))
+                return fail(err, line.number, "mov rd, rs");
+            builder_.mov(rd, rs);
+            return true;
+        }
+        return fail(err, line.number, "unknown mnemonic " + line.head);
+    }
+
+    const OpInfo &info = opInfo(op);
+
+    // Memory operand parser for "disp(base)".
+    auto memOperand = [&](const std::string &text, RegId &base,
+                          std::int32_t &disp) {
+        const auto open = text.find('(');
+        const auto close = text.find(')');
+        if (open == std::string::npos || close == std::string::npos ||
+            close < open || close + 1 != text.size())
+            return false;
+        std::int64_t d = 0;
+        const std::string dtext = strip(text.substr(0, open));
+        if (!dtext.empty() && !parseInt(dtext, d))
+            return false;
+        if (!parseRegName(strip(text.substr(open + 1, close - open - 1)),
+                          base))
+            return false;
+        disp = std::int32_t(d);
+        return true;
+    };
+
+    if (info.opClass == OpClass::MemRead) {
+        RegId rd, base;
+        std::int32_t disp;
+        if (line.operands.size() != 2 || !reg(line.operands[0], rd) ||
+            !memOperand(line.operands[1], base, disp))
+            return fail(err, line.number, "expected: rd, disp(base)");
+        builder_.raw(Instruction(op, rd, base, 0, disp));
+        return true;
+    }
+    if (info.opClass == OpClass::MemWrite) {
+        RegId value, base;
+        std::int32_t disp;
+        if (line.operands.size() != 2 || !reg(line.operands[0], value) ||
+            !memOperand(line.operands[1], base, disp))
+            return fail(err, line.number, "expected: rs, disp(base)");
+        builder_.raw(Instruction(op, 0, base, value, disp));
+        return true;
+    }
+
+    if (info.isCondBranch) {
+        RegId rs1;
+        if (line.operands.size() != 2 || !reg(line.operands[0], rs1))
+            return fail(err, line.number, "expected: rs, label");
+        auto label = labelFor(line.operands[1]);
+        if (!label)
+            return fail(err, line.number, "bad label");
+        switch (op) {
+          case Opcode::BEQZ: builder_.beqz(rs1, *label); break;
+          case Opcode::BNEZ: builder_.bnez(rs1, *label); break;
+          case Opcode::BLTZ: builder_.bltz(rs1, *label); break;
+          case Opcode::BGEZ: builder_.bgez(rs1, *label); break;
+          default:
+            return fail(err, line.number, "unhandled branch");
+        }
+        return true;
+    }
+    if (op == Opcode::BR || op == Opcode::JAL) {
+        if (line.operands.size() != 1)
+            return fail(err, line.number, "expected: label");
+        auto label = labelFor(line.operands[0]);
+        if (!label)
+            return fail(err, line.number, "bad label");
+        if (op == Opcode::BR)
+            builder_.br(*label);
+        else
+            builder_.jal(*label);
+        return true;
+    }
+
+    // Generic register/immediate forms.
+    std::vector<std::string> ops = line.operands;
+    size_t idx = 0;
+    RegId rd = 0, rs1 = 0, rs2 = 0;
+    std::int32_t imm = 0;
+    auto take = [&](auto parser, auto &out) {
+        if (idx >= ops.size())
+            return false;
+        return parser(ops[idx++], out);
+    };
+    auto regParser = [&](const std::string &t, RegId &o) {
+        return parseRegName(t, o);
+    };
+    auto immParser = [&](const std::string &t, std::int32_t &o) {
+        std::int64_t v;
+        if (!parseInt(t, v))
+            return false;
+        o = std::int32_t(v);
+        return true;
+    };
+
+    if (info.writesRd && !take(regParser, rd))
+        return fail(err, line.number, "expected destination register");
+    if (info.readsRs1 && !take(regParser, rs1))
+        return fail(err, line.number, "expected source register");
+    if (info.readsRs2 && !take(regParser, rs2))
+        return fail(err, line.number, "expected second source register");
+    if (info.hasImm && !take(immParser, imm))
+        return fail(err, line.number, "expected immediate");
+    if (idx != ops.size())
+        return fail(err, line.number, "trailing operands");
+
+    builder_.raw(Instruction(op, rd, rs1, rs2, imm));
+    return true;
+}
+
+} // namespace
+
+AsmResult
+assemble(const std::string &source, Addr code_base)
+{
+    Assembler as(code_base);
+    return as.run(source);
+}
+
+} // namespace sdv

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Two-pass text assembler for the sdv mini-ISA.
+ *
+ * Syntax (one statement per line, ';' or '#' start comments):
+ *
+ *   .data  name count       allocate `count` zeroed 8-byte words
+ *   .word  name idx value   initialize word `idx` of allocation `name`
+ *   .double name idx value  initialize word `idx` with a double
+ *   .entry label            set the entry point
+ *
+ *   label:                  bind a code label
+ *   add   r3, r1, r2        register operands: r0..r31, f0..f31
+ *   addi  r3, r1, -8        immediates: decimal or 0x hex
+ *   ldq   r4, 16(r2)        memory operands: disp(base)
+ *   beqz  r1, label         control targets are labels
+ *   li    r5, 0xdeadbeef    pseudo: load 64-bit immediate (1-2 slots)
+ *   la    r5, name          pseudo: load symbol address (2 slots)
+ *   halt
+ */
+
+#ifndef SDV_ISA_ASSEMBLER_HH
+#define SDV_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace sdv {
+
+/** Result of assembling a source string. */
+struct AsmResult
+{
+    bool ok = false;     ///< true when assembly succeeded
+    std::string error;   ///< first error message ("" when ok)
+    Program program;     ///< the assembled program (valid when ok)
+};
+
+/**
+ * Assemble mini-ISA source text.
+ *
+ * @param source full program text
+ * @param code_base base address for the code region
+ * @return result with program or first error (including line number)
+ */
+AsmResult assemble(const std::string &source,
+                   Addr code_base = Program::defaultCodeBase);
+
+} // namespace sdv
+
+#endif // SDV_ISA_ASSEMBLER_HH

@@ -1,0 +1,108 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace sdv {
+
+std::uint64_t
+Instruction::encode() const
+{
+    std::uint64_t w = 0;
+    w |= insertBits(static_cast<std::uint64_t>(op), 0, 8);
+    w |= insertBits(rd, 8, 6);
+    w |= insertBits(rs1, 14, 6);
+    w |= insertBits(rs2, 20, 6);
+    w |= insertBits(static_cast<std::uint32_t>(imm), 32, 32);
+    return w;
+}
+
+bool
+Instruction::decode(std::uint64_t word, Instruction &out)
+{
+    const auto opByte = bits(word, 0, 8);
+    if (opByte >= numOpcodes)
+        return false;
+    out.op = static_cast<Opcode>(opByte);
+    out.rd = static_cast<RegId>(bits(word, 8, 6));
+    out.rs1 = static_cast<RegId>(bits(word, 14, 6));
+    out.rs2 = static_cast<RegId>(bits(word, 20, 6));
+    out.imm = static_cast<std::int32_t>(bits(word, 32, 32));
+    return true;
+}
+
+std::string
+regName(RegId reg)
+{
+    std::ostringstream os;
+    if (reg < firstFpReg)
+        os << "r" << unsigned(reg);
+    else
+        os << "f" << unsigned(reg - firstFpReg);
+    return os.str();
+}
+
+bool
+parseRegName(const std::string &text, RegId &out)
+{
+    if (text.size() < 2 || (text[0] != 'r' && text[0] != 'f'))
+        return false;
+    unsigned idx = 0;
+    for (size_t i = 1; i < text.size(); ++i) {
+        if (text[i] < '0' || text[i] > '9')
+            return false;
+        idx = idx * 10 + unsigned(text[i] - '0');
+    }
+    if (idx > 31)
+        return false;
+    out = static_cast<RegId>(text[0] == 'f' ? idx + firstFpReg : idx);
+    return true;
+}
+
+std::string
+Instruction::disasm() const
+{
+    const OpInfo &i = info();
+    std::ostringstream os;
+    os << i.mnemonic;
+    // lower-case is handled by mnemonics being stored upper-case; emit
+    // them lower for readability
+    std::string text = os.str();
+    for (auto &c : text)
+        c = char(std::tolower(static_cast<unsigned char>(c)));
+
+    std::ostringstream out;
+    out << text;
+
+    auto sep = [first = true]() mutable {
+        if (first) {
+            first = false;
+            return std::string(" ");
+        }
+        return std::string(", ");
+    };
+
+    if (isLoad()) {
+        out << sep() << regName(rd) << ", " << imm << "(" << regName(rs1)
+            << ")";
+        return out.str();
+    }
+    if (isStore()) {
+        out << sep() << regName(rs2) << ", " << imm << "(" << regName(rs1)
+            << ")";
+        return out.str();
+    }
+    if (i.writesRd)
+        out << sep() << regName(rd);
+    if (i.readsRs1)
+        out << sep() << regName(rs1);
+    if (i.readsRs2)
+        out << sep() << regName(rs2);
+    if (i.hasImm)
+        out << sep() << imm;
+    return out.str();
+}
+
+} // namespace sdv

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Decoded instruction representation plus the 64-bit binary encoding.
+ *
+ * Encoding layout (little end first):
+ *   bits  0..7   opcode
+ *   bits  8..13  rd
+ *   bits 14..19  rs1
+ *   bits 20..25  rs2
+ *   bits 26..31  reserved (must be zero)
+ *   bits 32..63  imm (signed 32-bit)
+ */
+
+#ifndef SDV_ISA_INSTRUCTION_HH
+#define SDV_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace sdv {
+
+/** Size of one encoded instruction in bytes. */
+constexpr unsigned instBytes = 8;
+
+/** A decoded static instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP; ///< operation
+    RegId rd = 0;            ///< destination register (when writesRd)
+    RegId rs1 = 0;           ///< first source / base register
+    RegId rs2 = 0;           ///< second source / store-value register
+    std::int32_t imm = 0;    ///< immediate / displacement / branch offset
+
+    Instruction() = default;
+
+    /** Build a fully specified instruction. */
+    Instruction(Opcode op_, RegId rd_, RegId rs1_, RegId rs2_,
+                std::int32_t imm_)
+        : op(op_), rd(rd_), rs1(rs1_), rs2(rs2_), imm(imm_)
+    {}
+
+    /** @return the static properties of this instruction's opcode. */
+    const OpInfo &info() const { return opInfo(op); }
+
+    /** @return true if this instruction is a load. */
+    bool isLoad() const { return isLoadOp(op); }
+
+    /** @return true if this instruction is a store. */
+    bool isStore() const { return isStoreOp(op); }
+
+    /** @return true if this is a memory operation. */
+    bool isMem() const { return isLoad() || isStore(); }
+
+    /** @return true if this is a conditional branch. */
+    bool isCondBranch() const { return info().isCondBranch; }
+
+    /** @return true if this transfers control unconditionally. */
+    bool isJump() const { return info().isJump; }
+
+    /** @return true if this is any control transfer. */
+    bool isControl() const { return isCondBranch() || isJump(); }
+
+    /** @return true for HALT. */
+    bool isHalt() const { return op == Opcode::HALT; }
+
+    /** @return memory access size in bytes (0 if not a memory op). */
+    unsigned memBytes() const { return info().memBytes; }
+
+    /**
+     * @return true if this instruction writes a register visible to
+     * consumers (writes to the zero register are discarded).
+     */
+    bool
+    writesReg() const
+    {
+        return info().writesRd && rd != zeroReg;
+    }
+
+    /** Encode into the 64-bit binary format. */
+    std::uint64_t encode() const;
+
+    /**
+     * Decode a 64-bit word.
+     * @retval true on success; false when the opcode byte is invalid.
+     */
+    static bool decode(std::uint64_t word, Instruction &out);
+
+    /**
+     * Render assembler text, e.g. "add r3, r1, r2" or "ldq r4, 16(r2)".
+     * Branch offsets are rendered as signed instruction-slot deltas.
+     */
+    std::string disasm() const;
+
+    /** Structural equality. */
+    bool operator==(const Instruction &o) const = default;
+};
+
+/** Render a register name: r0..r31 for 0..31, f0..f31 for 32..63. */
+std::string regName(RegId reg);
+
+/**
+ * Parse a register name produced by regName().
+ * @retval true and sets @p out on success.
+ */
+bool parseRegName(const std::string &text, RegId &out);
+
+} // namespace sdv
+
+#endif // SDV_ISA_INSTRUCTION_HH

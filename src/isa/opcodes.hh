@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The sdv mini-ISA opcode set and its static properties.
+ *
+ * The ISA is a 64-bit RISC in the spirit of the Alpha ISA that the
+ * paper's SimpleScalar substrate executed: a unified file of 64 logical
+ * registers (0..31 integer with r0 hardwired to zero, 32..63
+ * floating-point by convention), fixed-size instructions, loads/stores
+ * with base+displacement addressing and compare-and-branch-zero control
+ * flow.
+ */
+
+#ifndef SDV_ISA_OPCODES_HH
+#define SDV_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdv {
+
+/**
+ * Functional-unit class of an operation; counts and latencies per class
+ * come from Table 1 of the paper.
+ */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< simple integer (latency 1)
+    IntMult,  ///< integer multiply (latency 2)
+    IntDiv,   ///< integer divide (latency 12)
+    FpAdd,    ///< simple FP: add/sub/cmp/cvt (latency 2)
+    FpMult,   ///< FP multiply (latency 4)
+    FpDiv,    ///< FP divide (latency 14)
+    MemRead,  ///< load port
+    MemWrite, ///< store port
+    Control,  ///< branches and jumps (resolve on an IntAlu slot)
+    None,     ///< NOP / HALT
+};
+
+/**
+ * Opcode list as an X-macro: OP(name, opclass, writesRd, readsRs1,
+ * readsRs2, hasImm, memBytes, isBranch, isJump, vectorizable)
+ */
+#define SDV_FOR_EACH_OPCODE(OP)                                              \
+    /* integer register-register ALU */                                      \
+    OP(ADD,    IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(SUB,    IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(MUL,    IntMult, 1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(DIV,    IntDiv,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(AND,    IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(OR,     IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(XOR,    IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(SLL,    IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(SRL,    IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(SRA,    IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(CMPEQ,  IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(CMPLT,  IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(CMPLE,  IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(CMPULT, IntAlu,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    /* integer register-immediate ALU */                                     \
+    OP(ADDI,   IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    OP(ANDI,   IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    OP(ORI,    IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    OP(XORI,   IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    OP(SLLI,   IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    OP(SRLI,   IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    OP(SRAI,   IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    OP(CMPEQI, IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    OP(CMPLTI, IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    /* constant materialization */                                           \
+    OP(LDI,    IntAlu,  1, 0, 0, 1, 0, 0, 0, 0)                              \
+    OP(LDIH,   IntAlu,  1, 1, 0, 1, 0, 0, 0, 1)                              \
+    /* floating point */                                                     \
+    OP(FADD,   FpAdd,   1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(FSUB,   FpAdd,   1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(FMUL,   FpMult,  1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(FDIV,   FpDiv,   1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(FNEG,   FpAdd,   1, 1, 0, 0, 0, 0, 0, 1)                              \
+    OP(FABS,   FpAdd,   1, 1, 0, 0, 0, 0, 0, 1)                              \
+    OP(FMOV,   FpAdd,   1, 1, 0, 0, 0, 0, 0, 1)                              \
+    OP(FCMPEQ, FpAdd,   1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(FCMPLT, FpAdd,   1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(FCMPLE, FpAdd,   1, 1, 1, 0, 0, 0, 0, 1)                              \
+    OP(CVTIF,  FpAdd,   1, 1, 0, 0, 0, 0, 0, 1)                              \
+    OP(CVTFI,  FpAdd,   1, 1, 0, 0, 0, 0, 0, 1)                              \
+    /* memory: rd <- [rs1 + imm] / [rs1 + imm] <- rs2 */                     \
+    OP(LDQ,    MemRead,  1, 1, 0, 1, 8, 0, 0, 1)                             \
+    OP(LDL,    MemRead,  1, 1, 0, 1, 4, 0, 0, 1)                             \
+    OP(FLD,    MemRead,  1, 1, 0, 1, 8, 0, 0, 1)                             \
+    OP(STQ,    MemWrite, 0, 1, 1, 1, 8, 0, 0, 0)                             \
+    OP(STL,    MemWrite, 0, 1, 1, 1, 4, 0, 0, 0)                             \
+    OP(FST,    MemWrite, 0, 1, 1, 1, 8, 0, 0, 0)                             \
+    /* control: conditional branches test rs1 against zero */                \
+    OP(BEQZ,   Control, 0, 1, 0, 1, 0, 1, 0, 0)                              \
+    OP(BNEZ,   Control, 0, 1, 0, 1, 0, 1, 0, 0)                              \
+    OP(BLTZ,   Control, 0, 1, 0, 1, 0, 1, 0, 0)                              \
+    OP(BGEZ,   Control, 0, 1, 0, 1, 0, 1, 0, 0)                              \
+    OP(BR,     Control, 0, 0, 0, 1, 0, 0, 1, 0)                              \
+    OP(JAL,    Control, 1, 0, 0, 1, 0, 0, 1, 0)                              \
+    OP(JR,     Control, 0, 1, 0, 0, 0, 0, 1, 0)                              \
+    OP(JALR,   Control, 1, 1, 0, 0, 0, 0, 1, 0)                              \
+    /* misc */                                                               \
+    OP(NOP,    None,    0, 0, 0, 0, 0, 0, 0, 0)                              \
+    OP(HALT,   None,    0, 0, 0, 0, 0, 0, 0, 0)
+
+/** All opcodes of the mini-ISA. */
+enum class Opcode : std::uint8_t
+{
+#define SDV_ENUM(name, ...) name,
+    SDV_FOR_EACH_OPCODE(SDV_ENUM)
+#undef SDV_ENUM
+};
+
+/** Number of defined opcodes. */
+constexpr unsigned numOpcodes = 0
+#define SDV_COUNT(name, ...) +1
+    SDV_FOR_EACH_OPCODE(SDV_COUNT)
+#undef SDV_COUNT
+    ;
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic; ///< lower-case assembler mnemonic
+    OpClass opClass;           ///< functional-unit class
+    bool writesRd;             ///< produces a register result
+    bool readsRs1;             ///< consumes the rs1 field
+    bool readsRs2;             ///< consumes the rs2 field
+    bool hasImm;               ///< uses the immediate field
+    std::uint8_t memBytes;     ///< memory access size (0 if not memory)
+    bool isCondBranch;         ///< conditional branch
+    bool isJump;               ///< unconditional control transfer
+    bool vectorizable;         ///< eligible for dynamic vectorization
+};
+
+/** @return the static properties of @p op. */
+const OpInfo &opInfo(Opcode op);
+
+/** @return the mnemonic of @p op. */
+std::string_view mnemonic(Opcode op);
+
+/**
+ * Parse an assembler mnemonic.
+ * @retval true and sets @p out on success, false on unknown mnemonic.
+ */
+bool parseMnemonic(std::string_view text, Opcode &out);
+
+/** @return true when the op is a load. */
+inline bool
+isLoadOp(Opcode op)
+{
+    return opInfo(op).opClass == OpClass::MemRead;
+}
+
+/** @return true when the op is a store. */
+inline bool
+isStoreOp(Opcode op)
+{
+    return opInfo(op).opClass == OpClass::MemWrite;
+}
+
+/** @return true when the op transfers control (branch or jump). */
+inline bool
+isControlOp(Opcode op)
+{
+    const auto &info = opInfo(op);
+    return info.isCondBranch || info.isJump;
+}
+
+/** @return the execution latency (cycles) of an op class per Table 1. */
+unsigned opClassLatency(OpClass cls);
+
+} // namespace sdv
+
+#endif // SDV_ISA_OPCODES_HH

@@ -1,0 +1,85 @@
+#include "isa/program.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace sdv {
+
+Program::Program(Addr code_base) : codeBase_(code_base)
+{
+    sdv_assert(code_base % instBytes == 0, "misaligned code base");
+}
+
+Addr
+Program::append(const Instruction &inst)
+{
+    const Addr pc = codeEnd();
+    code_.push_back(inst.encode());
+    return pc;
+}
+
+void
+Program::patch(size_t index, const Instruction &inst)
+{
+    sdv_assert(index < code_.size(), "patch out of range");
+    code_[index] = inst.encode();
+}
+
+std::uint64_t
+Program::encodedAt(Addr pc) const
+{
+    sdv_assert(validPc(pc), "bad instruction address ", pc);
+    return code_[(pc - codeBase_) / instBytes];
+}
+
+Instruction
+Program::instAt(Addr pc) const
+{
+    Instruction inst;
+    const bool ok = Instruction::decode(encodedAt(pc), inst);
+    sdv_assert(ok, "undecodable instruction at ", pc);
+    return inst;
+}
+
+void
+Program::addData(DataSegment seg)
+{
+    data_.push_back(std::move(seg));
+}
+
+void
+Program::defineSymbol(const std::string &name, Addr value)
+{
+    symbols_[name] = value;
+}
+
+bool
+Program::symbol(const std::string &name, Addr &out) const
+{
+    auto it = symbols_.find(name);
+    if (it == symbols_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < code_.size(); ++i) {
+        Instruction inst;
+        const Addr pc = codeBase_ + i * instBytes;
+        if (!Instruction::decode(code_[i], inst)) {
+            os << std::hex << pc << ": <invalid>\n" << std::dec;
+            continue;
+        }
+        os << "0x" << std::hex << pc << std::dec << ":  " << inst.disasm()
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace sdv

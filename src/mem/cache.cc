@@ -1,0 +1,105 @@
+#include "mem/cache.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace sdv {
+
+Cache::Cache(std::string name, std::uint64_t size_bytes, unsigned assoc,
+             unsigned line_bytes)
+    : name_(std::move(name)),
+      sets_(unsigned(size_bytes / (std::uint64_t(assoc) * line_bytes))),
+      assoc_(assoc), lineBytes_(line_bytes)
+{
+    sdv_assert(isPowerOf2(line_bytes), "line size must be a power of two");
+    sdv_assert(sets_ >= 1 && isPowerOf2(sets_),
+               "cache geometry must yield a power-of-two set count");
+    lines_.resize(size_t(sets_) * assoc_);
+}
+
+unsigned
+Cache::setIndex(Addr addr) const
+{
+    return unsigned((addr / lineBytes_) & (sets_ - 1));
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    CacheAccessResult res;
+    const Addr tag = lineAddr(addr);
+    Line *set = &lines_[size_t(setIndex(addr)) * assoc_];
+
+    if (is_write)
+        ++stats_.writeAccesses;
+    else
+        ++stats_.readAccesses;
+
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].lastUse = ++useClock_;
+            set[w].dirty = set[w].dirty || is_write;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    // Miss: pick the first invalid way, else the LRU way.
+    Line *victim = nullptr;
+    for (unsigned w = 0; w < assoc_ && !victim; ++w)
+        if (!set[w].valid)
+            victim = &set[w];
+    if (!victim) {
+        victim = &set[0];
+        for (unsigned w = 1; w < assoc_; ++w)
+            if (set[w].lastUse < victim->lastUse)
+                victim = &set[w];
+    }
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        res.writebackAddr = victim->tag;
+        ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+    return res;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr tag = lineAddr(addr);
+    const Line *set = &lines_[size_t(setIndex(addr)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const Addr tag = lineAddr(addr);
+    Line *set = &lines_[size_t(setIndex(addr)) * assoc_];
+    for (unsigned w = 0; w < assoc_; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            set[w] = Line{};
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    useClock_ = 0;
+    stats_ = CacheStats{};
+}
+
+} // namespace sdv

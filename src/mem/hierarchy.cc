@@ -1,0 +1,92 @@
+#include "mem/hierarchy.hh"
+
+#include "common/log.hh"
+
+namespace sdv {
+
+MemHierarchy::MemHierarchy(const MemHierarchyConfig &cfg)
+    : cfg_(cfg),
+      l1i_("l1i", cfg.l1iSize, cfg.l1iAssoc, cfg.l1iLineBytes),
+      l1d_("l1d", cfg.l1dSize, cfg.l1dAssoc, cfg.l1dLineBytes),
+      l2_("l2", cfg.l2Size, cfg.l2Assoc, cfg.l2LineBytes),
+      mshrs_(cfg.mshrEntries)
+{
+}
+
+Cycle
+MemHierarchy::l2Latency(Addr line_addr, bool is_write)
+{
+    const CacheAccessResult res = l2_.access(line_addr, is_write);
+    Cycle lat = cfg_.l1dMissCycles;
+    if (!res.hit)
+        lat += cfg_.l2MissCycles;
+    return lat;
+}
+
+Cycle
+MemHierarchy::fetchAccess(Addr pc, Cycle now)
+{
+    const CacheAccessResult res = l1i_.access(pc, false);
+    if (res.hit)
+        return now + cfg_.l1iHitCycles;
+    // I-cache misses refill through the L2 with the same miss timing as
+    // data (Table 1 gives a 6-cycle I-cache miss time).
+    const CacheAccessResult l2res = l2_.access(l1i_.lineAddr(pc), false);
+    Cycle lat = cfg_.l1dMissCycles;
+    if (!l2res.hit)
+        lat += cfg_.l2MissCycles;
+    return now + lat;
+}
+
+bool
+MemHierarchy::loadAccess(Addr addr, Cycle now, Cycle &complete)
+{
+    const Addr line = l1d_.lineAddr(addr);
+
+    // A fill already in flight for this line serves the access when it
+    // lands, regardless of the (already updated) tag array.
+    if (mshrs_.outstanding(line, now)) {
+        const bool ok = mshrs_.allocate(line, neverCycle, now, complete);
+        sdv_assert(ok, "merge into outstanding fill cannot fail");
+        return true;
+    }
+
+    const CacheAccessResult res = l1d_.access(addr, false);
+    if (res.hit) {
+        complete = now + cfg_.l1dHitCycles;
+        return true;
+    }
+
+    const Cycle lat = l2Latency(line, false);
+    if (!mshrs_.allocate(line, now + lat, now, complete)) {
+        // MSHR file full: undo nothing (the line was filled into the
+        // tags, matching a blocked-retry next cycle hitting the MSHR
+        // merge path), report retry.
+        return false;
+    }
+    return true;
+}
+
+void
+MemHierarchy::storeAccess(Addr addr, Cycle now)
+{
+    const Addr line = l1d_.lineAddr(addr);
+    if (mshrs_.outstanding(line, now)) {
+        // Fill in flight; the store merges into it.
+        Cycle ignored;
+        mshrs_.allocate(line, neverCycle, now, ignored);
+        l1d_.access(addr, true); // mark dirty
+        return;
+    }
+    const CacheAccessResult res = l1d_.access(addr, true);
+    if (!res.hit) {
+        const Cycle lat = l2Latency(line, true);
+        Cycle ignored;
+        // Write misses allocate an MSHR when one is free; when the file
+        // is full the write buffer absorbs the store instead (modelled
+        // as not tracking the fill).
+        mshrs_.allocate(line, now + lat, now, ignored);
+    }
+}
+
+} // namespace sdv

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Two-level memory hierarchy with the latencies of Table 1: L1I
+ * (64KB/2-way/64B, 1-cycle hit), L1D (64KB/2-way/32B, 1-cycle hit,
+ * write-back, 16 outstanding misses) and a unified L2
+ * (256KB/4-way/32B, 6-cycle hit, 18-cycle miss penalty to memory).
+ */
+
+#ifndef SDV_MEM_HIERARCHY_HH
+#define SDV_MEM_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "mem/cache.hh"
+#include "mem/mshr.hh"
+
+namespace sdv {
+
+/** Geometry and latency knobs for the hierarchy. */
+struct MemHierarchyConfig
+{
+    std::uint64_t l1iSize = 64 * 1024;
+    unsigned l1iAssoc = 2;
+    unsigned l1iLineBytes = 64;
+    Cycle l1iHitCycles = 1;
+
+    std::uint64_t l1dSize = 64 * 1024;
+    unsigned l1dAssoc = 2;
+    unsigned l1dLineBytes = 32;
+    Cycle l1dHitCycles = 1;
+    Cycle l1dMissCycles = 6; ///< L1 miss, L2 hit: total latency
+
+    std::uint64_t l2Size = 256 * 1024;
+    unsigned l2Assoc = 4;
+    unsigned l2LineBytes = 32;
+    Cycle l2MissCycles = 18; ///< additional latency beyond an L2 miss
+
+    unsigned mshrEntries = 16;
+};
+
+/** The timing-side memory hierarchy (tags and latencies only). */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemHierarchyConfig &cfg);
+
+    /**
+     * Instruction fetch of the line containing @p pc.
+     * @return cycle at which the fetch group is available.
+     */
+    Cycle fetchAccess(Addr pc, Cycle now);
+
+    /**
+     * Data load access (one L1D line).
+     * @param addr any address inside the requested line
+     * @param now current cycle
+     * @param[out] complete cycle at which the data is available
+     * @retval false when the access must retry (MSHR file full)
+     */
+    bool loadAccess(Addr addr, Cycle now, Cycle &complete);
+
+    /**
+     * Store performed at commit (write-allocate, write-back). Stores
+     * drain through a write buffer and never stall commit in this
+     * model; the access still updates tags, MSHRs and statistics.
+     */
+    void storeAccess(Addr addr, Cycle now);
+
+    /** @return the L1 instruction cache. */
+    Cache &l1i() { return l1i_; }
+
+    /** @return the L1 data cache. */
+    Cache &l1d() { return l1d_; }
+
+    /** @return the unified L2. */
+    Cache &l2() { return l2_; }
+
+    /** @return the L1D MSHR file. */
+    MshrFile &mshrs() { return mshrs_; }
+
+    /** @return configuration in use. */
+    const MemHierarchyConfig &config() const { return cfg_; }
+
+  private:
+    /** Charge an L2 lookup for @p line_addr; @return total latency from
+     *  the L1 miss (6 on L2 hit, 6+18 on L2 miss). */
+    Cycle l2Latency(Addr line_addr, bool is_write);
+
+    MemHierarchyConfig cfg_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    MshrFile mshrs_;
+};
+
+} // namespace sdv
+
+#endif // SDV_MEM_HIERARCHY_HH

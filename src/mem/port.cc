@@ -1,0 +1,135 @@
+#include "mem/port.hh"
+
+#include "common/bitutils.hh"
+#include "common/log.hh"
+
+namespace sdv {
+
+DCachePorts::DCachePorts(unsigned num_ports, bool wide, unsigned line_bytes,
+                         unsigned word_bytes)
+    : numPorts_(num_ports), wide_(wide), lineBytes_(line_bytes),
+      maxServedPerAccess_(wide ? 4 : 1)
+{
+    sdv_assert(num_ports >= 1, "need at least one port");
+    sdv_assert(isPowerOf2(line_bytes), "line size must be 2^n");
+    sdv_assert(word_bytes <= line_bytes, "word larger than line");
+}
+
+void
+DCachePorts::beginCycle()
+{
+    usedThisCycle_ = 0;
+    cycleReads_.clear();
+    ++stats_.cycles;
+}
+
+unsigned
+DCachePorts::freePorts() const
+{
+    return numPorts_ - usedThisCycle_;
+}
+
+DCachePorts::Grant
+DCachePorts::requestLoadWord(Addr addr, ElemLoadId elem_load_id)
+{
+    Grant g;
+    const Addr line = lineOf(addr);
+
+    auto account = [&](std::int32_t id) {
+        AccessRecord &rec = ledger_[size_t(id)];
+        ++rec.servedLoads;
+        ++stats_.wordsServed;
+        if (elem_load_id != 0) {
+            ++rec.specWords;
+            elemAccess_.emplace(elem_load_id, id);
+        } else {
+            ++rec.demandWords;
+        }
+    };
+
+    if (wide_) {
+        auto it = cycleReads_.find(line);
+        if (it != cycleReads_.end()) {
+            AccessRecord &rec = ledger_[size_t(it->second)];
+            if (rec.servedLoads < maxServedPerAccess_) {
+                g.ok = true;
+                g.newAccess = false;
+                g.accessId = it->second;
+                account(it->second);
+                return g;
+            }
+            // The access already served its limit; fall through to try
+            // a fresh port for this word.
+        }
+    }
+
+    if (usedThisCycle_ >= numPorts_)
+        return g; // all ports busy this cycle
+
+    ++usedThisCycle_;
+    ++stats_.busyPortCycles;
+    ++stats_.readAccesses;
+
+    AccessRecord rec;
+    rec.lineAddr = line;
+    rec.isRead = true;
+    ledger_.push_back(rec);
+    const auto id = std::int32_t(ledger_.size() - 1);
+    if (wide_)
+        cycleReads_[line] = id;
+
+    g.ok = true;
+    g.newAccess = true;
+    g.accessId = id;
+    account(id);
+    return g;
+}
+
+DCachePorts::Grant
+DCachePorts::requestStoreWord(Addr addr)
+{
+    Grant g;
+    if (usedThisCycle_ >= numPorts_)
+        return g;
+    ++usedThisCycle_;
+    ++stats_.busyPortCycles;
+    ++stats_.writeAccesses;
+
+    AccessRecord rec;
+    rec.lineAddr = lineOf(addr);
+    rec.isRead = false;
+    ledger_.push_back(rec);
+    g.ok = true;
+    g.newAccess = true;
+    g.accessId = std::int32_t(ledger_.size() - 1);
+    return g;
+}
+
+void
+DCachePorts::resolveElem(ElemLoadId id, bool used)
+{
+    auto it = elemAccess_.find(id);
+    if (it == elemAccess_.end())
+        return;
+    if (used)
+        ++ledger_[size_t(it->second)].specUsed;
+    elemAccess_.erase(it);
+}
+
+WideBusBreakdown
+DCachePorts::wideBusBreakdown() const
+{
+    WideBusBreakdown out;
+    for (const AccessRecord &rec : ledger_) {
+        if (!rec.isRead)
+            continue;
+        ++out.totalReads;
+        std::uint32_t useful = rec.demandWords + rec.specUsed;
+        if (useful > 4)
+            useful = 4;
+        ++out.usefulWords[useful];
+    }
+    return out;
+}
+
+} // namespace sdv

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * L1 data cache port arbitration, including the paper's wide bus
+ * (Section 3.7): a wide port transfers a whole cache line per access
+ * and serves up to four pending loads whose addresses fall in that
+ * line with the single access. The module also keeps the per-access
+ * useful-word ledger that regenerates Figure 13.
+ */
+
+#ifndef SDV_MEM_PORT_HH
+#define SDV_MEM_PORT_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sdv {
+
+/** Identifier of one speculative vector-element load, for deferred
+ *  useful-word accounting. 0 means "none". */
+using ElemLoadId = std::uint64_t;
+
+/** Aggregate port / wide-bus statistics. */
+struct PortStats
+{
+    std::uint64_t busyPortCycles = 0;  ///< one per claimed port per cycle
+    std::uint64_t cycles = 0;          ///< cycles observed
+    std::uint64_t readAccesses = 0;    ///< load line/word accesses
+    std::uint64_t writeAccesses = 0;   ///< store accesses
+    std::uint64_t wordsServed = 0;     ///< total load words served
+
+    /** @return port occupancy in [0,1] given @p num_ports. */
+    double
+    occupancy(unsigned num_ports) const
+    {
+        const double cap = double(cycles) * num_ports;
+        return cap == 0.0 ? 0.0 : double(busyPortCycles) / cap;
+    }
+};
+
+/** Figure 13 output: read accesses bucketed by useful word count. */
+struct WideBusBreakdown
+{
+    std::uint64_t usefulWords[5] = {0, 0, 0, 0, 0}; ///< index = words 0..4
+    std::uint64_t totalReads = 0;
+
+    /** @return fraction of read accesses with @p n useful words. */
+    double
+    fraction(unsigned n) const
+    {
+        return totalReads == 0
+                   ? 0.0
+                   : double(usefulWords[n]) / double(totalReads);
+    }
+
+    /** @return fraction of reads that served no architecturally used
+     *  word at all (the paper's "Unused" series). */
+    double unusedFraction() const { return fraction(0); }
+};
+
+/**
+ * Per-cycle arbitration over the configured number of L1D ports, scalar
+ * or wide.
+ */
+class DCachePorts
+{
+  public:
+    /**
+     * @param num_ports number of L1D ports (1, 2 or 4 in the paper)
+     * @param wide true: each port moves a full line per access
+     * @param line_bytes L1D line size
+     * @param word_bytes element size used for ride-along slots (8)
+     */
+    DCachePorts(unsigned num_ports, bool wide, unsigned line_bytes,
+                unsigned word_bytes = 8);
+
+    /** Start a new cycle; forget per-cycle access state. */
+    void beginCycle();
+
+    /** Result of requesting a word through the port network. */
+    struct Grant
+    {
+        bool ok = false;       ///< the word is served this cycle
+        bool newAccess = false; ///< a fresh port/access was claimed
+        std::int32_t accessId = -1; ///< ledger id (valid when ok)
+    };
+
+    /**
+     * Request a load of the word at @p addr.
+     *
+     * Wide ports first try to ride along on an access already made to
+     * the same line this cycle (up to four served loads per access per
+     * the paper); otherwise a free port is claimed.
+     *
+     * @param addr word address
+     * @param elem_load_id non-zero for speculative vector-element loads;
+     *        their usefulness is resolved later via resolveElem()
+     */
+    Grant requestLoadWord(Addr addr, ElemLoadId elem_load_id = 0);
+
+    /** Request a store access (one port, no ride-along). */
+    Grant requestStoreWord(Addr addr);
+
+    /** @return number of ports still free this cycle. */
+    unsigned freePorts() const;
+
+    /** @return true when configured with wide ports. */
+    bool wide() const { return wide_; }
+
+    /** @return configured port count. */
+    unsigned numPorts() const { return numPorts_; }
+
+    /**
+     * Mark the element load @p id as architecturally useful (validated)
+     * or not; called by the vector register file when element fates are
+     * known.
+     */
+    void resolveElem(ElemLoadId id, bool used);
+
+    /** @return accumulated port statistics. */
+    const PortStats &stats() const { return stats_; }
+
+    /** Finalize and return the Figure 13 breakdown. Unresolved
+     *  speculative elements count as unused. */
+    WideBusBreakdown wideBusBreakdown() const;
+
+  private:
+    struct AccessRecord
+    {
+        Addr lineAddr = 0;
+        bool isRead = false;
+        std::uint32_t demandWords = 0;  ///< words for committed-path loads
+        std::uint32_t specWords = 0;    ///< speculative element words
+        std::uint32_t specUsed = 0;     ///< ... of which later validated
+        std::uint32_t servedLoads = 0;  ///< loads served by this access
+    };
+
+    Addr lineOf(Addr addr) const { return addr & ~Addr(lineBytes_ - 1); }
+
+    unsigned numPorts_;
+    bool wide_;
+    unsigned lineBytes_;
+    unsigned maxServedPerAccess_;
+
+    unsigned usedThisCycle_ = 0;
+    /** Read accesses made this cycle, by line address (wide merge). */
+    std::unordered_map<Addr, std::int32_t> cycleReads_;
+
+    std::vector<AccessRecord> ledger_;
+    std::unordered_map<ElemLoadId, std::int32_t> elemAccess_;
+    PortStats stats_;
+};
+
+} // namespace sdv
+
+#endif // SDV_MEM_PORT_HH

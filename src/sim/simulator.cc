@@ -1,0 +1,68 @@
+#include "sim/simulator.hh"
+
+#include "common/log.hh"
+
+namespace sdv {
+
+Simulator::Simulator(const CoreConfig &cfg, const Program &prog)
+    : prog_(prog), core_(cfg, prog)
+{
+}
+
+SimResult
+Simulator::run(std::uint64_t max_cycles, bool verify)
+{
+    SimResult res;
+    while (!core_.done() && core_.cycle() < max_cycles)
+        core_.tick();
+
+    core_.finalize();
+
+    res.finished = core_.done();
+    if (!res.finished)
+        warn("simulation hit the cycle budget before HALT");
+
+    res.cycles = core_.cycle();
+    res.core = core_.stats();
+    res.insts = res.core.committedInsts;
+    res.ipc = res.core.ipc();
+    res.engine = core_.engine().stats();
+    res.datapath = core_.engine().datapath().stats();
+    res.ports = core_.ports().stats();
+    res.wideBus = core_.ports().wideBusBreakdown();
+    res.fates = core_.engine().vrf().fateStats();
+    res.l1d = core_.memHierarchy().l1d().stats();
+    res.l1i = core_.memHierarchy().l1i().stats();
+    res.l2 = core_.memHierarchy().l2().stats();
+
+    if (verify && res.finished) {
+        // Independent functional execution: the committed stream (PC
+        // sequence and count) and the final architectural state must
+        // match exactly — speculation must never leak into state.
+        FunctionalCore ref(prog_);
+        std::uint64_t hash = 1469598103934665603ULL;
+        while (!ref.halted()) {
+            const ExecRecord rec = ref.step();
+            hash = (hash ^ rec.pc) * 1099511628211ULL;
+        }
+        const bool stream_ok = hash == core_.commitPcHash() &&
+                               ref.instCount() == res.insts;
+        const bool state_ok =
+            ref.state() == core_.oracle().state() &&
+            ref.memory().equals(core_.oracle().memory());
+        res.verified = stream_ok && state_ok;
+        if (!res.verified)
+            warn("timing simulation diverged from functional reference");
+    }
+    return res;
+}
+
+SimResult
+simulate(const CoreConfig &cfg, const Program &prog,
+         std::uint64_t max_cycles, bool verify)
+{
+    Simulator sim(cfg, prog);
+    return sim.run(max_cycles, verify);
+}
+
+} // namespace sdv

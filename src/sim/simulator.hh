@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Top-level simulation driver: runs a program on a configured core to
+ * completion, verifies the committed stream against an independent
+ * functional execution, and gathers every statistic the benchmark
+ * harness needs.
+ */
+
+#ifndef SDV_SIM_SIMULATOR_HH
+#define SDV_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "core/core.hh"
+#include "sim/config.hh"
+
+namespace sdv {
+
+/** Everything measured by one simulation. */
+struct SimResult
+{
+    bool finished = false;      ///< HALT committed within the budget
+    bool verified = false;      ///< committed stream matches functional
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0.0;
+
+    CoreStats core;
+    EngineStats engine;
+    DatapathStats datapath;
+    PortStats ports;
+    WideBusBreakdown wideBus;   ///< Figure 13
+    VecRegFateStats fates;      ///< Figure 15
+    CacheStats l1d;
+    CacheStats l1i;
+    CacheStats l2;
+    std::uint64_t lsqForwards = 0;
+
+    /** Total L1D port requests (the paper's "memory requests"). */
+    std::uint64_t
+    memoryRequests() const
+    {
+        return ports.readAccesses + ports.writeAccesses;
+    }
+
+    /** Fraction of committed instructions that were validations. */
+    double
+    validationFraction() const
+    {
+        return core.committedInsts == 0
+                   ? 0.0
+                   : double(core.committedValidations) /
+                         double(core.committedInsts);
+    }
+
+    /** Figure 10 fraction: reused instructions among post-mispredict
+     *  window instructions. */
+    double
+    controlIndependenceFraction() const
+    {
+        return core.postMispredictWindowInsts == 0
+                   ? 0.0
+                   : double(core.postMispredictReused) /
+                         double(core.postMispredictWindowInsts);
+    }
+};
+
+/** One-program, one-configuration simulation. */
+class Simulator
+{
+  public:
+    /**
+     * @param cfg machine configuration
+     * @param prog program (must outlive the simulator)
+     */
+    Simulator(const CoreConfig &cfg, const Program &prog);
+
+    /**
+     * Run to HALT (or @p max_cycles).
+     * @param verify re-run the program functionally and compare the
+     *        committed stream / final state
+     */
+    SimResult run(std::uint64_t max_cycles = 50'000'000,
+                  bool verify = true);
+
+    /** @return the core (inspection/tests). */
+    Core &core() { return core_; }
+
+  private:
+    const Program &prog_;
+    Core core_;
+};
+
+/** Convenience wrapper: build, run, return the result. */
+SimResult simulate(const CoreConfig &cfg, const Program &prog,
+                   std::uint64_t max_cycles = 50'000'000,
+                   bool verify = true);
+
+} // namespace sdv
+
+#endif // SDV_SIM_SIMULATOR_HH

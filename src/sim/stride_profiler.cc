@@ -1,0 +1,55 @@
+#include "sim/stride_profiler.hh"
+
+#include <unordered_map>
+
+#include "arch/executor.hh"
+
+namespace sdv {
+
+StrideProfile
+profileStrides(const Program &prog, std::uint64_t max_insts)
+{
+    StrideProfile profile;
+    FunctionalCore core(prog);
+
+    struct LoadHistory
+    {
+        Addr lastAddr = 0;
+        std::int64_t lastStride = 0;
+        bool hasAddr = false;
+        bool hasStride = false;
+    };
+    std::unordered_map<Addr, LoadHistory> history;
+
+    std::uint64_t n = 0;
+    while (!core.halted() && n < max_insts) {
+        const ExecRecord rec = core.step();
+        ++n;
+        if (!rec.inst.isLoad())
+            continue;
+        ++profile.dynamicLoads;
+        LoadHistory &h = history[rec.pc];
+        if (h.hasAddr) {
+            const std::int64_t stride_bytes =
+                std::int64_t(rec.addr) - std::int64_t(h.lastAddr);
+            const std::int64_t stride_elems =
+                stride_bytes / std::int64_t(rec.size);
+            const std::int64_t mag =
+                stride_elems < 0 ? -stride_elems : stride_elems;
+            profile.strideHist.sample(mag);
+            ++profile.strideSamples;
+            if (h.hasStride && h.lastStride == stride_bytes) {
+                ++profile.repeatSamples;
+                if (mag < 4)
+                    ++profile.repeatLt4;
+            }
+            h.lastStride = stride_bytes;
+            h.hasStride = true;
+        }
+        h.lastAddr = rec.addr;
+        h.hasAddr = true;
+    }
+    return profile;
+}
+
+} // namespace sdv

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 1 analyzer: the distribution of load strides, measured in
+ * elements (address delta divided by the access size), over a
+ * functional execution.
+ */
+
+#ifndef SDV_SIM_STRIDE_PROFILER_HH
+#define SDV_SIM_STRIDE_PROFILER_HH
+
+#include <cstdint>
+
+#include "common/histogram.hh"
+#include "isa/program.hh"
+
+namespace sdv {
+
+/** Stride statistics of one program. */
+struct StrideProfile
+{
+    /** |stride| in elements, buckets 0..9 (overflow beyond). */
+    Histogram strideHist{10};
+
+    std::uint64_t dynamicLoads = 0;  ///< all committed loads
+    std::uint64_t strideSamples = 0; ///< loads with a defined stride
+    std::uint64_t repeatSamples = 0; ///< stride equal to the previous one
+    std::uint64_t repeatLt4 = 0;     ///< ... and |stride| < 4 elements
+
+    /** @return fraction of strided (repeating) loads with stride < 4
+     *  elements — the paper quotes 97.9% (SpecInt) / 81.3% (SpecFP). */
+    double
+    stridedBelow4Fraction() const
+    {
+        return repeatSamples == 0
+                   ? 0.0
+                   : double(repeatLt4) / double(repeatSamples);
+    }
+};
+
+/**
+ * Run @p prog functionally (up to @p max_insts) and profile the stride
+ * of every static load.
+ */
+StrideProfile profileStrides(const Program &prog,
+                             std::uint64_t max_insts = 10'000'000);
+
+} // namespace sdv
+
+#endif // SDV_SIM_STRIDE_PROFILER_HH

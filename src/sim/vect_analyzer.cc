@@ -1,0 +1,150 @@
+#include "sim/vect_analyzer.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "arch/executor.hh"
+#include "common/types.hh"
+
+namespace sdv {
+
+VectAnalysis
+analyzeVectorizability(const Program &prog, std::uint64_t max_insts,
+                       unsigned confidence)
+{
+    VectAnalysis out;
+    FunctionalCore core(prog);
+
+    struct LoadEntry
+    {
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned conf = 0;
+        unsigned size = 8;
+        bool seen = false;
+    };
+    std::unordered_map<Addr, LoadEntry> tl;
+    // Per logical register: does it currently hold a vectorized value,
+    // and which static instruction produced it (for self-recurrence
+    // detection)?
+    std::array<bool, numLogicalRegs> vec{};
+    std::array<Addr, numLogicalRegs> vecSetter{};
+    // Per arithmetic PC: the scalar operand values of the previous
+    // dynamic instance (the VRMT stores the captured scalar value and a
+    // changed value means the instance re-vectorizes instead of
+    // validating, Section 3.2).
+    struct ArithHistory
+    {
+        bool seen = false;
+        std::uint64_t scalar1 = 0;
+        std::uint64_t scalar2 = 0;
+    };
+    std::unordered_map<Addr, ArithHistory> arith;
+
+    // A store into the prospective vector range of an active entry
+    // invalidates it (the Section 3.6 coherence check): confidence is
+    // lost and the pattern must be re-learned.
+    auto store_kill = [&](Addr lo, Addr hi) {
+        for (auto &[pc, e] : tl) {
+            if (!e.seen || e.conf < confidence)
+                continue;
+            const std::int64_t s = e.stride;
+            Addr first = e.lastAddr + Addr(s);
+            Addr last = e.lastAddr + Addr(4 * s);
+            if (first > last)
+                std::swap(first, last);
+            last += e.size - 1;
+            if (lo <= last && hi >= first)
+                e.conf = 0;
+        }
+    };
+
+    while (!core.halted() && out.insts < max_insts) {
+        const ExecRecord rec = core.step();
+        ++out.insts;
+        const Instruction &in = rec.inst;
+        const OpInfo &info = in.info();
+
+        if (rec.isStore)
+            store_kill(rec.addr, rec.addr + rec.size - 1);
+
+        if (in.isLoad() && info.vectorizable) {
+            LoadEntry &e = tl[rec.pc];
+            bool vectorized = false;
+            if (e.seen) {
+                const std::int64_t stride =
+                    std::int64_t(rec.addr) - std::int64_t(e.lastAddr);
+                if (stride == e.stride) {
+                    if (e.conf < 255)
+                        ++e.conf;
+                } else {
+                    e.stride = stride;
+                    e.conf = 0;
+                }
+                vectorized = e.conf >= confidence;
+            }
+            e.lastAddr = rec.addr;
+            e.size = rec.size;
+            e.seen = true;
+            if (vectorized) {
+                ++out.vectorizable;
+                ++out.vectorizableLoads;
+            }
+            if (in.rd != zeroReg) {
+                vec[in.rd] = vectorized;
+                vecSetter[in.rd] = rec.pc;
+            }
+            continue;
+        }
+
+        if (info.vectorizable && info.writesRd) {
+            bool src_vec = false;
+            bool self_recurrent = false;
+            bool scalars_stable = true;
+            ArithHistory &h = arith[rec.pc];
+
+            auto classify = [&](bool reads, RegId r,
+                                std::uint64_t value,
+                                std::uint64_t &last_scalar) {
+                if (!reads)
+                    return;
+                if (vec[r]) {
+                    src_vec = true;
+                    // A register fed by this very instruction's
+                    // previous instance (a reduction) can never
+                    // validate: the element pairing advances with the
+                    // destination, not the source.
+                    if (vecSetter[r] == rec.pc)
+                        self_recurrent = true;
+                } else {
+                    if (h.seen && last_scalar != value)
+                        scalars_stable = false;
+                    last_scalar = value;
+                }
+            };
+            classify(info.readsRs1, in.rs1, rec.srcValue1, h.scalar1);
+            classify(info.readsRs2, in.rs2, rec.srcValue2, h.scalar2);
+            const bool was_seen = h.seen;
+            h.seen = true;
+
+            const bool vectorized = src_vec && !self_recurrent &&
+                                    (scalars_stable || !was_seen);
+            if (vectorized) {
+                ++out.vectorizable;
+                ++out.vectorizableArith;
+            }
+            if (in.rd != zeroReg) {
+                vec[in.rd] = vectorized;
+                vecSetter[in.rd] = rec.pc;
+            }
+            continue;
+        }
+
+        // Everything else produces non-vectorized values.
+        if (info.writesRd && in.rd != zeroReg)
+            vec[in.rd] = false;
+    }
+    return out;
+}
+
+} // namespace sdv

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 3 analyzer: the fraction of dynamic instructions that the
+ * mechanism could vectorize with unbounded resources (unlimited vector
+ * registers, perfect tables). Strided loads seed vectorization and the
+ * attribute propagates down the dependence graph, exactly as in
+ * Section 3.1.
+ */
+
+#ifndef SDV_SIM_VECT_ANALYZER_HH
+#define SDV_SIM_VECT_ANALYZER_HH
+
+#include <cstdint>
+
+#include "isa/program.hh"
+
+namespace sdv {
+
+/** Unbounded-resource vectorizability of one program. */
+struct VectAnalysis
+{
+    std::uint64_t insts = 0;              ///< dynamic instructions
+    std::uint64_t vectorizable = 0;       ///< ... in vector mode
+    std::uint64_t vectorizableLoads = 0;  ///< strided-load instances
+    std::uint64_t vectorizableArith = 0;  ///< propagated arithmetic
+
+    /** @return overall vectorizable fraction (Figure 3). */
+    double
+    fraction() const
+    {
+        return insts == 0 ? 0.0
+                          : double(vectorizable) / double(insts);
+    }
+};
+
+/**
+ * Run @p prog functionally and compute the unbounded-resource
+ * vectorizable fraction.
+ *
+ * @param confidence dynamic instances of a load with this many stride
+ *        repetitions become vectorized (2, as in the TL)
+ */
+VectAnalysis analyzeVectorizability(const Program &prog,
+                                    std::uint64_t max_insts = 10'000'000,
+                                    unsigned confidence = 2);
+
+} // namespace sdv
+
+#endif // SDV_SIM_VECT_ANALYZER_HH

@@ -1,0 +1,282 @@
+#include "vector/datapath.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "isa/alu.hh"
+
+namespace sdv {
+
+VectorDatapath::VectorDatapath(const VectorFuConfig &cfg, VecRegFile &vrf)
+    : cfg_(cfg), vrf_(vrf)
+{
+}
+
+void
+VectorDatapath::spawnLoad(Addr pc, VecRegRef dest, Addr base,
+                          std::int64_t stride, unsigned elem_bytes,
+                          unsigned elem_count)
+{
+    VecInstance inst;
+    inst.id = nextInstanceId_++;
+    inst.pc = pc;
+    inst.op = Opcode::LDQ; // element semantics: raw word load
+    inst.dest = dest;
+    inst.elemCount = elem_count;
+    inst.isLoad = true;
+    inst.baseAddr = base;
+    inst.stride = stride;
+    inst.elemBytes = elem_bytes;
+    active_.push_back(inst);
+    ++stats_.instancesSpawned;
+    ++stats_.loadInstances;
+}
+
+void
+VectorDatapath::spawnArith(Addr pc, Opcode op, std::int32_t imm,
+                           VecRegRef dest, const SrcSpec &src1,
+                           const SrcSpec &src2, unsigned elem_count)
+{
+    VecInstance inst;
+    inst.id = nextInstanceId_++;
+    inst.pc = pc;
+    inst.op = op;
+    inst.imm = imm;
+    inst.dest = dest;
+    inst.src1 = src1;
+    inst.src2 = src2;
+    inst.elemCount = elem_count;
+    // A captured-scalar operand still in flight parks the instance in
+    // the vector instruction queue (Section 3.4).
+    for (const SrcSpec *s : {&src1, &src2})
+        if (s->isScalar() && s->depSeq > inst.scalarDep)
+            inst.scalarDep = s->depSeq;
+    active_.push_back(inst);
+    ++stats_.instancesSpawned;
+    ++stats_.arithInstances;
+    if ((src1.isVector() && src1.srcOffset != 0) ||
+        (src2.isVector() && src2.srcOffset != 0))
+        ++stats_.instancesWithNonzeroSrcOffset;
+}
+
+void
+VectorDatapath::abortByDest(VecRegRef dest)
+{
+    for (auto &inst : active_) {
+        if (inst.dest == dest && !inst.aborted) {
+            inst.aborted = true;
+            ++stats_.instancesAborted;
+        }
+    }
+}
+
+bool
+VectorDatapath::srcsReady(const VecInstance &inst, unsigned k) const
+{
+    for (const SrcSpec *src : {&inst.src1, &inst.src2}) {
+        if (!src->isVector())
+            continue;
+        if (!vrf_.isLive(src->vreg))
+            return false;
+        // Uniform sources: all elements identical, element 0 (computed
+        // first) serves every consumer element.
+        const unsigned e =
+            vrf_.isUniform(src->vreg) ? 0 : src->srcOffset + k;
+        if (e >= vrf_.vlen() || !vrf_.isReady(src->vreg, e))
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+VectorDatapath::srcValue(const SrcSpec &src, unsigned k) const
+{
+    switch (src.kind) {
+      case SrcSpec::Kind::None:
+        return 0;
+      case SrcSpec::Kind::Scalar:
+        return src.value;
+      case SrcSpec::Kind::Vector:
+        if (vrf_.isUniform(src.vreg))
+            return vrf_.data(src.vreg, 0);
+        return vrf_.data(src.vreg, src.srcOffset + k);
+    }
+    panic("unreachable src kind");
+}
+
+unsigned
+VectorDatapath::fuBandwidth(OpClass cls) const
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return cfg_.intAlu;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return cfg_.intMulDiv;
+      case OpClass::FpAdd:
+        return cfg_.fpAdd;
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return cfg_.fpMulDiv;
+      default:
+        return 0;
+    }
+}
+
+void
+VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
+{
+    // 1. Land completions due this cycle.
+    for (auto it = completions_.begin(); it != completions_.end();) {
+        if (it->ready <= now) {
+            if (vrf_.isLive(it->dest)) {
+                vrf_.setData(it->dest, it->elem, it->value);
+                if (it->loadId != 0)
+                    vrf_.setElemLoadId(it->dest, it->elem, it->loadId);
+                ++stats_.elemsComputed;
+            } else if (it->loadId != 0) {
+                // Register vanished before the fill landed: the ledger
+                // should not keep waiting for a resolution.
+                ports.resolveElem(it->loadId, false);
+            }
+            *it = completions_.back();
+            completions_.pop_back();
+        } else {
+            ++it;
+        }
+    }
+
+    // 2. Cascade-abort instances whose sources died (killed, freed or
+    //    stolen registers): their remaining elements can never be
+    //    computed, so kill the destination too, letting in-flight
+    //    validations fall back to scalar execution instead of waiting
+    //    forever.
+    for (auto &inst : active_) {
+        if (inst.aborted || inst.isLoad || inst.done() ||
+            !vrf_.isLive(inst.dest))
+            continue;
+        for (const SrcSpec *src : {&inst.src1, &inst.src2}) {
+            if (!src->isVector())
+                continue;
+            bool dead = !vrf_.isLive(src->vreg) ||
+                        vrf_.isKilled(src->vreg);
+            if (!dead && !vrf_.isUniform(src->vreg) &&
+                src->srcOffset + inst.nextElem >=
+                    vrf_.elemCount(src->vreg))
+                dead = true;
+            if (dead) {
+                inst.aborted = true;
+                vrf_.kill(inst.dest);
+                ++stats_.instancesAborted;
+                break;
+            }
+        }
+    }
+
+    // Drop finished/aborted instances whose dest is gone.
+    active_.remove_if([&](const VecInstance &inst) {
+        return inst.done() || !vrf_.isLive(inst.dest);
+    });
+
+    // 3. Initiate element loads (after scalar demand issue; the port
+    //    object tracks per-cycle capacity).
+    // Completion cycle of each new access this cycle, by access id.
+    std::unordered_map<std::int32_t, Cycle> accessDone;
+    unsigned load_slots = cfg_.loadPorts;
+    for (auto &inst : active_) {
+        if (!inst.isLoad || inst.done())
+            continue;
+        while (!inst.done() && load_slots > 0) {
+            const Addr addr = inst.elemAddr(inst.nextElem);
+            const ElemLoadId lid = nextElemLoadId_++;
+            const auto grant = ports.requestLoadWord(addr, lid);
+            if (!grant.ok) {
+                ++stats_.elemLoadPortStalls;
+                load_slots = 0;
+                break;
+            }
+            Cycle done_at = 0;
+            if (grant.newAccess) {
+                if (!mem.loadAccess(addr, now, done_at)) {
+                    // MSHR full: the claimed port slot is wasted this
+                    // cycle and the element retries next cycle.
+                    ++stats_.elemLoadMshrStalls;
+                    load_slots = 0;
+                    break;
+                }
+                accessDone[grant.accessId] = done_at;
+                ++stats_.elemLoadAccessesIssued;
+            } else {
+                auto it = accessDone.find(grant.accessId);
+                // Riding on an access made by the scalar pipeline this
+                // cycle: its completion is not tracked here; charge a
+                // fresh (hit-latency) lookup for the element instead.
+                if (it == accessDone.end()) {
+                    if (!mem.loadAccess(addr, now, done_at)) {
+                        ++stats_.elemLoadMshrStalls;
+                        load_slots = 0;
+                        break;
+                    }
+                } else {
+                    done_at = it->second;
+                }
+                ++stats_.elemLoadsRideAlong;
+            }
+
+            Completion c;
+            c.ready = done_at;
+            c.dest = inst.dest;
+            c.elem = inst.nextElem;
+            c.value = loadValue_ ? loadValue_(addr, inst.elemBytes) : 0;
+            c.loadId = lid;
+            completions_.push_back(c);
+            ++inst.nextElem;
+            --load_slots;
+        }
+        if (load_slots == 0)
+            break;
+    }
+
+    // 4. Initiate arithmetic elements, one per instance per cycle,
+    //    bounded by the per-class FU bandwidth.
+    unsigned slots[unsigned(OpClass::None) + 1];
+    for (unsigned c = 0; c <= unsigned(OpClass::None); ++c)
+        slots[c] = fuBandwidth(OpClass(c));
+
+    for (auto &inst : active_) {
+        if (inst.isLoad || inst.done())
+            continue;
+        if (inst.scalarDep != 0) {
+            if (!seqDone_ || !seqDone_(inst.scalarDep))
+                continue; // waiting on the scalar operand's producer
+            inst.scalarDep = 0;
+        }
+        const OpClass cls = opInfo(inst.op).opClass;
+        unsigned &slot = slots[unsigned(cls)];
+        if (slot == 0)
+            continue;
+        const unsigned k = inst.nextElem;
+        if (!srcsReady(inst, k))
+            continue;
+
+        Completion c;
+        c.ready = now + opClassLatency(cls);
+        c.dest = inst.dest;
+        c.elem = k;
+        c.value = evalScalarOp(inst.op, srcValue(inst.src1, k),
+                               srcValue(inst.src2, k), inst.imm);
+        completions_.push_back(c);
+        ++inst.nextElem;
+        --slot;
+    }
+}
+
+void
+VectorDatapath::clear()
+{
+    active_.clear();
+    completions_.clear();
+}
+
+} // namespace sdv

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The vector datapath (Section 3.4): vector instruction instances wait
+ * for their operand elements and stream through pipelined vector
+ * functional units at one element per cycle; vector load instances
+ * fetch their elements through the shared L1D ports (riding along wide
+ * accesses when the stride permits).
+ */
+
+#ifndef SDV_VECTOR_DATAPATH_HH
+#define SDV_VECTOR_DATAPATH_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <vector>
+
+#include "isa/opcodes.hh"
+#include "mem/hierarchy.hh"
+#include "mem/port.hh"
+#include "vector/src_spec.hh"
+#include "vector/vreg_file.hh"
+
+namespace sdv {
+
+/** Vector functional unit counts (Table 1). */
+struct VectorFuConfig
+{
+    unsigned intAlu = 3;
+    unsigned intMulDiv = 2;
+    unsigned fpAdd = 2;
+    unsigned fpMulDiv = 1;
+    unsigned loadPorts = 4; ///< max element loads initiated per cycle
+};
+
+/** One in-flight vectorized instruction instance. */
+struct VecInstance
+{
+    std::uint64_t id = 0;    ///< unique instance id
+    Addr pc = 0;             ///< spawning static instruction
+    Opcode op = Opcode::NOP; ///< operation (element-wise)
+    std::int32_t imm = 0;    ///< immediate for reg-imm forms
+    VecRegRef dest;          ///< destination register incarnation
+    SrcSpec src1;            ///< first operand
+    SrcSpec src2;            ///< second operand
+    unsigned elemCount = 0;  ///< elements to produce
+    unsigned nextElem = 0;   ///< next element to initiate
+    bool isLoad = false;     ///< load instance
+    Addr baseAddr = 0;       ///< load: spawning instance's address
+    std::int64_t stride = 0; ///< load: stride
+    unsigned elemBytes = 8;  ///< load: access size
+    bool aborted = false;    ///< stop initiating further elements
+    /** Producer of a captured-scalar operand; the instance waits in
+     *  the queue until it completes (Section 3.4). */
+    InstSeqNum scalarDep = 0;
+
+    /** @return true when all elements have been initiated. */
+    bool done() const { return aborted || nextElem >= elemCount; }
+
+    /** @return address of load element @p k (spawn address + (k+1)
+     *  strides, Section 3.2). */
+    Addr
+    elemAddr(unsigned k) const
+    {
+        return baseAddr + Addr(stride * std::int64_t(k + 1));
+    }
+};
+
+/** Statistics of the vector datapath. */
+struct DatapathStats
+{
+    std::uint64_t instancesSpawned = 0;
+    std::uint64_t loadInstances = 0;
+    std::uint64_t arithInstances = 0;
+    std::uint64_t instancesWithNonzeroSrcOffset = 0; ///< Figure 9
+    std::uint64_t elemsComputed = 0;
+    std::uint64_t elemLoadAccessesIssued = 0; ///< new port accesses
+    std::uint64_t elemLoadsRideAlong = 0;     ///< served by merge
+    std::uint64_t elemLoadPortStalls = 0;
+    std::uint64_t elemLoadMshrStalls = 0;
+    std::uint64_t instancesAborted = 0;
+};
+
+/**
+ * Owns and advances all vector instances. The core calls tick() once
+ * per cycle after the scalar issue stage (demand loads get port
+ * priority; element loads then use leftover slots and ride-alongs).
+ */
+class VectorDatapath
+{
+  public:
+    /**
+     * @param cfg vector FU counts
+     * @param vrf the vector register file (elements written here)
+     */
+    VectorDatapath(const VectorFuConfig &cfg, VecRegFile &vrf);
+
+    /**
+     * Set the provider of speculative load element values (wired to the
+     * oracle memory image by the simulator).
+     */
+    void
+    setLoadValueProvider(
+        std::function<std::uint64_t(Addr, unsigned)> provider)
+    {
+        loadValue_ = std::move(provider);
+    }
+
+    /** Set the predicate "has this dynamic instruction completed?",
+     *  used to release instances waiting on a scalar operand. */
+    void
+    setSeqCompleted(std::function<bool(InstSeqNum)> fn)
+    {
+        seqDone_ = std::move(fn);
+    }
+
+    /** Spawn a vectorized load instance. */
+    void spawnLoad(Addr pc, VecRegRef dest, Addr base, std::int64_t stride,
+                   unsigned elem_bytes, unsigned elem_count);
+
+    /** Spawn a vectorized arithmetic instance. */
+    void spawnArith(Addr pc, Opcode op, std::int32_t imm, VecRegRef dest,
+                    const SrcSpec &src1, const SrcSpec &src2,
+                    unsigned elem_count);
+
+    /** Abort the instance producing @p dest (VRMT invalidation). */
+    void abortByDest(VecRegRef dest);
+
+    /** Advance one cycle: land completions, initiate new elements. */
+    void tick(Cycle now, DCachePorts &ports, MemHierarchy &mem);
+
+    /** @return live (not fully initiated) instance count. */
+    size_t numActive() const { return active_.size(); }
+
+    /** @return datapath statistics. */
+    const DatapathStats &stats() const { return stats_; }
+
+    /** Drop all in-flight state (used by tests between scenarios). */
+    void clear();
+
+  private:
+    /** Pending element completion. */
+    struct Completion
+    {
+        Cycle ready = 0;
+        VecRegRef dest;
+        unsigned elem = 0;
+        std::uint64_t value = 0;
+        ElemLoadId loadId = 0;
+    };
+
+    /** @return true when element @p k's sources are ready. */
+    bool srcsReady(const VecInstance &inst, unsigned k) const;
+
+    /** @return source operand value for element @p k. */
+    std::uint64_t srcValue(const SrcSpec &src, unsigned k) const;
+
+    unsigned fuBandwidth(OpClass cls) const;
+
+    VectorFuConfig cfg_;
+    VecRegFile &vrf_;
+    std::list<VecInstance> active_;
+    std::vector<Completion> completions_;
+    std::function<std::uint64_t(Addr, unsigned)> loadValue_;
+    std::function<bool(InstSeqNum)> seqDone_;
+    std::uint64_t nextInstanceId_ = 1;
+    ElemLoadId nextElemLoadId_ = 1;
+    DatapathStats stats_;
+};
+
+} // namespace sdv
+
+#endif // SDV_VECTOR_DATAPATH_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Description of one source operand of a vectorized instruction, as
+ * recorded in the VRMT and carried by vector datapath instances.
+ */
+
+#ifndef SDV_VECTOR_SRC_SPEC_HH
+#define SDV_VECTOR_SRC_SPEC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "vector/vreg_file.hh"
+
+namespace sdv {
+
+/**
+ * A vectorized instruction's source is either absent, a vector register
+ * (with the element offset the instance starts consuming at, Section
+ * 3.4), or a scalar register whose *value* was captured at vectorization
+ * time (Section 3.2 / Figure 5).
+ */
+struct SrcSpec
+{
+    enum class Kind : std::uint8_t
+    {
+        None,   ///< operand not read by this opcode
+        Vector, ///< reads successive elements of a vector register
+        Scalar, ///< broadcast scalar value captured at spawn
+    };
+
+    Kind kind = Kind::None;
+    VecRegRef vreg;               ///< Vector: source register incarnation
+    std::uint8_t srcOffset = 0;   ///< Vector: element offset at spawn
+    std::uint64_t value = 0;      ///< Scalar: captured value
+    /** Scalar: in-flight producer the vector instance must wait for in
+     *  the vector instruction queue (0 = value already available). Not
+     *  part of operand matching. */
+    InstSeqNum depSeq = 0;
+
+    /** Build an absent operand. */
+    static SrcSpec none() { return SrcSpec{}; }
+
+    /** Build a vector operand. */
+    static SrcSpec
+    vector(VecRegRef ref, std::uint8_t src_offset)
+    {
+        SrcSpec s;
+        s.kind = Kind::Vector;
+        s.vreg = ref;
+        s.srcOffset = src_offset;
+        return s;
+    }
+
+    /** Build a captured-scalar operand. */
+    static SrcSpec
+    scalar(std::uint64_t value)
+    {
+        SrcSpec s;
+        s.kind = Kind::Scalar;
+        s.value = value;
+        return s;
+    }
+
+    /** @return true for a vector operand. */
+    bool isVector() const { return kind == Kind::Vector; }
+
+    /** @return true for a captured-scalar operand. */
+    bool isScalar() const { return kind == Kind::Scalar; }
+};
+
+} // namespace sdv
+
+#endif // SDV_VECTOR_SRC_SPEC_HH

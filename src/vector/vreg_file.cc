@@ -1,0 +1,345 @@
+#include "vector/vreg_file.hh"
+
+#include "common/log.hh"
+
+namespace sdv {
+
+VecRegFile::VecRegFile(unsigned num_regs, unsigned vlen)
+    : numRegs_(num_regs), vlen_(vlen), freeCount_(num_regs),
+      regs_(num_regs)
+{
+    sdv_assert(num_regs >= 1, "need at least one vector register");
+    sdv_assert(vlen >= 2, "vector length must be at least 2");
+    for (auto &r : regs_)
+        r.elems.resize(vlen);
+}
+
+const VecRegFile::Reg &
+VecRegFile::regFor(VecRegRef ref) const
+{
+    sdv_assert(ref.reg < numRegs_, "bad vector register id");
+    const Reg &r = regs_[ref.reg];
+    sdv_assert(r.allocated && r.gen == ref.gen,
+               "stale vector register reference");
+    return r;
+}
+
+VecRegFile::Reg &
+VecRegFile::regFor(VecRegRef ref)
+{
+    return const_cast<Reg &>(
+        static_cast<const VecRegFile *>(this)->regFor(ref));
+}
+
+VecRegRef
+VecRegFile::allocate(Addr mrbb)
+{
+    Reg *chosen = nullptr;
+    for (auto &r : regs_) {
+        if (!r.allocated) {
+            chosen = &r;
+            break;
+        }
+    }
+    if (!chosen) {
+        // Lazy condition-2 reclamation (see the header comment).
+        for (unsigned i = 0; i < numRegs_ && !chosen; ++i) {
+            const Reg &r = regs_[i];
+            if (tryRelease(VecRegRef{VecRegId(i), r.gen}, mrbb,
+                           /*allow_cond2=*/true))
+                chosen = &regs_[i];
+        }
+    }
+    if (!chosen) {
+        ++allocFailures_;
+        return VecRegRef{};
+    }
+    Reg &r = *chosen;
+    r.allocated = true;
+    ++r.gen;
+    r.mrbb = mrbb;
+    r.elemCount = vlen_;
+    r.killed = false;
+    r.uniform = false;
+    r.hasRange = false;
+    r.pred = VecRegRef{};
+    for (auto &e : r.elems)
+        e = Elem{};
+    --freeCount_;
+    ++allocations_;
+    return VecRegRef{VecRegId(unsigned(&r - regs_.data())), r.gen};
+}
+
+bool
+VecRegFile::isLive(VecRegRef ref) const
+{
+    if (!ref.valid() || ref.reg >= numRegs_)
+        return false;
+    const Reg &r = regs_[ref.reg];
+    return r.allocated && r.gen == ref.gen;
+}
+
+void
+VecRegFile::setData(VecRegRef ref, unsigned elem, std::uint64_t value)
+{
+    Reg &r = regFor(ref);
+    sdv_assert(elem < r.elemCount, "element out of range");
+    r.elems[elem].data = value;
+    r.elems[elem].r = true;
+}
+
+std::uint64_t
+VecRegFile::data(VecRegRef ref, unsigned elem) const
+{
+    const Reg &r = regFor(ref);
+    sdv_assert(elem < vlen_ && r.elems[elem].r, "reading non-ready element");
+    return r.elems[elem].data;
+}
+
+bool
+VecRegFile::isReady(VecRegRef ref, unsigned elem) const
+{
+    const Reg &r = regFor(ref);
+    sdv_assert(elem < vlen_, "element out of range");
+    return r.elems[elem].r;
+}
+
+void
+VecRegFile::setUsed(VecRegRef ref, unsigned elem, bool used)
+{
+    Reg &r = regFor(ref);
+    sdv_assert(elem < vlen_, "element out of range");
+    r.elems[elem].u = used;
+}
+
+bool
+VecRegFile::isUsed(VecRegRef ref, unsigned elem) const
+{
+    const Reg &r = regFor(ref);
+    sdv_assert(elem < vlen_, "element out of range");
+    return r.elems[elem].u;
+}
+
+void
+VecRegFile::setValid(VecRegRef ref, unsigned elem)
+{
+    Reg &r = regFor(ref);
+    sdv_assert(elem < vlen_, "element out of range");
+    r.elems[elem].v = true;
+    r.elems[elem].u = false;
+}
+
+bool
+VecRegFile::isValid(VecRegRef ref, unsigned elem) const
+{
+    const Reg &r = regFor(ref);
+    sdv_assert(elem < vlen_, "element out of range");
+    return r.elems[elem].v;
+}
+
+void
+VecRegFile::setFree(VecRegRef ref, unsigned elem)
+{
+    Reg &r = regFor(ref);
+    sdv_assert(elem < vlen_, "element out of range");
+    r.elems[elem].f = true;
+}
+
+void
+VecRegFile::setAllFree(VecRegRef ref)
+{
+    Reg &r = regFor(ref);
+    for (auto &e : r.elems)
+        e.f = true;
+}
+
+void
+VecRegFile::setElemCount(VecRegRef ref, unsigned count)
+{
+    Reg &r = regFor(ref);
+    sdv_assert(count >= 1 && count <= vlen_, "bad element count");
+    r.elemCount = count;
+}
+
+unsigned
+VecRegFile::elemCount(VecRegRef ref) const
+{
+    return regFor(ref).elemCount;
+}
+
+void
+VecRegFile::setAddrRange(VecRegRef ref, Addr first, Addr last,
+                         unsigned elem_bytes)
+{
+    Reg &r = regFor(ref);
+    r.hasRange = true;
+    const Addr lo = first < last ? first : last;
+    const Addr hi = first < last ? last : first;
+    r.rangeLo = lo;
+    r.rangeHi = hi + elem_bytes - 1;
+}
+
+bool
+VecRegFile::rangeOverlaps(VecRegRef ref, Addr lo, Addr hi) const
+{
+    const Reg &r = regFor(ref);
+    if (!r.hasRange)
+        return false;
+    return lo <= r.rangeHi && hi >= r.rangeLo;
+}
+
+void
+VecRegFile::forEachLive(const std::function<void(VecRegRef)> &fn) const
+{
+    for (unsigned i = 0; i < numRegs_; ++i) {
+        const Reg &r = regs_[i];
+        if (r.allocated)
+            fn(VecRegRef{VecRegId(i), r.gen});
+    }
+}
+
+void
+VecRegFile::setElemLoadId(VecRegRef ref, unsigned elem, ElemLoadId id)
+{
+    Reg &r = regFor(ref);
+    sdv_assert(elem < vlen_, "element out of range");
+    r.elems[elem].loadId = id;
+}
+
+void
+VecRegFile::setPredecessor(VecRegRef ref, VecRegRef pred)
+{
+    regFor(ref).pred = pred;
+}
+
+VecRegRef
+VecRegFile::predecessor(VecRegRef ref) const
+{
+    return regFor(ref).pred;
+}
+
+void
+VecRegFile::setUniform(VecRegRef ref, bool uniform)
+{
+    regFor(ref).uniform = uniform;
+}
+
+bool
+VecRegFile::isUniform(VecRegRef ref) const
+{
+    return regFor(ref).uniform;
+}
+
+void
+VecRegFile::kill(VecRegRef ref)
+{
+    if (isLive(ref))
+        regFor(ref).killed = true;
+}
+
+bool
+VecRegFile::isKilled(VecRegRef ref) const
+{
+    return regFor(ref).killed;
+}
+
+void
+VecRegFile::release(Reg &reg)
+{
+    for (unsigned e = 0; e < vlen_; ++e) {
+        const Elem &el = reg.elems[e];
+        if (el.r && el.v)
+            ++fates_.elemsComputedUsed;
+        else if (el.r)
+            ++fates_.elemsComputedNotUsed;
+        else
+            ++fates_.elemsNotComputed;
+        if (el.loadId != 0 && resolver_)
+            resolver_(el.loadId, el.v);
+    }
+    ++fates_.regsReleased;
+    reg.allocated = false;
+    ++freeCount_;
+}
+
+bool
+VecRegFile::tryRelease(VecRegRef ref, Addr gmrbb, bool allow_cond2)
+{
+    if (!isLive(ref))
+        return false;
+    Reg &r = regFor(ref);
+
+    bool any_u = false;
+    bool all_rf = true; ///< condition 1 over computable elements
+    bool all_r = true;
+    bool valids_freed = true;
+    for (unsigned e = 0; e < r.elemCount; ++e) {
+        const Elem &el = r.elems[e];
+        any_u = any_u || el.u;
+        all_rf = all_rf && el.r && el.f;
+        all_r = all_r && el.r;
+        valids_freed = valids_freed && (!el.v || el.f);
+    }
+
+    // Killed incarnations just wait for in-flight validations to drain.
+    if (r.killed) {
+        if (!any_u) {
+            release(r);
+            return true;
+        }
+        return false;
+    }
+
+    // Condition 1: every element computed and freed.
+    if (all_rf && !any_u) {
+        release(r);
+        return true;
+    }
+
+    // Condition 2: every validated element freed, all computed, nothing
+    // in use, and the allocating loop has terminated (MRBB != GMRBB).
+    // Only applied under allocation pressure (see allocate()).
+    if (allow_cond2 && valids_freed && all_r && !any_u &&
+        r.mrbb != gmrbb) {
+        release(r);
+        return true;
+    }
+    return false;
+}
+
+unsigned
+VecRegFile::sweepReleases(Addr gmrbb)
+{
+    unsigned freed = 0;
+    for (unsigned i = 0; i < numRegs_; ++i) {
+        const Reg &r = regs_[i];
+        if (r.allocated &&
+            tryRelease(VecRegRef{VecRegId(i), r.gen}, gmrbb,
+                       /*allow_cond2=*/false))
+            ++freed;
+    }
+    return freed;
+}
+
+void
+VecRegFile::releaseAll()
+{
+    for (auto &r : regs_)
+        if (r.allocated)
+            release(r);
+}
+
+void
+VecRegFile::releaseSquashed(VecRegRef ref)
+{
+    if (!isLive(ref))
+        return;
+    Reg &r = regFor(ref);
+    for (auto &e : r.elems)
+        if (e.loadId != 0 && resolver_)
+            resolver_(e.loadId, false);
+    r.allocated = false;
+    ++freeCount_;
+}
+
+} // namespace sdv

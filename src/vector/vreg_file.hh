@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The vector physical register file of the speculative dynamic
+ * vectorization mechanism (Section 3.3 of the paper).
+ *
+ * Each register holds `vlen` 64-bit elements. Every element carries the
+ * paper's four flags:
+ *   V (Valid)  - the validation associated with the element committed
+ *   R (Ready)  - the element's value has been computed / loaded
+ *   U (Used)   - a validation is in flight (dispatched, not committed)
+ *   F (Free)   - the element is dead (its logical register redefined)
+ * plus each register stores the MRBB tag (PC of the most recently
+ * committed backward branch at allocation time) and, for load-produced
+ * registers, the first/last byte addresses covered (used by the store
+ * coherence check of Section 3.6).
+ *
+ * A register is released when either freeing condition of Section 3.3
+ * holds; the file records the Figure 15 computed/validated ledger at
+ * that moment.
+ */
+
+#ifndef SDV_VECTOR_VREG_FILE_HH
+#define SDV_VECTOR_VREG_FILE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/port.hh"
+
+namespace sdv {
+
+/** Reference to a vector register incarnation (id + generation). */
+struct VecRegRef
+{
+    VecRegId reg = invalidVecReg;
+    std::uint32_t gen = 0;
+
+    /** @return true when this reference names a register at all. */
+    bool valid() const { return reg != invalidVecReg; }
+
+    bool operator==(const VecRegRef &o) const = default;
+};
+
+/** Figure 15 ledger: average element fates at register release. */
+struct VecRegFateStats
+{
+    std::uint64_t regsReleased = 0;
+    std::uint64_t elemsComputedUsed = 0;    ///< R and V at release
+    std::uint64_t elemsComputedNotUsed = 0; ///< R but never validated
+    std::uint64_t elemsNotComputed = 0;     ///< never became R
+
+    double
+    avgComputedUsed() const
+    {
+        return regsReleased ? double(elemsComputedUsed) / regsReleased : 0;
+    }
+    double
+    avgComputedNotUsed() const
+    {
+        return regsReleased ? double(elemsComputedNotUsed) / regsReleased
+                            : 0;
+    }
+    double
+    avgNotComputed() const
+    {
+        return regsReleased ? double(elemsNotComputed) / regsReleased : 0;
+    }
+};
+
+/** The vector register file. */
+class VecRegFile
+{
+  public:
+    /**
+     * @param num_regs number of vector registers (128 in the paper)
+     * @param vlen elements per register (4 in the paper)
+     */
+    explicit VecRegFile(unsigned num_regs = 128, unsigned vlen = 4);
+
+    /** @return elements per register. */
+    unsigned vlen() const { return vlen_; }
+
+    /** @return total register count. */
+    unsigned numRegs() const { return numRegs_; }
+
+    /** @return number of currently free registers. */
+    unsigned numFree() const { return freeCount_; }
+
+    /**
+     * Allocate a register.
+     *
+     * When no register is free, the Section 3.3 condition-2 candidates
+     * (all elements computed, every validated element freed, nothing in
+     * use, allocating loop terminated per MRBB != GMRBB) are reclaimed
+     * on demand. Evaluating condition 2 lazily — at allocation pressure
+     * rather than eagerly every cycle — is required for nested loops:
+     * an inner loop's backward branch changes GMRBB transiently, and an
+     * eager reading would free outer-loop registers before their first
+     * validation.
+     *
+     * @param mrbb current GMRBB value (most recent committed backward
+     *        branch), stored as the register's MRBB tag and used for
+     *        the lazy condition-2 reclamation
+     * @return a valid reference, or an invalid one when none are free
+     */
+    VecRegRef allocate(Addr mrbb);
+
+    /** @return true when @p ref names the live incarnation. */
+    bool isLive(VecRegRef ref) const;
+
+    // --- element data / flags ------------------------------------------
+
+    /** Record a computed element value (sets R). */
+    void setData(VecRegRef ref, unsigned elem, std::uint64_t value);
+
+    /** @return element data (element must be R). */
+    std::uint64_t data(VecRegRef ref, unsigned elem) const;
+
+    /** @return true when element @p elem is computed (R). */
+    bool isReady(VecRegRef ref, unsigned elem) const;
+
+    /** Set/clear the U (validation in flight) flag. */
+    void setUsed(VecRegRef ref, unsigned elem, bool used);
+
+    /** @return the U flag. */
+    bool isUsed(VecRegRef ref, unsigned elem) const;
+
+    /** Mark the element validated (validation committed): V=1, U=0. */
+    void setValid(VecRegRef ref, unsigned elem);
+
+    /** @return the V flag. */
+    bool isValid(VecRegRef ref, unsigned elem) const;
+
+    /** Mark the element dead (F=1). */
+    void setFree(VecRegRef ref, unsigned elem);
+
+    /** Mark every element dead (logical register redefined by another
+     *  instruction). */
+    void setAllFree(VecRegRef ref);
+
+    // --- instance metadata ----------------------------------------------
+
+    /**
+     * Bound the number of elements this incarnation will ever compute
+     * (vlen minus the largest source offset, Section 3.4). Defaults to
+     * vlen at allocation.
+     */
+    void setElemCount(VecRegRef ref, unsigned count);
+
+    /** @return the computable element count. */
+    unsigned elemCount(VecRegRef ref) const;
+
+    /** Record the memory range covered by a load-produced register. */
+    void setAddrRange(VecRegRef ref, Addr first, Addr last,
+                      unsigned elem_bytes);
+
+    /**
+     * @return true when the store to [@p lo, @p hi] overlaps the
+     * register's recorded load range.
+     */
+    bool rangeOverlaps(VecRegRef ref, Addr lo, Addr hi) const;
+
+    /** Run @p fn over every live load-range register. */
+    void forEachLive(const std::function<void(VecRegRef)> &fn) const;
+
+    /** Associate the port-ledger id of a speculative element load. */
+    void setElemLoadId(VecRegRef ref, unsigned elem, ElemLoadId id);
+
+    /** Link to the predecessor incarnation in a chain (for the F flag
+     *  of the predecessor's last element). */
+    void setPredecessor(VecRegRef ref, VecRegRef pred);
+
+    /** @return the predecessor link (may be stale/invalid). */
+    VecRegRef predecessor(VecRegRef ref) const;
+
+    /**
+     * Mark the incarnation uniform: all its elements are known to hold
+     * the same value (a stride-0 load, or arithmetic whose vector
+     * sources are all uniform). Validation matching may then accept a
+     * source element offset that does not advance in lockstep.
+     */
+    void setUniform(VecRegRef ref, bool uniform);
+
+    /** @return the uniform flag. */
+    bool isUniform(VecRegRef ref) const;
+
+    /**
+     * Kill the incarnation (VRMT entry invalidated by a store conflict
+     * or operand mismatch): no further elements will be computed and
+     * the register frees as soon as no validation is in flight.
+     */
+    void kill(VecRegRef ref);
+
+    /** @return true when the incarnation was killed. */
+    bool isKilled(VecRegRef ref) const;
+
+    // --- freeing -----------------------------------------------------------
+
+    /**
+     * Apply the freeing conditions of Section 3.3 (plus release of
+     * killed registers with no in-flight validation).
+     *
+     * @param ref register to consider
+     * @param gmrbb current GMRBB
+     * @param allow_cond2 also consider the MRBB-based condition 2
+     *        (only done under allocation pressure; see allocate())
+     * @retval true when the register was released
+     */
+    bool tryRelease(VecRegRef ref, Addr gmrbb, bool allow_cond2 = false);
+
+    /** Try to release every register by condition 1 / killed state.
+     *  @return count freed. */
+    unsigned sweepReleases(Addr gmrbb);
+
+    /** Release everything (end of simulation), recording fates. */
+    void releaseAll();
+
+    /**
+     * Release a register allocated by a squashed decode: frees it
+     * without recording Figure 15 fates (the incarnation never existed
+     * architecturally) while still resolving its element-load ledger
+     * entries as unused.
+     */
+    void releaseSquashed(VecRegRef ref);
+
+    /** Set the resolver invoked per element at release with (elem load
+     *  id, was-validated); wired to DCachePorts::resolveElem. */
+    void
+    setElemResolver(std::function<void(ElemLoadId, bool)> resolver)
+    {
+        resolver_ = std::move(resolver);
+    }
+
+    /** @return the Figure 15 ledger. */
+    const VecRegFateStats &fateStats() const { return fates_; }
+
+    /** @return lifetime allocation count. */
+    std::uint64_t allocations() const { return allocations_; }
+
+    /** @return allocation failures (no free register). */
+    std::uint64_t allocFailures() const { return allocFailures_; }
+
+  private:
+    struct Elem
+    {
+        std::uint64_t data = 0;
+        bool v = false, r = false, u = false, f = false;
+        ElemLoadId loadId = 0;
+    };
+
+    struct Reg
+    {
+        bool allocated = false;
+        std::uint32_t gen = 0;
+        Addr mrbb = 0;
+        unsigned elemCount = 0;
+        bool killed = false;
+        bool uniform = false;
+        bool hasRange = false;
+        Addr rangeLo = 0, rangeHi = 0; ///< inclusive byte range
+        VecRegRef pred;
+        std::vector<Elem> elems;
+    };
+
+    const Reg &regFor(VecRegRef ref) const;
+    Reg &regFor(VecRegRef ref);
+    void release(Reg &reg);
+
+    unsigned numRegs_;
+    unsigned vlen_;
+    unsigned freeCount_;
+    std::vector<Reg> regs_;
+    VecRegFateStats fates_;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t allocFailures_ = 0;
+    std::function<void(ElemLoadId, bool)> resolver_;
+};
+
+} // namespace sdv
+
+#endif // SDV_VECTOR_VREG_FILE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * `gcc` stand-in: compiler-style passes mixing irregular pointer
+ * chasing over a shuffled node pool (RTL walking), a stride-1 token
+ * scan, and hashed symbol-table probes. Mid-pack SpecInt95
+ * vectorizability (~40% in Figure 3) with moderately predictable
+ * branches.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace sdv {
+
+using namespace workloads;
+
+Program
+buildGcc(unsigned scale)
+{
+    ProgramBuilder b;
+    Random rng(0x6cc);
+
+    const Addr head = buildList(b, "nodes", 1024, 4, /*shuffled=*/true,
+                                rng);
+    const unsigned tokenLen = 512;
+    const Addr tokens = b.allocWords("tokens", tokenLen);
+    const Addr symtab = b.allocWords("symtab", 1024);
+    const Addr out = b.allocWords("out", 16);
+    const Addr frame = b.allocWords("frame", 32);
+    fillRandomWords(b, tokens, tokenLen, rng, 200);
+    fillRandomWords(b, symtab, 1024, rng, 5000);
+
+    emitLcgInit(b, 0xc0ffee);
+    b.loadAddr(ptr0, head);
+    b.loadAddr(ptr2, symtab);
+    b.loadAddr(framePtr, frame);
+    b.ldi(acc0, 0);
+    b.ldi(acc1, 0);
+
+    countedLoop(b, counter0, std::int32_t(scale * 550), [&] {
+        // Pass-state reloads (current function, flags: stride 0).
+        emitSpillReloads(b, 5, acc1);
+        // Walk one RTL node (shuffled pool: irregular strides).
+        countedLoop(b, counter1, 1, [&] {
+            b.ldq(scratch0, ptr0, 8);  // payload
+            b.ldq(scratch1, ptr0, 16); // payload
+            b.ldq(ptr0, ptr0, 0);      // next (irregular)
+            b.add(acc0, acc0, scratch0);
+            auto skip = b.newLabel();
+            // ~75% of payloads are below 750.
+            b.cmplti(scratch2, scratch1, 750);
+            b.beqz(scratch2, skip);
+            b.add(acc1, acc1, scratch1);
+            b.bind(skip);
+        });
+
+        // Token scan (stride 1, vectorizable with its arithmetic).
+        b.loadAddr(ptr1, tokens);
+        b.andi(scratch0, counter0, 255);
+        b.slli(scratch0, scratch0, 3);
+        b.add(ptr1, ptr1, scratch0);
+        countedLoop(b, counter1, 6, [&] {
+            b.ldq(scratch1, ptr1, 0);
+            b.addi(ptr1, ptr1, 8);
+            b.slli(scratch2, scratch1, 1);
+            b.xori(scratch2, scratch2, 0x55);
+            b.add(acc0, acc0, scratch2);
+        });
+
+        // Symbol-table probe at a hashed (pseudo-random) index.
+        emitLcgNext(b, scratch0, 1023);
+        b.slli(scratch0, scratch0, 3);
+        b.add(ptr3, ptr2, scratch0);
+        b.ldq(scratch1, ptr3, 0);
+        auto miss = b.newLabel();
+        b.cmplti(scratch2, scratch1, 2500);
+        b.beqz(scratch2, miss);
+        b.addi(scratch1, scratch1, 1);
+        b.stq(scratch1, ptr3, 0);
+        b.bind(miss);
+    });
+
+    b.loadAddr(ptr3, out);
+    b.stq(acc0, ptr3, 0);
+    b.stq(acc1, ptr3, 8);
+    b.halt();
+    return b.finish();
+}
+
+} // namespace sdv

@@ -1,0 +1,77 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+
+namespace sdv {
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        {"go", false, "branchy board evaluation, irregular probes",
+         buildGo},
+        {"m88ksim", false, "ISA-simulator main loop over a trace",
+         buildM88ksim},
+        {"gcc", false, "compiler passes: pointer chasing + token scan",
+         buildGcc},
+        {"compress", false, "LZW hashing with random table probes",
+         buildCompress},
+        {"li", false, "lisp interpreter: strided cons-cell chasing",
+         buildLi},
+        {"ijpeg", false, "block image transforms, dense stride-1",
+         buildIjpeg},
+        {"perl", false, "bytecode interpreter with dispatch cascade",
+         buildPerl},
+        {"vortex", false, "OO database: record scans and bulk copies",
+         buildVortex},
+        {"swim", true, "shallow-water stencils, stride-1 doubles",
+         buildSwim},
+        {"applu", true, "banded solver, unrolled-by-2 (stride 2)",
+         buildApplu},
+        {"turb3d", true, "FFT-like passes at strides 1/2/4/8",
+         buildTurb3d},
+        {"fpppp", true, "huge FP basic blocks over a small workspace",
+         buildFpppp},
+    };
+    return workloads;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+Program
+buildWorkload(const std::string &name, unsigned scale)
+{
+    const Workload *w = findWorkload(name);
+    if (!w)
+        fatal("unknown workload '", name, "'");
+    return w->build(scale == 0 ? 1 : scale);
+}
+
+std::vector<std::string>
+intWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        if (!w.isFp)
+            names.push_back(w.name);
+    return names;
+}
+
+std::vector<std::string>
+fpWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        if (w.isFp)
+            names.push_back(w.name);
+    return names;
+}
+
+} // namespace sdv

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * `turb3d` stand-in: FFT-like butterfly passes over a signal at
+ * strides 1, 2, 4 and 8 (the large strides give SpecFP its Figure 1
+ * tail beyond 4 elements), with stride-0 twiddle-factor reloads.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/kernel_util.hh"
+
+namespace sdv {
+
+using namespace workloads;
+
+Program
+buildTurb3d(unsigned scale)
+{
+    ProgramBuilder b;
+
+    const unsigned n = 2048;
+    const Addr sig = b.allocWords("sig", n + 64);
+    const Addr out = b.allocWords("outbuf", n + 64);
+    const Addr twiddle = b.allocWords("twiddle", 4);
+    fillDoubles(b, sig, n + 64,
+                [](size_t i) { return 0.001 * double(i % 611) - 0.3; });
+    fillDoubles(b, twiddle, 4, [](size_t i) { return 0.7 + 0.05 * i; });
+
+    const RegId fx = 33, fy = 34, fw = 35, ft = 36, facc = 37;
+
+    b.loadAddr(ptr3, twiddle);
+    b.ldi(scratch0, 0);
+    b.cvtif(facc, scratch0);
+
+    countedLoop(b, counter0, std::int32_t(scale * 5), [&] {
+        // One butterfly pass per stride in {1, 2, 4, 8}; short strides
+        // dominate as in a real decimation (81% of strided accesses
+        // stay below 4 elements for SpecFP in the paper).
+        for (unsigned stride : {1u, 1u, 2u, 4u, 8u}) {
+            const unsigned pairs = stride <= 2 ? 224 : 96;
+            // Out-of-place butterflies (ping-pong buffers): the output
+            // buffer is distinct from the streamed input, as in an FFT
+            // that alternates between two work arrays.
+            b.loadAddr(ptr0, sig);
+            b.loadAddr(ptr1, out);
+            b.ldi(acc2, 0); // butterfly index
+            countedLoop(b, counter1, std::int32_t(pairs), [&] {
+                // Bit-reversal-style index bookkeeping (scalar).
+                b.slli(scratch0, acc2, 3);
+                b.mul(scratch1, acc2, counter1);
+                b.xor_(acc1, acc1, scratch1);
+                b.add(scratch2, ptr0, scratch0);
+                b.fld(fw, ptr3, 0); // twiddle reload (stride 0)
+                b.fld(fx, ptr0, 0);
+                b.fld(fy, ptr0, std::int32_t(8 * stride));
+                b.fmul(ft, fy, fw);
+                b.fadd(fy, fx, ft);
+                b.fsub(fx, fx, ft);
+                b.fst(fy, ptr1, 0);
+                b.fst(fx, ptr1, std::int32_t(8 * stride));
+                b.fadd(facc, facc, fy);
+                b.addi(acc2, acc2, 1);
+                b.addi(ptr0, ptr0, std::int32_t(8 * stride));
+                b.addi(ptr1, ptr1, std::int32_t(8 * stride));
+            });
+        }
+    });
+
+    b.loadAddr(ptr0, sig);
+    b.fst(facc, ptr0, 8 * (n + 32));
+    b.halt();
+    return b.finish();
+}
+
+} // namespace sdv

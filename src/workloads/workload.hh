@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Registry of the synthetic SPEC95-like workloads.
+ *
+ * SPEC95 binaries and reference inputs are not redistributable, so each
+ * benchmark of the paper's evaluation (the 8 SpecInt95 programs and the
+ * 4 SpecFP95 programs used: swim, applu, turb3d, fpppp) is replaced by
+ * a synthetic kernel engineered to the program's published behaviour:
+ * its stride mix (Figure 1), its vectorizable fraction (Figure 3), its
+ * branch-predictability class and its pointer/array balance. See
+ * DESIGN.md ("Substitutions") for the full rationale.
+ */
+
+#ifndef SDV_WORKLOADS_WORKLOAD_HH
+#define SDV_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace sdv {
+
+/** One registered workload. */
+struct Workload
+{
+    std::string name;        ///< SPEC95 program it stands in for
+    bool isFp = false;       ///< SpecFP95 member
+    std::string description; ///< behaviour the kernel models
+    std::function<Program(unsigned)> build; ///< scale >= 1
+};
+
+/** @return all 12 workloads (8 integer then 4 FP, paper order). */
+const std::vector<Workload> &allWorkloads();
+
+/** @return the workload named @p name, or nullptr. */
+const Workload *findWorkload(const std::string &name);
+
+/** Build a workload's program (fatal on unknown name). */
+Program buildWorkload(const std::string &name, unsigned scale = 1);
+
+/** @return the 8 SpecInt95-like workload names in paper order. */
+std::vector<std::string> intWorkloadNames();
+
+/** @return the 4 SpecFP95-like workload names in paper order. */
+std::vector<std::string> fpWorkloadNames();
+
+// Individual kernel builders (one translation unit each).
+Program buildGo(unsigned scale);       ///< go: branchy board evaluation
+Program buildM88ksim(unsigned scale);  ///< m88ksim: CPU simulator loop
+Program buildGcc(unsigned scale);      ///< gcc: tree/list compiler passes
+Program buildCompress(unsigned scale); ///< compress: LZW hashing
+Program buildLi(unsigned scale);       ///< li: lisp cons-cell interpreter
+Program buildIjpeg(unsigned scale);    ///< ijpeg: block image transforms
+Program buildPerl(unsigned scale);     ///< perl: bytecode interpreter
+Program buildVortex(unsigned scale);   ///< vortex: OO database store
+Program buildSwim(unsigned scale);     ///< swim: shallow-water stencil
+Program buildApplu(unsigned scale);    ///< applu: banded solver
+Program buildTurb3d(unsigned scale);   ///< turb3d: strided FFT passes
+Program buildFpppp(unsigned scale);    ///< fpppp: huge FP basic blocks
+
+} // namespace sdv
+
+#endif // SDV_WORKLOADS_WORKLOAD_HH

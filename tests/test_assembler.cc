@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the two-pass text assembler: syntax, labels, directives,
+ * pseudo-instructions, end-to-end execution and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/executor.hh"
+#include "isa/assembler.hh"
+
+namespace sdv {
+namespace {
+
+TEST(Assembler, MinimalProgram)
+{
+    const AsmResult r = assemble("halt\n");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.program.numInsts(), 1u);
+    EXPECT_EQ(r.program.instAt(r.program.codeBase()).op, Opcode::HALT);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const AsmResult r = assemble(R"(
+; full line comment
+   # another comment style
+nop   ; trailing comment
+halt
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.program.numInsts(), 2u);
+}
+
+TEST(Assembler, AllOperandForms)
+{
+    const AsmResult r = assemble(R"(
+    add r3, r1, r2
+    addi r4, r3, -16
+    ldq r5, 24(r4)
+    stq r5, -8(r4)
+    fadd f2, f0, f1
+    cvtif f3, r5
+    jr r31
+    halt
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    const Program &p = r.program;
+    EXPECT_EQ(p.instAt(p.codeBase()).disasm(), "add r3, r1, r2");
+    EXPECT_EQ(p.instAt(p.codeBase() + 16).disasm(), "ldq r5, 24(r4)");
+    EXPECT_EQ(p.instAt(p.codeBase() + 24).disasm(), "stq r5, -8(r4)");
+    EXPECT_EQ(p.instAt(p.codeBase() + 32).disasm(), "fadd f2, f0, f1");
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    const AsmResult r = assemble(R"(
+start:
+    ldi r1, 3
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    br  done
+    nop            ; skipped
+done:
+    halt
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    FunctionalCore core(r.program);
+    core.run(1000);
+    EXPECT_TRUE(core.halted());
+    EXPECT_EQ(core.state().reg(1), 0u);
+}
+
+TEST(Assembler, DataDirectivesAndPseudos)
+{
+    const AsmResult r = assemble(R"(
+.data table 4
+.word table 0 42
+.word table 2 -7
+.double table 3 2.5
+
+    la  r1, table
+    ldq r2, 0(r1)
+    ldq r3, 16(r1)
+    fld f0, 24(r1)
+    li  r4, 0x123456789ab
+    halt
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    FunctionalCore core(r.program);
+    core.run(1000);
+    EXPECT_EQ(core.state().reg(2), 42u);
+    EXPECT_EQ(std::int64_t(core.state().reg(3)), -7);
+    EXPECT_DOUBLE_EQ(core.state().regAsDouble(32), 2.5);
+    EXPECT_EQ(core.state().reg(4), 0x123456789abULL);
+}
+
+TEST(Assembler, EntryDirective)
+{
+    const AsmResult r = assemble(R"(
+.entry main
+helper:
+    halt
+main:
+    ldi r1, 9
+    halt
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    FunctionalCore core(r.program);
+    core.run(10);
+    EXPECT_EQ(core.state().reg(1), 9u);
+}
+
+TEST(Assembler, JalAndCall)
+{
+    const AsmResult r = assemble(R"(
+.entry main
+double_it:
+    add r2, r1, r1
+    jr r31
+main:
+    ldi r1, 21
+    jal double_it
+    halt
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    FunctionalCore core(r.program);
+    core.run(100);
+    EXPECT_EQ(core.state().reg(2), 42u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    EXPECT_NE(assemble("bogus r1, r2\n").error.find("line 1"),
+              std::string::npos);
+    EXPECT_NE(assemble("nop\nldq r1 r2\n").error.find("line 2"),
+              std::string::npos);
+    EXPECT_FALSE(assemble("beqz r1, nowhere\nhalt\n").ok);
+    EXPECT_FALSE(assemble("ldq r1, 0(r2)\nlabel:\n").ok); // trailing label
+    EXPECT_FALSE(assemble(".data x\nhalt\n").ok);
+    EXPECT_FALSE(assemble("add r1, r2\nhalt\n").ok); // missing operand
+    EXPECT_FALSE(assemble("la r1, nosuch\nhalt\n").ok);
+    EXPECT_FALSE(assemble("dup:\ndup:\nhalt\n").ok);
+}
+
+TEST(Assembler, RunsOnTimingSimulator)
+{
+    const AsmResult r = assemble(R"(
+.data arr 64
+.entry main
+main:
+    la   r10, arr
+    li   r11, 64
+    li   r12, 5
+fill:
+    stq  r12, 0(r10)
+    addi r10, r10, 8
+    addi r11, r11, -1
+    bnez r11, fill
+    la   r10, arr
+    li   r11, 64
+    li   r20, 0
+sum:
+    ldq  r1, 0(r10)
+    add  r20, r20, r1
+    addi r10, r10, 8
+    addi r11, r11, -1
+    bnez r11, sum
+    halt
+)");
+    ASSERT_TRUE(r.ok) << r.error;
+    FunctionalCore ref(r.program);
+    ref.run(100000);
+    EXPECT_EQ(ref.state().reg(20), 64u * 5u);
+}
+
+} // namespace
+} // namespace sdv

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the mini-ISA: opcode table, encode/decode round trips,
+ * disassembly, and register naming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+
+namespace sdv {
+namespace {
+
+TEST(Opcodes, TableIsConsistent)
+{
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        const OpInfo &info = opInfo(op);
+        EXPECT_FALSE(info.mnemonic.empty());
+        // Memory size implies a memory class.
+        if (info.memBytes != 0) {
+            EXPECT_TRUE(info.opClass == OpClass::MemRead ||
+                        info.opClass == OpClass::MemWrite);
+        }
+        // Stores and branches never write a destination register.
+        if (info.opClass == OpClass::MemWrite)
+            EXPECT_FALSE(info.writesRd);
+        if (info.isCondBranch)
+            EXPECT_FALSE(info.writesRd);
+        // Branches and jumps are mutually exclusive flags.
+        EXPECT_FALSE(info.isCondBranch && info.isJump);
+        // Only loads and arithmetic may be vectorizable.
+        if (info.vectorizable) {
+            EXPECT_NE(info.opClass, OpClass::MemWrite);
+            EXPECT_NE(info.opClass, OpClass::Control);
+            EXPECT_NE(info.opClass, OpClass::None);
+        }
+    }
+}
+
+TEST(Opcodes, MnemonicRoundTrip)
+{
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        const auto op = static_cast<Opcode>(i);
+        Opcode parsed;
+        ASSERT_TRUE(parseMnemonic(std::string(mnemonic(op)), parsed))
+            << mnemonic(op);
+        EXPECT_EQ(parsed, op);
+    }
+}
+
+TEST(Opcodes, MnemonicParseIsCaseInsensitive)
+{
+    Opcode op;
+    ASSERT_TRUE(parseMnemonic("add", op));
+    EXPECT_EQ(op, Opcode::ADD);
+    ASSERT_TRUE(parseMnemonic("LdQ", op));
+    EXPECT_EQ(op, Opcode::LDQ);
+    EXPECT_FALSE(parseMnemonic("bogus", op));
+}
+
+TEST(Opcodes, LatenciesMatchTable1)
+{
+    EXPECT_EQ(opClassLatency(OpClass::IntAlu), 1u);
+    EXPECT_EQ(opClassLatency(OpClass::IntMult), 2u);
+    EXPECT_EQ(opClassLatency(OpClass::IntDiv), 12u);
+    EXPECT_EQ(opClassLatency(OpClass::FpAdd), 2u);
+    EXPECT_EQ(opClassLatency(OpClass::FpMult), 4u);
+    EXPECT_EQ(opClassLatency(OpClass::FpDiv), 14u);
+}
+
+TEST(Instruction, EncodeDecodeRoundTrip)
+{
+    for (unsigned i = 0; i < numOpcodes; ++i) {
+        Instruction in(static_cast<Opcode>(i), 7, 13, 63, -123456);
+        Instruction out;
+        ASSERT_TRUE(Instruction::decode(in.encode(), out));
+        EXPECT_EQ(in, out);
+    }
+}
+
+TEST(Instruction, DecodeRejectsBadOpcode)
+{
+    Instruction out;
+    EXPECT_FALSE(Instruction::decode(0xff, out));
+    EXPECT_FALSE(Instruction::decode(std::uint64_t(numOpcodes), out));
+}
+
+TEST(Instruction, ImmediateSignPreserved)
+{
+    Instruction in(Opcode::ADDI, 1, 2, 0, -1);
+    Instruction out;
+    ASSERT_TRUE(Instruction::decode(in.encode(), out));
+    EXPECT_EQ(out.imm, -1);
+
+    in.imm = std::numeric_limits<std::int32_t>::min();
+    ASSERT_TRUE(Instruction::decode(in.encode(), out));
+    EXPECT_EQ(out.imm, std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Instruction, Predicates)
+{
+    EXPECT_TRUE(Instruction(Opcode::LDQ, 1, 2, 0, 0).isLoad());
+    EXPECT_TRUE(Instruction(Opcode::FLD, 33, 2, 0, 0).isLoad());
+    EXPECT_TRUE(Instruction(Opcode::STQ, 0, 2, 1, 0).isStore());
+    EXPECT_TRUE(Instruction(Opcode::BEQZ, 0, 1, 0, 4).isCondBranch());
+    EXPECT_TRUE(Instruction(Opcode::JR, 0, 31, 0, 0).isJump());
+    EXPECT_TRUE(Instruction(Opcode::HALT, 0, 0, 0, 0).isHalt());
+    EXPECT_EQ(Instruction(Opcode::LDL, 1, 2, 0, 0).memBytes(), 4u);
+    EXPECT_EQ(Instruction(Opcode::LDQ, 1, 2, 0, 0).memBytes(), 8u);
+    // Writes to r0 are architecturally invisible.
+    EXPECT_FALSE(Instruction(Opcode::ADD, 0, 1, 2, 0).writesReg());
+    EXPECT_TRUE(Instruction(Opcode::ADD, 3, 1, 2, 0).writesReg());
+}
+
+TEST(Instruction, Disassembly)
+{
+    EXPECT_EQ(Instruction(Opcode::ADD, 3, 1, 2, 0).disasm(),
+              "add r3, r1, r2");
+    EXPECT_EQ(Instruction(Opcode::LDQ, 4, 2, 0, 16).disasm(),
+              "ldq r4, 16(r2)");
+    EXPECT_EQ(Instruction(Opcode::STQ, 0, 6, 5, -8).disasm(),
+              "stq r5, -8(r6)");
+    EXPECT_EQ(Instruction(Opcode::FADD, 34, 33, 32, 0).disasm(),
+              "fadd f2, f1, f0");
+    EXPECT_EQ(Instruction(Opcode::BEQZ, 0, 1, 0, -3).disasm(),
+              "beqz r1, -3");
+    EXPECT_EQ(Instruction(Opcode::HALT, 0, 0, 0, 0).disasm(), "halt");
+}
+
+TEST(RegNames, RoundTrip)
+{
+    for (unsigned r = 0; r < numLogicalRegs; ++r) {
+        RegId out;
+        ASSERT_TRUE(parseRegName(regName(RegId(r)), out));
+        EXPECT_EQ(out, RegId(r));
+    }
+    RegId out;
+    EXPECT_FALSE(parseRegName("r32", out));
+    EXPECT_FALSE(parseRegName("f32", out));
+    EXPECT_FALSE(parseRegName("x1", out));
+    EXPECT_FALSE(parseRegName("r", out));
+    EXPECT_FALSE(parseRegName("r1x", out));
+}
+
+} // namespace
+} // namespace sdv
