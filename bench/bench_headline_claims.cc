@@ -20,7 +20,7 @@ using namespace sdv;
 int
 main(int argc, char **argv)
 {
-    const auto opt = bench::parseArgs(argc, argv);
+    const auto opt = bench::parseArgs(argc, argv, /*json_supported=*/true);
     bench::banner("Headline claims (abstract, Sections 1, 3.6 and 6)",
                   "speedups, memory-request reductions, store conflict "
                   "rates");
@@ -33,14 +33,18 @@ main(int argc, char **argv)
     unsigned n_int = 0, n_fp = 0;
 
     bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        const SimResult v =
-            bench::run(makeConfig(4, 1, BusMode::WideBusSdv), p);
-        const SimResult im =
-            bench::run(makeConfig(4, 1, BusMode::WideBus), p);
-        const SimResult s4p =
-            bench::run(makeConfig(4, 4, BusMode::ScalarBus), p);
-        const SimResult w8 =
-            bench::run(makeConfig(8, 4, BusMode::ScalarBus), p);
+        const SimResult v = bench::run(
+            makeConfig(4, 1, BusMode::WideBusSdv), p, w.name,
+            "4w-" + configLabel(1, BusMode::WideBusSdv));
+        const SimResult im = bench::run(
+            makeConfig(4, 1, BusMode::WideBus), p, w.name,
+            "4w-" + configLabel(1, BusMode::WideBus));
+        const SimResult s4p = bench::run(
+            makeConfig(4, 4, BusMode::ScalarBus), p, w.name,
+            "4w-" + configLabel(4, BusMode::ScalarBus));
+        const SimResult w8 = bench::run(
+            makeConfig(8, 4, BusMode::ScalarBus), p, w.name,
+            "8w-" + configLabel(4, BusMode::ScalarBus));
 
         const double conf =
             v.engine.storesChecked
@@ -96,5 +100,6 @@ main(int argc, char **argv)
                 100.0 * int_conf / (n_int ? n_int : 1));
     std::printf("  SpecFP:  %5.2f%%   (paper: 2.5%%)\n",
                 100.0 * fp_conf / (n_fp ? n_fp : 1));
+    bench::writeJson(opt, "headline_claims");
     return 0;
 }

@@ -95,19 +95,53 @@ BM_CoreSimulation(benchmark::State &state)
 {
     // Whole-machine simulation rate (cycles/second) on a small kernel.
     const Program prog = buildWorkload("compress");
-    std::uint64_t cycles = 0;
+    std::uint64_t cycles = 0, insts = 0;
     for (auto _ : state) {
         const SimResult r =
             simulate(makeConfig(4, 1, BusMode::WideBusSdv), prog,
                      10'000'000, /*verify=*/false);
         cycles += r.cycles;
+        insts += r.insts;
         benchmark::DoNotOptimize(r.ipc);
     }
     state.counters["cycles/s"] = benchmark::Counter(
         double(cycles), benchmark::Counter::kIsRate);
+    state.counters["sim_insts/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_CoreSimulation)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so this binary speaks the same flag dialect as the other
+ * benches: --json <path> maps onto google-benchmark's JSON reporter
+ * and --quick shortens the measuring window for CI smoke runs.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    args.emplace_back(argc > 0 ? argv[0] : "bench_micro_components");
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--json" && i + 1 < argc) {
+            args.push_back(std::string("--benchmark_out=") + argv[++i]);
+            args.emplace_back("--benchmark_out_format=json");
+        } else if (a == "--quick") {
+            args.emplace_back("--benchmark_min_time=0.05");
+        } else {
+            args.push_back(a);
+        }
+    }
+    std::vector<char *> argv2;
+    for (auto &s : args)
+        argv2.push_back(s.data());
+    int argc2 = int(argv2.size());
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "harness.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,8 +10,25 @@
 namespace sdv {
 namespace bench {
 
+namespace {
+
+/** One recorded run for the --json trajectory. */
+struct JsonRecord
+{
+    std::string workload;
+    std::string config;
+    Cycle cycles;
+    std::uint64_t insts;
+    double ipc;
+    double wallSeconds;
+};
+
+std::vector<JsonRecord> jsonRecords;
+
+} // namespace
+
 Options
-parseArgs(int argc, char **argv)
+parseArgs(int argc, char **argv, bool json_supported)
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
@@ -20,9 +38,13 @@ parseArgs(int argc, char **argv)
                 opt.scale = 1;
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
+        } else if (json_supported && std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            opt.jsonPath = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--scale N] [--quick]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--scale N] [--quick]%s\n",
+                         argv[0],
+                         json_supported ? " [--json PATH]" : "");
             std::exit(2);
         }
     }
@@ -45,6 +67,51 @@ SimResult
 run(const CoreConfig &cfg, const Program &prog)
 {
     return simulate(cfg, prog, 200'000'000, /*verify=*/false);
+}
+
+SimResult
+run(const CoreConfig &cfg, const Program &prog,
+    const std::string &workload, const std::string &config_label)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    SimResult r = run(cfg, prog);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    jsonRecords.push_back(
+        {workload, config_label, r.cycles, r.insts, r.ipc, wall});
+    return r;
+}
+
+void
+writeJson(const Options &opt, const std::string &bench_name)
+{
+    if (opt.jsonPath.empty())
+        return;
+    FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
+    if (!f)
+        fatal("cannot open --json path ", opt.jsonPath);
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < jsonRecords.size(); ++i) {
+        const JsonRecord &r = jsonRecords[i];
+        const double mips =
+            r.wallSeconds > 0.0
+                ? double(r.insts) / r.wallSeconds / 1e6
+                : 0.0;
+        std::fprintf(
+            f,
+            "  {\"bench\": \"%s\", \"workload\": \"%s\", "
+            "\"config\": \"%s\", \"cycles\": %llu, \"insts\": %llu, "
+            "\"ipc\": %.4f, \"wall_seconds\": %.6f, "
+            "\"sim_mips\": %.3f}%s\n",
+            bench_name.c_str(), r.workload.c_str(), r.config.c_str(),
+            static_cast<unsigned long long>(r.cycles),
+            static_cast<unsigned long long>(r.insts), r.ipc,
+            r.wallSeconds, mips, i + 1 < jsonRecords.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
 }
 
 SuiteTable::SuiteTable(std::vector<std::string> columns)

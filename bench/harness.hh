@@ -24,10 +24,16 @@ struct Options
 {
     unsigned scale = 1; ///< workload scale factor (--scale N)
     bool quick = false; ///< --quick: restrict to a subset of runs
+    std::string jsonPath; ///< --json <path>: machine-readable results
 };
 
-/** Parse argv (unknown flags are fatal with usage help). */
-Options parseArgs(int argc, char **argv);
+/**
+ * Parse argv (unknown flags are fatal with usage help).
+ * @param json_supported accept --json; leave false in benches that
+ *        never record runs, so the flag fails loudly instead of
+ *        silently producing no file
+ */
+Options parseArgs(int argc, char **argv, bool json_supported = false);
 
 /** Print the figure banner. */
 void banner(const std::string &title, const std::string &paper_line);
@@ -37,6 +43,24 @@ void banner(const std::string &title, const std::string &paper_line);
  * suite covers correctness; benches measure).
  */
 SimResult run(const CoreConfig &cfg, const Program &prog);
+
+/**
+ * Like run(), additionally recording the result (plus host wall time
+ * and simulated MIPS) under @p workload / @p config_label for a later
+ * writeJson(). Use in benches that participate in the BENCH_*.json
+ * perf trajectory.
+ */
+SimResult run(const CoreConfig &cfg, const Program &prog,
+              const std::string &workload,
+              const std::string &config_label);
+
+/**
+ * Emit every recorded run as a JSON array to Options::jsonPath (no-op
+ * when --json was not given). Schema per element:
+ * {bench, workload, config, cycles, insts, ipc, wall_seconds,
+ *  sim_mips}.
+ */
+void writeJson(const Options &opt, const std::string &bench_name);
 
 /** Per-benchmark metric collection with INT / FP / total averages. */
 struct SuiteTable

@@ -10,30 +10,29 @@ namespace sdv {
 const SparseMemory::Page *
 SparseMemory::findPage(Addr page_addr) const
 {
+    if (page_addr == mruAddr_)
+        return mruPage_;
     auto it = pages_.find(page_addr);
-    return it == pages_.end() ? nullptr : &it->second;
+    if (it == pages_.end())
+        return nullptr;
+    mruAddr_ = page_addr;
+    // The cache is shared with the mutable path; writes only ever go
+    // through it when the SparseMemory object itself is mutable.
+    mruPage_ = const_cast<Page *>(&it->second);
+    return mruPage_;
 }
 
 SparseMemory::Page &
 SparseMemory::getPage(Addr page_addr)
 {
+    if (page_addr == mruAddr_)
+        return *mruPage_;
     auto it = pages_.find(page_addr);
     if (it == pages_.end())
         it = pages_.emplace(page_addr, Page(pageBytes, 0)).first;
-    return it->second;
-}
-
-std::uint8_t
-SparseMemory::readByte(Addr addr) const
-{
-    const Page *page = findPage(alignDown(addr, pageBytes));
-    return page ? (*page)[addr % pageBytes] : 0;
-}
-
-void
-SparseMemory::writeByte(Addr addr, std::uint8_t value)
-{
-    getPage(alignDown(addr, pageBytes))[addr % pageBytes] = value;
+    mruAddr_ = page_addr;
+    mruPage_ = &it->second;
+    return *mruPage_;
 }
 
 std::uint64_t
@@ -41,19 +40,24 @@ SparseMemory::read(Addr addr, unsigned size) const
 {
     sdv_assert(size == 1 || size == 2 || size == 4 || size == 8,
                "bad access size ", size);
-    // Fast path: access within a single page.
     const Addr page_addr = alignDown(addr, pageBytes);
-    if (alignDown(addr + size - 1, pageBytes) == page_addr) {
-        const Page *page = findPage(page_addr);
-        if (!page)
-            return 0;
-        std::uint64_t v = 0;
-        std::memcpy(&v, page->data() + (addr % pageBytes), size);
+    const unsigned offset = unsigned(addr - page_addr);
+    std::uint64_t v = 0;
+    if (offset + size <= pageBytes) {
+        // Fast path: access within a single page.
+        if (const Page *page = findPage(page_addr))
+            std::memcpy(&v, page->data() + offset, size);
         return v;
     }
-    std::uint64_t v = 0;
-    for (unsigned i = 0; i < size; ++i)
-        v |= std::uint64_t(readByte(addr + i)) << (8 * i);
+    // Straddles a page boundary: two lookups, two spans.
+    const unsigned first = pageBytes - offset;
+    if (const Page *page = findPage(page_addr))
+        std::memcpy(&v, page->data() + offset, first);
+    if (const Page *page = findPage(page_addr + pageBytes)) {
+        std::uint64_t rest = 0;
+        std::memcpy(&rest, page->data(), size - first);
+        v |= rest << (8 * first);
+    }
     return v;
 }
 
@@ -63,20 +67,49 @@ SparseMemory::write(Addr addr, std::uint64_t value, unsigned size)
     sdv_assert(size == 1 || size == 2 || size == 4 || size == 8,
                "bad access size ", size);
     const Addr page_addr = alignDown(addr, pageBytes);
-    if (alignDown(addr + size - 1, pageBytes) == page_addr) {
-        Page &page = getPage(page_addr);
-        std::memcpy(page.data() + (addr % pageBytes), &value, size);
+    const unsigned offset = unsigned(addr - page_addr);
+    if (offset + size <= pageBytes) {
+        std::memcpy(getPage(page_addr).data() + offset, &value, size);
         return;
     }
-    for (unsigned i = 0; i < size; ++i)
-        writeByte(addr + i, std::uint8_t(value >> (8 * i)));
+    const unsigned first = pageBytes - offset;
+    std::memcpy(getPage(page_addr).data() + offset, &value, first);
+    const std::uint64_t rest = value >> (8 * first);
+    std::memcpy(getPage(page_addr + pageBytes).data(), &rest,
+                size - first);
+}
+
+void
+SparseMemory::readBytes(Addr addr, std::uint8_t *out, size_t len) const
+{
+    while (len > 0) {
+        const Addr page_addr = alignDown(addr, pageBytes);
+        const unsigned offset = unsigned(addr - page_addr);
+        const size_t span =
+            len < size_t(pageBytes - offset) ? len : pageBytes - offset;
+        if (const Page *page = findPage(page_addr))
+            std::memcpy(out, page->data() + offset, span);
+        else
+            std::memset(out, 0, span);
+        addr += span;
+        out += span;
+        len -= span;
+    }
 }
 
 void
 SparseMemory::writeBytes(Addr addr, const std::uint8_t *data, size_t len)
 {
-    for (size_t i = 0; i < len; ++i)
-        writeByte(addr + i, data[i]);
+    while (len > 0) {
+        const Addr page_addr = alignDown(addr, pageBytes);
+        const unsigned offset = unsigned(addr - page_addr);
+        const size_t span =
+            len < size_t(pageBytes - offset) ? len : pageBytes - offset;
+        std::memcpy(getPage(page_addr).data() + offset, data, span);
+        addr += span;
+        data += span;
+        len -= span;
+    }
 }
 
 bool
@@ -85,8 +118,8 @@ SparseMemory::equals(const SparseMemory &other) const
     auto covered = [](const SparseMemory &a, const SparseMemory &b) {
         static const Page zeros(pageBytes, 0);
         for (const auto &[page_addr, page] : a.pages_) {
-            const Page *peer = b.findPage(page_addr);
-            const Page &ref = peer ? *peer : zeros;
+            auto it = b.pages_.find(page_addr);
+            const Page &ref = it == b.pages_.end() ? zeros : it->second;
             if (std::memcmp(page.data(), ref.data(), pageBytes) != 0)
                 return false;
         }

@@ -3,6 +3,12 @@
  * Sparse byte-addressable memory backing store. Pages are materialized
  * on first touch and read as zero before any write, which also makes
  * speculative vector-load prefetches to arbitrary addresses safe.
+ *
+ * Every functional-execute, oracle step and verify-pass byte funnels
+ * through here, so the common case — repeated access to the page
+ * touched last — bypasses the hash map via an MRU page cache, and
+ * accesses that straddle a page boundary split into at most two page
+ * lookups instead of one per byte.
  */
 
 #ifndef SDV_ARCH_MEMORY_HH
@@ -11,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -23,6 +30,37 @@ class SparseMemory
   public:
     /** Bytes per backing page. */
     static constexpr unsigned pageBytes = 4096;
+
+    SparseMemory() = default;
+
+    // The MRU cache points into this object's own page map, so it must
+    // not travel across copies/moves (a copied cache would alias the
+    // source's pages; a moved-from cache would alias the target's).
+    SparseMemory(const SparseMemory &o) : pages_(o.pages_) {}
+    SparseMemory(SparseMemory &&o) noexcept
+        : pages_(std::move(o.pages_))
+    {
+        o.mruAddr_ = ~Addr(0);
+        o.mruPage_ = nullptr;
+    }
+    SparseMemory &
+    operator=(const SparseMemory &o)
+    {
+        pages_ = o.pages_;
+        mruAddr_ = ~Addr(0);
+        mruPage_ = nullptr;
+        return *this;
+    }
+    SparseMemory &
+    operator=(SparseMemory &&o) noexcept
+    {
+        pages_ = std::move(o.pages_);
+        mruAddr_ = ~Addr(0);
+        mruPage_ = nullptr;
+        o.mruAddr_ = ~Addr(0);
+        o.mruPage_ = nullptr;
+        return *this;
+    }
 
     /** Read @p size bytes (1, 2, 4 or 8) little-endian. */
     std::uint64_t read(Addr addr, unsigned size) const;
@@ -46,6 +84,9 @@ class SparseMemory
     /** Write a 32-bit word. */
     void write32(Addr addr, std::uint32_t v) { write(addr, v, 4); }
 
+    /** Bulk copy-out (untouched bytes read as zero). */
+    void readBytes(Addr addr, std::uint8_t *out, size_t len) const;
+
     /** Bulk copy-in. */
     void writeBytes(Addr addr, const std::uint8_t *data, size_t len);
 
@@ -59,7 +100,13 @@ class SparseMemory
     bool equals(const SparseMemory &other) const;
 
     /** Drop all contents. */
-    void clear() { pages_.clear(); }
+    void
+    clear()
+    {
+        pages_.clear();
+        mruAddr_ = ~Addr(0);
+        mruPage_ = nullptr;
+    }
 
   private:
     using Page = std::vector<std::uint8_t>;
@@ -67,10 +114,16 @@ class SparseMemory
     const Page *findPage(Addr page_addr) const;
     Page &getPage(Addr page_addr);
 
-    std::uint8_t readByte(Addr addr) const;
-    void writeByte(Addr addr, std::uint8_t value);
-
     std::unordered_map<Addr, Page> pages_;
+
+    /**
+     * MRU page cache shared by the const and mutable paths. Entries of
+     * an unordered_map are node-based, so the pointer survives rehash;
+     * only clear() invalidates it. Never caches "page absent": a write
+     * may materialize the page behind the cache's back.
+     */
+    mutable Addr mruAddr_ = ~Addr(0);
+    mutable Page *mruPage_ = nullptr;
 };
 
 } // namespace sdv

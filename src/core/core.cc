@@ -12,72 +12,40 @@ Core::Core(const CoreConfig &cfg, const Program &prog)
       gshare_(cfg.gshareEntries, cfg.gshareHistoryBits),
       btb_(cfg.btbSets, cfg.btbWays), ras_(cfg.rasDepth),
       lsq_(cfg.lsqEntries), fuPool_(cfg.fu), engine_(cfg.engine),
-      fetchPc_(prog.entry())
+      fetchPc_(prog.entry()), rob_(cfg.robEntries)
 {
     // Speculative vector-element loads read their values from the
     // oracle memory image (sequentially correct state); conflicts with
     // later stores are caught by the Section 3.6 range check.
-    engine_.datapath().setLoadValueProvider(
-        [this](Addr addr, unsigned size) -> std::uint64_t {
-            const std::uint64_t raw = readCommittedMemory(addr, size);
-            if (size == 4)
-                return std::uint64_t(std::int64_t(std::int32_t(raw)));
-            return raw;
-        });
-    engine_.vrf().setElemResolver(
-        [this](ElemLoadId id, bool used) { ports_.resolveElem(id, used); });
-    engine_.datapath().setSeqCompleted(
-        [this](InstSeqNum seq) { return producerCompleted(seq); });
-}
-
-bool
-Core::producerCompleted(InstSeqNum seq) const
-{
-    if (seq == 0)
-        return true;
-    if (rob_.empty() || seq < rob_.front()->seq)
-        return true; // already retired
-    const std::uint64_t idx = seq - rob_.front()->seq;
-    if (idx >= rob_.size())
-        return true; // unknown (post-squash reference): treat as done
-    return rob_[size_t(idx)]->completed;
+    engine_.datapath().setContext(this);
+    engine_.vrf().setElemLedger(&ports_);
 }
 
 std::uint64_t
 Core::readCommittedMemory(Addr addr, unsigned size) const
 {
-    std::uint64_t val = oracle_.memory().read(addr, size);
-    // Overlay pre-images youngest-first so the oldest in-flight store's
-    // pre-image (the committed state) ends up authoritative per byte.
-    for (auto it = pendingStores_.rbegin(); it != pendingStores_.rend();
-         ++it) {
-        const Addr s_lo = it->addr;
-        const Addr s_hi = it->addr + it->size;
-        const Addr l_lo = addr;
-        const Addr l_hi = addr + size;
-        const Addr lo = s_lo > l_lo ? s_lo : l_lo;
-        const Addr hi = s_hi < l_hi ? s_hi : l_hi;
-        for (Addr b = lo; b < hi; ++b) {
-            const unsigned load_idx = unsigned(b - l_lo);
-            const unsigned store_idx = unsigned(b - s_lo);
-            const std::uint64_t pre =
-                (it->preValue >> (8 * store_idx)) & 0xff;
-            val &= ~(0xffULL << (8 * load_idx));
-            val |= pre << (8 * load_idx);
-        }
-    }
-    return val;
+    return pendingStores_.overlay(oracle_.memory().read(addr, size),
+                                  addr, size);
+}
+
+std::uint64_t
+Core::specLoadValue(Addr addr, unsigned size) const
+{
+    const std::uint64_t raw = readCommittedMemory(addr, size);
+    if (size == 4)
+        return std::uint64_t(std::int64_t(std::int32_t(raw)));
+    return raw;
 }
 
 DynInst *
 Core::robFind(InstSeqNum seq) const
 {
-    if (rob_.empty() || seq < rob_.front()->seq)
+    if (rob_.empty() || seq < rob_.front().seq)
         return nullptr;
-    const std::uint64_t idx = seq - rob_.front()->seq;
+    const std::uint64_t idx = seq - rob_.front().seq;
     if (idx >= rob_.size())
         return nullptr;
-    return rob_[size_t(idx)].get();
+    return const_cast<DynInst *>(&rob_[size_t(idx)]);
 }
 
 void
@@ -151,7 +119,7 @@ Core::commitStage()
     unsigned committed = 0;
     unsigned stores = 0;
     while (committed < cfg_.commitWidth && !rob_.empty()) {
-        DynInst *d = rob_.front().get();
+        DynInst *d = &rob_.front();
         if (!d->completed)
             break;
 
@@ -166,11 +134,11 @@ Core::commitStage()
             sdv_assert(!pendingStores_.empty() &&
                            pendingStores_.front().addr == d->rec.addr,
                        "pending-store FIFO out of sync");
-            pendingStores_.pop_front();
+            pendingStores_.popFront();
             ++stores;
             const bool conflict = engine_.onStoreCommit(*d);
             commitCommon(*d);
-            rob_.pop_front();
+            rob_.popFront();
             ++committed;
             if (conflict) {
                 ++stats_.storeConflictSquashes;
@@ -181,7 +149,7 @@ Core::commitStage()
         }
 
         commitCommon(*d);
-        rob_.pop_front();
+        rob_.popFront();
         ++committed;
     }
 }
@@ -190,8 +158,8 @@ void
 Core::squashAllInFlight()
 {
     // Undo decode effects youngest-first.
-    for (auto it = rob_.rbegin(); it != rob_.rend(); ++it) {
-        engine_.undoDecode(**it, rt_);
+    for (size_t i = rob_.size(); i-- > 0;) {
+        engine_.undoDecode(rob_[i], rt_);
         ++stats_.squashedInsts;
     }
 
@@ -199,8 +167,8 @@ Core::squashAllInFlight()
     // fetch, including not-yet-decoded entries in the fetch queue.
     std::vector<ExecRecord> recs;
     recs.reserve(rob_.size() + fetchQueue_.size());
-    for (const auto &up : rob_)
-        recs.push_back(up->rec);
+    for (size_t i = 0; i < rob_.size(); ++i)
+        recs.push_back(rob_[i].rec);
     for (const auto &f : fetchQueue_)
         recs.push_back(f.rec);
     for (auto it = recs.rbegin(); it != recs.rend(); ++it)
@@ -208,6 +176,7 @@ Core::squashAllInFlight()
 
     rob_.clear();
     iq_.clear();
+    pendingCompletion_.clear();
     fetchQueue_.clear();
     lsq_.squashAfter(0);
 
@@ -223,10 +192,9 @@ Core::squashAllInFlight()
 void
 Core::completionStage()
 {
-    for (auto &up : rob_) {
-        DynInst *d = up.get();
-        if (d->completed)
-            continue;
+    size_t out = 0;
+    for (size_t i = 0; i < pendingCompletion_.size(); ++i) {
+        DynInst *d = pendingCompletion_[i];
 
         if (d->isValidation()) {
             switch (engine_.validationStatus(*d)) {
@@ -260,7 +228,11 @@ Core::completionStage()
             stallBranchSeq_ = 0;
             fetchPc_ = d->rec.nextPc;
         }
+
+        if (!d->completed)
+            pendingCompletion_[out++] = d;
     }
+    pendingCompletion_.resize(out);
 }
 
 // --- issue ------------------------------------------------------------------
@@ -351,13 +323,9 @@ void
 Core::decodeStage()
 {
     unsigned decoded = 0;
-    const auto completed_fn = [this](InstSeqNum s) {
-        return producerCompleted(s);
-    };
-
     while (decoded < cfg_.decodeWidth && !fetchQueue_.empty()) {
         FetchedInst &f = fetchQueue_.front();
-        if (rob_.size() >= cfg_.robEntries) {
+        if (rob_.full()) {
             ++stats_.robFullStalls;
             break;
         }
@@ -366,52 +334,58 @@ Core::decodeStage()
             break;
         }
 
-        auto d = std::make_unique<DynInst>();
-        d->seq = nextSeq_;
-        d->rec = f.rec;
-        d->predTaken = f.predTaken;
-        d->predTarget = f.predTarget;
-        d->mispredicted = f.mispredicted;
-        d->fetchCycle = f.fetchCycle;
+        // Claim the next ROB slot in place; a blocked decode returns
+        // the slot below without the entry ever becoming visible.
+        DynInst &d = rob_.emplaceBack();
+        d.seq = nextSeq_;
+        d.rec = f.rec;
+        d.predTaken = f.predTaken;
+        d.predTarget = f.predTarget;
+        d.mispredicted = f.mispredicted;
+        d.fetchCycle = f.fetchCycle;
 
         // Capture scalar dependences before the engine rewrites the
-        // rename entries.
+        // rename entries. The entry itself is excluded from
+        // producerCompleted by seq: it is the ROB tail, so idx ==
+        // size-1 and completed == false, never consulted for deps.
         const OpInfo &info = f.rec.inst.info();
         if (info.readsRs1 && f.rec.inst.rs1 != zeroReg) {
             const InstSeqNum w = rt_.entry(f.rec.inst.rs1).lastWriter;
             if (w != 0 && !producerCompleted(w))
-                d->dep1 = w;
+                d.dep1 = w;
         }
         if (info.readsRs2 && f.rec.inst.rs2 != zeroReg) {
             const InstSeqNum w = rt_.entry(f.rec.inst.rs2).lastWriter;
             if (w != 0 && !producerCompleted(w))
-                d->dep2 = w;
+                d.dep2 = w;
         }
 
-        const DecodeAction action = engine_.decode(*d, rt_, completed_fn);
+        const DecodeAction action = engine_.decode(d, rt_, *this);
         if (action == DecodeAction::Blocked) {
+            rob_.popBack(); // retry next cycle; d was left unmodified
             ++stats_.decodeBlockCycles;
-            break; // retry next cycle; d is discarded unmodified
+            break;
         }
 
         ++nextSeq_;
         if (f.mispredicted)
-            stallBranchSeq_ = d->seq;
+            stallBranchSeq_ = d.seq;
 
         if (f.rec.inst.isMem())
-            lsq_.insert(d.get());
+            lsq_.insert(&d);
 
-        if (d->isValidation()) {
+        if (d.isValidation()) {
             // Monitored by completionStage; no FU, no issue slot.
         } else if (info.opClass == OpClass::None) {
-            d->completed = true;
-            d->readyCycle = cycle_;
+            d.completed = true;
+            d.readyCycle = cycle_;
         } else {
-            d->inIq = true;
-            iq_.push_back(d.get());
+            d.inIq = true;
+            iq_.push_back(&d);
         }
+        if (!d.completed)
+            pendingCompletion_.push_back(&d);
 
-        rob_.push_back(std::move(d));
         fetchQueue_.pop_front();
         ++decoded;
     }
@@ -504,8 +478,8 @@ Core::fetchStage()
                        "oracle pc diverged from fetch pc");
             rec = oracle_.step();
             if (rec.isStore)
-                pendingStores_.push_back(
-                    {rec.addr, rec.size, rec.prevMemValue});
+                pendingStores_.push(rec.addr, rec.size,
+                                    rec.prevMemValue);
         } else {
             break;
         }

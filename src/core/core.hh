@@ -17,18 +17,19 @@
 #define SDV_CORE_CORE_HH
 
 #include <deque>
-#include <memory>
 #include <vector>
 
 #include "arch/executor.hh"
 #include "branch/btb.hh"
 #include "branch/gshare.hh"
 #include "branch/ras.hh"
+#include "common/ring_pool.hh"
 #include "core/dyn_inst.hh"
 #include "core/fu_pool.hh"
 #include "core/lsq.hh"
 #include "core/rename.hh"
 #include "core/sdv_engine.hh"
+#include "core/store_overlay.hh"
 #include "mem/hierarchy.hh"
 #include "mem/port.hh"
 
@@ -93,8 +94,10 @@ struct CoreStats
     }
 };
 
-/** The core. */
-class Core
+/** The core. Implements VecExecContext so the vector machinery reaches
+ *  speculative load values and completion state through one direct
+ *  virtual call instead of std::function indirections. */
+class Core : private VecExecContext
 {
   public:
     /**
@@ -167,8 +170,29 @@ class Core
      */
     std::uint64_t readCommittedMemory(Addr addr, unsigned size) const;
 
-    /** @return true when producer @p seq has completed (or retired). */
-    bool producerCompleted(InstSeqNum seq) const;
+    /** @return true when producer @p seq has completed (or retired).
+     *  Inline: the issue stage queries this twice per queued
+     *  instruction per cycle. */
+    bool
+    producerCompleted(InstSeqNum seq) const
+    {
+        if (seq == 0)
+            return true;
+        if (rob_.empty() || seq < rob_.front().seq)
+            return true; // already retired
+        const std::uint64_t idx = seq - rob_.front().seq;
+        if (idx >= rob_.size())
+            return true; // unknown (post-squash reference): treat as done
+        return rob_[size_t(idx)].completed;
+    }
+
+    // VecExecContext (the vector datapath + engine call back in here).
+    std::uint64_t specLoadValue(Addr addr, unsigned size) const override;
+    bool
+    seqCompleted(InstSeqNum seq) const override
+    {
+        return producerCompleted(seq);
+    }
 
     /** @return the ROB entry for @p seq, or nullptr. */
     DynInst *robFind(InstSeqNum seq) const;
@@ -200,9 +224,17 @@ class Core
     std::deque<FetchedInst> fetchQueue_;
     std::deque<ExecRecord> replayQueue_;
 
-    // Backend state.
-    std::deque<std::unique_ptr<DynInst>> rob_;
+    // Backend state. The ROB is a fixed-capacity pool of DynInst slots
+    // sized by robEntries: no per-instruction heap allocation on the
+    // fetch->commit path, and entry addresses stay stable for the IQ
+    // and LSQ until the instruction retires.
+    RingPool<DynInst> rob_;
     std::vector<DynInst *> iq_; ///< seq-ordered issue queue
+    /** Not-yet-completed entries in seq order. Completion transitions
+     *  only ever happen inside completionStage, so monitoring this
+     *  list instead of rescanning the whole ROB every cycle observes
+     *  the exact same transitions. */
+    std::vector<DynInst *> pendingCompletion_;
     InstSeqNum nextSeq_ = 1;
 
     // Per-cycle issue-stage access completion map (wide-bus riders).
@@ -210,13 +242,7 @@ class Core
 
     /** Pre-images of oracle-executed stores that have not committed
      *  yet, in program order (stores commit in order -> FIFO). */
-    struct PendingStore
-    {
-        Addr addr;
-        unsigned size;
-        std::uint64_t preValue;
-    };
-    std::deque<PendingStore> pendingStores_;
+    PendingStoreOverlay pendingStores_;
 
     Cycle cycle_ = 0;
     bool haltCommitted_ = false;

@@ -23,6 +23,12 @@ LoadStoreQueue::insert(DynInst *inst)
 void
 LoadStoreQueue::erase(InstSeqNum seq)
 {
+    // Memory instructions commit in program order, so the erased entry
+    // is the oldest one in the common case.
+    if (!entries_.empty() && entries_.front()->seq == seq) {
+        entries_.pop_front();
+        return;
+    }
     for (auto it = entries_.begin(); it != entries_.end(); ++it) {
         if ((*it)->seq == seq) {
             entries_.erase(it);

@@ -47,7 +47,7 @@ SdvEngine::plainRenameWrite(DynInst &d, RenameTable &rt)
 
 DecodeAction
 SdvEngine::decode(DynInst &d, RenameTable &rt,
-                  const std::function<bool(InstSeqNum)> &completed)
+                  const VecExecContext &ctx)
 {
     if (!cfg_.enabled) {
         plainRenameWrite(d, rt);
@@ -58,7 +58,7 @@ SdvEngine::decode(DynInst &d, RenameTable &rt,
         return decodeLoad(d, rt);
     if (info.vectorizable && info.writesRd && d.inst().rd != zeroReg &&
         !d.isLoad())
-        return decodeArith(d, rt, completed);
+        return decodeArith(d, rt, ctx);
     plainRenameWrite(d, rt);
     return DecodeAction::Normal;
 }
@@ -88,7 +88,7 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
             if (d.rec.addr == expected) {
                 makeValidation(d, rt, *ve);
                 ++stats_.loadValidations;
-                if (d.valElem + 1 == count)
+                if (unsigned(d.valElem) + 1 == count)
                     tryChainLoad(d, rt);
                 return DecodeAction::Normal;
             }
@@ -269,7 +269,7 @@ SdvEngine::operandsMatch(const VrmtEntry &ve, const DynInst &d,
 
 DecodeAction
 SdvEngine::decodeArith(DynInst &d, RenameTable &rt,
-                       const std::function<bool(InstSeqNum)> &completed)
+                       const VecExecContext &ctx)
 {
     const Addr pc = d.pc();
     const SrcSpec s1 = currentSpec(d, 1, rt);
@@ -288,7 +288,7 @@ SdvEngine::decodeArith(DynInst &d, RenameTable &rt,
             return false;
         const RegId r = slot == 1 ? d.inst().rs1 : d.inst().rs2;
         const InstSeqNum w = rt.entry(r).lastWriter;
-        return w != 0 && !completed(w);
+        return w != 0 && !ctx.seqCompleted(w);
     };
 
     VrmtEntry *ve = vrmt_.lookup(pc);
@@ -310,7 +310,8 @@ SdvEngine::decodeArith(DynInst &d, RenameTable &rt,
         // Capture the successor's source specs *before* the validation
         // rewrites the rename entry: when rd == rs the write would
         // otherwise hide the source's current mapping.
-        const bool last = ve->offset + 1 == vrf_.elemCount(ve->vreg);
+        const bool last =
+            unsigned(ve->offset) + 1 == vrf_.elemCount(ve->vreg);
         SrcSpec cs1, cs2;
         if (last) {
             cs1 = currentSpec(d, 1, rt);
@@ -584,7 +585,8 @@ SdvEngine::onStoreCommit(const DynInst &d)
     const Addr lo = d.rec.addr;
     const Addr hi = lo + d.rec.size - 1;
     bool conflict = false;
-    std::vector<Addr> load_pcs;
+    std::vector<Addr> &load_pcs = storeCheckPcs_;
+    load_pcs.clear();
     vrf_.forEachLive([&](VecRegRef ref) {
         if (vrf_.rangeOverlaps(ref, lo, hi) && !vrf_.isKilled(ref)) {
             conflict = true;

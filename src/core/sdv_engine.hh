@@ -12,7 +12,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 
 #include "core/dyn_inst.hh"
 #include "core/rename.hh"
@@ -91,11 +90,10 @@ class SdvEngine
      *
      * @param d the decoding instruction
      * @param rt the rename table
-     * @param completed predicate: has the producer with this sequence
-     *        number completed? (used for Figure 7 blocking)
+     * @param ctx producer-completion queries (Figure 7 blocking)
      */
     DecodeAction decode(DynInst &d, RenameTable &rt,
-                        const std::function<bool(InstSeqNum)> &completed);
+                        const VecExecContext &ctx);
 
     /** @return the target element's status for an in-flight validation. */
     ValStatus validationStatus(const DynInst &d) const;
@@ -162,7 +160,7 @@ class SdvEngine
 
     DecodeAction decodeLoad(DynInst &d, RenameTable &rt);
     DecodeAction decodeArith(DynInst &d, RenameTable &rt,
-                             const std::function<bool(InstSeqNum)> &done);
+                             const VecExecContext &ctx);
 
     /** Plain scalar rename-table write for d's destination. */
     void plainRenameWrite(DynInst &d, RenameTable &rt);
@@ -218,6 +216,8 @@ class SdvEngine
     VectorDatapath datapath_;
     Addr gmrbb_ = 0;
     std::array<Shadow, numLogicalRegs> shadow_{};
+    /** Scratch for onStoreCommit (kept allocated across stores). */
+    std::vector<Addr> storeCheckPcs_;
     EngineStats stats_;
 };
 

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * FIFO of the pre-images of oracle-executed stores that have not yet
+ * committed, plus the interval-based overlay that rewinds them out of a
+ * loaded value. Speculative vector-element loads must observe the
+ * committed memory state, not the oracle-at-fetch image which already
+ * contains future stores; the overlay reconstructs that view.
+ *
+ * The hot query, overlay(), runs on every speculative vector-element
+ * load, so it is built around two early exits (empty FIFO, and a
+ * running [lo, hi) hull of every pending store so disjoint loads skip
+ * the scan entirely) and word-at-a-time masking instead of a per-byte
+ * loop for the stores that do overlap.
+ */
+
+#ifndef SDV_CORE_STORE_OVERLAY_HH
+#define SDV_CORE_STORE_OVERLAY_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.hh"
+
+namespace sdv {
+
+/** One in-flight store's pre-image, [addr, addr + size). */
+struct PendingStore
+{
+    Addr addr = 0;
+    unsigned size = 0;
+    std::uint64_t preValue = 0;
+};
+
+/** Program-ordered pending-store FIFO with the committed-view overlay. */
+class PendingStoreOverlay
+{
+  public:
+    /** @return true when no store is in flight. */
+    bool empty() const { return fifo_.empty(); }
+
+    /** @return number of in-flight stores. */
+    std::size_t size() const { return fifo_.size(); }
+
+    /** @return the oldest in-flight store. */
+    const PendingStore &front() const { return fifo_.front(); }
+
+    /** Record an oracle-executed store's pre-image (program order). */
+    void
+    push(Addr addr, unsigned size, std::uint64_t pre_value)
+    {
+        fifo_.push_back({addr, size, pre_value});
+        const Addr hi = addr + size;
+        if (fifo_.size() == 1) {
+            hullLo_ = addr;
+            hullHi_ = hi;
+        } else {
+            if (addr < hullLo_)
+                hullLo_ = addr;
+            if (hi > hullHi_)
+                hullHi_ = hi;
+        }
+    }
+
+    /** Retire the oldest store (it committed to memory). */
+    void
+    popFront()
+    {
+        fifo_.pop_front();
+        // The hull only shrinks back once the FIFO drains; stores
+        // commit continuously so this resets often.
+        if (fifo_.empty()) {
+            hullLo_ = ~Addr(0);
+            hullHi_ = 0;
+        }
+    }
+
+    /**
+     * Rewind the pending stores out of @p val, the value read from the
+     * oracle image at [@p addr, @p addr + @p size). Applying pre-images
+     * youngest-first leaves the oldest in-flight store's pre-image (the
+     * committed state) authoritative per byte.
+     */
+    std::uint64_t
+    overlay(std::uint64_t val, Addr addr, unsigned size) const
+    {
+        if (fifo_.empty())
+            return val;
+        const Addr l_lo = addr;
+        const Addr l_hi = addr + size;
+        if (l_hi <= hullLo_ || l_lo >= hullHi_)
+            return val; // disjoint from every in-flight store
+        for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
+            const Addr lo = it->addr > l_lo ? it->addr : l_lo;
+            const Addr s_hi = it->addr + it->size;
+            const Addr hi = s_hi < l_hi ? s_hi : l_hi;
+            if (lo >= hi)
+                continue;
+            const unsigned n = unsigned(hi - lo);
+            const unsigned src_shift = 8 * unsigned(lo - it->addr);
+            const unsigned dst_shift = 8 * unsigned(lo - l_lo);
+            const std::uint64_t mask =
+                n >= 8 ? ~std::uint64_t(0)
+                       : (std::uint64_t(1) << (8 * n)) - 1;
+            val &= ~(mask << dst_shift);
+            val |= ((it->preValue >> src_shift) & mask) << dst_shift;
+        }
+        return val;
+    }
+
+  private:
+    std::deque<PendingStore> fifo_;
+    /** Hull of every pending store's byte range (empty: lo > hi). */
+    Addr hullLo_ = ~Addr(0);
+    Addr hullHi_ = 0;
+};
+
+} // namespace sdv
+
+#endif // SDV_CORE_STORE_OVERLAY_HH

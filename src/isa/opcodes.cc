@@ -11,14 +11,6 @@ namespace sdv {
 
 namespace {
 
-constexpr std::array<OpInfo, numOpcodes> opTable = {{
-#define SDV_INFO(name, cls, wrd, rs1, rs2, imm, mem, br, jmp, vec)           \
-    OpInfo{#name, OpClass::cls, wrd != 0, rs1 != 0, rs2 != 0, imm != 0,      \
-           mem, br != 0, jmp != 0, vec != 0},
-    SDV_FOR_EACH_OPCODE(SDV_INFO)
-#undef SDV_INFO
-}};
-
 std::string
 toLower(std::string_view s)
 {
@@ -35,7 +27,7 @@ mnemonicMap()
         std::unordered_map<std::string, Opcode> m;
         for (unsigned i = 0; i < numOpcodes; ++i) {
             const auto op = static_cast<Opcode>(i);
-            m.emplace(toLower(opTable[i].mnemonic), op);
+            m.emplace(toLower(opInfo(op).mnemonic), op);
         }
         return m;
     }();
@@ -43,14 +35,6 @@ mnemonicMap()
 }
 
 } // namespace
-
-const OpInfo &
-opInfo(Opcode op)
-{
-    const auto idx = static_cast<unsigned>(op);
-    sdv_assert(idx < numOpcodes, "bad opcode ", idx);
-    return opTable[idx];
-}
 
 std::string_view
 mnemonic(Opcode op)
@@ -67,34 +51,6 @@ parseMnemonic(std::string_view text, Opcode &out)
         return false;
     out = it->second;
     return true;
-}
-
-unsigned
-opClassLatency(OpClass cls)
-{
-    switch (cls) {
-      case OpClass::IntAlu:
-        return 1;
-      case OpClass::IntMult:
-        return 2;
-      case OpClass::IntDiv:
-        return 12;
-      case OpClass::FpAdd:
-        return 2;
-      case OpClass::FpMult:
-        return 4;
-      case OpClass::FpDiv:
-        return 14;
-      case OpClass::MemRead:
-        return 1; // address generation; cache latency added separately
-      case OpClass::MemWrite:
-        return 1;
-      case OpClass::Control:
-        return 1;
-      case OpClass::None:
-        return 1;
-    }
-    panic("unreachable op class");
 }
 
 } // namespace sdv

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/log.hh"
+
 namespace sdv {
 
 /**
@@ -132,8 +134,29 @@ struct OpInfo
     bool vectorizable;         ///< eligible for dynamic vectorization
 };
 
+namespace detail {
+
+/** The static property table, one row per opcode. Lives in the header
+ *  so opInfo() inlines into the per-instruction hot paths (it is hit
+ *  tens of times per simulated instruction). */
+inline constexpr OpInfo opInfoTable[numOpcodes] = {
+#define SDV_INFO(name, cls, wrd, rs1, rs2, imm, mem, br, jmp, vec)            \
+    OpInfo{#name, OpClass::cls, wrd != 0, rs1 != 0, rs2 != 0, imm != 0,       \
+           mem, br != 0, jmp != 0, vec != 0},
+    SDV_FOR_EACH_OPCODE(SDV_INFO)
+#undef SDV_INFO
+};
+
+} // namespace detail
+
 /** @return the static properties of @p op. */
-const OpInfo &opInfo(Opcode op);
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    const auto idx = static_cast<unsigned>(op);
+    sdv_assert(idx < numOpcodes, "bad opcode ", idx);
+    return detail::opInfoTable[idx];
+}
 
 /** @return the mnemonic of @p op. */
 std::string_view mnemonic(Opcode op);
@@ -167,7 +190,33 @@ isControlOp(Opcode op)
 }
 
 /** @return the execution latency (cycles) of an op class per Table 1. */
-unsigned opClassLatency(OpClass cls);
+inline unsigned
+opClassLatency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return 1;
+      case OpClass::IntMult:
+        return 2;
+      case OpClass::IntDiv:
+        return 12;
+      case OpClass::FpAdd:
+        return 2;
+      case OpClass::FpMult:
+        return 4;
+      case OpClass::FpDiv:
+        return 14;
+      case OpClass::MemRead:
+        return 1; // address generation; cache latency added separately
+      case OpClass::MemWrite:
+        return 1;
+      case OpClass::Control:
+        return 1;
+      case OpClass::None:
+        return 1;
+    }
+    panic("unreachable op class");
+}
 
 } // namespace sdv
 

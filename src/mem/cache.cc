@@ -44,16 +44,15 @@ Cache::access(Addr addr, bool is_write)
         }
     }
 
-    // Miss: pick the first invalid way, else the LRU way.
-    Line *victim = nullptr;
-    for (unsigned w = 0; w < assoc_ && !victim; ++w)
-        if (!set[w].valid)
+    // Miss: pick the first invalid way, else the LRU way (one pass).
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (!set[w].valid) {
             victim = &set[w];
-    if (!victim) {
-        victim = &set[0];
-        for (unsigned w = 1; w < assoc_; ++w)
-            if (set[w].lastUse < victim->lastUse)
-                victim = &set[w];
+            break;
+        }
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
     }
     if (is_write)
         ++stats_.writeMisses;

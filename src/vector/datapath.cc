@@ -1,7 +1,6 @@
 #include "vector/datapath.hh"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/log.hh"
 #include "isa/alu.hh"
@@ -74,16 +73,11 @@ VectorDatapath::abortByDest(VecRegRef dest)
 bool
 VectorDatapath::srcsReady(const VecInstance &inst, unsigned k) const
 {
+    // Uniform sources: all elements identical, element 0 (computed
+    // first) serves every consumer element; elemReady folds that in.
     for (const SrcSpec *src : {&inst.src1, &inst.src2}) {
-        if (!src->isVector())
-            continue;
-        if (!vrf_.isLive(src->vreg))
-            return false;
-        // Uniform sources: all elements identical, element 0 (computed
-        // first) serves every consumer element.
-        const unsigned e =
-            vrf_.isUniform(src->vreg) ? 0 : src->srcOffset + k;
-        if (e >= vrf_.vlen() || !vrf_.isReady(src->vreg, e))
+        if (src->isVector() &&
+            !vrf_.elemReady(src->vreg, src->srcOffset + k))
             return false;
     }
     return true;
@@ -98,9 +92,7 @@ VectorDatapath::srcValue(const SrcSpec &src, unsigned k) const
       case SrcSpec::Kind::Scalar:
         return src.value;
       case SrcSpec::Kind::Vector:
-        if (vrf_.isUniform(src.vreg))
-            return vrf_.data(src.vreg, 0);
-        return vrf_.data(src.vreg, src.srcOffset + k);
+        return vrf_.elemValue(src.vreg, src.srcOffset + k);
     }
     panic("unreachable src kind");
 }
@@ -127,6 +119,9 @@ VectorDatapath::fuBandwidth(OpClass cls) const
 void
 VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
 {
+    if (active_.empty() && completions_.empty())
+        return; // nothing in flight this cycle
+
     // 1. Land completions due this cycle.
     for (auto it = completions_.begin(); it != completions_.end();) {
         if (it->ready <= now) {
@@ -157,15 +152,9 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
             !vrf_.isLive(inst.dest))
             continue;
         for (const SrcSpec *src : {&inst.src1, &inst.src2}) {
-            if (!src->isVector())
-                continue;
-            bool dead = !vrf_.isLive(src->vreg) ||
-                        vrf_.isKilled(src->vreg);
-            if (!dead && !vrf_.isUniform(src->vreg) &&
-                src->srcOffset + inst.nextElem >=
-                    vrf_.elemCount(src->vreg))
-                dead = true;
-            if (dead) {
+            if (src->isVector() &&
+                vrf_.elemUncomputable(src->vreg,
+                                      src->srcOffset + inst.nextElem)) {
                 inst.aborted = true;
                 vrf_.kill(inst.dest);
                 ++stats_.instancesAborted;
@@ -175,14 +164,13 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
     }
 
     // Drop finished/aborted instances whose dest is gone.
-    active_.remove_if([&](const VecInstance &inst) {
+    std::erase_if(active_, [&](const VecInstance &inst) {
         return inst.done() || !vrf_.isLive(inst.dest);
     });
 
     // 3. Initiate element loads (after scalar demand issue; the port
     //    object tracks per-cycle capacity).
-    // Completion cycle of each new access this cycle, by access id.
-    std::unordered_map<std::int32_t, Cycle> accessDone;
+    accessDone_.clear();
     unsigned load_slots = cfg_.loadPorts;
     for (auto &inst : active_) {
         if (!inst.isLoad || inst.done())
@@ -205,21 +193,21 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
                     load_slots = 0;
                     break;
                 }
-                accessDone[grant.accessId] = done_at;
+                accessDone_.emplace_back(grant.accessId, done_at);
                 ++stats_.elemLoadAccessesIssued;
             } else {
-                auto it = accessDone.find(grant.accessId);
+                done_at = neverCycle;
+                for (const auto &[id, c] : accessDone_)
+                    if (id == grant.accessId)
+                        done_at = c;
                 // Riding on an access made by the scalar pipeline this
                 // cycle: its completion is not tracked here; charge a
                 // fresh (hit-latency) lookup for the element instead.
-                if (it == accessDone.end()) {
-                    if (!mem.loadAccess(addr, now, done_at)) {
-                        ++stats_.elemLoadMshrStalls;
-                        load_slots = 0;
-                        break;
-                    }
-                } else {
-                    done_at = it->second;
+                if (done_at == neverCycle &&
+                    !mem.loadAccess(addr, now, done_at)) {
+                    ++stats_.elemLoadMshrStalls;
+                    load_slots = 0;
+                    break;
                 }
                 ++stats_.elemLoadsRideAlong;
             }
@@ -228,7 +216,7 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
             c.ready = done_at;
             c.dest = inst.dest;
             c.elem = inst.nextElem;
-            c.value = loadValue_ ? loadValue_(addr, inst.elemBytes) : 0;
+            c.value = ctx_ ? ctx_->specLoadValue(addr, inst.elemBytes) : 0;
             c.loadId = lid;
             completions_.push_back(c);
             ++inst.nextElem;
@@ -248,7 +236,7 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
         if (inst.isLoad || inst.done())
             continue;
         if (inst.scalarDep != 0) {
-            if (!seqDone_ || !seqDone_(inst.scalarDep))
+            if (!ctx_ || !ctx_->seqCompleted(inst.scalarDep))
                 continue; // waiting on the scalar operand's producer
             inst.scalarDep = 0;
         }

@@ -11,9 +11,6 @@
 #define SDV_VECTOR_DATAPATH_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <list>
 #include <vector>
 
 #include "isa/opcodes.hh"
@@ -23,6 +20,27 @@
 #include "vector/vreg_file.hh"
 
 namespace sdv {
+
+/**
+ * What the vector machinery needs from the surrounding core, as a
+ * plain interface: speculative load element values (the committed
+ * memory view) and producer-completion queries. The core implements it
+ * directly; a single virtual call replaces the std::function
+ * indirections these used to be, keeping the per-element hot path free
+ * of type-erasure overhead.
+ */
+class VecExecContext
+{
+  public:
+    /** @return the committed-view value at [@p addr, @p addr+@p size). */
+    virtual std::uint64_t specLoadValue(Addr addr, unsigned size) const = 0;
+
+    /** @return true when producer @p seq has completed (or retired). */
+    virtual bool seqCompleted(InstSeqNum seq) const = 0;
+
+  protected:
+    ~VecExecContext() = default;
+};
 
 /** Vector functional unit counts (Table 1). */
 struct VectorFuConfig
@@ -96,24 +114,10 @@ class VectorDatapath
      */
     VectorDatapath(const VectorFuConfig &cfg, VecRegFile &vrf);
 
-    /**
-     * Set the provider of speculative load element values (wired to the
-     * oracle memory image by the simulator).
-     */
-    void
-    setLoadValueProvider(
-        std::function<std::uint64_t(Addr, unsigned)> provider)
-    {
-        loadValue_ = std::move(provider);
-    }
-
-    /** Set the predicate "has this dynamic instruction completed?",
-     *  used to release instances waiting on a scalar operand. */
-    void
-    setSeqCompleted(std::function<bool(InstSeqNum)> fn)
-    {
-        seqDone_ = std::move(fn);
-    }
+    /** Wire the core-side context (load values + completion queries).
+     *  Without one, load elements read zero and captured-scalar
+     *  instances stay parked. */
+    void setContext(const VecExecContext *ctx) { ctx_ = ctx; }
 
     /** Spawn a vectorized load instance. */
     void spawnLoad(Addr pc, VecRegRef dest, Addr base, std::int64_t stride,
@@ -160,10 +164,12 @@ class VectorDatapath
 
     VectorFuConfig cfg_;
     VecRegFile &vrf_;
-    std::list<VecInstance> active_;
+    std::vector<VecInstance> active_;
     std::vector<Completion> completions_;
-    std::function<std::uint64_t(Addr, unsigned)> loadValue_;
-    std::function<bool(InstSeqNum)> seqDone_;
+    const VecExecContext *ctx_ = nullptr;
+    /** Per-tick scratch: completion cycle of each new access this
+     *  cycle, by access id (kept allocated across ticks). */
+    std::vector<std::pair<std::int32_t, Cycle>> accessDone_;
     std::uint64_t nextInstanceId_ = 1;
     ElemLoadId nextElemLoadId_ = 1;
     DatapathStats stats_;

@@ -12,6 +12,8 @@ VecRegFile::VecRegFile(unsigned num_regs, unsigned vlen)
     sdv_assert(vlen >= 2, "vector length must be at least 2");
     for (auto &r : regs_)
         r.elems.resize(vlen);
+    sweepMarked_.assign(num_regs, false);
+    sweepCandidates_.reserve(num_regs);
 }
 
 const VecRegFile::Reg &
@@ -67,16 +69,9 @@ VecRegFile::allocate(Addr mrbb)
         e = Elem{};
     --freeCount_;
     ++allocations_;
-    return VecRegRef{VecRegId(unsigned(&r - regs_.data())), r.gen};
-}
-
-bool
-VecRegFile::isLive(VecRegRef ref) const
-{
-    if (!ref.valid() || ref.reg >= numRegs_)
-        return false;
-    const Reg &r = regs_[ref.reg];
-    return r.allocated && r.gen == ref.gen;
+    const VecRegId id = VecRegId(unsigned(&r - regs_.data()));
+    markSweepCandidate(id); // a degenerate incarnation may free at once
+    return VecRegRef{id, r.gen};
 }
 
 void
@@ -86,6 +81,7 @@ VecRegFile::setData(VecRegRef ref, unsigned elem, std::uint64_t value)
     sdv_assert(elem < r.elemCount, "element out of range");
     r.elems[elem].data = value;
     r.elems[elem].r = true;
+    markSweepCandidate(ref.reg);
 }
 
 std::uint64_t
@@ -110,6 +106,7 @@ VecRegFile::setUsed(VecRegRef ref, unsigned elem, bool used)
     Reg &r = regFor(ref);
     sdv_assert(elem < vlen_, "element out of range");
     r.elems[elem].u = used;
+    markSweepCandidate(ref.reg);
 }
 
 bool
@@ -127,6 +124,7 @@ VecRegFile::setValid(VecRegRef ref, unsigned elem)
     sdv_assert(elem < vlen_, "element out of range");
     r.elems[elem].v = true;
     r.elems[elem].u = false;
+    markSweepCandidate(ref.reg);
 }
 
 bool
@@ -143,6 +141,7 @@ VecRegFile::setFree(VecRegRef ref, unsigned elem)
     Reg &r = regFor(ref);
     sdv_assert(elem < vlen_, "element out of range");
     r.elems[elem].f = true;
+    markSweepCandidate(ref.reg);
 }
 
 void
@@ -151,6 +150,7 @@ VecRegFile::setAllFree(VecRegRef ref)
     Reg &r = regFor(ref);
     for (auto &e : r.elems)
         e.f = true;
+    markSweepCandidate(ref.reg);
 }
 
 void
@@ -159,6 +159,7 @@ VecRegFile::setElemCount(VecRegRef ref, unsigned count)
     Reg &r = regFor(ref);
     sdv_assert(count >= 1 && count <= vlen_, "bad element count");
     r.elemCount = count;
+    markSweepCandidate(ref.reg);
 }
 
 unsigned
@@ -186,16 +187,6 @@ VecRegFile::rangeOverlaps(VecRegRef ref, Addr lo, Addr hi) const
     if (!r.hasRange)
         return false;
     return lo <= r.rangeHi && hi >= r.rangeLo;
-}
-
-void
-VecRegFile::forEachLive(const std::function<void(VecRegRef)> &fn) const
-{
-    for (unsigned i = 0; i < numRegs_; ++i) {
-        const Reg &r = regs_[i];
-        if (r.allocated)
-            fn(VecRegRef{VecRegId(i), r.gen});
-    }
 }
 
 void
@@ -233,8 +224,10 @@ VecRegFile::isUniform(VecRegRef ref) const
 void
 VecRegFile::kill(VecRegRef ref)
 {
-    if (isLive(ref))
+    if (isLive(ref)) {
         regFor(ref).killed = true;
+        markSweepCandidate(ref.reg);
+    }
 }
 
 bool
@@ -254,8 +247,8 @@ VecRegFile::release(Reg &reg)
             ++fates_.elemsComputedNotUsed;
         else
             ++fates_.elemsNotComputed;
-        if (el.loadId != 0 && resolver_)
-            resolver_(el.loadId, el.v);
+        if (el.loadId != 0 && ports_)
+            ports_->resolveElem(el.loadId, el.v);
     }
     ++fates_.regsReleased;
     reg.allocated = false;
@@ -311,13 +304,15 @@ unsigned
 VecRegFile::sweepReleases(Addr gmrbb)
 {
     unsigned freed = 0;
-    for (unsigned i = 0; i < numRegs_; ++i) {
-        const Reg &r = regs_[i];
+    for (const VecRegId id : sweepCandidates_) {
+        sweepMarked_[id] = false;
+        const Reg &r = regs_[id];
         if (r.allocated &&
-            tryRelease(VecRegRef{VecRegId(i), r.gen}, gmrbb,
+            tryRelease(VecRegRef{id, r.gen}, gmrbb,
                        /*allow_cond2=*/false))
             ++freed;
     }
+    sweepCandidates_.clear();
     return freed;
 }
 
@@ -336,8 +331,8 @@ VecRegFile::releaseSquashed(VecRegRef ref)
         return;
     Reg &r = regFor(ref);
     for (auto &e : r.elems)
-        if (e.loadId != 0 && resolver_)
-            resolver_(e.loadId, false);
+        if (e.loadId != 0 && ports_)
+            ports_->resolveElem(e.loadId, false);
     r.allocated = false;
     ++freeCount_;
 }

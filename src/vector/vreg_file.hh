@@ -23,7 +23,6 @@
 #define SDV_VECTOR_VREG_FILE_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.hh"
@@ -108,7 +107,14 @@ class VecRegFile
     VecRegRef allocate(Addr mrbb);
 
     /** @return true when @p ref names the live incarnation. */
-    bool isLive(VecRegRef ref) const;
+    bool
+    isLive(VecRegRef ref) const
+    {
+        if (!ref.valid() || ref.reg >= numRegs_)
+            return false;
+        const Reg &r = regs_[ref.reg];
+        return r.allocated && r.gen == ref.gen;
+    }
 
     // --- element data / flags ------------------------------------------
 
@@ -162,8 +168,63 @@ class VecRegFile
      */
     bool rangeOverlaps(VecRegRef ref, Addr lo, Addr hi) const;
 
-    /** Run @p fn over every live load-range register. */
-    void forEachLive(const std::function<void(VecRegRef)> &fn) const;
+    /** Run @p fn over every live register (inlined; no type erasure —
+     *  this runs once per committed store for the Section 3.6 check). */
+    template <typename Fn>
+    void
+    forEachLive(Fn &&fn) const
+    {
+        for (unsigned i = 0; i < numRegs_; ++i) {
+            const Reg &r = regs_[i];
+            if (r.allocated)
+                fn(VecRegRef{VecRegId(i), r.gen});
+        }
+    }
+
+    // --- fused hot-path queries ----------------------------------------
+    // The datapath polls every active instance every cycle; these fold
+    // the liveness + uniformity + range + flag checks into one register
+    // lookup each instead of four assert-guarded accessor calls.
+
+    /**
+     * @return true when element @p elem of @p ref can never be
+     * computed: the incarnation is dead, killed, or (for non-uniform
+     * registers) the element lies beyond its computable count.
+     */
+    bool
+    elemUncomputable(VecRegRef ref, unsigned elem) const
+    {
+        if (!isLive(ref))
+            return true;
+        const Reg &r = regs_[ref.reg];
+        if (r.killed)
+            return true;
+        return !r.uniform && elem >= r.elemCount;
+    }
+
+    /**
+     * @return true when the source element is computed and readable:
+     * element 0 for uniform registers, else @p elem (false when the
+     * incarnation is dead or the element is out of range).
+     */
+    bool
+    elemReady(VecRegRef ref, unsigned elem) const
+    {
+        if (!isLive(ref))
+            return false;
+        const Reg &r = regs_[ref.reg];
+        const unsigned e = r.uniform ? 0 : elem;
+        return e < vlen_ && r.elems[e].r;
+    }
+
+    /** @return the source element's value (element 0 when uniform);
+     *  the element must satisfy elemReady(). */
+    std::uint64_t
+    elemValue(VecRegRef ref, unsigned elem) const
+    {
+        const Reg &r = regs_[ref.reg];
+        return r.elems[r.uniform ? 0 : elem].data;
+    }
 
     /** Associate the port-ledger id of a speculative element load. */
     void setElemLoadId(VecRegRef ref, unsigned elem, ElemLoadId id);
@@ -210,8 +271,15 @@ class VecRegFile
      */
     bool tryRelease(VecRegRef ref, Addr gmrbb, bool allow_cond2 = false);
 
-    /** Try to release every register by condition 1 / killed state.
-     *  @return count freed. */
+    /**
+     * Try to release registers by condition 1 / killed state. Runs once
+     * per cycle, so it only examines the candidate set — registers
+     * whose flags changed since the last sweep. A register's
+     * releasability under these conditions changes only through the
+     * flag mutators, each of which re-marks its register, so the
+     * incremental sweep releases at exactly the same cycle a full scan
+     * would. @return count freed.
+     */
     unsigned sweepReleases(Addr gmrbb);
 
     /** Release everything (end of simulation), recording fates. */
@@ -225,13 +293,9 @@ class VecRegFile
      */
     void releaseSquashed(VecRegRef ref);
 
-    /** Set the resolver invoked per element at release with (elem load
-     *  id, was-validated); wired to DCachePorts::resolveElem. */
-    void
-    setElemResolver(std::function<void(ElemLoadId, bool)> resolver)
-    {
-        resolver_ = std::move(resolver);
-    }
+    /** Wire the port network whose element-load ledger is resolved per
+     *  element at release (direct call, no type erasure). */
+    void setElemLedger(DCachePorts *ports) { ports_ = ports; }
 
     /** @return the Figure 15 ledger. */
     const VecRegFateStats &fateStats() const { return fates_; }
@@ -268,14 +332,26 @@ class VecRegFile
     Reg &regFor(VecRegRef ref);
     void release(Reg &reg);
 
+    /** Mark @p id for the next incremental sweepReleases() pass. */
+    void
+    markSweepCandidate(VecRegId id)
+    {
+        if (!sweepMarked_[id]) {
+            sweepMarked_[id] = true;
+            sweepCandidates_.push_back(id);
+        }
+    }
+
     unsigned numRegs_;
     unsigned vlen_;
     unsigned freeCount_;
     std::vector<Reg> regs_;
+    std::vector<VecRegId> sweepCandidates_;
+    std::vector<bool> sweepMarked_;     ///< dedup for the candidate list
     VecRegFateStats fates_;
     std::uint64_t allocations_ = 0;
     std::uint64_t allocFailures_ = 0;
-    std::function<void(ElemLoadId, bool)> resolver_;
+    DCachePorts *ports_ = nullptr;
 };
 
 } // namespace sdv

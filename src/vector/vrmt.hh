@@ -10,6 +10,7 @@
 #define SDV_VECTOR_VRMT_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/types.hh"

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Unit tests for the hot-path kernel structures: sparse memory
+ * cross-page / unaligned / bulk accesses (with the MRU page cache), the
+ * pending-store overlay (interval early-exits and word-at-a-time
+ * masking) replayed against a naive byte-wise reference model, and the
+ * pooled ROB ring buffer.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/memory.hh"
+#include "common/random.hh"
+#include "common/ring_pool.hh"
+#include "core/store_overlay.hh"
+
+namespace sdv {
+namespace {
+
+// --- SparseMemory ----------------------------------------------------------
+
+TEST(SparseMemoryHot, UnalignedSingleAndCrossPageAllSizes)
+{
+    const Addr page = SparseMemory::pageBytes;
+    // Offsets chosen so every size is exercised aligned, unaligned
+    // within a page, and straddling the page boundary.
+    const Addr bases[] = {0x100, 0x103, page - 1, page - 3, page - 7,
+                          3 * page - 5};
+    const std::uint64_t pattern = 0x1122334455667788ULL;
+    for (Addr base : bases) {
+        for (unsigned size : {1u, 2u, 4u, 8u}) {
+            SparseMemory m;
+            m.write(base, pattern, size);
+            const std::uint64_t mask =
+                size == 8 ? ~std::uint64_t(0)
+                          : (std::uint64_t(1) << (8 * size)) - 1;
+            EXPECT_EQ(m.read(base, size), pattern & mask)
+                << "base=" << base << " size=" << size;
+            // Bytes readable individually in little-endian order.
+            for (unsigned i = 0; i < size; ++i)
+                EXPECT_EQ(m.read(base + i, 1),
+                          (pattern >> (8 * i)) & 0xff);
+        }
+    }
+}
+
+TEST(SparseMemoryHot, MruCacheSurvivesInterleavedPagesAndClear)
+{
+    SparseMemory mem;
+    const Addr page = SparseMemory::pageBytes;
+    // Ping-pong between pages so the MRU entry is repeatedly replaced.
+    for (unsigned round = 0; round < 4; ++round)
+        for (Addr p = 0; p < 8; ++p)
+            mem.write64(p * page + 8 * round, p * 1000 + round);
+    for (unsigned round = 0; round < 4; ++round)
+        for (Addr p = 0; p < 8; ++p)
+            EXPECT_EQ(mem.read64(p * page + 8 * round), p * 1000 + round);
+    mem.clear();
+    EXPECT_EQ(mem.numPages(), 0u);
+    // The cleared cache must not serve stale pages.
+    EXPECT_EQ(mem.read64(0), 0u);
+    mem.write64(0, 42);
+    EXPECT_EQ(mem.read64(0), 42u);
+}
+
+TEST(SparseMemoryHot, ReadAfterWriteMaterializesBehindConstReads)
+{
+    SparseMemory mem;
+    // A read of an absent page must not poison the cache: the write
+    // that materializes the page afterwards has to become visible.
+    EXPECT_EQ(mem.read64(0x5000), 0u);
+    mem.write64(0x5000, 7);
+    EXPECT_EQ(mem.read64(0x5000), 7u);
+}
+
+TEST(SparseMemoryHot, BulkBytesSpanManyPages)
+{
+    SparseMemory mem;
+    const Addr base = SparseMemory::pageBytes - 100;
+    std::vector<std::uint8_t> data(3 * SparseMemory::pageBytes);
+    Random rng(7);
+    for (auto &b : data)
+        b = std::uint8_t(rng.next());
+
+    mem.writeBytes(base, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size() + 16, 0xaa);
+    // Read a window that starts before the written range (zero fill)
+    // and covers it completely.
+    mem.readBytes(base - 8, out.data(), out.size());
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], 0u) << "leading zero fill byte " << i;
+    EXPECT_EQ(std::memcmp(out.data() + 8, data.data(), data.size()), 0);
+    for (size_t i = data.size() + 8; i < out.size(); ++i)
+        EXPECT_EQ(out[i], 0u) << "trailing zero fill byte " << i;
+}
+
+TEST(SparseMemoryHot, RandomOpsMatchByteReference)
+{
+    // Equivalence against a naive byte map across random sizes,
+    // alignments and page boundaries.
+    SparseMemory mem;
+    std::vector<std::uint8_t> ref(16 * SparseMemory::pageBytes, 0);
+    Random rng(123);
+    const unsigned sizes[] = {1, 2, 4, 8};
+    for (unsigned op = 0; op < 20000; ++op) {
+        const unsigned size = sizes[rng.below(4)];
+        const Addr addr = rng.below(ref.size() - 8);
+        if (rng.chancePercent(50)) {
+            const std::uint64_t val = rng.next();
+            mem.write(addr, val, size);
+            for (unsigned i = 0; i < size; ++i)
+                ref[addr + i] = std::uint8_t(val >> (8 * i));
+        } else {
+            std::uint64_t expect = 0;
+            for (unsigned i = 0; i < size; ++i)
+                expect |= std::uint64_t(ref[addr + i]) << (8 * i);
+            ASSERT_EQ(mem.read(addr, size), expect)
+                << "addr=" << addr << " size=" << size;
+        }
+    }
+}
+
+// --- PendingStoreOverlay ---------------------------------------------------
+
+/** Naive reference: apply pre-images youngest-first, byte by byte. */
+std::uint64_t
+naiveOverlay(const std::vector<PendingStore> &stores, std::uint64_t val,
+             Addr addr, unsigned size)
+{
+    for (auto it = stores.rbegin(); it != stores.rend(); ++it) {
+        for (unsigned b = 0; b < size; ++b) {
+            const Addr byte_addr = addr + b;
+            if (byte_addr >= it->addr &&
+                byte_addr < it->addr + it->size) {
+                const unsigned sidx = unsigned(byte_addr - it->addr);
+                const std::uint64_t pre =
+                    (it->preValue >> (8 * sidx)) & 0xff;
+                val &= ~(0xffULL << (8 * b));
+                val |= pre << (8 * b);
+            }
+        }
+    }
+    return val;
+}
+
+TEST(StoreOverlay, EmptyAndDisjointPassThrough)
+{
+    PendingStoreOverlay ov;
+    EXPECT_EQ(ov.overlay(0xdeadbeef, 0x1000, 4), 0xdeadbeefULL);
+    ov.push(0x2000, 8, 0x1111111111111111ULL);
+    // Entirely below and entirely above the store's range.
+    EXPECT_EQ(ov.overlay(0x42, 0x1ff8, 8), 0x42ULL);
+    EXPECT_EQ(ov.overlay(0x42, 0x2008, 8), 0x42ULL);
+    // Adjacent but not overlapping.
+    EXPECT_EQ(ov.overlay(0x42, 0x1ffc, 4), 0x42ULL);
+}
+
+TEST(StoreOverlay, OldestPreImageWinsPerByte)
+{
+    PendingStoreOverlay ov;
+    ov.push(0x100, 8, 0x0101010101010101ULL); // oldest
+    ov.push(0x104, 8, 0x0202020202020202ULL); // younger, overlaps tail
+    // Bytes 0x100..0x107: all covered by the oldest store; its
+    // pre-image is the committed state there.
+    EXPECT_EQ(ov.overlay(0xffffffffffffffffULL, 0x100, 8),
+              0x0101010101010101ULL);
+    // Bytes 0x108..0x10b: only the younger store covers them. Bytes
+    // beyond the 4-byte load size pass through untouched.
+    EXPECT_EQ(ov.overlay(0, 0x108, 4), 0x02020202ULL);
+}
+
+TEST(StoreOverlay, FifoDrainResetsHull)
+{
+    PendingStoreOverlay ov;
+    ov.push(0x100, 8, 1);
+    ov.push(0x200, 4, 2);
+    EXPECT_EQ(ov.size(), 2u);
+    EXPECT_EQ(ov.front().addr, 0x100u);
+    ov.popFront();
+    ov.popFront();
+    EXPECT_TRUE(ov.empty());
+    // After draining, loads in the old range must pass through again.
+    EXPECT_EQ(ov.overlay(7, 0x100, 8), 7ULL);
+}
+
+TEST(StoreOverlay, RandomInFlightSetsMatchNaiveModel)
+{
+    Random rng(99);
+    for (unsigned trial = 0; trial < 300; ++trial) {
+        PendingStoreOverlay ov;
+        std::vector<PendingStore> ref;
+        // Random in-flight store set, clustered so overlaps are common.
+        const unsigned n = 1 + unsigned(rng.below(12));
+        for (unsigned i = 0; i < n; ++i) {
+            const Addr addr = 0x1000 + rng.below(64);
+            const unsigned size = rng.chancePercent(50) ? 8 : 4;
+            const std::uint64_t pre = rng.next();
+            ov.push(addr, size, pre);
+            ref.push_back({addr, size, pre});
+        }
+        // Probe loads around and inside the cluster.
+        for (unsigned probe = 0; probe < 200; ++probe) {
+            const Addr addr = 0xff0 + rng.below(0x90);
+            const unsigned size = rng.chancePercent(50) ? 8 : 4;
+            const std::uint64_t base = rng.next();
+            ASSERT_EQ(ov.overlay(base, addr, size),
+                      naiveOverlay(ref, base, addr, size))
+                << "trial=" << trial << " addr=" << addr
+                << " size=" << size;
+        }
+        // Drain a prefix (stores commit in order) and re-check.
+        const unsigned drop = unsigned(rng.below(n + 1));
+        for (unsigned i = 0; i < drop; ++i)
+            ov.popFront();
+        ref.erase(ref.begin(), ref.begin() + drop);
+        for (unsigned probe = 0; probe < 50; ++probe) {
+            const Addr addr = 0xff0 + rng.below(0x90);
+            const std::uint64_t base = rng.next();
+            ASSERT_EQ(ov.overlay(base, addr, 8),
+                      naiveOverlay(ref, base, addr, 8));
+        }
+    }
+}
+
+// --- RingPool --------------------------------------------------------------
+
+struct PoolItem
+{
+    int value = -1;
+    bool live = false;
+
+    void
+    reset()
+    {
+        value = -1;
+        live = false;
+    }
+};
+
+TEST(RingPool, FifoOrderAcrossWraparound)
+{
+    RingPool<PoolItem> pool(4);
+    EXPECT_TRUE(pool.empty());
+    EXPECT_EQ(pool.capacity(), 4u);
+
+    int next = 0;
+    // Repeatedly push 3 / pop 2 so head wraps several times.
+    for (unsigned round = 0; round < 10; ++round) {
+        while (pool.size() < 3) {
+            PoolItem &it = pool.emplaceBack();
+            EXPECT_EQ(it.value, -1) << "slot not recycled";
+            it.value = next++;
+            it.live = true;
+        }
+        const int oldest = pool.front().value;
+        EXPECT_EQ(pool[0].value, oldest);
+        EXPECT_EQ(pool[pool.size() - 1].value, next - 1);
+        pool.popFront();
+        EXPECT_EQ(pool.front().value, oldest + 1);
+        pool.popFront();
+    }
+}
+
+TEST(RingPool, SlotAddressesStableWhileLive)
+{
+    RingPool<PoolItem> pool(8);
+    std::vector<PoolItem *> ptrs;
+    for (int i = 0; i < 8; ++i) {
+        PoolItem &it = pool.emplaceBack();
+        it.value = i;
+        ptrs.push_back(&it);
+    }
+    EXPECT_TRUE(pool.full());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(ptrs[size_t(i)]->value, i);
+    // Popping the front keeps the remaining entries in place.
+    pool.popFront();
+    for (int i = 1; i < 8; ++i) {
+        EXPECT_EQ(&pool[size_t(i - 1)], ptrs[size_t(i)]);
+        EXPECT_EQ(pool[size_t(i - 1)].value, i);
+    }
+}
+
+TEST(RingPool, PopBackDiscardsTentativeEntry)
+{
+    RingPool<PoolItem> pool(2);
+    pool.emplaceBack().value = 1;
+    pool.emplaceBack().value = 2;
+    pool.popBack();
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.back().value, 1);
+    // The discarded slot is recycled on the next claim.
+    EXPECT_EQ(pool.emplaceBack().value, -1);
+    pool.clear();
+    EXPECT_TRUE(pool.empty());
+}
+
+} // namespace
+} // namespace sdv

@@ -44,6 +44,35 @@ TEST(Cache, LruEviction)
     EXPECT_TRUE(c.probe(0x040));
 }
 
+TEST(Cache, EvictionOrderFollowsUseRecency)
+{
+    // One set of 4 ways (64B cache, 16B lines): every fourth fill must
+    // evict exactly the least recently used line, regardless of which
+    // way it occupies. Pins the single-pass victim selection.
+    Cache c("t", 64, 4, 16);
+    ASSERT_EQ(c.numSets(), 1u);
+    const Addr a = 0x000, b = 0x010, d = 0x020, e = 0x030;
+    for (Addr x : {a, b, d, e})
+        c.access(x, false);
+    // Refresh a and d; recency (oldest first) is now b, e, a, d.
+    EXPECT_TRUE(c.access(a, false).hit);
+    EXPECT_TRUE(c.access(d, false).hit);
+
+    c.access(0x040, false); // evicts b (way 1)
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(e));
+    c.access(0x050, false); // evicts e (way 3)
+    EXPECT_FALSE(c.probe(e));
+    EXPECT_TRUE(c.probe(a));
+    c.access(0x060, false); // evicts a (way 0)
+    EXPECT_FALSE(c.probe(a));
+    EXPECT_TRUE(c.probe(d));
+    c.access(0x070, false); // evicts d (way 2)
+    EXPECT_FALSE(c.probe(d));
+    // The three most recent fills survive.
+    EXPECT_TRUE(c.probe(0x040) && c.probe(0x050) && c.probe(0x060));
+}
+
 TEST(Cache, WritebackOnDirtyEviction)
 {
     Cache c("t", 32, 1, 16); // direct mapped, 2 sets

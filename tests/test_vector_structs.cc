@@ -340,15 +340,28 @@ INSTANTIATE_TEST_SUITE_P(AllPatterns, VecRegFateSweep,
 
 // --- datapath ----------------------------------------------------------------
 
-struct DatapathFixture : public ::testing::Test
+struct DatapathFixture : public ::testing::Test, public VecExecContext
 {
     DatapathFixture()
         : vrf(8, 4), dp(VectorFuConfig{}, vrf), mem(MemHierarchyConfig{}),
           ports(4, true, 32)
     {
-        dp.setLoadValueProvider(
-            [](Addr addr, unsigned) { return addr * 10; });
+        dp.setContext(this);
     }
+
+    std::uint64_t
+    specLoadValue(Addr addr, unsigned) const override
+    {
+        return addr * 10;
+    }
+
+    bool
+    seqCompleted(InstSeqNum) const override
+    {
+        return producer_done;
+    }
+
+    bool producer_done = false;
 
     void
     tickN(unsigned n, Cycle &now)
@@ -418,8 +431,6 @@ TEST_F(DatapathFixture, ScalarDependenceParksInstance)
     for (unsigned e = 0; e < 4; ++e)
         vrf.setData(src, e, e);
     const VecRegRef dst = vrf.allocate(0);
-    bool producer_done = false;
-    dp.setSeqCompleted([&](InstSeqNum) { return producer_done; });
     SrcSpec scalar = SrcSpec::scalar(7);
     scalar.depSeq = 42; // in-flight producer
     dp.spawnArith(0x4000, Opcode::ADD, 0, dst, SrcSpec::vector(src, 0),
