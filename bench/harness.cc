@@ -25,6 +25,9 @@ struct JsonRecord
 
 std::vector<JsonRecord> jsonRecords;
 
+/** Set by parseArgs (--no-event-skip); applied to every run(). */
+bool eventSkipEnabled = true;
+
 } // namespace
 
 Options
@@ -38,16 +41,21 @@ parseArgs(int argc, char **argv, bool json_supported)
                 opt.scale = 1;
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
+        } else if (std::strcmp(argv[i], "--no-event-skip") == 0) {
+            opt.eventSkip = false;
         } else if (json_supported && std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             opt.jsonPath = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--scale N] [--quick]%s\n",
+            std::fprintf(stderr,
+                         "usage: %s [--scale N] [--quick] "
+                         "[--no-event-skip]%s\n",
                          argv[0],
                          json_supported ? " [--json PATH]" : "");
             std::exit(2);
         }
     }
+    eventSkipEnabled = opt.eventSkip;
     detail::setQuiet(true);
     return opt;
 }
@@ -66,7 +74,9 @@ banner(const std::string &title, const std::string &paper_line)
 SimResult
 run(const CoreConfig &cfg, const Program &prog)
 {
-    return simulate(cfg, prog, 200'000'000, /*verify=*/false);
+    CoreConfig c = cfg;
+    c.eventSkip = eventSkipEnabled;
+    return simulate(c, prog, 200'000'000, /*verify=*/false);
 }
 
 SimResult

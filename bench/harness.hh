@@ -24,6 +24,7 @@ struct Options
 {
     unsigned scale = 1; ///< workload scale factor (--scale N)
     bool quick = false; ///< --quick: restrict to a subset of runs
+    bool eventSkip = true; ///< --no-event-skip: tick every cycle
     std::string jsonPath; ///< --json <path>: machine-readable results
 };
 

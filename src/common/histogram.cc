@@ -14,7 +14,9 @@ Histogram::Histogram(unsigned num_buckets) : buckets_(num_buckets, 0)
 void
 Histogram::sample(std::int64_t value, std::uint64_t weight)
 {
-    if (value >= 0 && value < std::int64_t(buckets_.size()))
+    if (value < 0)
+        underflow_ += weight;
+    else if (value < std::int64_t(buckets_.size()))
         buckets_[size_t(value)] += weight;
     else
         overflow_ += weight;
@@ -27,6 +29,7 @@ Histogram::reset()
     for (auto &b : buckets_)
         b = 0;
     overflow_ = 0;
+    underflow_ = 0;
     total_ = 0;
 }
 
@@ -49,6 +52,12 @@ Histogram::overflowFraction() const
     return total_ == 0 ? 0.0 : double(overflow_) / double(total_);
 }
 
+double
+Histogram::underflowFraction() const
+{
+    return total_ == 0 ? 0.0 : double(underflow_) / double(total_);
+}
+
 void
 Histogram::merge(const Histogram &other)
 {
@@ -57,6 +66,7 @@ Histogram::merge(const Histogram &other)
     for (size_t i = 0; i < buckets_.size(); ++i)
         buckets_[i] += other.buckets_[i];
     overflow_ += other.overflow_;
+    underflow_ += other.underflow_;
     total_ += other.total_;
 }
 
@@ -70,7 +80,7 @@ Histogram::toString() const
             os << " ";
         os << buckets_[i];
     }
-    os << " | ovf " << overflow_ << "]";
+    os << " | unf " << underflow_ << " ovf " << overflow_ << "]";
     return os.str();
 }
 

@@ -14,8 +14,9 @@
 namespace sdv {
 
 /**
- * Histogram over the integer buckets [0, numBuckets); samples outside the
- * range land in a separate overflow bucket.
+ * Histogram over the integer buckets [0, numBuckets); samples above the
+ * range land in a separate overflow bucket, negative samples in a
+ * separate underflow bucket.
  */
 class Histogram
 {
@@ -32,10 +33,13 @@ class Histogram
     /** @return raw count of bucket @p b. */
     std::uint64_t bucket(unsigned b) const;
 
-    /** @return count of samples that fell outside [0, numBuckets). */
+    /** @return count of samples that fell at or above numBuckets. */
     std::uint64_t overflow() const { return overflow_; }
 
-    /** @return total number of samples (including overflow). */
+    /** @return count of samples with a negative value. */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** @return total number of samples (including over/underflow). */
     std::uint64_t total() const { return total_; }
 
     /** @return bucket count as a fraction of all samples (0 when empty). */
@@ -43,6 +47,9 @@ class Histogram
 
     /** @return overflow count as a fraction of all samples. */
     double overflowFraction() const;
+
+    /** @return underflow count as a fraction of all samples. */
+    double underflowFraction() const;
 
     /** @return number of in-range buckets. */
     unsigned numBuckets() const { return unsigned(buckets_.size()); }
@@ -56,6 +63,7 @@ class Histogram
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t overflow_ = 0;
+    std::uint64_t underflow_ = 0;
     std::uint64_t total_ = 0;
 };
 

@@ -51,6 +51,15 @@ Core::robFind(InstSeqNum seq) const
 void
 Core::tick()
 {
+    // Attempt a jump only after a tick that made no forward progress:
+    // a busy pipeline never skips, so gating on last tick's activity
+    // avoids paying the quiescence scan on every cycle. Suppressing an
+    // attempt is always sound — it just means ticking normally — and
+    // costs at most one idle tick at the head of each idle window.
+    if (cfg_.eventSkip && quietLastTick_ && trySkipIdle())
+        return; // jump hit the cycle budget: nothing left to simulate
+    quietLastTick_ = true; // stages clear it when they do work
+
     ports_.beginCycle();
     fuPool_.beginCycle();
     cycleAccessDone_.clear();
@@ -64,6 +73,113 @@ Core::tick()
 
     ++cycle_;
     stats_.cycles = cycle_;
+}
+
+// --- event-skipping clock --------------------------------------------------
+
+bool
+Core::trySkipIdle()
+{
+    // A quiescent cycle is one where every stage provably does nothing
+    // but bump per-cycle statistics. Each check below mirrors one
+    // stage; any possible progress this cycle vetoes the jump.
+
+    // Commit: the ROB head would retire.
+    if (!rob_.empty() && rob_.front().completed)
+        return false;
+
+    // Decode: with instructions waiting, decode makes progress unless
+    // it is blocked by a structural hazard that only a commit (i.e. a
+    // completion event) can clear. Those blocked cycles charge one
+    // stall count each, which the jump reproduces below. A decode
+    // blocked inside the engine (Figure 7) is not modelled here and
+    // vetoes the jump.
+    bool rob_full_stall = false;
+    bool lsq_full_stall = false;
+    if (!fetchQueue_.empty()) {
+        if (rob_.full())
+            rob_full_stall = true;
+        else if (fetchQueue_.front().rec.inst.isMem() && lsq_.full())
+            lsq_full_stall = true;
+        else
+            return false;
+    }
+
+    // Fetch: idle only when stalled on an unresolved branch, out of
+    // instructions, waiting on an I-cache miss, or backed up into a
+    // full fetch queue.
+    Cycle horizon = neverCycle;
+    const bool fetch_idle =
+        fetchStalled_ || (replayQueue_.empty() && oracle_.halted()) ||
+        fetchQueue_.size() >= cfg_.fetchQueueEntries;
+    if (!fetch_idle) {
+        if (cycle_ < icacheReadyAt_)
+            horizon = std::min(horizon, icacheReadyAt_);
+        else
+            return false; // fetch would run this cycle
+    }
+
+    // Completion: every monitored instruction must be strictly waiting
+    // — a validation whose element resolved (or died) acts this cycle.
+    for (const DynInst *d : pendingCompletion_) {
+        if (d->isValidation()) {
+            if (engine_.validationStatus(*d) != ValStatus::Waiting)
+                return false;
+        } else if (d->issued) {
+            horizon = std::min(horizon, d->readyCycle);
+        }
+        // Not-yet-issued instructions wait in the issue queue and are
+        // covered by the dependence check below.
+    }
+
+    // Issue: an instruction with completed producers may issue (or
+    // charge an LSQ-conflict stall) this cycle.
+    for (const DynInst *d : iq_)
+        if (producerCompleted(d->dep1) && producerCompleted(d->dep2))
+            return false;
+
+    // Vector engine: in-flight instances arbitrate every cycle; only
+    // scheduled element completions (and nothing else) may remain.
+    const Cycle engine_event = engine_.nextEventCycle(cycle_);
+    if (engine_event <= cycle_)
+        return false;
+    horizon = std::min(horizon, engine_event);
+
+    // The per-cycle resources never schedule future events; their
+    // horizons are infinite by construction.
+    horizon = std::min(horizon, fuPool_.nextEventCycle());
+    horizon = std::min(horizon, ports_.nextEventCycle());
+
+    if (horizon == neverCycle)
+        return false; // no scheduled event: tick normally (budget run)
+    if (horizon <= cycle_)
+        return false; // an event lands this very cycle: tick normally
+
+    // Jump to the event (bounded by the cycle budget), charging the
+    // skipped cycles exactly as the skipped ticks would have.
+    const bool clipped = horizon >= cycleLimit_;
+    const Cycle target = clipped ? cycleLimit_ : horizon;
+    const Cycle skipped = target - cycle_;
+    if (skipped == 0)
+        return false;
+
+    ports_.noteIdleCycles(skipped);
+    ++stats_.eventSkipJumps;
+    stats_.eventSkippedCycles += skipped;
+    if (fetchStalled_)
+        stats_.fetchStallCycles += skipped;
+    if (rob_full_stall)
+        stats_.robFullStalls += skipped;
+    if (lsq_full_stall)
+        stats_.lsqFullStalls += skipped;
+
+    cycle_ = target;
+    stats_.cycles = cycle_;
+
+    // When the event lies at or beyond the budget, every remaining
+    // cycle was idle: the jump itself finishes the run and the cycle
+    // at the limit must not execute.
+    return clipped;
 }
 
 // --- commit ---------------------------------------------------------------
@@ -91,7 +207,7 @@ Core::commitCommon(DynInst &d)
         ++stats_.committedBranches;
         if (d.mispredicted) {
             ++stats_.branchMispredicts;
-            fig10Remaining_ = 100;
+            fig10Remaining_ = cfg_.fig10WindowInsts;
         }
         engine_.onControlCommit(d);
     }
@@ -152,6 +268,8 @@ Core::commitStage()
         rob_.popFront();
         ++committed;
     }
+    if (committed)
+        quietLastTick_ = false;
 }
 
 void
@@ -183,6 +301,7 @@ Core::squashAllInFlight()
     fetchStalled_ = false;
     stallBranchSeq_ = 0;
     icacheReadyAt_ = 0;
+    quietLastTick_ = false;
     if (!replayQueue_.empty())
         fetchPc_ = replayQueue_.front().pc;
 }
@@ -232,6 +351,8 @@ Core::completionStage()
         if (!d->completed)
             pendingCompletion_[out++] = d;
     }
+    if (out != pendingCompletion_.size())
+        quietLastTick_ = false;
     pendingCompletion_.resize(out);
 }
 
@@ -315,6 +436,8 @@ Core::issueStage()
             ++it;
         }
     }
+    if (issued)
+        quietLastTick_ = false;
 }
 
 // --- decode / rename / dispatch --------------------------------------------
@@ -389,6 +512,8 @@ Core::decodeStage()
         fetchQueue_.pop_front();
         ++decoded;
     }
+    if (decoded)
+        quietLastTick_ = false;
 }
 
 // --- fetch ---------------------------------------------------------------------
@@ -504,6 +629,8 @@ Core::fetchStage()
         if (rec.inst.isControl() && rec.taken)
             break; // at most one taken branch per fetch group
     }
+    if (fetched)
+        quietLastTick_ = false;
 }
 
 } // namespace sdv

@@ -58,6 +58,17 @@ struct CoreConfig
     unsigned btbWays = 4;
     unsigned rasDepth = 16;
 
+    /** Figure 10 window: committed instructions counted after each
+     *  mispredicted branch (the paper measures the next 100). */
+    unsigned fig10WindowInsts = 100;
+
+    /** Event-skipping clock: when the pipeline is quiescent and only
+     *  scheduled completions remain, jump the cycle counter to the
+     *  next event instead of ticking idle cycles. Cycle-for-cycle
+     *  equivalent to ticking (see tests/test_event_skip.cc); disable
+     *  to cross-check. */
+    bool eventSkip = true;
+
     MemHierarchyConfig mem;    ///< cache geometry and latencies
     EngineConfig engine;       ///< dynamic vectorization engine
 };
@@ -82,9 +93,17 @@ struct CoreStats
     std::uint64_t storeConflictSquashes = 0;
     std::uint64_t squashedInsts = 0;
 
-    // Figure 10: reuse among the 100 instructions after a mispredict.
+    // Figure 10: reuse among the instructions after a mispredict
+    // (CoreConfig::fig10WindowInsts of them, 100 in the paper).
     std::uint64_t postMispredictWindowInsts = 0;
     std::uint64_t postMispredictReused = 0;
+
+    // Event-skipping clock meta-statistics: how the cycles were
+    // simulated, never what they contained. These are the only
+    // CoreStats fields allowed to differ between an event-skipping run
+    // and a ticking one.
+    std::uint64_t eventSkipJumps = 0;   ///< quiescent jumps taken
+    std::uint64_t eventSkippedCycles = 0; ///< cycles jumped over
 
     /** @return instructions per cycle. */
     double
@@ -106,8 +125,17 @@ class Core : private VecExecContext
      */
     Core(const CoreConfig &cfg, const Program &prog);
 
-    /** Advance one cycle. */
+    /** Advance one cycle (or, with event skipping, jump a quiescent
+     *  pipeline forward to the next scheduled event first). */
     void tick();
+
+    /**
+     * Bound the cycle counter for event skipping: the clock never
+     * jumps past @p max_cycles, so a budget-limited run observes the
+     * exact same final cycle and statistics as a ticking one.
+     * Simulator::run sets this from its own budget.
+     */
+    void setCycleLimit(Cycle max_cycles) { cycleLimit_ = max_cycles; }
 
     /** @return true once HALT has committed. */
     bool done() const { return haltCommitted_; }
@@ -155,6 +183,17 @@ class Core : private VecExecContext
     void issueStage();
     void decodeStage();
     void fetchStage();
+
+    /**
+     * Event-skipping clock (see CoreConfig::eventSkip): when no stage
+     * can change state this cycle, jump cycle_ to the earliest
+     * scheduled event, charging the skipped cycles to the same
+     * per-cycle statistics ticking would have charged.
+     * @retval true when the jump consumed the whole cycle budget set
+     * by setCycleLimit() — the caller must skip the stage work, since
+     * a ticking run would never have executed a cycle at the limit
+     */
+    bool trySkipIdle();
 
     /** Commit bookkeeping shared by all instruction kinds. */
     void commitCommon(DynInst &d);
@@ -219,7 +258,6 @@ class Core : private VecExecContext
     Addr fetchPc_;
     bool fetchStalled_ = false;
     InstSeqNum stallBranchSeq_ = 0; ///< 0: branch still in fetch queue
-    bool stallPendingDecode_ = false;
     Cycle icacheReadyAt_ = 0;
     std::deque<FetchedInst> fetchQueue_;
     std::deque<ExecRecord> replayQueue_;
@@ -245,6 +283,11 @@ class Core : private VecExecContext
     PendingStoreOverlay pendingStores_;
 
     Cycle cycle_ = 0;
+    Cycle cycleLimit_ = neverCycle; ///< event-skip jump bound
+    /** True when the previous tick made no forward progress (nothing
+     *  committed, completed, issued, decoded or fetched): the only
+     *  state in which attempting an event-skip jump can pay off. */
+    bool quietLastTick_ = false;
     bool haltCommitted_ = false;
     std::uint64_t commitHash_ = 1469598103934665603ULL;
 

@@ -7,6 +7,7 @@
 #ifndef SDV_CORE_FU_POOL_HH
 #define SDV_CORE_FU_POOL_HH
 
+#include "common/types.hh"
 #include "isa/opcodes.hh"
 
 namespace sdv {
@@ -35,6 +36,14 @@ class FuPool
         fpAdd_ = cfg_.fpAdd;
         fpMulDiv_ = cfg_.fpMulDiv;
     }
+
+    /**
+     * Event-horizon query for the event-skipping clock. The pool is
+     * purely per-cycle issue bandwidth (beginCycle restores every
+     * slot; completions are scheduled on the instructions themselves),
+     * so the pool never initiates a future state change on its own.
+     */
+    Cycle nextEventCycle() const { return neverCycle; }
 
     /**
      * Try to claim a unit for @p cls this cycle. Control operations and

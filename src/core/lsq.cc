@@ -50,8 +50,17 @@ LoadStoreQueue::checkLoad(const DynInst *ld) const
     const Addr lo = ld->rec.addr;
     const Addr hi = lo + ld->rec.size - 1;
 
-    // Scan older entries youngest-first; the nearest older store that
-    // overlaps decides.
+    // Scan older stores youngest-first, tracking which load bytes are
+    // still unclaimed: for each byte the nearest older store that
+    // writes it decides. Byte i of the load is bit i of the mask
+    // (loads are at most 8 bytes).
+    sdv_assert(ld->rec.size >= 1 && ld->rec.size <= 8,
+               "load size out of range");
+    const std::uint16_t full =
+        std::uint16_t((1u << ld->rec.size) - 1u);
+    std::uint16_t unclaimed = full;  ///< bytes no store has supplied yet
+    std::uint16_t forwarded = 0;     ///< bytes a completed store supplies
+
     for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
         const DynInst *e = *it;
         if (e->seq >= ld->seq || !e->isStore())
@@ -60,12 +69,25 @@ LoadStoreQueue::checkLoad(const DynInst *ld) const
         const Addr shi = slo + e->rec.size - 1;
         if (hi < slo || lo > shi)
             continue; // disjoint
-        const bool covers = slo <= lo && shi >= hi;
-        if (covers && e->completed)
-            return LoadCheck::Forward;
-        return LoadCheck::Stall;
+        const Addr olo = slo > lo ? slo : lo;
+        const Addr ohi = shi < hi ? shi : hi;
+        const std::uint16_t overlap = std::uint16_t(
+            ((1u << (ohi - lo + 1)) - 1u) & ~((1u << (olo - lo)) - 1u));
+        const std::uint16_t fresh = std::uint16_t(overlap & unclaimed);
+        if (fresh == 0)
+            continue; // every overlapped byte comes from a younger store
+        if (!e->completed)
+            return LoadCheck::Stall; // needs bytes of an unresolved store
+        unclaimed = std::uint16_t(unclaimed & ~fresh);
+        forwarded = std::uint16_t(forwarded | fresh);
+        if (unclaimed == 0)
+            return LoadCheck::Forward; // in-flight stores cover the load
     }
-    return LoadCheck::Ready;
+
+    // Some bytes are only in memory. A load partly fed by pending
+    // stores and partly by the cache cannot forward; it waits for the
+    // stores to drain at commit.
+    return forwarded == 0 ? LoadCheck::Ready : LoadCheck::Stall;
 }
 
 } // namespace sdv

@@ -48,9 +48,13 @@ class LoadStoreQueue
 
     /**
      * Check whether the load @p ld may issue.
-     * Byte-range semantics: a fully covering completed store forwards;
-     * any other overlap stalls the load until the store leaves the
-     * queue at commit.
+     * Byte-range semantics: every load byte written by an older
+     * in-flight store must come from the *nearest* such store. The
+     * load forwards when all its bytes are supplied by completed older
+     * stores (one store or the combined coverage of several); it
+     * stalls when any needed byte belongs to a store that has not
+     * completed, or when pending stores supply only part of the load
+     * (a cache/forward mix is not modelled); otherwise it is Ready.
      */
     LoadCheck checkLoad(const DynInst *ld) const;
 

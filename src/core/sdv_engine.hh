@@ -124,6 +124,20 @@ class SdvEngine
     /** Advance the vector datapath and the register reclamation. */
     void tick(Cycle now, DCachePorts &ports, MemHierarchy &mem);
 
+    /**
+     * Event-horizon query for the event-skipping clock: the earliest
+     * cycle at which tick() could change engine state. A pending
+     * register-release sweep means "this very cycle"; otherwise the
+     * horizon is the datapath's.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (vrf_.sweepPending())
+            return now;
+        return datapath_.nextEventCycle(now);
+    }
+
     /** End of simulation: release registers so ledgers resolve. */
     void finalize();
 

@@ -17,6 +17,8 @@ Program::append(const Instruction &inst)
 {
     const Addr pc = codeEnd();
     code_.push_back(inst.encode());
+    decoded_.emplace_back();
+    decodedValid_.push_back(0);
     return pc;
 }
 
@@ -25,6 +27,7 @@ Program::patch(size_t index, const Instruction &inst)
 {
     sdv_assert(index < code_.size(), "patch out of range");
     code_[index] = inst.encode();
+    decodedValid_[index] = 0;
 }
 
 std::uint64_t
@@ -34,13 +37,17 @@ Program::encodedAt(Addr pc) const
     return code_[(pc - codeBase_) / instBytes];
 }
 
-Instruction
+const Instruction &
 Program::instAt(Addr pc) const
 {
-    Instruction inst;
-    const bool ok = Instruction::decode(encodedAt(pc), inst);
-    sdv_assert(ok, "undecodable instruction at ", pc);
-    return inst;
+    sdv_assert(validPc(pc), "bad instruction address ", pc);
+    const size_t idx = size_t((pc - codeBase_) / instBytes);
+    if (!decodedValid_[idx]) {
+        const bool ok = Instruction::decode(code_[idx], decoded_[idx]);
+        sdv_assert(ok, "undecodable instruction at ", pc);
+        decodedValid_[idx] = 1;
+    }
+    return decoded_[idx];
 }
 
 void

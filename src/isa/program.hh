@@ -70,8 +70,17 @@ class Program
     /** @return the encoded instruction word at @p pc. */
     std::uint64_t encodedAt(Addr pc) const;
 
-    /** @return the decoded instruction at @p pc. */
-    Instruction instAt(Addr pc) const;
+    /**
+     * @return the decoded instruction at @p pc.
+     *
+     * Decoding is cached per slot: the first access decodes the 64-bit
+     * word into a side-table and later accesses (every fetch and every
+     * oracle step of a simulation) return the cached form. patch()
+     * invalidates the slot. The reference is invalidated by patch(),
+     * append() (the side-table may reallocate) and destruction/move —
+     * copy the Instruction if the program may still grow.
+     */
+    const Instruction &instAt(Addr pc) const;
 
     /** Set the entry point (defaults to codeBase). */
     void setEntry(Addr entry) { entry_ = entry; }
@@ -107,6 +116,12 @@ class Program
     Addr codeBase_;
     Addr entry_ = 0;
     std::vector<std::uint64_t> code_;
+    /** Lazily-filled decode cache, one entry per code slot. A slot is
+     *  valid when the matching decodedValid_ flag is set; patch()
+     *  clears the flag. Mutable: filling the cache does not change the
+     *  program's observable state. */
+    mutable std::vector<Instruction> decoded_;
+    mutable std::vector<std::uint8_t> decodedValid_;
     std::vector<DataSegment> data_;
     std::map<std::string, Addr> symbols_;
 };

@@ -21,12 +21,57 @@ DCachePorts::beginCycle()
     usedThisCycle_ = 0;
     cycleReads_.clear();
     ++stats_.cycles;
+
+    // Close the previous cycle's accesses: no further words can join
+    // them, so any record with no speculative resolution outstanding
+    // folds into the Figure 13 histogram now, bounding ledger memory
+    // by in-flight (unresolved) accesses.
+    for (const std::int32_t id : openRecords_) {
+        AccessRecord &rec = ledger_[size_t(id)];
+        rec.open = false;
+        if (rec.specPending == 0)
+            foldRecord(id);
+    }
+    openRecords_.clear();
 }
 
 unsigned
 DCachePorts::freePorts() const
 {
     return numPorts_ - usedThisCycle_;
+}
+
+std::int32_t
+DCachePorts::allocRecord(Addr line)
+{
+    std::int32_t id;
+    if (!freeSlots_.empty()) {
+        id = freeSlots_.back();
+        freeSlots_.pop_back();
+        ledger_[size_t(id)] = AccessRecord{};
+    } else {
+        ledger_.emplace_back();
+        id = std::int32_t(ledger_.size() - 1);
+    }
+    AccessRecord &rec = ledger_[size_t(id)];
+    rec.lineAddr = line;
+    rec.inUse = true;
+    rec.open = true;
+    openRecords_.push_back(id);
+    return id;
+}
+
+void
+DCachePorts::foldRecord(std::int32_t id)
+{
+    AccessRecord &rec = ledger_[size_t(id)];
+    ++folded_.totalReads;
+    std::uint32_t useful = rec.demandWords + rec.specUsed;
+    if (useful > 4)
+        useful = 4;
+    ++folded_.usefulWords[useful];
+    rec.inUse = false;
+    freeSlots_.push_back(id);
 }
 
 DCachePorts::Grant
@@ -41,6 +86,7 @@ DCachePorts::requestLoadWord(Addr addr, ElemLoadId elem_load_id)
         ++stats_.wordsServed;
         if (elem_load_id != 0) {
             ++rec.specWords;
+            ++rec.specPending;
             elemAccess_.emplace(elem_load_id, id);
         } else {
             ++rec.demandWords;
@@ -70,11 +116,7 @@ DCachePorts::requestLoadWord(Addr addr, ElemLoadId elem_load_id)
     ++stats_.busyPortCycles;
     ++stats_.readAccesses;
 
-    AccessRecord rec;
-    rec.lineAddr = line;
-    rec.isRead = true;
-    ledger_.push_back(rec);
-    const auto id = std::int32_t(ledger_.size() - 1);
+    const std::int32_t id = allocRecord(line);
     if (wide_)
         cycleReads_[line] = id;
 
@@ -95,13 +137,11 @@ DCachePorts::requestStoreWord(Addr addr)
     ++stats_.busyPortCycles;
     ++stats_.writeAccesses;
 
-    AccessRecord rec;
-    rec.lineAddr = lineOf(addr);
-    rec.isRead = false;
-    ledger_.push_back(rec);
+    // Stores keep no ledger record: Figure 13 buckets read accesses
+    // only, and nothing downstream consumes a store's access id.
+    (void)addr;
     g.ok = true;
     g.newAccess = true;
-    g.accessId = std::int32_t(ledger_.size() - 1);
     return g;
 }
 
@@ -111,17 +151,27 @@ DCachePorts::resolveElem(ElemLoadId id, bool used)
     auto it = elemAccess_.find(id);
     if (it == elemAccess_.end())
         return;
+    AccessRecord &rec = ledger_[size_t(it->second)];
+    sdv_assert(rec.inUse && rec.specPending > 0,
+               "element resolution against a folded record");
     if (used)
-        ++ledger_[size_t(it->second)].specUsed;
+        ++rec.specUsed;
+    --rec.specPending;
+    const std::int32_t slot = it->second;
     elemAccess_.erase(it);
+    if (!rec.open && rec.specPending == 0)
+        foldRecord(slot);
 }
 
 WideBusBreakdown
 DCachePorts::wideBusBreakdown() const
 {
-    WideBusBreakdown out;
+    WideBusBreakdown out = folded_;
+    // Records still in flight (this cycle's accesses and accesses with
+    // unresolved speculative elements): unresolved elements count as
+    // unused, exactly as if they were folded now.
     for (const AccessRecord &rec : ledger_) {
-        if (!rec.isRead)
+        if (!rec.inUse)
             continue;
         ++out.totalReads;
         std::uint32_t useful = rec.demandWords + rec.specUsed;
@@ -130,6 +180,16 @@ DCachePorts::wideBusBreakdown() const
         ++out.usefulWords[useful];
     }
     return out;
+}
+
+std::size_t
+DCachePorts::ledgerLiveRecords() const
+{
+    size_t n = 0;
+    for (const AccessRecord &rec : ledger_)
+        if (rec.inUse)
+            ++n;
+    return n;
 }
 
 } // namespace sdv

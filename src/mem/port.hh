@@ -84,7 +84,10 @@ class DCachePorts
     {
         bool ok = false;       ///< the word is served this cycle
         bool newAccess = false; ///< a fresh port/access was claimed
-        std::int32_t accessId = -1; ///< ledger id (valid when ok)
+        /** Ledger slot id (valid when ok for loads; stores make no
+         *  ledger record — Figure 13 only buckets reads). Only
+         *  meaningful within the granting cycle. */
+        std::int32_t accessId = -1;
     };
 
     /**
@@ -119,25 +122,62 @@ class DCachePorts
      */
     void resolveElem(ElemLoadId id, bool used);
 
+    /** Account @p n cycles during which no port activity was possible
+     *  (the event-skipping clock jumped over them). Equivalent to @p n
+     *  beginCycle() calls with no requests. */
+    void noteIdleCycles(std::uint64_t n) { stats_.cycles += n; }
+
+    /**
+     * @return the cycle at which port state next changes on its own:
+     * arbitration is purely per-cycle (beginCycle resets everything),
+     * so the network never schedules future work — always neverCycle.
+     * Part of the event-horizon API used by the event-skipping clock.
+     */
+    Cycle nextEventCycle() const { return neverCycle; }
+
     /** @return accumulated port statistics. */
     const PortStats &stats() const { return stats_; }
 
-    /** Finalize and return the Figure 13 breakdown. Unresolved
-     *  speculative elements count as unused. */
+    /** @return the Figure 13 breakdown: folded records plus every
+     *  still-unresolved in-flight record (whose unresolved speculative
+     *  elements count as unused). */
     WideBusBreakdown wideBusBreakdown() const;
 
+    /** @return ledger slots currently holding an unresolved record
+     *  (bounded by in-flight speculative accesses, not total traffic). */
+    std::size_t ledgerLiveRecords() const;
+
+    /** @return ledger slot pool high-water mark. */
+    std::size_t ledgerSlotHighWater() const { return ledger_.size(); }
+
   private:
+    /**
+     * Per-access useful-word record. Records live in a recycled slot
+     * pool: a record stays only while its access can still gain words
+     * (the access's cycle) or has speculative element loads awaiting
+     * resolution; after that it folds into the running Figure 13
+     * histogram and the slot is reused, so ledger memory is bounded by
+     * in-flight accesses rather than total accesses.
+     */
     struct AccessRecord
     {
         Addr lineAddr = 0;
-        bool isRead = false;
+        bool inUse = false;             ///< slot holds a live record
+        bool open = false;              ///< access's cycle still running
         std::uint32_t demandWords = 0;  ///< words for committed-path loads
         std::uint32_t specWords = 0;    ///< speculative element words
         std::uint32_t specUsed = 0;     ///< ... of which later validated
+        std::uint32_t specPending = 0;  ///< ... not yet resolved
         std::uint32_t servedLoads = 0;  ///< loads served by this access
     };
 
     Addr lineOf(Addr addr) const { return addr & ~Addr(lineBytes_ - 1); }
+
+    /** Claim a pooled ledger slot for a fresh read access. */
+    std::int32_t allocRecord(Addr line);
+
+    /** Fold a fully-resolved record into the histogram, free its slot. */
+    void foldRecord(std::int32_t id);
 
     unsigned numPorts_;
     bool wide_;
@@ -147,9 +187,14 @@ class DCachePorts
     unsigned usedThisCycle_ = 0;
     /** Read accesses made this cycle, by line address (wide merge). */
     std::unordered_map<Addr, std::int32_t> cycleReads_;
+    /** Ledger slots of the accesses made this cycle (closed at the
+     *  next beginCycle). */
+    std::vector<std::int32_t> openRecords_;
 
-    std::vector<AccessRecord> ledger_;
+    std::vector<AccessRecord> ledger_; ///< slot pool (recycled)
+    std::vector<std::int32_t> freeSlots_;
     std::unordered_map<ElemLoadId, std::int32_t> elemAccess_;
+    WideBusBreakdown folded_; ///< resolved accesses, already bucketed
     PortStats stats_;
 };
 

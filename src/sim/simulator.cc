@@ -13,6 +13,7 @@ SimResult
 Simulator::run(std::uint64_t max_cycles, bool verify)
 {
     SimResult res;
+    core_.setCycleLimit(max_cycles);
     while (!core_.done() && core_.cycle() < max_cycles)
         core_.tick();
 

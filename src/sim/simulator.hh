@@ -34,7 +34,6 @@ struct SimResult
     CacheStats l1d;
     CacheStats l1i;
     CacheStats l2;
-    std::uint64_t lsqForwards = 0;
 
     /** Total L1D port requests (the paper's "memory requests"). */
     std::uint64_t

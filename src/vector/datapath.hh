@@ -134,6 +134,27 @@ class VectorDatapath
     /** Advance one cycle: land completions, initiate new elements. */
     void tick(Cycle now, DCachePorts &ports, MemHierarchy &mem);
 
+    /**
+     * Event-horizon query for the event-skipping clock: the earliest
+     * cycle at which tick() could change any state.
+     *
+     * With instances in flight the datapath may initiate elements (or
+     * retry port/FU arbitration) every cycle, so the horizon is @p now
+     * — the caller must not skip. Otherwise only scheduled completions
+     * remain and the horizon is the earliest of their ready cycles
+     * (neverCycle when fully idle).
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (!active_.empty())
+            return now;
+        Cycle e = neverCycle;
+        for (const Completion &c : completions_)
+            e = c.ready < e ? c.ready : e;
+        return e;
+    }
+
     /** @return live (not fully initiated) instance count. */
     size_t numActive() const { return active_.size(); }
 

@@ -282,6 +282,11 @@ class VecRegFile
      */
     unsigned sweepReleases(Addr gmrbb);
 
+    /** @return true while flag changes await the next sweepReleases()
+     *  pass — the event-skipping clock must not jump over a cycle in
+     *  which the sweep could still release a register. */
+    bool sweepPending() const { return !sweepCandidates_.empty(); }
+
     /** Release everything (end of simulation), recording fates. */
     void releaseAll();
 

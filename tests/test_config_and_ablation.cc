@@ -74,6 +74,46 @@ TEST(Config, StorageCostMatchesSection41)
     EXPECT_EQ(cost.totalBytes(), 57856u); // "~56KB"
 }
 
+TEST(Config, Fig10WindowDefaultsToThePapersHundred)
+{
+    // The post-mispredict measurement window (Figure 10) is a config
+    // knob with the paper's value as default; an explicit 100 must
+    // reproduce the default's statistics exactly.
+    const Program prog = buildWorkload("go", 1);
+    const CoreConfig base = makeConfig(4, 1, BusMode::WideBusSdv);
+    ASSERT_EQ(base.fig10WindowInsts, 100u);
+
+    CoreConfig explicit100 = base;
+    explicit100.fig10WindowInsts = 100;
+    const SimResult a = simulate(base, prog, 50'000'000, false);
+    const SimResult b = simulate(explicit100, prog, 50'000'000, false);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.core.postMispredictWindowInsts,
+              b.core.postMispredictWindowInsts);
+    EXPECT_EQ(a.core.postMispredictReused, b.core.postMispredictReused);
+    EXPECT_DOUBLE_EQ(a.controlIndependenceFraction(),
+                     b.controlIndependenceFraction());
+}
+
+TEST(Config, Fig10WindowIsAblatable)
+{
+    // Shrinking the window must not change the timing model, only the
+    // Figure 10 measurement: fewer instructions are counted per
+    // mispredict, and never more than window * mispredicts.
+    const Program prog = buildWorkload("go", 1);
+    const CoreConfig base = makeConfig(4, 1, BusMode::WideBusSdv);
+    CoreConfig narrow = base;
+    narrow.fig10WindowInsts = 10;
+    const SimResult a = simulate(base, prog, 50'000'000, false);
+    const SimResult b = simulate(narrow, prog, 50'000'000, false);
+    EXPECT_EQ(a.cycles, b.cycles); // measurement only, no timing effect
+    ASSERT_GT(a.core.branchMispredicts, 0u);
+    EXPECT_GT(a.core.postMispredictWindowInsts,
+              b.core.postMispredictWindowInsts);
+    EXPECT_LE(b.core.postMispredictWindowInsts,
+              10u * b.core.branchMispredicts);
+}
+
 std::deque<Program> &
 keeper()
 {

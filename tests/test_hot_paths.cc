@@ -13,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include "arch/memory.hh"
+#include "common/histogram.hh"
 #include "common/random.hh"
 #include "common/ring_pool.hh"
+#include "core/lsq.hh"
 #include "core/store_overlay.hh"
 
 namespace sdv {
@@ -296,6 +298,142 @@ TEST(RingPool, PopBackDiscardsTentativeEntry)
     EXPECT_EQ(pool.emplaceBack().value, -1);
     pool.clear();
     EXPECT_TRUE(pool.empty());
+}
+
+// --- LSQ store-to-load forwarding -----------------------------------------
+
+namespace lsqtest {
+
+DynInst
+makeMem(InstSeqNum seq, Opcode op, Addr addr, unsigned size,
+        bool completed)
+{
+    DynInst d;
+    d.seq = seq;
+    d.rec.inst = Instruction(op, 1, 2, 3, 0);
+    d.rec.isMem = true;
+    d.rec.isStore = d.rec.inst.isStore();
+    d.rec.addr = addr;
+    d.rec.size = size;
+    d.completed = completed;
+    return d;
+}
+
+} // namespace lsqtest
+
+TEST(LsqForwarding, LoadSpanningTwoAdjacentCompletedStoresForwards)
+{
+    using lsqtest::makeMem;
+    LoadStoreQueue lsq(8);
+    DynInst s1 = makeMem(1, Opcode::STQ, 0x1000, 8, true);
+    DynInst s2 = makeMem(2, Opcode::STQ, 0x1008, 8, true);
+    DynInst ld = makeMem(3, Opcode::LDQ, 0x1004, 8, false);
+    lsq.insert(&s1);
+    lsq.insert(&s2);
+    lsq.insert(&ld);
+    // Neither store covers the load alone; together they do. The old
+    // nearest-store-only rule wrongly stalled this load.
+    EXPECT_EQ(lsq.checkLoad(&ld), LoadCheck::Forward);
+}
+
+TEST(LsqForwarding, CombinedCoverageStallsWhileAnyNeededStoreIsPending)
+{
+    using lsqtest::makeMem;
+    LoadStoreQueue lsq(8);
+    DynInst s1 = makeMem(1, Opcode::STQ, 0x1000, 8, true);
+    DynInst s2 = makeMem(2, Opcode::STQ, 0x1008, 8, false); // in flight
+    DynInst ld = makeMem(3, Opcode::LDQ, 0x1004, 8, false);
+    lsq.insert(&s1);
+    lsq.insert(&s2);
+    lsq.insert(&ld);
+    EXPECT_EQ(lsq.checkLoad(&ld), LoadCheck::Stall);
+    s2.completed = true;
+    EXPECT_EQ(lsq.checkLoad(&ld), LoadCheck::Forward);
+}
+
+TEST(LsqForwarding, NearestStorePerByteDecides)
+{
+    using lsqtest::makeMem;
+    LoadStoreQueue lsq(8);
+    // The older store is incomplete, but every byte it would supply is
+    // re-written by the younger completed store: the load only needs
+    // the younger one.
+    DynInst s1 = makeMem(1, Opcode::STQ, 0x2000, 8, false);
+    DynInst s2 = makeMem(2, Opcode::STQ, 0x2000, 8, true);
+    DynInst ld = makeMem(3, Opcode::LDQ, 0x2000, 8, false);
+    lsq.insert(&s1);
+    lsq.insert(&s2);
+    lsq.insert(&ld);
+    EXPECT_EQ(lsq.checkLoad(&ld), LoadCheck::Forward);
+
+    // Conversely a younger *incomplete* store owning any needed byte
+    // stalls the load even when an older completed store covers it.
+    LoadStoreQueue lsq2(8);
+    DynInst t1 = makeMem(1, Opcode::STQ, 0x3000, 8, true);
+    DynInst t2 = makeMem(2, Opcode::STL, 0x3004, 4, false);
+    DynInst ld2 = makeMem(3, Opcode::LDQ, 0x3000, 8, false);
+    lsq2.insert(&t1);
+    lsq2.insert(&t2);
+    lsq2.insert(&ld2);
+    EXPECT_EQ(lsq2.checkLoad(&ld2), LoadCheck::Stall);
+}
+
+TEST(LsqForwarding, PartialCoverageFromMemoryStalls)
+{
+    using lsqtest::makeMem;
+    LoadStoreQueue lsq(8);
+    // Half the load comes from a pending store, half from the cache: a
+    // mixed source cannot forward and must wait for the store to drain.
+    DynInst s1 = makeMem(1, Opcode::STL, 0x4000, 4, true);
+    DynInst ld = makeMem(2, Opcode::LDQ, 0x4000, 8, false);
+    lsq.insert(&s1);
+    lsq.insert(&ld);
+    EXPECT_EQ(lsq.checkLoad(&ld), LoadCheck::Stall);
+
+    // Fully disjoint load: straight to the cache.
+    DynInst ld2 = makeMem(3, Opcode::LDQ, 0x5000, 8, false);
+    lsq.insert(&ld2);
+    EXPECT_EQ(lsq.checkLoad(&ld2), LoadCheck::Ready);
+}
+
+// --- Histogram under/overflow ---------------------------------------------
+
+TEST(HistogramFlow, NegativeSamplesLandInUnderflowNotOverflow)
+{
+    Histogram h(4);
+    h.sample(-1);
+    h.sample(-100, 2);
+    h.sample(0);
+    h.sample(3);
+    h.sample(4);  // first out-of-range above
+    h.sample(99, 3);
+    EXPECT_EQ(h.underflow(), 3u);
+    EXPECT_EQ(h.overflow(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.total(), 9u);
+    EXPECT_DOUBLE_EQ(h.underflowFraction(), 3.0 / 9.0);
+    EXPECT_DOUBLE_EQ(h.overflowFraction(), 4.0 / 9.0);
+    EXPECT_NE(h.toString().find("unf 3"), std::string::npos);
+    EXPECT_NE(h.toString().find("ovf 4"), std::string::npos);
+}
+
+TEST(HistogramFlow, MergeAndResetCarryUnderflow)
+{
+    Histogram a(4), b(4);
+    a.sample(-5);
+    a.sample(2);
+    b.sample(-7, 2);
+    b.sample(10);
+    a.merge(b);
+    EXPECT_EQ(a.underflow(), 3u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.bucket(2), 1u);
+    EXPECT_EQ(a.total(), 5u);
+    a.reset();
+    EXPECT_EQ(a.underflow(), 0u);
+    EXPECT_EQ(a.overflow(), 0u);
+    EXPECT_EQ(a.total(), 0u);
 }
 
 } // namespace

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench --json output against the checked-in baseline.
+
+Two schemas are understood:
+
+* harness schema (bench_headline_claims and friends): a JSON array of
+  records {bench, workload, config, cycles, insts, ipc, wall_seconds,
+  sim_mips}. Simulated statistics (cycles, insts, ipc) are exact model
+  outputs, so any drift is an error; wall_seconds is host-dependent, so
+  a >10% regression only warns.
+
+* google-benchmark schema (bench_micro_components): an object with a
+  "benchmarks" array. Timings are host-dependent; the benchmark set
+  must match and a >10% real_time regression warns.
+
+Exit status: 1 on stat drift or schema mismatch, 0 otherwise (warnings
+included). --update rewrites the baseline file with the new results
+after a successful (or warn-only) comparison, keeping the checked-in
+perf trajectory current.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+TIME_REGRESSION_WARN = 0.10
+IPC_TOLERANCE = 5e-5  # ipc is serialized with 4 decimals
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def is_harness_schema(doc):
+    return isinstance(doc, list)
+
+
+def compare_harness(base, new):
+    errors, warnings = [], []
+    bkey = {(r["workload"], r["config"]): r for r in base}
+    nkey = {(r["workload"], r["config"]): r for r in new}
+
+    for key in sorted(bkey):
+        if key not in nkey:
+            errors.append(f"run {key} missing from new results")
+            continue
+        b, n = bkey[key], nkey[key]
+        for stat in ("cycles", "insts"):
+            if b[stat] != n[stat]:
+                errors.append(
+                    f"{key}: {stat} drifted {b[stat]} -> {n[stat]}")
+        if abs(b["ipc"] - n["ipc"]) > IPC_TOLERANCE:
+            errors.append(f"{key}: ipc drifted {b['ipc']} -> {n['ipc']}")
+    for key in sorted(nkey):
+        if key not in bkey:
+            warnings.append(f"new run {key} has no baseline yet")
+
+    bwall = sum(r["wall_seconds"] for r in base)
+    nwall = sum(r["wall_seconds"] for r in new)
+    if bwall > 0 and nwall > bwall * (1 + TIME_REGRESSION_WARN):
+        warnings.append(
+            f"total wall time regressed >10%: {bwall:.3f}s -> {nwall:.3f}s")
+    return errors, warnings
+
+
+def compare_google_benchmark(base, new):
+    errors, warnings = [], []
+    bbm = {b["name"]: b for b in base.get("benchmarks", [])}
+    nbm = {b["name"]: b for b in new.get("benchmarks", [])}
+
+    for name in sorted(bbm):
+        if name not in nbm:
+            errors.append(f"benchmark {name} missing from new results")
+            continue
+        b, n = bbm[name], nbm[name]
+        if b.get("time_unit") != n.get("time_unit"):
+            errors.append(f"{name}: time unit changed")
+            continue
+        bt, nt = b.get("real_time", 0.0), n.get("real_time", 0.0)
+        if bt > 0 and nt > bt * (1 + TIME_REGRESSION_WARN):
+            warnings.append(
+                f"{name}: real_time regressed >10%: "
+                f"{bt:.3f}{b['time_unit']} -> {nt:.3f}{n['time_unit']}")
+    for name in sorted(nbm):
+        if name not in bbm:
+            warnings.append(f"new benchmark {name} has no baseline yet")
+    return errors, warnings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="checked-in BENCH_*.json")
+    ap.add_argument("new", help="freshly produced --json output")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline with the new results "
+                         "when no stats drifted")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+    if is_harness_schema(base) != is_harness_schema(new):
+        print("error: baseline and new results use different schemas")
+        return 1
+
+    if is_harness_schema(base):
+        errors, warnings = compare_harness(base, new)
+    else:
+        errors, warnings = compare_google_benchmark(base, new)
+
+    for w in warnings:
+        print(f"warning: {w}")
+    for e in errors:
+        print(f"error: {e}")
+    if errors:
+        print(f"{args.baseline}: FAILED ({len(errors)} stat drift(s))")
+        return 1
+
+    print(f"{args.baseline}: OK "
+          f"({len(warnings)} warning(s))")
+    if args.update:
+        shutil.copyfile(args.new, args.baseline)
+        print(f"{args.baseline}: updated from {args.new}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
