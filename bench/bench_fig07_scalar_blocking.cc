@@ -2,7 +2,8 @@
  * @file
  * Figure 7: IPC with decode blocking on not-ready captured-scalar
  * operands (real) versus no blocking (ideal), 4-way, one wide port,
- * 128 vector registers.
+ * 128 vector registers. The real/ideal pair comes from the sweep plan
+ * registry ("fig07") and honours --jobs / --checkpoint.
  */
 
 #include <cstdio>
@@ -20,19 +21,20 @@ main(int argc, char **argv)
                   "blocking on a not-ready scalar operand costs little "
                   "(real vs ideal bars nearly equal)");
 
-    bench::SuiteTable table({"real", "ideal", "loss"});
-    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        CoreConfig real_cfg = makeConfig(4, 1, BusMode::WideBusSdv);
-        real_cfg.engine.blockOnScalarOperand = true;
-        CoreConfig ideal_cfg = real_cfg;
-        ideal_cfg.engine.blockOnScalarOperand = false;
+    const auto outcomes = bench::runGrid(opt, "fig07");
 
-        const SimResult real = bench::run(real_cfg, p);
-        const SimResult ideal = bench::run(ideal_cfg, p);
+    bench::SuiteTable table({"real", "ideal", "loss"});
+    // Plan order: per workload, "real" then "ideal".
+    for (size_t i = 0; i + 1 < outcomes.size(); i += 2) {
+        const sweep::RunOutcome &real = outcomes[i];
+        const sweep::RunOutcome &ideal = outcomes[i + 1];
         const double loss =
-            ideal.ipc > 0 ? (ideal.ipc - real.ipc) / ideal.ipc : 0.0;
-        table.add(w.name, w.isFp, {real.ipc, ideal.ipc, 100.0 * loss});
-    });
+            ideal.res.ipc > 0
+                ? (ideal.res.ipc - real.res.ipc) / ideal.res.ipc
+                : 0.0;
+        table.add(real.workload, real.isFp,
+                  {real.res.ipc, ideal.res.ipc, 100.0 * loss});
+    }
     std::printf("%s\n",
                 table.render("IPC, 4-way, 1 wide port, 128 vregs "
                              "(loss column in %)")

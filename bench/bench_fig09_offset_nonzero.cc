@@ -2,7 +2,8 @@
  * @file
  * Figure 9: percentage of vector instructions whose source operands
  * start at a non-zero element offset (8-way, 128 vector registers).
- * The paper reports this is low everywhere (< ~25%).
+ * The paper reports this is low everywhere (< ~25%). Runs through the
+ * sweep plan registry ("fig09"); honours --jobs / --checkpoint.
  */
 
 #include <cstdio>
@@ -19,17 +20,17 @@ main(int argc, char **argv)
                   "the fraction of vector instances whose sources start "
                   "mid-register is low");
 
+    const auto outcomes = bench::runGrid(opt, "fig09");
+
     bench::SuiteTable table({"offset!=0"});
-    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        const SimResult r =
-            bench::run(makeConfig(8, 1, BusMode::WideBusSdv), p);
+    for (const sweep::RunOutcome &o : outcomes) {
         const double frac =
-            r.datapath.arithInstances == 0
+            o.res.datapath.arithInstances == 0
                 ? 0.0
-                : double(r.datapath.instancesWithNonzeroSrcOffset) /
-                      double(r.datapath.arithInstances);
-        table.add(w.name, w.isFp, {frac});
-    });
+                : double(o.res.datapath.instancesWithNonzeroSrcOffset) /
+                      double(o.res.datapath.arithInstances);
+        table.add(o.workload, o.isFp, {frac});
+    }
     std::printf("%s\n",
                 table.render("Vector arithmetic instances with a "
                              "non-zero source offset, 8-way",

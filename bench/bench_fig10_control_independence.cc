@@ -3,7 +3,8 @@
  * Figure 10: control-flow independence — among the 100 instructions
  * that follow a mispredicted branch, the fraction that are reused
  * (committed as validations of vector elements computed before the
- * misprediction). Paper: ~17% for SpecInt.
+ * misprediction). Paper: ~17% for SpecInt. Runs through the sweep
+ * plan registry ("fig10"); honours --jobs / --checkpoint.
  */
 
 #include <cstdio>
@@ -20,17 +21,18 @@ main(int argc, char **argv)
                   "~17% of the 100 instructions after a mispredicted "
                   "branch are reused from vector registers (SpecInt)");
 
+    const auto outcomes = bench::runGrid(opt, "fig10");
+
     bench::SuiteTable table({"reused", "window insts/total"});
-    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        const SimResult r =
-            bench::run(makeConfig(4, 1, BusMode::WideBusSdv), p);
+    for (const sweep::RunOutcome &o : outcomes) {
         const double window_share =
-            r.insts == 0 ? 0.0
-                         : double(r.core.postMispredictWindowInsts) /
-                               double(r.insts);
-        table.add(w.name, w.isFp,
-                  {r.controlIndependenceFraction(), window_share});
-    });
+            o.res.insts == 0
+                ? 0.0
+                : double(o.res.core.postMispredictWindowInsts) /
+                      double(o.res.insts);
+        table.add(o.workload, o.isFp,
+                  {o.res.controlIndependenceFraction(), window_share});
+    }
     std::printf("%s\n",
                 table.render("Post-mispredict window reuse, 4-way, "
                              "1 wide port",

@@ -3,6 +3,12 @@
  * Figure 11 (the headline figure): IPC for the 8-way and 4-way
  * processors with 1, 2 and 4 L1D ports, each scalar (xpnoIM), wide
  * (xpIM) or wide + dynamic vectorization (xpV).
+ *
+ * The grid itself lives in the sweep plan registry ("fig11") and runs
+ * through the sweep executor: --jobs N parallelizes it and
+ * --checkpoint forks every configuration from a warmed snapshot, both
+ * without changing a single reported statistic (per-run results are
+ * scheduling-independent).
  */
 
 #include <cstdio>
@@ -11,47 +17,31 @@
 
 using namespace sdv;
 
-namespace {
-
-void
-sweep(const bench::Options &opt, unsigned width)
-{
-    std::vector<std::string> cols;
-    std::vector<std::pair<unsigned, BusMode>> configs;
-    for (unsigned ports : {1u, 2u, 4u}) {
-        for (BusMode mode : {BusMode::ScalarBus, BusMode::WideBus,
-                             BusMode::WideBusSdv}) {
-            cols.push_back(configLabel(ports, mode));
-            configs.emplace_back(ports, mode);
-        }
-    }
-
-    bench::SuiteTable table(cols);
-    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        std::vector<double> ipcs;
-        for (const auto &[ports, mode] : configs)
-            ipcs.push_back(
-                bench::run(makeConfig(width, ports, mode), p).ipc);
-        table.add(w.name, w.isFp, ipcs);
-    });
-
-    std::printf("%s\n",
-                table.render("IPC, " + std::to_string(width) +
-                             "-way processor")
-                    .c_str());
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    const auto opt = bench::parseArgs(argc, argv);
+    const auto opt = bench::parseArgs(argc, argv,
+                                      /*json_supported=*/true);
     bench::banner("Figure 11 - IPC by port count, bus width and "
                   "dynamic vectorization",
                   "a 4-way processor with one wide bus + SDV beats the "
                   "same processor with 4 scalar buses by ~19%");
-    sweep(opt, 8);
-    sweep(opt, 4);
+
+    const auto outcomes = bench::runGrid(opt, "fig11");
+    const auto ipc = [](const sweep::RunOutcome &o) {
+        return o.res.ipc;
+    };
+    for (const char *group : {"8w", "4w"}) {
+        std::printf(
+            "%s\n",
+            bench::pivotTable(outcomes, group, ipc)
+                .render("IPC, " + std::string(group == std::string("8w")
+                                                  ? "8"
+                                                  : "4") +
+                        "-way processor")
+                .c_str());
+    }
+
+    bench::writeJson(opt, "fig11_ipc");
     return 0;
 }

@@ -2,7 +2,8 @@
  * @file
  * Figure 12: L1D port occupancy for the same machine matrix as Figure
  * 11 — dynamic vectorization relieves port pressure even though it
- * issues speculative element loads.
+ * issues speculative element loads. The matrix comes from the sweep
+ * plan registry ("fig12") and honours --jobs / --checkpoint.
  */
 
 #include <cstdio>
@@ -11,41 +12,6 @@
 
 using namespace sdv;
 
-namespace {
-
-void
-sweep(const bench::Options &opt, unsigned width)
-{
-    std::vector<std::string> cols;
-    std::vector<std::pair<unsigned, BusMode>> configs;
-    for (unsigned ports : {1u, 2u, 4u}) {
-        for (BusMode mode : {BusMode::ScalarBus, BusMode::WideBus,
-                             BusMode::WideBusSdv}) {
-            cols.push_back(configLabel(ports, mode));
-            configs.emplace_back(ports, mode);
-        }
-    }
-
-    bench::SuiteTable table(cols);
-    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        std::vector<double> occ;
-        for (const auto &[ports, mode] : configs) {
-            const SimResult r =
-                bench::run(makeConfig(width, ports, mode), p);
-            occ.push_back(r.ports.occupancy(ports));
-        }
-        table.add(w.name, w.isFp, occ);
-    });
-
-    std::printf("%s\n",
-                table.render("Port occupancy, " + std::to_string(width) +
-                                 "-way processor",
-                             /*percent=*/true, 1)
-                    .c_str());
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -53,7 +19,22 @@ main(int argc, char **argv)
     bench::banner("Figure 12 - L1D bus occupancy",
                   "wide buses and vectorization both cut occupancy; the "
                   "1-port configurations are the most contended");
-    sweep(opt, 8);
-    sweep(opt, 4);
+
+    const auto outcomes = bench::runGrid(opt, "fig12");
+    const auto occupancy = [](const sweep::RunOutcome &o) {
+        return o.res.ports.occupancy(o.cfg.dcachePorts);
+    };
+    for (const char *group : {"8w", "4w"}) {
+        std::printf(
+            "%s\n",
+            bench::pivotTable(outcomes, group, occupancy)
+                .render("Port occupancy, " +
+                            std::string(group == std::string("8w")
+                                            ? "8"
+                                            : "4") +
+                            "-way processor",
+                        /*percent=*/true, 1)
+                .c_str());
+    }
     return 0;
 }

@@ -3,7 +3,8 @@
  * Figure 13: effectiveness of wide buses — the percentage of read line
  * accesses contributing 1, 2, 3 or 4 useful words and the percentage
  * of entirely speculative (unused) accesses, 4-way, one wide port,
- * with dynamic vectorization.
+ * with dynamic vectorization. Runs through the sweep plan registry
+ * ("fig13"); honours --jobs / --checkpoint.
  */
 
 #include <cstdio>
@@ -20,15 +21,15 @@ main(int argc, char **argv)
                   "most accesses serve multiple words; unused "
                   "(speculative) accesses are small except compress");
 
+    const auto outcomes = bench::runGrid(opt, "fig13");
+
     bench::SuiteTable table({"1pos", "2pos", "3pos", "4pos", "unused"});
-    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        const SimResult r =
-            bench::run(makeConfig(4, 1, BusMode::WideBusSdv), p);
-        table.add(w.name, w.isFp,
-                  {r.wideBus.fraction(1), r.wideBus.fraction(2),
-                   r.wideBus.fraction(3), r.wideBus.fraction(4),
-                   r.wideBus.unusedFraction()});
-    });
+    for (const sweep::RunOutcome &o : outcomes) {
+        table.add(o.workload, o.isFp,
+                  {o.res.wideBus.fraction(1), o.res.wideBus.fraction(2),
+                   o.res.wideBus.fraction(3), o.res.wideBus.fraction(4),
+                   o.res.wideBus.unusedFraction()});
+    }
     std::printf("%s\n",
                 table.render("Read line accesses by useful word count, "
                              "4-way, 1 wide port",

@@ -2,7 +2,8 @@
  * @file
  * Figure 14: percentage of committed instructions that are turned into
  * validation operations (8-way, one wide bus). Paper: 28% for SpecInt,
- * 23% for SpecFP.
+ * 23% for SpecFP. Runs through the sweep plan registry ("fig14");
+ * honours --jobs / --checkpoint.
  */
 
 #include <cstdio>
@@ -19,18 +20,18 @@ main(int argc, char **argv)
                   "28% of SpecInt and 23% of SpecFP instructions "
                   "validate a vector element instead of executing");
 
+    const auto outcomes = bench::runGrid(opt, "fig14");
+
     bench::SuiteTable table({"validations", "load vals", "arith vals"});
-    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        const SimResult r =
-            bench::run(makeConfig(8, 1, BusMode::WideBusSdv), p);
-        const double total = double(r.insts ? r.insts : 1);
-        table.add(w.name, w.isFp,
-                  {r.validationFraction(),
-                   double(r.core.committedLoadValidations) / total,
-                   double(r.core.committedValidations -
-                          r.core.committedLoadValidations) /
+    for (const sweep::RunOutcome &o : outcomes) {
+        const double total = double(o.res.insts ? o.res.insts : 1);
+        table.add(o.workload, o.isFp,
+                  {o.res.validationFraction(),
+                   double(o.res.core.committedLoadValidations) / total,
+                   double(o.res.core.committedValidations -
+                          o.res.core.committedLoadValidations) /
                        total});
-    });
+    }
     std::printf("%s\n",
                 table.render("Committed validations / committed "
                              "instructions, 8-way, 1 wide port",

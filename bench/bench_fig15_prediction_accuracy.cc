@@ -4,7 +4,8 @@
  * number of vector register elements that were computed and used
  * (validated), computed but never used, and never computed, at register
  * release (8-way, 128 x 4-element registers). Paper: on average only
- * 1.75 of 3.75 computed elements are validated.
+ * 1.75 of 3.75 computed elements are validated. Runs through the sweep
+ * plan registry ("fig15"); honours --jobs / --checkpoint.
  */
 
 #include <cstdio>
@@ -21,14 +22,15 @@ main(int argc, char **argv)
                   "avg per released register: ~1.75 computed+used, "
                   "~2.0 computed-not-used, ~0.25 not computed");
 
+    const auto outcomes = bench::runGrid(opt, "fig15");
+
     bench::SuiteTable table({"comp. used", "comp. not used", "not comp."});
-    bench::forEachWorkload(opt, [&](const Workload &w, const Program &p) {
-        const SimResult r =
-            bench::run(makeConfig(8, 1, BusMode::WideBusSdv), p);
-        table.add(w.name, w.isFp,
-                  {r.fates.avgComputedUsed(), r.fates.avgComputedNotUsed(),
-                   r.fates.avgNotComputed()});
-    });
+    for (const sweep::RunOutcome &o : outcomes) {
+        table.add(o.workload, o.isFp,
+                  {o.res.fates.avgComputedUsed(),
+                   o.res.fates.avgComputedNotUsed(),
+                   o.res.fates.avgNotComputed()});
+    }
     std::printf("%s\n",
                 table.render("Average elements per released vector "
                              "register (of 4), 8-way")

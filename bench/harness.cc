@@ -43,13 +43,25 @@ parseArgs(int argc, char **argv, bool json_supported)
             opt.quick = true;
         } else if (std::strcmp(argv[i], "--no-event-skip") == 0) {
             opt.eventSkip = false;
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            opt.jobs = unsigned(std::atoi(argv[++i]));
+            if (opt.jobs == 0)
+                opt.jobs = 1;
+        } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+            opt.checkpoint = true;
+        } else if (std::strcmp(argv[i], "--warmup") == 0 &&
+                   i + 1 < argc) {
+            opt.warmupInsts = std::strtoull(argv[++i], nullptr, 0);
+            if (opt.warmupInsts == 0)
+                opt.warmupInsts = 1;
         } else if (json_supported && std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             opt.jsonPath = argv[++i];
         } else {
             std::fprintf(stderr,
                          "usage: %s [--scale N] [--quick] "
-                         "[--no-event-skip]%s\n",
+                         "[--no-event-skip] [--jobs N] [--checkpoint] "
+                         "[--warmup N]%s\n",
                          argv[0],
                          json_supported ? " [--json PATH]" : "");
             std::exit(2);
@@ -213,6 +225,77 @@ SuiteTable::render(const std::string &title, bool percent,
     t.addSeparator();
     add_row("Spec95", total_avgs);
     return t.render();
+}
+
+std::vector<sweep::RunOutcome>
+runGrid(const Options &opt, const std::string &plan_name)
+{
+    sweep::PlanOptions popt;
+    popt.scale = opt.scale;
+    popt.quick = opt.quick;
+    const sweep::SweepPlan plan = sweep::buildPlan(plan_name, popt);
+
+    sweep::ExecOptions eopt;
+    eopt.jobs = opt.jobs;
+    eopt.eventSkip = opt.eventSkip;
+    eopt.checkpoint = opt.checkpoint;
+    eopt.warmupInsts = opt.warmupInsts;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<sweep::RunOutcome> outcomes =
+        sweep::runPlan(plan, eopt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    // Record for writeJson(). Per-run wall times overlap under --jobs,
+    // so charge each run its share of the grid's wall clock: the sum
+    // (what compare_bench.py warns on) stays the true elapsed time.
+    for (const sweep::RunOutcome &o : outcomes)
+        jsonRecords.push_back({o.workload, o.configKey, o.res.cycles,
+                               o.res.insts, o.res.ipc,
+                               outcomes.empty()
+                                   ? 0.0
+                                   : wall / double(outcomes.size())});
+    return outcomes;
+}
+
+SuiteTable
+pivotTable(const std::vector<sweep::RunOutcome> &outcomes,
+           const std::string &group,
+           const std::function<double(const sweep::RunOutcome &)> &metric)
+{
+    std::vector<std::string> cols;
+    for (const sweep::RunOutcome &o : outcomes) {
+        if (!group.empty() && o.group != group)
+            continue;
+        if (o.workload != outcomes.front().workload)
+            break;
+        cols.push_back(o.column);
+    }
+    SuiteTable table(cols);
+
+    std::string current;
+    bool is_fp = false;
+    std::vector<double> row;
+    auto flush = [&]() {
+        if (!current.empty())
+            table.add(current, is_fp, row);
+        row.clear();
+    };
+    for (const sweep::RunOutcome &o : outcomes) {
+        if (!group.empty() && o.group != group)
+            continue;
+        if (o.workload != current) {
+            flush();
+            current = o.workload;
+            is_fp = o.isFp;
+        }
+        row.push_back(metric(o));
+    }
+    flush();
+    return table;
 }
 
 void

@@ -14,6 +14,7 @@
 
 #include "common/table.hh"
 #include "sim/simulator.hh"
+#include "sweep/executor.hh"
 #include "workloads/workload.hh"
 
 namespace sdv {
@@ -25,6 +26,9 @@ struct Options
     unsigned scale = 1; ///< workload scale factor (--scale N)
     bool quick = false; ///< --quick: restrict to a subset of runs
     bool eventSkip = true; ///< --no-event-skip: tick every cycle
+    unsigned jobs = 1;  ///< --jobs N: worker threads for grid benches
+    bool checkpoint = false; ///< --checkpoint: fork from warm snapshots
+    std::uint64_t warmupInsts = 10'000; ///< --warmup N
     std::string jsonPath; ///< --json <path>: machine-readable results
 };
 
@@ -104,6 +108,27 @@ struct SuiteTable
 void forEachWorkload(
     const Options &opt,
     const std::function<void(const Workload &, const Program &)> &fn);
+
+/**
+ * Instantiate the registry plan for figure @p plan_name with this
+ * bench's options and execute it through the sweep executor —
+ * honouring --jobs, --checkpoint and --warmup — recording every run
+ * for writeJson(). Outcomes come back in plan order (workload-major,
+ * grid order within), bit-identical to the legacy serial per-figure
+ * loops.
+ */
+std::vector<sweep::RunOutcome> runGrid(const Options &opt,
+                                       const std::string &plan_name);
+
+/**
+ * Pivot @p outcomes into a SuiteTable: one row per workload, one
+ * column per grid config whose group equals @p group (all configs
+ * when empty), cell values via @p metric.
+ */
+SuiteTable pivotTable(
+    const std::vector<sweep::RunOutcome> &outcomes,
+    const std::string &group,
+    const std::function<double(const sweep::RunOutcome &)> &metric);
 
 } // namespace bench
 } // namespace sdv

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sdv {
@@ -64,6 +65,25 @@ class ArchState
     operator==(const ArchState &o) const
     {
         return pc == o.pc && regs_ == o.regs_;
+    }
+
+    /** Serialize pc + all registers (checkpoint layer). */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.u64(pc);
+        for (std::uint64_t r : regs_)
+            ser.u64(r);
+    }
+
+    /** Restore pc + all registers from a checkpoint image. */
+    void
+    loadState(Deserializer &des)
+    {
+        pc = des.u64();
+        for (std::uint64_t &r : regs_)
+            r = des.u64();
+        regs_[zeroReg] = 0;
     }
 
   private:

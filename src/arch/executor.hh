@@ -84,6 +84,27 @@ class FunctionalCore
     /** @return the program being executed. */
     const Program &program() const { return prog_; }
 
+    /** Serialize execution progress + full architectural state. */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.b(halted_);
+        ser.u64(instCount_);
+        state_.saveState(ser);
+        mem_.saveState(ser);
+    }
+
+    /** Restore execution progress + architectural state from a
+     *  checkpoint (the program itself is identity-checked upstream). */
+    void
+    loadState(Deserializer &des)
+    {
+        halted_ = des.b();
+        instCount_ = des.u64();
+        state_.loadState(des);
+        mem_.loadState(des);
+    }
+
   private:
     const Program &prog_;
     ArchState state_;

@@ -1,9 +1,11 @@
 #include "arch/memory.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bitutils.hh"
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace sdv {
 
@@ -109,6 +111,41 @@ SparseMemory::writeBytes(Addr addr, const std::uint8_t *data, size_t len)
         addr += span;
         data += span;
         len -= span;
+    }
+}
+
+void
+SparseMemory::saveState(Serializer &ser) const
+{
+    std::vector<Addr> addrs;
+    addrs.reserve(pages_.size());
+    for (const auto &[page_addr, page] : pages_)
+        addrs.push_back(page_addr);
+    std::sort(addrs.begin(), addrs.end());
+
+    ser.u32(pageBytes);
+    ser.u64(addrs.size());
+    for (Addr a : addrs) {
+        ser.u64(a);
+        ser.bytes(pages_.at(a).data(), pageBytes);
+    }
+}
+
+void
+SparseMemory::loadState(Deserializer &des)
+{
+    clear();
+    if (des.u32() != pageBytes) {
+        des.fail();
+        return;
+    }
+    const std::uint64_t n = des.u64();
+    for (std::uint64_t i = 0; i < n && des.ok(); ++i) {
+        const Addr a = des.u64();
+        Page page(pageBytes, 0);
+        if (!des.bytes(page.data(), pageBytes))
+            return;
+        pages_.emplace(a, std::move(page));
     }
 }
 

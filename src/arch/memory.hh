@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sdv {
@@ -92,6 +93,13 @@ class SparseMemory
 
     /** @return number of materialized pages. */
     size_t numPages() const { return pages_.size(); }
+
+    /** Serialize every materialized page (address-sorted, so the byte
+     *  image is independent of hash-map iteration order). */
+    void saveState(Serializer &ser) const;
+
+    /** Replace the contents with a checkpointed image. */
+    void loadState(Deserializer &des);
 
     /**
      * Compare the union of both memories' touched pages.

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sdv {
@@ -42,6 +43,47 @@ class Btb
 
     /** @return lookup count since construction/reset. */
     std::uint64_t lookups() const { return lookups_; }
+
+    /** Zero the hit/lookup counters, keeping the entries. */
+    void
+    resetStats()
+    {
+        hits_ = 0;
+        lookups_ = 0;
+    }
+
+    /** Serialize entries + LRU clock (not statistics). */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.u32(sets_);
+        ser.u32(ways_);
+        ser.u64(useClock_);
+        for (const Entry &e : entries_) {
+            ser.b(e.valid);
+            ser.u64(e.tag);
+            ser.u64(e.target);
+            ser.u64(e.lastUse);
+        }
+    }
+
+    /** Restore BTB state; @retval false on geometry mismatch. */
+    bool
+    loadState(Deserializer &des)
+    {
+        if (des.u32() != sets_ || des.u32() != ways_) {
+            des.fail();
+            return false;
+        }
+        useClock_ = des.u64();
+        for (Entry &e : entries_) {
+            e.valid = des.b();
+            e.tag = des.u64();
+            e.target = des.u64();
+            e.lastUse = des.u64();
+        }
+        return des.ok();
+    }
 
   private:
     struct Entry

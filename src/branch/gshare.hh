@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/sat_counter.hh"
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sdv {
@@ -44,6 +45,30 @@ class Gshare
 
     /** Reset all counters and history. */
     void reset();
+
+    /** Serialize every counter plus the global history register. */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.u32(unsigned(table_.size()));
+        ser.u64(history_);
+        for (const SatCounter &c : table_)
+            ser.u8(c.count());
+    }
+
+    /** Restore predictor state; @retval false on geometry mismatch. */
+    bool
+    loadState(Deserializer &des)
+    {
+        if (des.u32() != table_.size()) {
+            des.fail();
+            return false;
+        }
+        history_ = des.u64() & historyMask_;
+        for (SatCounter &c : table_)
+            c.set(des.u8());
+        return des.ok();
+    }
 
   private:
     unsigned index(Addr pc) const;

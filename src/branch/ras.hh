@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sdv {
@@ -36,6 +37,32 @@ class ReturnAddressStack
 
     /** Empty the stack. */
     void reset();
+
+    /** Serialize the stack contents and pointers. */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.u32(unsigned(stack_.size()));
+        ser.u32(top_);
+        ser.u32(size_);
+        for (Addr a : stack_)
+            ser.u64(a);
+    }
+
+    /** Restore RAS state; @retval false on geometry mismatch. */
+    bool
+    loadState(Deserializer &des)
+    {
+        if (des.u32() != stack_.size()) {
+            des.fail();
+            return false;
+        }
+        top_ = des.u32();
+        size_ = des.u32();
+        for (Addr &a : stack_)
+            a = des.u64();
+        return des.ok();
+    }
 
   private:
     std::vector<Addr> stack_;

@@ -9,8 +9,34 @@
 #define SDV_COMMON_RANDOM_HH
 
 #include <cstdint>
+#include <string_view>
 
 namespace sdv {
+
+/**
+ * Derive a deterministic per-job seed from (workload, config, base
+ * seed): a pure function of the job's identity, never of scheduling
+ * order or thread count. The sweep executor derives and records one
+ * per job; the simulator currently draws no randomness at run time,
+ * so the stream is reserved — the determinism contract is that any
+ * future stochastic component (randomized replacement, fault
+ * injection, ...) must draw only from this stream, keeping parallel
+ * and serial sweeps byte-identical.
+ */
+inline std::uint64_t
+deriveSeed(std::string_view workload, std::string_view config,
+           std::uint64_t base_seed)
+{
+    std::uint64_t h = 1469598103934665603ULL ^ base_seed;
+    auto mix = [&h](std::string_view s) {
+        for (const char c : s)
+            h = (h ^ std::uint8_t(c)) * 1099511628211ULL;
+        h = (h ^ 0xff) * 1099511628211ULL; // field separator
+    };
+    mix(workload);
+    mix(config);
+    return h;
+}
 
 /** xorshift128+ generator; fast, decent quality, fully deterministic. */
 class Random
@@ -71,6 +97,19 @@ class Random
     uniform()
     {
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * @return an independent child generator for stream @p stream_id.
+     * Forking instead of sharing keeps sibling consumers (e.g. the
+     * data and pointer initializers of one workload) decoupled: adding
+     * draws to one stream never perturbs another.
+     */
+    Random
+    fork(std::uint64_t stream_id)
+    {
+        return Random(next() ^
+                      (stream_id * 0x9e3779b97f4a7c15ULL + stream_id));
     }
 
   private:

@@ -89,28 +89,35 @@ Core::trySkipIdle()
         return false;
 
     // Decode: with instructions waiting, decode makes progress unless
-    // it is blocked by a structural hazard that only a commit (i.e. a
-    // completion event) can clear. Those blocked cycles charge one
-    // stall count each, which the jump reproduces below. A decode
-    // blocked inside the engine (Figure 7) is not modelled here and
-    // vetoes the jump.
+    // it is blocked by a structural hazard that only a completion
+    // event can clear — a full ROB/LSQ, or a Figure-7 block on an
+    // in-flight captured-scalar producer. Those blocked cycles charge
+    // one stall count each, which the jump reproduces below; the
+    // producer's completion is a scheduled event already covered by
+    // the horizon scan.
     bool rob_full_stall = false;
     bool lsq_full_stall = false;
+    bool decode_block_stall = false;
+    Addr decode_block_pc = 0;
     if (!fetchQueue_.empty()) {
+        const FetchedInst &front = fetchQueue_.front();
         if (rob_.full())
             rob_full_stall = true;
-        else if (fetchQueue_.front().rec.inst.isMem() && lsq_.full())
+        else if (front.rec.inst.isMem() && lsq_.full())
             lsq_full_stall = true;
-        else
+        else if (engine_.decodeWouldBlock(front.rec, rt_, *this)) {
+            decode_block_stall = true;
+            decode_block_pc = front.rec.pc;
+        } else
             return false;
     }
 
     // Fetch: idle only when stalled on an unresolved branch, out of
-    // instructions, waiting on an I-cache miss, or backed up into a
-    // full fetch queue.
+    // instructions (or past the warm-up fetch limit), waiting on an
+    // I-cache miss, or backed up into a full fetch queue.
     Cycle horizon = neverCycle;
     const bool fetch_idle =
-        fetchStalled_ || (replayQueue_.empty() && oracle_.halted()) ||
+        fetchStalled_ || fetchExhausted() ||
         fetchQueue_.size() >= cfg_.fetchQueueEntries;
     if (!fetch_idle) {
         if (cycle_ < icacheReadyAt_)
@@ -172,6 +179,10 @@ Core::trySkipIdle()
         stats_.robFullStalls += skipped;
     if (lsq_full_stall)
         stats_.lsqFullStalls += skipped;
+    if (decode_block_stall) {
+        stats_.decodeBlockCycles += skipped;
+        engine_.chargeBlockedCycles(decode_block_pc, skipped);
+    }
 
     cycle_ = target;
     stats_.cycles = cycle_;
@@ -180,6 +191,88 @@ Core::trySkipIdle()
     // cycle was idle: the jump itself finishes the run and the cycle
     // at the limit must not execute.
     return clipped;
+}
+
+// --- checkpoint / measurement boundary -------------------------------------
+
+bool
+Core::quiescent() const
+{
+    return rob_.empty() && iq_.empty() && pendingCompletion_.empty() &&
+           fetchQueue_.empty() && replayQueue_.empty() &&
+           lsq_.size() == 0 && pendingStores_.empty() &&
+           !fetchStalled_ &&
+           engine_.nextEventCycle(cycle_) == neverCycle &&
+           mem_.mshrs().busyCount(cycle_) == 0;
+}
+
+void
+Core::beginMeasurement()
+{
+    sdv_assert(quiescent(), "measurement rebase on a busy pipeline");
+
+    // Context-switch the transient vector state; the warm TL, caches
+    // and predictors survive. Releasing the registers resolves every
+    // outstanding element-load ledger entry, so the Figure-13 slot
+    // pool must be fully folded afterwards.
+    engine_.quiesce();
+    rt_.reset();
+    sdv_assert(ports_.ledgerLiveRecords() == 0,
+               "unresolved port ledger records at the boundary");
+
+    // With every fill landed, expired MSHR entries behave identically
+    // to free ones; clear them so the clock can rebase to zero.
+    mem_.mshrs().clearEntries();
+
+    cycle_ = 0;
+    icacheReadyAt_ = 0;
+    quietLastTick_ = false;
+    fig10Remaining_ = 0;
+    stallBranchSeq_ = 0;
+
+    // The measured region starts now: every statistic resets. The
+    // commit hash and committedTotal_ deliberately keep accumulating —
+    // end-of-run verification covers the whole program.
+    stats_ = CoreStats{};
+    ports_.resetStats();
+    lsq_.resetStats();
+    mem_.resetStats();
+    btb_.resetStats();
+    engine_.resetStats();
+}
+
+void
+Core::saveWarmState(Serializer &ser) const
+{
+    sdv_assert(quiescent() && cycle_ == 0,
+               "checkpoint capture outside a measurement boundary");
+    ser.u64(fetchPc_);
+    ser.u64(nextSeq_);
+    ser.u64(commitHash_);
+    ser.u64(committedTotal_);
+    ser.b(haltCommitted_);
+    oracle_.saveState(ser);
+    mem_.saveState(ser);
+    gshare_.saveState(ser);
+    btb_.saveState(ser);
+    ras_.saveState(ser);
+    engine_.saveState(ser);
+}
+
+bool
+Core::loadWarmState(Deserializer &des)
+{
+    sdv_assert(quiescent() && cycle_ == 0,
+               "checkpoint restore into a used core");
+    fetchPc_ = des.u64();
+    nextSeq_ = des.u64();
+    commitHash_ = des.u64();
+    committedTotal_ = des.u64();
+    haltCommitted_ = des.b();
+    oracle_.loadState(des);
+    return mem_.loadState(des) && gshare_.loadState(des) &&
+           btb_.loadState(des) && ras_.loadState(des) &&
+           engine_.loadState(des) && des.ok();
 }
 
 // --- commit ---------------------------------------------------------------
@@ -199,6 +292,7 @@ Core::commitCommon(DynInst &d)
     }
 
     ++stats_.committedInsts;
+    ++committedTotal_;
     if (d.isLoad())
         ++stats_.committedLoads;
     if (d.isStore())
@@ -577,8 +671,8 @@ Core::fetchStage()
         ++stats_.fetchStallCycles;
         return;
     }
-    if (replayQueue_.empty() && oracle_.halted())
-        return; // nothing left to fetch
+    if (fetchExhausted())
+        return; // nothing left to fetch (program or fetch limit)
     if (cycle_ < icacheReadyAt_)
         return; // I-cache miss in progress
     if (fetchQueue_.size() >= cfg_.fetchQueueEntries)
@@ -598,7 +692,9 @@ Core::fetchStage()
             rec = replayQueue_.front();
             sdv_assert(rec.pc == fetchPc_, "replay pc mismatch");
             replayQueue_.pop_front();
-        } else if (!oracle_.halted()) {
+        } else if (!oracle_.halted() &&
+                   (fetchLimit_ == 0 ||
+                    oracle_.instCount() < fetchLimit_)) {
             sdv_assert(oracle_.state().pc == fetchPc_,
                        "oracle pc diverged from fetch pc");
             rec = oracle_.step();

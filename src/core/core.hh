@@ -21,6 +21,7 @@
 
 #include "arch/executor.hh"
 #include "branch/btb.hh"
+#include "common/serialize.hh"
 #include "branch/gshare.hh"
 #include "branch/ras.hh"
 #include "common/ring_pool.hh"
@@ -139,6 +140,66 @@ class Core : private VecExecContext
 
     /** @return true once HALT has committed. */
     bool done() const { return haltCommitted_; }
+
+    /**
+     * Cap oracle fetch at @p insts dynamic instructions (0 removes the
+     * cap). Fetch treats a reached cap like program exhaustion, so the
+     * pipeline drains naturally; used by Simulator::warmup to stop at
+     * a checkpointable instruction boundary.
+     */
+    void setFetchLimit(std::uint64_t insts) { fetchLimit_ = insts; }
+
+    /** @return true when fetch has nothing left to supply: no replay
+     *  entries and the oracle is halted or at the fetch limit. */
+    bool
+    fetchExhausted() const
+    {
+        return replayQueue_.empty() &&
+               (oracle_.halted() ||
+                (fetchLimit_ != 0 &&
+                 oracle_.instCount() >= fetchLimit_));
+    }
+
+    /**
+     * @return true when no in-flight state remains anywhere: ROB,
+     * queues, LSQ and pending stores empty, fetch unstalled, the
+     * vector engine fully idle and every MSHR fill landed. The
+     * checkpoint layer captures only at such a boundary.
+     */
+    bool quiescent() const;
+
+    /**
+     * Begin the measured region: quiesce transient vector state
+     * (context-switch semantics — the TL, caches and predictors stay
+     * warm), drop expired MSHR entries, rebase the clock to zero and
+     * zero every statistic. The committed-stream hash and total commit
+     * count keep accumulating so end-of-run verification still covers
+     * the whole program. Requires quiescent().
+     */
+    void beginMeasurement();
+
+    /** @return commits since construction (warm-up included), the
+     *  count end-of-run verification checks against the functional
+     *  reference; stats().committedInsts covers the measured region
+     *  only. */
+    std::uint64_t committedTotal() const { return committedTotal_; }
+
+    /**
+     * Serialize the warm state a checkpoint carries: fetch PC, commit
+     * hash/total, oracle (architectural state + memory), cache tags,
+     * predictors and the engine's Table of Loads. Only valid at a
+     * measurement boundary (quiescent, cycle 0).
+     */
+    void saveWarmState(Serializer &ser) const;
+
+    /**
+     * Restore warm state into a freshly-constructed core.
+     * @retval false when a component's geometry does not match
+     */
+    bool loadWarmState(Deserializer &des);
+
+    /** @return the configuration this core was built with. */
+    const CoreConfig &config() const { return cfg_; }
 
     /** @return current cycle. */
     Cycle cycle() const { return cycle_; }
@@ -284,6 +345,8 @@ class Core : private VecExecContext
 
     Cycle cycle_ = 0;
     Cycle cycleLimit_ = neverCycle; ///< event-skip jump bound
+    std::uint64_t fetchLimit_ = 0;  ///< oracle fetch cap (0 = none)
+    std::uint64_t committedTotal_ = 0; ///< commits incl. warm-up
     /** True when the previous tick made no forward progress (nothing
      *  committed, completed, issued, decoded or fetched): the only
      *  state in which attempting an event-skip jump can pay off. */

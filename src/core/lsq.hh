@@ -70,6 +70,14 @@ class LoadStoreQueue
     /** Count one conflict stall observation. */
     void noteConflictStall() { ++conflictStalls_; }
 
+    /** Zero the forwarding/stall counters. */
+    void
+    resetStats()
+    {
+        forwards_ = 0;
+        conflictStalls_ = 0;
+    }
+
   private:
     unsigned capacity_;
     std::deque<DynInst *> entries_; ///< program order (by seq)

@@ -222,10 +222,10 @@ SdvEngine::currentSpec(const DynInst &d, unsigned slot,
 }
 
 bool
-SdvEngine::operandsMatch(const VrmtEntry &ve, const DynInst &d,
+SdvEngine::operandsMatch(const VrmtEntry &ve, const ExecRecord &rec,
                          const RenameTable &rt) const
 {
-    const OpInfo &info = d.inst().info();
+    const OpInfo &info = rec.inst.info();
     for (unsigned slot = 1; slot <= 2; ++slot) {
         const bool reads = slot == 1 ? info.readsRs1 : info.readsRs2;
         const SrcSpec &stored = slot == 1 ? ve.src1 : ve.src2;
@@ -234,9 +234,9 @@ SdvEngine::operandsMatch(const VrmtEntry &ve, const DynInst &d,
                 return false;
             continue;
         }
-        const RegId r = slot == 1 ? d.inst().rs1 : d.inst().rs2;
+        const RegId r = slot == 1 ? rec.inst.rs1 : rec.inst.rs2;
         const std::uint64_t cur_value =
-            slot == 1 ? d.rec.srcValue1 : d.rec.srcValue2;
+            slot == 1 ? rec.srcValue1 : rec.srcValue2;
         switch (stored.kind) {
           case SrcSpec::Kind::None:
             return false;
@@ -267,6 +267,53 @@ SdvEngine::operandsMatch(const VrmtEntry &ve, const DynInst &d,
     return true;
 }
 
+bool
+SdvEngine::scalarOperandBlocked(const SrcSpec &spec, unsigned slot,
+                                const ExecRecord &rec,
+                                const RenameTable &rt,
+                                const VecExecContext &ctx) const
+{
+    if (!spec.isScalar())
+        return false;
+    const OpInfo &info = rec.inst.info();
+    const bool reads = slot == 1 ? info.readsRs1 : info.readsRs2;
+    if (!reads)
+        return false;
+    const RegId r = slot == 1 ? rec.inst.rs1 : rec.inst.rs2;
+    const InstSeqNum w = rt.entry(r).lastWriter;
+    return w != 0 && !ctx.seqCompleted(w);
+}
+
+bool
+SdvEngine::decodeWouldBlock(const ExecRecord &rec, const RenameTable &rt,
+                            const VecExecContext &ctx) const
+{
+    // Mirror of the decodeArith() Blocked path over a peeked (LRU- and
+    // stats-neutral) VRMT entry. Loads never block; neither does a
+    // disabled engine or the Figure-7 "ideal" configuration.
+    if (!cfg_.enabled || !cfg_.blockOnScalarOperand)
+        return false;
+    const OpInfo &info = rec.inst.info();
+    if (!info.vectorizable || !info.writesRd ||
+        rec.inst.rd == zeroReg || rec.inst.isLoad())
+        return false;
+
+    const VrmtEntry *ve = vrmt_.peek(rec.pc);
+    if (!ve || !vrf_.isLive(ve->vreg) || vrf_.isKilled(ve->vreg) ||
+        ve->isLoad)
+        return false;
+    if (ve->offset >= vrf_.elemCount(ve->vreg))
+        return false;
+    if (!operandsMatch(*ve, rec, rt))
+        return false;
+    const bool mixed = (ve->src1.isScalar() || ve->src2.isScalar()) &&
+                       (ve->src1.isVector() || ve->src2.isVector());
+    if (!mixed)
+        return false;
+    return scalarOperandBlocked(ve->src1, 1, rec, rt, ctx) ||
+           scalarOperandBlocked(ve->src2, 2, rec, rt, ctx);
+}
+
 DecodeAction
 SdvEngine::decodeArith(DynInst &d, RenameTable &rt,
                        const VecExecContext &ctx)
@@ -276,34 +323,20 @@ SdvEngine::decodeArith(DynInst &d, RenameTable &rt,
     const SrcSpec s2 = currentSpec(d, 2, rt);
     const bool any_vec = s1.isVector() || s2.isVector();
 
-    // Figure 7: a vectorized (or validating) instance with one vector
-    // and one captured-scalar operand needs the scalar value at decode;
-    // block while its producer is in flight.
-    auto scalarBlocked = [&](const SrcSpec &spec, unsigned slot) {
-        if (!spec.isScalar())
-            return false;
-        const OpInfo &info = d.inst().info();
-        const bool reads = slot == 1 ? info.readsRs1 : info.readsRs2;
-        if (!reads)
-            return false;
-        const RegId r = slot == 1 ? d.inst().rs1 : d.inst().rs2;
-        const InstSeqNum w = rt.entry(r).lastWriter;
-        return w != 0 && !ctx.seqCompleted(w);
-    };
-
     VrmtEntry *ve = vrmt_.lookup(pc);
     const bool ve_live = ve && vrf_.isLive(ve->vreg) &&
                          !vrf_.isKilled(ve->vreg) && !ve->isLoad;
 
     if (ve_live && ve->offset < vrf_.elemCount(ve->vreg) &&
-        operandsMatch(*ve, d, rt)) {
+        operandsMatch(*ve, d.rec, rt)) {
         // Section 3.2: validating a mixed (vector + captured-scalar)
         // entry compares the scalar *value*, so decode must hold the
         // instruction until the value is available (Figure 7).
         const bool mixed = (ve->src1.isScalar() || ve->src2.isScalar()) &&
                            (ve->src1.isVector() || ve->src2.isVector());
         if (mixed && cfg_.blockOnScalarOperand &&
-            (scalarBlocked(ve->src1, 1) || scalarBlocked(ve->src2, 2))) {
+            (scalarOperandBlocked(ve->src1, 1, d.rec, rt, ctx) ||
+             scalarOperandBlocked(ve->src2, 2, d.rec, rt, ctx))) {
             ++stats_.decodeBlockEvents;
             return DecodeAction::Blocked;
         }
@@ -658,6 +691,17 @@ SdvEngine::finalize()
 {
     datapath_.clear();
     vrf_.releaseAll();
+}
+
+void
+SdvEngine::quiesce()
+{
+    sdv_assert(datapath_.numActive() == 0,
+               "quiescing with vector instances in flight");
+    datapath_.clear();
+    vrf_.releaseAll();
+    vrmt_.invalidateAll();
+    shadow_ = {};
 }
 
 } // namespace sdv

@@ -95,6 +95,30 @@ class SdvEngine
     DecodeAction decode(DynInst &d, RenameTable &rt,
                         const VecExecContext &ctx);
 
+    /**
+     * Side-effect-free probe: would decode(@p rec) return Blocked
+     * right now (Figure 7: mixed-operand validation whose captured
+     * scalar's producer is in flight)? Used by the event-skipping
+     * clock to treat a blocked decode as an idle stage whose wake-up
+     * is the producer's scheduled completion, instead of vetoing the
+     * jump. Mirrors the decodeArith() Blocked path exactly; no LRU,
+     * TL or statistics updates.
+     */
+    bool decodeWouldBlock(const ExecRecord &rec, const RenameTable &rt,
+                          const VecExecContext &ctx) const;
+
+    /**
+     * Account @p n skipped cycles of a decode blocked at @p pc: the
+     * Figure-7 stall counter and the VRMT LRU touch each blocked
+     * cycle's decode() call would have made.
+     */
+    void
+    chargeBlockedCycles(Addr pc, std::uint64_t n)
+    {
+        stats_.decodeBlockEvents += n;
+        vrmt_.touch(pc, n);
+    }
+
     /** @return the target element's status for an in-flight validation. */
     ValStatus validationStatus(const DynInst &d) const;
 
@@ -140,6 +164,41 @@ class SdvEngine
 
     /** End of simulation: release registers so ledgers resolve. */
     void finalize();
+
+    /**
+     * Context-switch quiesce at a checkpoint boundary: drop all
+     * transient vector state (datapath instances, vector registers,
+     * VRMT, F-flag shadows) while keeping the warm Table of Loads and
+     * the GMRBB. The datapath must already be idle.
+     */
+    void quiesce();
+
+    /** Zero every engine-side statistic (measurement rebase). */
+    void
+    resetStats()
+    {
+        stats_ = EngineStats{};
+        tl_.resetStats();
+        vrf_.resetStats();
+        datapath_.resetStats();
+    }
+
+    /** Serialize the checkpointable warm state (TL + GMRBB). Only
+     *  valid after quiesce(): everything else is transient. */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.u64(gmrbb_);
+        tl_.saveState(ser);
+    }
+
+    /** Restore warm state; @retval false on geometry mismatch. */
+    bool
+    loadState(Deserializer &des)
+    {
+        gmrbb_ = des.u64();
+        return tl_.loadState(des);
+    }
 
     /** @return current GMRBB (PC of last committed backward branch). */
     Addr gmrbb() const { return gmrbb_; }
@@ -198,9 +257,18 @@ class SdvEngine
     SrcSpec currentSpec(const DynInst &d, unsigned slot,
                         const RenameTable &rt) const;
 
-    /** @return true when the stored operands still match (Section 3.2). */
-    bool operandsMatch(const VrmtEntry &ve, const DynInst &d,
+    /** @return true when the stored operands still match (Section 3.2).
+     *  Takes the bare ExecRecord so the side-effect-free
+     *  decodeWouldBlock() probe can run it pre-dispatch. */
+    bool operandsMatch(const VrmtEntry &ve, const ExecRecord &rec,
                        const RenameTable &rt) const;
+
+    /** @return true when @p spec is a captured scalar whose producer
+     *  is still in flight (the Figure 7 blocking condition). */
+    bool scalarOperandBlocked(const SrcSpec &spec, unsigned slot,
+                              const ExecRecord &rec,
+                              const RenameTable &rt,
+                              const VecExecContext &ctx) const;
 
     /** Elements a new instance with these sources can compute. */
     unsigned computableElems(const SrcSpec &s1, const SrcSpec &s2) const;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "common/serialize.hh"
 
 namespace sdv {
 
@@ -48,6 +49,36 @@ Program::instAt(Addr pc) const
         decodedValid_[idx] = 1;
     }
     return decoded_[idx];
+}
+
+void
+Program::predecodeAll() const
+{
+    for (size_t idx = 0; idx < code_.size(); ++idx) {
+        if (decodedValid_[idx])
+            continue;
+        const bool ok = Instruction::decode(code_[idx], decoded_[idx]);
+        sdv_assert(ok, "undecodable instruction in slot ", idx);
+        decodedValid_[idx] = 1;
+    }
+}
+
+std::uint64_t
+Program::identityHash() const
+{
+    std::uint64_t h = fnv1a(nullptr, 0);
+    auto mix = [&h](std::uint64_t v) {
+        std::uint8_t bytes[8];
+        for (unsigned i = 0; i < 8; ++i)
+            bytes[i] = std::uint8_t(v >> (8 * i));
+        h = fnv1a(bytes, sizeof(bytes), h);
+    };
+    mix(codeBase_);
+    mix(entry());
+    mix(code_.size());
+    for (std::uint64_t w : code_)
+        mix(w);
+    return h;
 }
 
 void

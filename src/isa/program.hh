@@ -82,6 +82,22 @@ class Program
      */
     const Instruction &instAt(Addr pc) const;
 
+    /**
+     * Decode every slot into the cache up front. A program shared by
+     * concurrent simulators (the sweep executor runs one per thread
+     * over the same image) must be pre-decoded: instAt()'s lazy fill
+     * writes the mutable side-table, which would race otherwise.
+     * After this call, concurrent instAt() calls are read-only.
+     */
+    void predecodeAll() const;
+
+    /**
+     * @return an FNV-1a hash over code base, entry point and every
+     * encoded instruction word: the program identity a checkpoint is
+     * bound to (restoring onto a different program is rejected).
+     */
+    std::uint64_t identityHash() const;
+
     /** Set the entry point (defaults to codeBase). */
     void setEntry(Addr entry) { entry_ = entry; }
 

@@ -101,4 +101,37 @@ Cache::reset()
     stats_ = CacheStats{};
 }
 
+void
+Cache::saveState(Serializer &ser) const
+{
+    ser.u32(sets_);
+    ser.u32(assoc_);
+    ser.u32(lineBytes_);
+    ser.u64(useClock_);
+    for (const Line &l : lines_) {
+        ser.b(l.valid);
+        ser.b(l.dirty);
+        ser.u64(l.tag);
+        ser.u64(l.lastUse);
+    }
+}
+
+bool
+Cache::loadState(Deserializer &des)
+{
+    if (des.u32() != sets_ || des.u32() != assoc_ ||
+        des.u32() != lineBytes_) {
+        des.fail();
+        return false;
+    }
+    useClock_ = des.u64();
+    for (Line &l : lines_) {
+        l.valid = des.b();
+        l.dirty = des.b();
+        l.tag = des.u64();
+        l.lastUse = des.u64();
+    }
+    return des.ok();
+}
+
 } // namespace sdv

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sdv {
@@ -96,6 +97,20 @@ class Cache
 
     /** Clear contents and statistics. */
     void reset();
+
+    /** Zero the statistics, keeping the tag contents (checkpoint
+     *  measurement rebase). */
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /** Serialize tags / dirty bits / LRU state (not statistics). */
+    void saveState(Serializer &ser) const;
+
+    /**
+     * Restore tag state from a checkpoint image.
+     * @retval false when the image was made by a cache of different
+     * geometry (sets / associativity / line size)
+     */
+    bool loadState(Deserializer &des);
 
     /** @return the cache's diagnostic name. */
     const std::string &name() const { return name_; }

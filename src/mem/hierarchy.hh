@@ -78,8 +78,38 @@ class MemHierarchy
     /** @return the L1D MSHR file. */
     MshrFile &mshrs() { return mshrs_; }
 
+    /** @return the L1D MSHR file (const). */
+    const MshrFile &mshrs() const { return mshrs_; }
+
     /** @return configuration in use. */
     const MemHierarchyConfig &config() const { return cfg_; }
+
+    /** Zero every cache's and the MSHR file's statistics. */
+    void
+    resetStats()
+    {
+        l1i_.resetStats();
+        l1d_.resetStats();
+        l2_.resetStats();
+        mshrs_.resetStats();
+    }
+
+    /** Serialize the warm tag state of all three caches. */
+    void
+    saveState(Serializer &ser) const
+    {
+        l1i_.saveState(ser);
+        l1d_.saveState(ser);
+        l2_.saveState(ser);
+    }
+
+    /** Restore cache tag state; @retval false on geometry mismatch. */
+    bool
+    loadState(Deserializer &des)
+    {
+        return l1i_.loadState(des) && l1d_.loadState(des) &&
+               l2_.loadState(des);
+    }
 
   private:
     /** Charge an L2 lookup for @p line_addr; @return total latency from

@@ -62,6 +62,26 @@ class MshrFile
     /** Clear all entries and statistics. */
     void reset();
 
+    /** Zero the statistics, keeping any tracked fills. */
+    void
+    resetStats()
+    {
+        allocations_ = 0;
+        merges_ = 0;
+        fullStalls_ = 0;
+    }
+
+    /** Drop all tracked fills, keeping the statistics. Used at the
+     *  checkpoint measurement boundary, where every fill has already
+     *  landed: an expired entry and a free one behave identically, so
+     *  clearing makes the state canonical before the clock rebases. */
+    void
+    clearEntries()
+    {
+        for (auto &e : entries_)
+            e = Entry{};
+    }
+
   private:
     struct Entry
     {

@@ -138,6 +138,15 @@ class DCachePorts
     /** @return accumulated port statistics. */
     const PortStats &stats() const { return stats_; }
 
+    /** Zero the statistics and the folded Figure-13 histogram. Must
+     *  only run with no live ledger records (quiesced pipeline). */
+    void
+    resetStats()
+    {
+        stats_ = PortStats{};
+        folded_ = WideBusBreakdown{};
+    }
+
     /** @return the Figure 13 breakdown: folded records plus every
      *  still-unresolved in-flight record (whose unresolved speculative
      *  elements count as unused). */

@@ -9,6 +9,34 @@ Simulator::Simulator(const CoreConfig &cfg, const Program &prog)
 {
 }
 
+bool
+Simulator::warmup(std::uint64_t insts, std::uint64_t max_cycles)
+{
+    sdv_assert(insts > 0, "warmup needs at least one instruction");
+    core_.setFetchLimit(insts);
+    core_.setCycleLimit(max_cycles);
+    // Run until the capped fetch stream has fully drained through the
+    // pipeline *and* the vector engine (even when HALT committed
+    // inside the warm-up, in-flight vector elements must land before
+    // the boundary). The quiescence check runs only once fetch is
+    // exhausted, so the steady-state warm-up loop stays as cheap as a
+    // normal run.
+    while (core_.cycle() < max_cycles &&
+           !(core_.fetchExhausted() && core_.quiescent()))
+        core_.tick();
+    core_.setFetchLimit(0);
+    core_.setCycleLimit(neverCycle);
+    if (core_.done() || !core_.quiescent()) {
+        // Program over, or the budget elapsed before the pipeline
+        // quiesced: no measurement boundary exists. The simulator is
+        // left as-is (not rebased) and the caller must discard it.
+        warn("warm-up did not reach a measurement boundary");
+        return false;
+    }
+    core_.beginMeasurement();
+    return true;
+}
+
 SimResult
 Simulator::run(std::uint64_t max_cycles, bool verify)
 {
@@ -46,8 +74,11 @@ Simulator::run(std::uint64_t max_cycles, bool verify)
             const ExecRecord rec = ref.step();
             hash = (hash ^ rec.pc) * 1099511628211ULL;
         }
+        // committedTotal() spans any warm-up region too: the hash and
+        // count cover the whole committed stream, not just the
+        // measured statistics window.
         const bool stream_ok = hash == core_.commitPcHash() &&
-                               ref.instCount() == res.insts;
+                               ref.instCount() == core_.committedTotal();
         const bool state_ok =
             ref.state() == core_.oracle().state() &&
             ref.memory().equals(core_.oracle().memory());

@@ -82,8 +82,30 @@ class Simulator
     SimResult run(std::uint64_t max_cycles = 50'000'000,
                   bool verify = true);
 
+    /**
+     * Warm up: simulate the first @p insts dynamic instructions to
+     * completion, drain the pipeline, quiesce transient vector state
+     * (context-switch semantics — caches, predictors and the Table of
+     * Loads stay warm) and rebase the clock and statistics to zero.
+     * The subsequent run() measures only the post-warm-up region; the
+     * core is then at the checkpointable measurement boundary that
+     * Checkpoint::capture serializes.
+     *
+     * @param insts dynamic instructions to warm over (> 0)
+     * @param max_cycles safety bound on the warm-up itself
+     * @retval false when no measurement boundary was reached — the
+     *         program ran to HALT inside the warm-up, or the cycle
+     *         budget elapsed with the pipeline still in flight. The
+     *         simulator is then NOT rebased and must be discarded.
+     */
+    bool warmup(std::uint64_t insts,
+                std::uint64_t max_cycles = 50'000'000);
+
     /** @return the core (inspection/tests). */
     Core &core() { return core_; }
+
+    /** @return the program under simulation. */
+    const Program &program() const { return prog_; }
 
   private:
     const Program &prog_;

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Checkpoint / fast-forward for configuration sweeps: capture a
+ * simulator at a warmed measurement boundary (Simulator::warmup) and
+ * fork any number of configurations from the snapshot instead of
+ * re-simulating the warm-up per configuration.
+ *
+ * A checkpoint carries the architectural state (registers, PC, sparse
+ * memory image, execution progress) and the configuration-independent
+ * warm micro-architectural state: cache tags/LRU, branch predictors
+ * (gshare, BTB, RAS) and the engine's Table of Loads stride tables.
+ * Transient vector state is released at the boundary (context-switch
+ * semantics, exactly as warmup() does on the straight-through path),
+ * which is what makes restore-then-run bit-identical to
+ * warmup-then-continue — see tests/test_sweep.cc.
+ *
+ * The byte image is integrity-checked (magic, version, FNV-1a
+ * checksum) and bound to the program identity and the component
+ * geometry, so truncated, corrupted or mismatched snapshots are
+ * rejected before any simulator state is touched.
+ */
+
+#ifndef SDV_SWEEP_CHECKPOINT_HH
+#define SDV_SWEEP_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace sdv {
+namespace sweep {
+
+/** Checkpoint capture / restore entry points. */
+class Checkpoint
+{
+  public:
+    /**
+     * Serialize @p sim's warm state. The simulator must sit at a
+     * measurement boundary (right after Simulator::warmup); capture
+     * does not modify it.
+     */
+    static std::vector<std::uint8_t> capture(Simulator &sim);
+
+    /**
+     * Restore @p bytes into a freshly-constructed simulator. The
+     * target may use a different CoreConfig as long as the warm
+     * components' geometry matches (cache shapes, predictor sizes, TL
+     * shape) — the Table 1 grid varies width/ports/bus/engine, all of
+     * which are compatible.
+     *
+     * @retval false (and sets @p error) on a corrupted or truncated
+     * image, a program mismatch, or a geometry mismatch; the simulator
+     * is left unusable and must be discarded in that case
+     */
+    static bool restore(Simulator &sim,
+                        const std::vector<std::uint8_t> &bytes,
+                        std::string *error = nullptr);
+
+    /**
+     * Header-only validation: is @p bytes an intact image, captured
+     * from @p sim's program, restorable into @p sim's configuration?
+     * Touches no simulator state — used to vet cached snapshot files
+     * before trusting them (a stale file is recaptured instead).
+     */
+    static bool validate(Simulator &sim,
+                         const std::vector<std::uint8_t> &bytes);
+
+    /** Write a checkpoint image to @p path. @retval false on I/O error. */
+    static bool save(const std::string &path,
+                     const std::vector<std::uint8_t> &bytes);
+
+    /** Read a checkpoint image from @p path. @retval false on I/O
+     *  error (integrity is checked later, by restore()). */
+    static bool load(const std::string &path,
+                     std::vector<std::uint8_t> &out);
+};
+
+} // namespace sweep
+} // namespace sdv
+
+#endif // SDV_SWEEP_CHECKPOINT_HH

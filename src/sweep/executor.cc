@@ -1,0 +1,243 @@
+#include "sweep/executor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <thread>
+
+#include "common/log.hh"
+#include "sweep/checkpoint.hh"
+#include "workloads/workload.hh"
+
+namespace sdv {
+namespace sweep {
+
+namespace {
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Programs used by a plan, keyed by workload, built once and
+ *  pre-decoded so worker threads share them read-only. */
+std::map<std::string, Program>
+buildPrograms(const SweepPlan &plan)
+{
+    std::map<std::string, Program> programs;
+    for (const SweepJob &job : plan.jobs) {
+        if (programs.count(job.workload))
+            continue;
+        Program prog = buildWorkload(job.workload, plan.scale);
+        prog.predecodeAll();
+        programs.emplace(job.workload, std::move(prog));
+    }
+    return programs;
+}
+
+/**
+ * Capture (or reuse from disk) one warmed checkpoint per workload.
+ * The warm-up configuration is the workload's first engine-enabled
+ * job (falling back to its first job) — a deterministic choice, so
+ * snapshots never depend on scheduling. Workloads whose program runs
+ * to HALT inside the warm-up get no checkpoint and fall back to cold
+ * full runs.
+ *
+ * Cached snapshot files are keyed by (workload, scale, warm-up
+ * length) and validated against the current program and geometry
+ * before being trusted; a stale or foreign file is recaptured and
+ * overwritten, never silently reused.
+ */
+std::map<std::string, std::vector<std::uint8_t>>
+captureCheckpoints(const SweepPlan &plan, const ExecOptions &opt,
+                   const std::map<std::string, Program> &programs)
+{
+    std::map<std::string, std::vector<std::uint8_t>> checkpoints;
+    for (const SweepJob &job : plan.jobs) {
+        if (checkpoints.count(job.workload))
+            continue;
+
+        // Deterministic warm-up config for this workload.
+        const SweepJob *warm_job = &job;
+        for (const SweepJob &j : plan.jobs)
+            if (j.workload == job.workload && j.cfg.engine.enabled) {
+                warm_job = &j;
+                break;
+            }
+
+        CoreConfig cfg = warm_job->cfg;
+        cfg.eventSkip = opt.eventSkip;
+        const Program &prog = programs.at(job.workload);
+
+        const std::string path =
+            opt.checkpointDir.empty()
+                ? std::string()
+                : opt.checkpointDir + "/" + job.workload + ".s" +
+                      std::to_string(plan.scale) + ".w" +
+                      std::to_string(opt.warmupInsts) + ".ckpt";
+
+        std::vector<std::uint8_t> bytes;
+        if (!path.empty() && Checkpoint::load(path, bytes)) {
+            Simulator probe(cfg, prog);
+            if (Checkpoint::validate(probe, bytes)) {
+                checkpoints.emplace(job.workload, std::move(bytes));
+                continue;
+            }
+            warn("cached checkpoint ", path,
+                 " is stale; recapturing");
+            bytes.clear();
+        }
+
+        Simulator sim(cfg, prog);
+        if (!sim.warmup(opt.warmupInsts, opt.maxCycles)) {
+            warn("workload '", job.workload,
+                 "' reached no warm-up boundary (program finished or "
+                 "budget elapsed); running its jobs without a "
+                 "checkpoint");
+            checkpoints.emplace(job.workload,
+                                std::vector<std::uint8_t>{});
+            continue;
+        }
+        bytes = Checkpoint::capture(sim);
+        if (!path.empty() && !Checkpoint::save(path, bytes))
+            warn("could not write checkpoint ", path);
+        checkpoints.emplace(job.workload, std::move(bytes));
+    }
+    return checkpoints;
+}
+
+} // namespace
+
+std::vector<RunOutcome>
+runPlan(const SweepPlan &plan, const ExecOptions &opt)
+{
+    const std::map<std::string, Program> programs = buildPrograms(plan);
+
+    std::map<std::string, std::vector<std::uint8_t>> checkpoints;
+    if (opt.checkpoint)
+        checkpoints = captureCheckpoints(plan, opt, programs);
+
+    std::vector<RunOutcome> outcomes(plan.jobs.size());
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&]() {
+        for (std::size_t i = next.fetch_add(1); i < plan.jobs.size();
+             i = next.fetch_add(1)) {
+            const SweepJob &job = plan.jobs[i];
+            RunOutcome &out = outcomes[i];
+            out.figure = job.figure;
+            out.workload = job.workload;
+            out.isFp = job.isFp;
+            out.group = job.group;
+            out.column = job.column;
+            out.configKey = job.configKey;
+            out.cfg = job.cfg;
+            out.seed = job.seed;
+
+            const auto t0 = std::chrono::steady_clock::now();
+            CoreConfig cfg = job.cfg;
+            cfg.eventSkip = opt.eventSkip;
+            const Program &prog = programs.at(job.workload);
+            std::optional<Simulator> sim;
+            sim.emplace(cfg, prog);
+
+            if (opt.checkpoint) {
+                const auto &bytes = checkpoints.at(job.workload);
+                // A job whose configuration cannot take the snapshot
+                // (e.g. an ablation entry varying checkpointed
+                // geometry such as the TL confidence) runs from cold
+                // instead — deterministic per job, and visible in the
+                // output via from_checkpoint. A failed restore may
+                // leave partial state, so the cold path rebuilds the
+                // simulator from scratch.
+                std::string err;
+                if (!bytes.empty() &&
+                    Checkpoint::validate(*sim, bytes) &&
+                    Checkpoint::restore(*sim, bytes, &err)) {
+                    out.fromCheckpoint = true;
+                } else if (!bytes.empty()) {
+                    warn("running ", job.workload, "/", job.configKey,
+                         " cold", err.empty() ? "" : ": ", err);
+                    sim.emplace(cfg, prog);
+                }
+            }
+
+            out.res = sim->run(opt.maxCycles, opt.verify);
+            out.commitHash = sim->core().commitPcHash();
+            out.wallSeconds = secondsSince(t0);
+        }
+    };
+
+    const unsigned nthreads =
+        std::min<std::size_t>(std::max(1u, opt.jobs), plan.jobs.size());
+    if (nthreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (unsigned t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    return outcomes;
+}
+
+std::string
+resultsJson(const std::vector<RunOutcome> &outcomes)
+{
+    std::string out = "[\n";
+    char buf[512];
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunOutcome &o = outcomes[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  {\"bench\": \"sweep:%s\", \"workload\": \"%s\", "
+            "\"config\": \"%s\", \"cycles\": %llu, \"insts\": %llu, "
+            "\"ipc\": %.4f, \"commit_hash\": \"0x%016llx\", "
+            "\"finished\": %s, \"from_checkpoint\": %s, "
+            "\"seed\": %llu}%s\n",
+            o.figure.c_str(), o.workload.c_str(), o.configKey.c_str(),
+            static_cast<unsigned long long>(o.res.cycles),
+            static_cast<unsigned long long>(o.res.insts), o.res.ipc,
+            static_cast<unsigned long long>(o.commitHash),
+            o.res.finished ? "true" : "false",
+            o.fromCheckpoint ? "true" : "false",
+            static_cast<unsigned long long>(o.seed),
+            i + 1 < outcomes.size() ? "," : "");
+        out += buf;
+    }
+    out += "]";
+    return out;
+}
+
+bool
+writeJsonFile(const std::string &path, const SweepPlan &plan,
+              const ExecOptions &opt,
+              const std::vector<RunOutcome> &outcomes,
+              double wall_seconds)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(
+        f,
+        "{\n\"sweep\": {\"plan\": \"%s\", \"scale\": %u, "
+        "\"event_skip\": %s, \"checkpoint\": %s, "
+        "\"warmup_insts\": %llu, \"wall_seconds\": %.6f},\n"
+        "\"results\": %s\n}\n",
+        plan.name.c_str(), plan.scale, opt.eventSkip ? "true" : "false",
+        opt.checkpoint ? "true" : "false",
+        static_cast<unsigned long long>(opt.warmupInsts), wall_seconds,
+        resultsJson(outcomes).c_str());
+    std::fclose(f);
+    return true;
+}
+
+} // namespace sweep
+} // namespace sdv

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parallel sweep executor: runs a SweepPlan's jobs on a pool of worker
+ * threads, one private Simulator per job (simulations share no mutable
+ * state — the only shared object is the pre-decoded, read-only
+ * Program), and collates results in plan order. Results are a pure
+ * function of the plan and options: serial and parallel execution
+ * produce byte-identical JSON.
+ *
+ * With checkpointing enabled, each workload is warmed once (serially,
+ * so the snapshot is deterministic) and every configuration of that
+ * workload forks from the snapshot instead of re-simulating the
+ * warm-up; see src/sweep/checkpoint.hh and docs/sweep.md.
+ */
+
+#ifndef SDV_SWEEP_EXECUTOR_HH
+#define SDV_SWEEP_EXECUTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sweep/plan.hh"
+
+namespace sdv {
+namespace sweep {
+
+/** Execution options (orthogonal to the plan itself). */
+struct ExecOptions
+{
+    unsigned jobs = 1;          ///< worker threads
+    bool eventSkip = true;      ///< event-skipping clock
+    bool checkpoint = false;    ///< fork configs from warmed snapshots
+    std::uint64_t warmupInsts = 10'000; ///< checkpoint warm-up length
+    std::uint64_t maxCycles = 200'000'000; ///< per-job cycle budget
+    bool verify = false;        ///< functional verification per job
+    /** When non-empty, checkpoint images are written to (and reused
+     *  from) <dir>/<workload>.s<scale>.w<warmupInsts>.ckpt across
+     *  invocations; cached files are validated against the current
+     *  program and geometry and recaptured when stale. */
+    std::string checkpointDir;
+};
+
+/** One job's outcome (self-contained: carries the job identity). */
+struct RunOutcome
+{
+    std::string figure;
+    std::string workload;
+    bool isFp = false;
+    std::string group;
+    std::string column;
+    std::string configKey;
+    CoreConfig cfg; ///< the job's machine config (metric extraction)
+    std::uint64_t seed = 0;
+
+    SimResult res;
+    std::uint64_t commitHash = 0;
+    bool fromCheckpoint = false;
+    double wallSeconds = 0.0; ///< host timing; kept out of the
+                              ///< deterministic JSON payload
+};
+
+/**
+ * Run every job of @p plan and return outcomes in plan order.
+ * Programs are built and pre-decoded up front (one per workload,
+ * shared read-only); checkpoints, when enabled, are captured serially
+ * before the pool starts.
+ */
+std::vector<RunOutcome> runPlan(const SweepPlan &plan,
+                                const ExecOptions &opt);
+
+/**
+ * @return the deterministic JSON results array for @p outcomes: one
+ * record per job with simulated statistics and the commit-stream hash
+ * only (no host timings), byte-identical across --jobs settings.
+ */
+std::string resultsJson(const std::vector<RunOutcome> &outcomes);
+
+/**
+ * Write the full sweep JSON document: a "sweep" metadata object (plan,
+ * scale, options, total wall time) plus the resultsJson() array under
+ * "results". tools/compare_bench.py understands this schema.
+ */
+bool writeJsonFile(const std::string &path, const SweepPlan &plan,
+                   const ExecOptions &opt,
+                   const std::vector<RunOutcome> &outcomes,
+                   double wall_seconds);
+
+} // namespace sweep
+} // namespace sdv
+
+#endif // SDV_SWEEP_EXECUTOR_HH

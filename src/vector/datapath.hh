@@ -164,6 +164,9 @@ class VectorDatapath
     /** Drop all in-flight state (used by tests between scenarios). */
     void clear();
 
+    /** Zero the statistics (checkpoint measurement rebase). */
+    void resetStats() { stats_ = DatapathStats{}; }
+
   private:
     /** Pending element completion. */
     struct Completion

@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/types.hh"
 
 namespace sdv {
@@ -70,6 +71,54 @@ class TableOfLoads
 
     /** @return spawn recommendations issued. */
     std::uint64_t spawns() const { return spawns_; }
+
+    /** Zero the observation/spawn counters, keeping the table. */
+    void
+    resetStats()
+    {
+        observations_ = 0;
+        spawns_ = 0;
+    }
+
+    /** Serialize entries + LRU clock (the checkpointable warm stride /
+     *  confidence state; counters are excluded). */
+    void
+    saveState(Serializer &ser) const
+    {
+        ser.u32(sets_);
+        ser.u32(ways_);
+        ser.u8(spawnConfidence_);
+        ser.u64(useClock_);
+        for (const Entry &e : entries_) {
+            ser.b(e.valid);
+            ser.u64(e.pc);
+            ser.u64(e.lastAddr);
+            ser.i64(e.stride);
+            ser.u8(e.confidence);
+            ser.u64(e.lastUse);
+        }
+    }
+
+    /** Restore TL state; @retval false on geometry mismatch. */
+    bool
+    loadState(Deserializer &des)
+    {
+        if (des.u32() != sets_ || des.u32() != ways_ ||
+            des.u8() != spawnConfidence_) {
+            des.fail();
+            return false;
+        }
+        useClock_ = des.u64();
+        for (Entry &e : entries_) {
+            e.valid = des.b();
+            e.pc = des.u64();
+            e.lastAddr = des.u64();
+            e.stride = des.i64();
+            e.confidence = des.u8();
+            e.lastUse = des.u64();
+        }
+        return des.ok();
+    }
 
     /** Storage cost in bytes (24 bytes per entry per the paper). */
     std::uint64_t

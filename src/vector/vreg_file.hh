@@ -311,6 +311,15 @@ class VecRegFile
     /** @return allocation failures (no free register). */
     std::uint64_t allocFailures() const { return allocFailures_; }
 
+    /** Zero the Figure-15 ledger and allocation counters. */
+    void
+    resetStats()
+    {
+        fates_ = VecRegFateStats{};
+        allocations_ = 0;
+        allocFailures_ = 0;
+    }
+
   private:
     struct Elem
     {

@@ -157,6 +157,36 @@ TEST(EventSkip, BitIdenticalOnEveryTier1Workload)
     EXPECT_GT(total_skipped, 0u);
 }
 
+TEST(EventSkip, BlockedDecodeWindowsSkipAndStayBitIdentical)
+{
+    // PR 3: a decode blocked on an in-flight captured-scalar producer
+    // (Figure 7) is modelled as an event horizon instead of vetoing
+    // the jump. The suite must (a) actually exercise blocked-decode
+    // cycles, (b) keep skipping somewhere, and (c) stay bit-identical
+    // to the ticking reference — including the decodeBlockCycles /
+    // decodeBlockEvents charges the jump now replays.
+    std::uint64_t total_blocked = 0;
+    std::uint64_t total_skipped = 0;
+    for (const Workload &w : allWorkloads()) {
+        const Program &prog = keep(w.build(1));
+        CoreConfig cfg = makeConfig(4, 1, BusMode::WideBusSdv);
+        cfg.engine.blockOnScalarOperand = true;
+        const RunDigest skip = runOnce(cfg, prog, true, false);
+        const RunDigest ref = runOnce(cfg, prog, false, false);
+        ASSERT_TRUE(ref.res.finished);
+        expectIdentical(skip, ref, w.name + "/blocking");
+        EXPECT_EQ(skip.res.engine.decodeBlockEvents,
+                  ref.res.engine.decodeBlockEvents)
+            << w.name;
+        total_blocked += ref.res.core.decodeBlockCycles;
+        total_skipped += skip.res.core.eventSkippedCycles;
+    }
+    // Without blocked cycles this test would not cover the new path;
+    // without skips it would not cover the clock at all.
+    EXPECT_GT(total_blocked, 0u);
+    EXPECT_GT(total_skipped, 0u);
+}
+
 TEST(EventSkip, BudgetLimitedRunMatchesTickingExactly)
 {
     // Cut a run off mid-flight: the skipping clock must clip its jumps

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Compare a fresh bench --json output against the checked-in baseline.
 
-Two schemas are understood:
+Three schemas are understood:
 
 * harness schema (bench_headline_claims and friends): a JSON array of
   records {bench, workload, config, cycles, insts, ipc, wall_seconds,
   sim_mips}. Simulated statistics (cycles, insts, ipc) are exact model
   outputs, so any drift is an error; wall_seconds is host-dependent, so
   a >10% regression only warns.
+
+* sweep-driver schema (sdv_sweep --json): an object {"sweep": {...},
+  "results": [...]}; the results records carry the same simulated
+  statistics plus a commit_hash (compared exactly) and no per-record
+  wall time — the total lives in the "sweep" metadata (warn-only).
 
 * google-benchmark schema (bench_micro_components): an object with a
   "benchmarks" array. Timings are host-dependent; the benchmark set
@@ -33,36 +38,77 @@ def load(path):
         return json.load(f)
 
 
-def is_harness_schema(doc):
-    return isinstance(doc, list)
+def schema_of(doc):
+    """Classify a loaded document: harness / sweep / google-benchmark."""
+    if isinstance(doc, list):
+        return "harness"
+    if isinstance(doc, dict) and "results" in doc:
+        return "sweep"
+    return "google-benchmark"
 
 
-def compare_harness(base, new):
+def sweep_records(doc):
+    return doc["results"]
+
+
+def sweep_wall(doc):
+    return doc.get("sweep", {}).get("wall_seconds", 0.0)
+
+
+def compare_records(base, new, base_wall, new_wall):
+    """Shared record comparison for the harness and sweep schemas.
+
+    The record key is (bench, workload, config) so one sweep file can
+    hold several figures' grids; simulated statistics (cycles, insts,
+    ipc and, when present, the committed-stream hash) must match
+    exactly, wall time warns.
+    """
     errors, warnings = [], []
-    bkey = {(r["workload"], r["config"]): r for r in base}
-    nkey = {(r["workload"], r["config"]): r for r in new}
 
-    for key in sorted(bkey):
-        if key not in nkey:
-            errors.append(f"run {key} missing from new results")
+    def key(r):
+        return (r.get("bench", ""), r["workload"], r["config"])
+
+    bkey = {key(r): r for r in base}
+    nkey = {key(r): r for r in new}
+
+    for k in sorted(bkey):
+        if k not in nkey:
+            errors.append(f"run {k} missing from new results")
             continue
-        b, n = bkey[key], nkey[key]
+        b, n = bkey[k], nkey[k]
         for stat in ("cycles", "insts"):
             if b[stat] != n[stat]:
                 errors.append(
-                    f"{key}: {stat} drifted {b[stat]} -> {n[stat]}")
+                    f"{k}: {stat} drifted {b[stat]} -> {n[stat]}")
         if abs(b["ipc"] - n["ipc"]) > IPC_TOLERANCE:
-            errors.append(f"{key}: ipc drifted {b['ipc']} -> {n['ipc']}")
-    for key in sorted(nkey):
-        if key not in bkey:
-            warnings.append(f"new run {key} has no baseline yet")
+            errors.append(f"{k}: ipc drifted {b['ipc']} -> {n['ipc']}")
+        if "commit_hash" in b and "commit_hash" in n and \
+                b["commit_hash"] != n["commit_hash"]:
+            errors.append(
+                f"{k}: commit stream drifted "
+                f"{b['commit_hash']} -> {n['commit_hash']}")
+    for k in sorted(nkey):
+        if k not in bkey:
+            warnings.append(f"new run {k} has no baseline yet")
 
-    bwall = sum(r["wall_seconds"] for r in base)
-    nwall = sum(r["wall_seconds"] for r in new)
-    if bwall > 0 and nwall > bwall * (1 + TIME_REGRESSION_WARN):
+    if base_wall > 0 and new_wall > base_wall * (1 + TIME_REGRESSION_WARN):
         warnings.append(
-            f"total wall time regressed >10%: {bwall:.3f}s -> {nwall:.3f}s")
+            f"total wall time regressed >10%: "
+            f"{base_wall:.3f}s -> {new_wall:.3f}s")
     return errors, warnings
+
+
+def compare_harness(base, new):
+    return compare_records(
+        base, new,
+        sum(r.get("wall_seconds", 0.0) for r in base),
+        sum(r.get("wall_seconds", 0.0) for r in new))
+
+
+def compare_sweep(base, new):
+    return compare_records(
+        sweep_records(base), sweep_records(new),
+        sweep_wall(base), sweep_wall(new))
 
 
 def compare_google_benchmark(base, new):
@@ -100,12 +146,15 @@ def main():
 
     base = load(args.baseline)
     new = load(args.new)
-    if is_harness_schema(base) != is_harness_schema(new):
+    if schema_of(base) != schema_of(new):
         print("error: baseline and new results use different schemas")
         return 1
 
-    if is_harness_schema(base):
+    schema = schema_of(base)
+    if schema == "harness":
         errors, warnings = compare_harness(base, new)
+    elif schema == "sweep":
+        errors, warnings = compare_sweep(base, new)
     else:
         errors, warnings = compare_google_benchmark(base, new)
 

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * sdv_sweep: parallel sweep driver. Regenerates any figure's
+ * (workload x configuration) grid from the plan registry, optionally
+ * forking every configuration from a warmed checkpoint, and emits
+ * ordered JSON that tools/compare_bench.py can diff against the
+ * checked-in baselines.
+ *
+ *   sdv_sweep --list
+ *   sdv_sweep --plan fig11 --jobs 4 --json fig11.json
+ *   sdv_sweep --plan fig11 --checkpoint --warmup 10000 --jobs 4
+ *   sdv_sweep --plan all --quick --jobs 2
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/log.hh"
+#include "sweep/executor.hh"
+#include "sweep/plan.hh"
+
+using namespace sdv;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --plan NAME [options]\n"
+        "       %s --list\n"
+        "options:\n"
+        "  --plan NAME       plan to run (see --list; 'all' runs "
+        "everything)\n"
+        "  --list            list registered plans and exit\n"
+        "  --jobs N          worker threads (default 1)\n"
+        "  --scale N         workload scale factor (default 1)\n"
+        "  --quick           first two INT + first FP workloads only\n"
+        "  --no-event-skip   tick every cycle (cross-check mode)\n"
+        "  --checkpoint      warm each workload once, fork every "
+        "config from the snapshot\n"
+        "  --warmup N        checkpoint warm-up length in instructions "
+        "(default 10000)\n"
+        "  --checkpoint-dir D  persist/reuse snapshots in D\n"
+        "  --verify          run functional verification per job\n"
+        "  --seed N          base of the per-job RNG stream seeds "
+        "(recorded per job in the JSON; today's workloads are fully "
+        "deterministic, so results do not change)\n"
+        "  --json PATH       write machine-readable results\n",
+        argv0, argv0);
+    std::exit(2);
+}
+
+std::uint64_t
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage(argv[0]);
+    return std::strtoull(argv[++i], nullptr, 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string plan_name;
+    std::string json_path;
+    sweep::PlanOptions popt;
+    sweep::ExecOptions eopt;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
+            plan_name = argv[++i];
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            eopt.jobs = unsigned(numArg(argc, argv, i));
+            if (eopt.jobs == 0)
+                eopt.jobs = 1;
+        } else if (std::strcmp(argv[i], "--scale") == 0) {
+            popt.scale = unsigned(numArg(argc, argv, i));
+            if (popt.scale == 0)
+                popt.scale = 1;
+        } else if (std::strcmp(argv[i], "--quick") == 0) {
+            popt.quick = true;
+        } else if (std::strcmp(argv[i], "--no-event-skip") == 0) {
+            eopt.eventSkip = false;
+        } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+            eopt.checkpoint = true;
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
+            eopt.warmupInsts = numArg(argc, argv, i);
+            if (eopt.warmupInsts == 0)
+                eopt.warmupInsts = 1;
+        } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
+                   i + 1 < argc) {
+            eopt.checkpointDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--verify") == 0) {
+            eopt.verify = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0) {
+            popt.baseSeed = numArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (list) {
+        std::printf("registered sweep plans:\n");
+        for (const sweep::PlanInfo &p : sweep::allPlans())
+            std::printf("  %-10s %s\n", p.name.c_str(),
+                        p.title.c_str());
+        return 0;
+    }
+    if (plan_name.empty())
+        usage(argv[0]);
+    if (!sweep::havePlan(plan_name))
+        fatal("unknown plan '", plan_name, "' (try --list)");
+
+    // Warnings stay on: checkpoint fallbacks (stale snapshot, cold
+    // run on geometry mismatch, no warm-up boundary) must be visible.
+
+    const sweep::SweepPlan plan = sweep::buildPlan(plan_name, popt);
+    std::printf("plan %s: %zu jobs, %u thread(s)%s\n",
+                plan.name.c_str(), plan.jobs.size(), eopt.jobs,
+                eopt.checkpoint ? ", checkpointed" : "");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<sweep::RunOutcome> outcomes =
+        sweep::runPlan(plan, eopt);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    std::uint64_t insts = 0;
+    unsigned unfinished = 0;
+    unsigned forked = 0;
+    for (const sweep::RunOutcome &o : outcomes) {
+        insts += o.res.insts;
+        if (!o.res.finished)
+            ++unfinished;
+        if (o.fromCheckpoint)
+            ++forked;
+        if (eopt.verify && !o.res.verified)
+            fatal("verification failed: ", o.workload, "/",
+                  o.configKey);
+    }
+
+    std::printf("ran %zu simulations (%.1f Minsts) in %.2fs "
+                "(%.2f Minst/s)%s\n",
+                outcomes.size(), double(insts) / 1e6, wall,
+                wall > 0 ? double(insts) / 1e6 / wall : 0.0,
+                eopt.verify ? ", all verified" : "");
+    if (eopt.checkpoint)
+        std::printf("checkpoint: %u of %zu jobs forked from warm "
+                    "snapshots%s\n",
+                    forked, outcomes.size(),
+                    forked < outcomes.size() ? " (rest ran cold)" : "");
+    if (unfinished)
+        std::printf("warning: %u job(s) hit the cycle budget\n",
+                    unfinished);
+
+    if (!json_path.empty()) {
+        if (!sweep::writeJsonFile(json_path, plan, eopt, outcomes,
+                                  wall))
+            fatal("cannot write ", json_path);
+        std::printf("results written to %s\n", json_path.c_str());
+    }
+    return 0;
+}
