@@ -2,21 +2,39 @@
  * @file
  * Table 1: the machine parameters of both evaluated processors, plus
  * the Section 4.1 storage accounting of the additional structures
- * (4KB vector register file + 4608B VRMT + 49152B TL = ~56KB).
+ * (4KB vector register file + 4608B VRMT + 49152B TL = ~56KB), and
+ * the workload footprints the evaluation runs over at the requested
+ * --scale / --footprint.
+ *
+ * The machines come from the sweep plan registry (the Figure 11 grid's
+ * 1pV columns), so this table can never drift from what the sweeps
+ * actually simulate.
  */
 
 #include <cstdio>
 
+#include "common/log.hh"
 #include "harness.hh"
 
 using namespace sdv;
 
 namespace {
 
+/** @return the registry's 1pV machine of @p width ("4w"/"8w"). */
+CoreConfig
+registryConfig(unsigned width)
+{
+    const std::string group = std::to_string(width) + "w";
+    for (const sweep::GridConfig &g : sweep::figureGrid("fig11"))
+        if (g.group == group && g.column == "1pV")
+            return g.cfg;
+    fatal("fig11 grid lost its ", group, "/1pV column");
+}
+
 void
 printConfig(unsigned width)
 {
-    const CoreConfig cfg = makeConfig(width, 1, BusMode::WideBusSdv);
+    const CoreConfig cfg = registryConfig(width);
     std::printf("%u-way processor\n", width);
     std::printf("  fetch/decode/issue/commit width : %u/%u/%u/%u\n",
                 cfg.fetchWidth, cfg.decodeWidth, cfg.issueWidth,
@@ -64,15 +82,14 @@ printConfig(unsigned width)
 int
 main(int argc, char **argv)
 {
-    bench::parseArgs(argc, argv);
+    const auto opt = bench::parseArgs(argc, argv);
     bench::banner("Table 1 - processor microarchitectural parameters",
                   "4-way and 8-way machines; extra storage totals ~56KB");
 
     printConfig(4);
     printConfig(8);
 
-    const StorageCost cost =
-        storageCost(makeConfig(4, 1, BusMode::WideBusSdv));
+    const StorageCost cost = storageCost(registryConfig(4));
     std::printf("additional storage (Section 4.1):\n");
     std::printf("  vector register file : %6llu bytes (paper: 4096)\n",
                 (unsigned long long)cost.vectorRegisterFileBytes);
@@ -82,5 +99,12 @@ main(int argc, char **argv)
                 (unsigned long long)cost.tlBytes);
     std::printf("  total                : %6llu bytes (~56KB)\n",
                 (unsigned long long)cost.totalBytes());
+
+    std::printf("\nworkload footprints at --scale %u, --footprint %s:\n",
+                opt.scale, footprintName(opt.footprint));
+    for (const WorkloadSpec &w : allWorkloads())
+        std::printf("  %-9s %s\n", w.name.c_str(),
+                    describeFootprint(w, opt.scale, opt.footprint)
+                        .c_str());
     return 0;
 }

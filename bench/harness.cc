@@ -38,7 +38,23 @@ parseArgs(int argc, char **argv, bool json_supported)
         if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
             opt.scale = unsigned(std::atoi(argv[++i]));
             if (opt.scale == 0)
-                opt.scale = 1;
+                fatal("--scale ", argv[i], " is invalid: the scale is "
+                      "a dynamic-length multiplier and must be >= 1");
+        } else if (std::strcmp(argv[i], "--footprint") == 0 &&
+                   i + 1 < argc) {
+            opt.footprint = parseFootprint(argv[++i]);
+        } else if (std::strcmp(argv[i], "--samples") == 0 &&
+                   i + 1 < argc) {
+            const int samples = std::atoi(argv[++i]);
+            if (samples < 0)
+                fatal("--samples ", argv[i], " is invalid: sample "
+                      "count must be >= 0 (0 disables sampling)");
+            opt.samples = unsigned(samples);
+        } else if (std::strcmp(argv[i], "--sample-insts") == 0 &&
+                   i + 1 < argc) {
+            opt.sampleInsts = std::strtoull(argv[++i], nullptr, 0);
+            if (opt.sampleInsts == 0)
+                fatal("--sample-insts must be >= 1");
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
         } else if (std::strcmp(argv[i], "--no-event-skip") == 0) {
@@ -59,9 +75,10 @@ parseArgs(int argc, char **argv, bool json_supported)
             opt.jsonPath = argv[++i];
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--scale N] [--quick] "
-                         "[--no-event-skip] [--jobs N] [--checkpoint] "
-                         "[--warmup N]%s\n",
+                         "usage: %s [--scale N] [--footprint "
+                         "base|l2|mem] [--quick] [--no-event-skip] "
+                         "[--jobs N] [--checkpoint] [--warmup N] "
+                         "[--samples N] [--sample-insts M]%s\n",
                          argv[0],
                          json_supported ? " [--json PATH]" : "");
             std::exit(2);
@@ -232,6 +249,7 @@ runGrid(const Options &opt, const std::string &plan_name)
 {
     sweep::PlanOptions popt;
     popt.scale = opt.scale;
+    popt.footprint = opt.footprint;
     popt.quick = opt.quick;
     const sweep::SweepPlan plan = sweep::buildPlan(plan_name, popt);
 
@@ -240,6 +258,8 @@ runGrid(const Options &opt, const std::string &plan_name)
     eopt.eventSkip = opt.eventSkip;
     eopt.checkpoint = opt.checkpoint;
     eopt.warmupInsts = opt.warmupInsts;
+    eopt.sample.samples = opt.samples;
+    eopt.sample.measureInsts = opt.sampleInsts;
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<sweep::RunOutcome> outcomes =
@@ -311,7 +331,7 @@ forEachWorkload(
             if (w.isFp && fps_done >= 1)
                 continue;
         }
-        const Program prog = w.build(opt.scale);
+        const Program prog = w.instantiate(opt.scale, opt.footprint);
         fn(w, prog);
         (w.isFp ? fps_done : ints_done) += 1;
     }

@@ -23,12 +23,15 @@ namespace bench {
 /** Command-line options shared by all bench binaries. */
 struct Options
 {
-    unsigned scale = 1; ///< workload scale factor (--scale N)
+    unsigned scale = 1; ///< workload scale factor (--scale N, >= 1)
+    Footprint footprint = Footprint::Base; ///< --footprint base|l2|mem
     bool quick = false; ///< --quick: restrict to a subset of runs
     bool eventSkip = true; ///< --no-event-skip: tick every cycle
     unsigned jobs = 1;  ///< --jobs N: worker threads for grid benches
     bool checkpoint = false; ///< --checkpoint: fork from warm snapshots
     std::uint64_t warmupInsts = 10'000; ///< --warmup N
+    unsigned samples = 0; ///< --samples N: interval sampling (grids)
+    std::uint64_t sampleInsts = 20'000; ///< --sample-insts M per sample
     std::string jsonPath; ///< --json <path>: machine-readable results
 };
 

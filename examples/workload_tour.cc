@@ -20,7 +20,7 @@ main()
     std::printf("%-9s %9s %7s %7s %7s %7s   %s\n", "name", "insts",
                 "stride0", "vect%", "IPC", "val%", "description");
     for (const Workload &w : allWorkloads()) {
-        const Program prog = w.build(1);
+        const Program prog = w.instantiate(1);
         const StrideProfile sp = profileStrides(prog);
         const VectAnalysis va = analyzeVectorizability(prog);
         const SimResult r =

@@ -13,7 +13,16 @@ bool
 Simulator::warmup(std::uint64_t insts, std::uint64_t max_cycles)
 {
     sdv_assert(insts > 0, "warmup needs at least one instruction");
-    core_.setFetchLimit(insts);
+    return advanceTo(insts, max_cycles);
+}
+
+bool
+Simulator::advanceTo(std::uint64_t target_insts,
+                     std::uint64_t max_cycles)
+{
+    sdv_assert(target_insts > core_.oracle().instCount(),
+               "advanceTo target is behind the current position");
+    core_.setFetchLimit(target_insts);
     core_.setCycleLimit(max_cycles);
     // Run until the capped fetch stream has fully drained through the
     // pipeline *and* the vector engine (even when HALT committed
@@ -37,6 +46,50 @@ Simulator::warmup(std::uint64_t insts, std::uint64_t max_cycles)
     return true;
 }
 
+void
+Simulator::collect(SimResult &res)
+{
+    res.cycles = core_.cycle();
+    res.core = core_.stats();
+    res.insts = res.core.committedInsts;
+    res.ipc = res.core.ipc();
+    res.engine = core_.engine().stats();
+    res.datapath = core_.engine().datapath().stats();
+    res.ports = core_.ports().stats();
+    res.wideBus = core_.ports().wideBusBreakdown();
+    res.fates = core_.engine().vrf().fateStats();
+    res.l1d = core_.memHierarchy().l1d().stats();
+    res.l1i = core_.memHierarchy().l1i().stats();
+    res.l2 = core_.memHierarchy().l2().stats();
+}
+
+SimResult
+Simulator::runInsts(std::uint64_t insts, std::uint64_t max_cycles)
+{
+    sdv_assert(insts > 0, "runInsts needs at least one instruction");
+    core_.setFetchLimit(core_.oracle().instCount() + insts);
+    core_.setCycleLimit(max_cycles);
+    // As in advanceTo(): run until the capped fetch stream has fully
+    // drained, so the measured region's statistics are complete.
+    while (core_.cycle() < max_cycles && !core_.done() &&
+           !(core_.fetchExhausted() && core_.quiescent()))
+        core_.tick();
+    // A sample is complete when its region drained or the program ran
+    // to HALT inside it; only a blown cycle budget leaves it unusable.
+    const bool drained =
+        core_.done() || (core_.fetchExhausted() && core_.quiescent());
+    core_.setFetchLimit(0);
+    core_.setCycleLimit(neverCycle);
+    core_.finalize();
+
+    SimResult res;
+    res.finished = drained;
+    if (!res.finished)
+        warn("sample measurement hit the cycle budget");
+    collect(res);
+    return res;
+}
+
 SimResult
 Simulator::run(std::uint64_t max_cycles, bool verify)
 {
@@ -51,18 +104,7 @@ Simulator::run(std::uint64_t max_cycles, bool verify)
     if (!res.finished)
         warn("simulation hit the cycle budget before HALT");
 
-    res.cycles = core_.cycle();
-    res.core = core_.stats();
-    res.insts = res.core.committedInsts;
-    res.ipc = res.core.ipc();
-    res.engine = core_.engine().stats();
-    res.datapath = core_.engine().datapath().stats();
-    res.ports = core_.ports().stats();
-    res.wideBus = core_.ports().wideBusBreakdown();
-    res.fates = core_.engine().vrf().fateStats();
-    res.l1d = core_.memHierarchy().l1d().stats();
-    res.l1i = core_.memHierarchy().l1i().stats();
-    res.l2 = core_.memHierarchy().l2().stats();
+    collect(res);
 
     if (verify && res.finished) {
         // Independent functional execution: the committed stream (PC

@@ -25,6 +25,12 @@ struct SimResult
     std::uint64_t insts = 0;
     double ipc = 0.0;
 
+    /** True when the result is an interval-sampled estimate: every
+     *  counter is the weighted extrapolation of @ref samplesMeasured
+     *  measured regions (see sweep/sampling.hh), not an exact count. */
+    bool sampled = false;
+    unsigned samplesMeasured = 0;
+
     CoreStats core;
     EngineStats engine;
     DatapathStats datapath;
@@ -101,6 +107,32 @@ class Simulator
     bool warmup(std::uint64_t insts,
                 std::uint64_t max_cycles = 50'000'000);
 
+    /**
+     * Generalized warm-up: advance to the measurement boundary at
+     * *absolute* committed-instruction count @p target_insts (counted
+     * from program start, warm-up regions included), drain, quiesce
+     * and rebase exactly like warmup(). Callable repeatedly with
+     * increasing targets — the interval-sampling engine walks a run
+     * boundary to boundary, capturing a checkpoint at each.
+     *
+     * @retval false when the boundary is unreachable (the program ran
+     *         to HALT first, or the cycle budget elapsed in flight);
+     *         the simulator must then be discarded
+     */
+    bool advanceTo(std::uint64_t target_insts,
+                   std::uint64_t max_cycles = 50'000'000);
+
+    /**
+     * Measure a bounded region: run until @p insts more instructions
+     * have been fetched and fully drained through the pipeline (or
+     * HALT commits first), then finalize and return the statistics of
+     * the region since the last measurement boundary. Used for the
+     * per-sample measurement of an interval-sampled run; run() remains
+     * the to-completion path.
+     */
+    SimResult runInsts(std::uint64_t insts,
+                       std::uint64_t max_cycles = 50'000'000);
+
     /** @return the core (inspection/tests). */
     Core &core() { return core_; }
 
@@ -108,6 +140,9 @@ class Simulator
     const Program &program() const { return prog_; }
 
   private:
+    /** Gather every statistic of the (finalized) core into @p res. */
+    void collect(SimResult &res);
+
     const Program &prog_;
     Core core_;
 };

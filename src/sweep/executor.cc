@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <optional>
 #include <thread>
@@ -33,7 +34,8 @@ buildPrograms(const SweepPlan &plan)
     for (const SweepJob &job : plan.jobs) {
         if (programs.count(job.workload))
             continue;
-        Program prog = buildWorkload(job.workload, plan.scale);
+        Program prog =
+            buildWorkload(job.workload, plan.scale, plan.footprint);
         prog.predecodeAll();
         programs.emplace(job.workload, std::move(prog));
     }
@@ -111,12 +113,211 @@ captureCheckpoints(const SweepPlan &plan, const ExecOptions &opt,
     return checkpoints;
 }
 
+/** Run @p worker on min(jobs, units) pool threads (1 = inline). */
+void
+runOnPool(unsigned jobs, std::size_t units,
+          const std::function<void()> &worker)
+{
+    const unsigned nthreads =
+        unsigned(std::min<std::size_t>(std::max(1u, jobs), units));
+    if (nthreads <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
+/** Fill the identity fields of @p out from @p job. */
+void
+stampOutcome(RunOutcome &out, const SweepJob &job)
+{
+    out.figure = job.figure;
+    out.workload = job.workload;
+    out.isFp = job.isFp;
+    out.group = job.group;
+    out.column = job.column;
+    out.configKey = job.configKey;
+    out.cfg = job.cfg;
+    out.seed = job.seed;
+}
+
+/**
+ * Interval-sampled plan execution: one serial capture pass per
+ * workload (under its deterministic warm-up configuration), then a
+ * pool over every (job, sample) pair — each fork restores one sample
+ * snapshot and measures its region — and a plan-ordered aggregation.
+ * Jobs whose configuration cannot restore the snapshots (geometry
+ * mismatch) fall back to exact full runs, visible via samples == 0.
+ */
+std::vector<RunOutcome>
+runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
+               const std::map<std::string, Program> &programs)
+{
+    // Capture pass (serial, scheduling-independent): the warm-up
+    // configuration is the workload's first engine-enabled job, as in
+    // the one-boundary checkpoint path.
+    std::map<std::string, SampleSet> sets;
+    for (const SweepJob &job : plan.jobs) {
+        if (sets.count(job.workload))
+            continue;
+        const SweepJob *warm_job = &job;
+        for (const SweepJob &j : plan.jobs)
+            if (j.workload == job.workload && j.cfg.engine.enabled) {
+                warm_job = &j;
+                break;
+            }
+        CoreConfig cfg = warm_job->cfg;
+        cfg.eventSkip = opt.eventSkip;
+        SamplePlan sp = opt.sample;
+        sp.warmupInsts = opt.warmupInsts;
+        sets.emplace(job.workload,
+                     captureSamples(cfg, programs.at(job.workload), sp,
+                                    opt.maxCycles));
+    }
+
+    // Decide each job's mode up front (serial, so fallbacks never
+    // depend on scheduling): sampled when the snapshots validate
+    // against the job's configuration, exact full run otherwise.
+    // Validation needs a Simulator (it binds program identity and
+    // geometry), so cache the verdict per distinct (workload, config)
+    // — a figure grid shares each configuration across jobs.
+    std::vector<bool> jobSampled(plan.jobs.size(), false);
+    std::map<std::pair<std::string, std::string>, bool> configOk;
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        const SweepJob &job = plan.jobs[i];
+        const SampleSet &set = sets.at(job.workload);
+        if (!set.usable())
+            continue;
+        const auto key = std::make_pair(job.workload, job.configKey);
+        auto it = configOk.find(key);
+        if (it == configOk.end()) {
+            CoreConfig cfg = job.cfg;
+            cfg.eventSkip = opt.eventSkip;
+            Simulator probe(cfg, programs.at(job.workload));
+            // samples[0] is the cold region (no image); the first
+            // warm snapshot decides whether this config can fork.
+            const bool ok =
+                Checkpoint::validate(probe, set.samples[1].bytes);
+            if (!ok)
+                warn("running ", job.workload, "/", job.configKey,
+                     " as a full run (snapshot geometry mismatch)");
+            it = configOk.emplace(key, ok).first;
+        }
+        jobSampled[i] = it->second;
+    }
+
+    // Work units: one per (sampled job, sample) plus one per full-run
+    // job. Unit order is fixed; the pool only changes who runs what.
+    struct Unit
+    {
+        std::size_t job;
+        int sample; ///< -1: full run
+    };
+    std::vector<Unit> units;
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        if (!jobSampled[i]) {
+            units.push_back({i, -1});
+            continue;
+        }
+        const SampleSet &set = sets.at(plan.jobs[i].workload);
+        for (std::size_t k = 0; k < set.samples.size(); ++k)
+            units.push_back({i, int(k)});
+    }
+
+    std::vector<RunOutcome> outcomes(plan.jobs.size());
+    std::vector<std::vector<SimResult>> sampleResults(plan.jobs.size());
+    std::vector<std::vector<std::uint64_t>> sampleHashes(
+        plan.jobs.size());
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        stampOutcome(outcomes[i], plan.jobs[i]);
+        if (jobSampled[i]) {
+            const std::size_t n =
+                sets.at(plan.jobs[i].workload).samples.size();
+            sampleResults[i].resize(n);
+            sampleHashes[i].assign(n, 0);
+        }
+    }
+
+    // Each unit owns its wall-time slot; the per-job totals fold in
+    // after the pool joins (a shared += would be a data race).
+    std::vector<double> unitWall(units.size(), 0.0);
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (std::size_t u = next.fetch_add(1); u < units.size();
+             u = next.fetch_add(1)) {
+            const Unit unit = units[u];
+            const SweepJob &job = plan.jobs[unit.job];
+            CoreConfig cfg = job.cfg;
+            cfg.eventSkip = opt.eventSkip;
+            const Program &prog = programs.at(job.workload);
+            const auto t0 = std::chrono::steady_clock::now();
+            if (unit.sample < 0) {
+                Simulator sim(cfg, prog);
+                outcomes[unit.job].res = sim.run(opt.maxCycles, false);
+                outcomes[unit.job].commitHash =
+                    sim.core().commitPcHash();
+                unitWall[u] = secondsSince(t0);
+                continue;
+            }
+            const SampleCheckpoint &sc =
+                sets.at(job.workload).samples[size_t(unit.sample)];
+            Simulator sim(cfg, prog);
+            std::string err;
+            // Empty bytes: the exact cold-start region forks from
+            // reset instead of restoring a snapshot.
+            if (!sc.bytes.empty() &&
+                !Checkpoint::restore(sim, sc.bytes, &err)) {
+                // validate() passed serially, so this is exceptional;
+                // a zero-inst measurement drops out of the weighted
+                // aggregation (deterministically) instead of crashing.
+                warn("sample restore failed for ", job.workload, "/",
+                     job.configKey, ": ", err);
+                continue;
+            }
+            SimResult r = sim.runInsts(sc.measureInsts, opt.maxCycles);
+            sampleHashes[unit.job][size_t(unit.sample)] =
+                sim.core().commitPcHash();
+            sampleResults[unit.job][size_t(unit.sample)] = std::move(r);
+            unitWall[u] = secondsSince(t0);
+        }
+    };
+    runOnPool(opt.jobs, units.size(), worker);
+
+    // Plan-ordered aggregation: a pure integer fold of the per-sample
+    // measurements, independent of which thread measured what.
+    for (std::size_t u = 0; u < units.size(); ++u)
+        outcomes[units[u].job].wallSeconds += unitWall[u];
+    for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+        if (!jobSampled[i])
+            continue;
+        const SampleSet &set = sets.at(plan.jobs[i].workload);
+        outcomes[i].res = aggregateSamples(set, sampleResults[i]);
+        outcomes[i].commitHash = foldSampleHashes(sampleHashes[i]);
+        outcomes[i].fromCheckpoint = true;
+        outcomes[i].samples = unsigned(set.samples.size());
+    }
+    return outcomes;
+}
+
 } // namespace
 
 std::vector<RunOutcome>
 runPlan(const SweepPlan &plan, const ExecOptions &opt)
 {
     const std::map<std::string, Program> programs = buildPrograms(plan);
+
+    if (opt.sample.enabled()) {
+        sdv_assert(!opt.verify,
+                   "interval sampling produces estimates that cannot "
+                   "be functionally verified; drop --verify");
+        return runPlanSampled(plan, opt, programs);
+    }
 
     std::map<std::string, std::vector<std::uint8_t>> checkpoints;
     if (opt.checkpoint)
@@ -130,14 +331,7 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
              i = next.fetch_add(1)) {
             const SweepJob &job = plan.jobs[i];
             RunOutcome &out = outcomes[i];
-            out.figure = job.figure;
-            out.workload = job.workload;
-            out.isFp = job.isFp;
-            out.group = job.group;
-            out.column = job.column;
-            out.configKey = job.configKey;
-            out.cfg = job.cfg;
-            out.seed = job.seed;
+            stampOutcome(out, job);
 
             const auto t0 = std::chrono::steady_clock::now();
             CoreConfig cfg = job.cfg;
@@ -172,19 +366,7 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
             out.wallSeconds = secondsSince(t0);
         }
     };
-
-    const unsigned nthreads =
-        std::min<std::size_t>(std::max(1u, opt.jobs), plan.jobs.size());
-    if (nthreads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(nthreads);
-        for (unsigned t = 0; t < nthreads; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
-    }
+    runOnPool(opt.jobs, plan.jobs.size(), worker);
     return outcomes;
 }
 
@@ -201,16 +383,23 @@ resultsJson(const std::vector<RunOutcome> &outcomes)
             "\"config\": \"%s\", \"cycles\": %llu, \"insts\": %llu, "
             "\"ipc\": %.4f, \"commit_hash\": \"0x%016llx\", "
             "\"finished\": %s, \"from_checkpoint\": %s, "
-            "\"seed\": %llu}%s\n",
+            "\"seed\": %llu",
             o.figure.c_str(), o.workload.c_str(), o.configKey.c_str(),
             static_cast<unsigned long long>(o.res.cycles),
             static_cast<unsigned long long>(o.res.insts), o.res.ipc,
             static_cast<unsigned long long>(o.commitHash),
             o.res.finished ? "true" : "false",
             o.fromCheckpoint ? "true" : "false",
-            static_cast<unsigned long long>(o.seed),
-            i + 1 < outcomes.size() ? "," : "");
+            static_cast<unsigned long long>(o.seed));
         out += buf;
+        // Sampled estimates carry their sample count; exact runs keep
+        // the pre-sampling record layout byte for byte.
+        if (o.samples > 0) {
+            std::snprintf(buf, sizeof(buf), ", \"samples\": %u",
+                          o.samples);
+            out += buf;
+        }
+        out += i + 1 < outcomes.size() ? "},\n" : "}\n";
     }
     out += "]";
     return out;
@@ -225,16 +414,31 @@ writeJsonFile(const std::string &path, const SweepPlan &plan,
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
         return false;
+    // Footprint and sampling metadata appear only when used, so the
+    // default-mode document stays byte-identical to pre-sampling runs.
+    std::string extra;
+    if (plan.footprint != Footprint::Base)
+        extra += std::string(", \"footprint\": \"") +
+                 footprintName(plan.footprint) + "\"";
+    if (opt.sample.enabled()) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      ", \"samples\": %u, \"measure_insts\": %llu",
+                      opt.sample.samples,
+                      static_cast<unsigned long long>(
+                          opt.sample.measureInsts));
+        extra += buf;
+    }
     std::fprintf(
         f,
         "{\n\"sweep\": {\"plan\": \"%s\", \"scale\": %u, "
         "\"event_skip\": %s, \"checkpoint\": %s, "
-        "\"warmup_insts\": %llu, \"wall_seconds\": %.6f},\n"
+        "\"warmup_insts\": %llu%s, \"wall_seconds\": %.6f},\n"
         "\"results\": %s\n}\n",
         plan.name.c_str(), plan.scale, opt.eventSkip ? "true" : "false",
         opt.checkpoint ? "true" : "false",
-        static_cast<unsigned long long>(opt.warmupInsts), wall_seconds,
-        resultsJson(outcomes).c_str());
+        static_cast<unsigned long long>(opt.warmupInsts), extra.c_str(),
+        wall_seconds, resultsJson(outcomes).c_str());
     std::fclose(f);
     return true;
 }

@@ -22,6 +22,7 @@
 
 #include "sim/simulator.hh"
 #include "sweep/plan.hh"
+#include "sweep/sampling.hh"
 
 namespace sdv {
 namespace sweep {
@@ -35,6 +36,13 @@ struct ExecOptions
     std::uint64_t warmupInsts = 10'000; ///< checkpoint warm-up length
     std::uint64_t maxCycles = 200'000'000; ///< per-job cycle budget
     bool verify = false;        ///< functional verification per job
+    /** Interval sampling: when enabled (samples > 0), every job is
+     *  estimated from per-sample forks instead of a full run, and the
+     *  per-(job, sample) measurements are what the worker pool
+     *  parallelizes. warmupInsts doubles as the sampling warm-up.
+     *  Takes precedence over the one-boundary `checkpoint` mode;
+     *  incompatible with `verify` (estimates cannot be verified). */
+    SamplePlan sample;
     /** When non-empty, checkpoint images are written to (and reused
      *  from) <dir>/<workload>.s<scale>.w<warmupInsts>.ckpt across
      *  invocations; cached files are validated against the current
@@ -57,6 +65,11 @@ struct RunOutcome
     SimResult res;
     std::uint64_t commitHash = 0;
     bool fromCheckpoint = false;
+    /** Interval sampling: number of samples res was aggregated from
+     *  (0 for an exact full run; res.sampled mirrors this). For a
+     *  sampled job, commitHash is the FNV fold of the per-sample
+     *  commit-stream hashes in capture order. */
+    unsigned samples = 0;
     double wallSeconds = 0.0; ///< host timing; kept out of the
                               ///< deterministic JSON payload
 };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "workloads/workload.hh"
 
 namespace sdv {
 namespace sweep {
@@ -61,13 +62,15 @@ struct SweepPlan
     std::string name;   ///< plan/figure name ("fig11")
     std::string title;  ///< one-line description
     unsigned scale = 1; ///< workload scale the jobs were built for
+    Footprint footprint = Footprint::Base; ///< working-set regime
     std::vector<SweepJob> jobs;
 };
 
 /** Options applied while instantiating a plan. */
 struct PlanOptions
 {
-    unsigned scale = 1;        ///< workload scale factor
+    unsigned scale = 1;        ///< workload scale factor (>= 1)
+    Footprint footprint = Footprint::Base; ///< working-set regime
     bool quick = false;        ///< first two INT + first FP only
     std::uint64_t baseSeed = 0; ///< base of the per-job seed derivation
 };

@@ -14,12 +14,27 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planApplu(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // Three banded arrays of n doubles: 37KB / 148KB / 1.2MB.
+    const std::size_t n = byFootprint<std::size_t>(fp, 1536, 6144, 49152);
+    p.extent("a", n + 16);
+    p.extent("rhs", n + 16);
+    p.extent("x", n + 16);
+    p.extent("pivots", 4);
+    p.trip("n", std::int64_t(n));
+    p.trip("passes", scaledPasses(scale, 12, byFootprint(fp, 1u, 4u, 32u)));
+    return p;
+}
+
 Program
-buildApplu(unsigned scale)
+buildApplu(const FootprintPlan &p)
 {
     ProgramBuilder b;
 
-    const unsigned n = 1536;
+    const std::size_t n = std::size_t(p.count("n"));
     const Addr a = b.allocWords("a", n + 16);
     const Addr rhs = b.allocWords("rhs", n + 16);
     const Addr x = b.allocWords("x", n + 16);
@@ -36,7 +51,7 @@ buildApplu(unsigned scale)
     b.ldi(scratch0, 0);
     b.cvtif(facc, scratch0);
 
-    countedLoop(b, counter0, std::int32_t(scale * 12), [&] {
+    countedLoop(b, counter0, p.count("passes"), [&] {
         b.loadAddr(ptr0, a);
         b.loadAddr(ptr1, rhs);
         b.loadAddr(ptr2, x);
@@ -73,7 +88,7 @@ buildApplu(unsigned scale)
     });
 
     b.loadAddr(ptr2, x);
-    b.fst(facc, ptr2, 8 * (n + 8));
+    b.fst(facc, ptr2, std::int32_t(8 * (n + 8)));
     b.halt();
     return b.finish();
 }

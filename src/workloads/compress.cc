@@ -15,30 +15,44 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planCompress(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // The randomly probed hash table dominates the footprint:
+    // 32KB / 128KB / 1MB, flanked by the streamed input and output.
+    p.extent("input", byFootprint<std::size_t>(fp, 2048, 4096, 16384));
+    p.extent("htab", byFootprint<std::size_t>(fp, 4096, 16384, 131072));
+    p.extent("output", byFootprint<std::size_t>(fp, 2048, 4096, 16384));
+    p.extent("frame", 32);
+    p.trip("passes", scaledPasses(scale, 1, byFootprint(fp, 1u, 2u, 8u)));
+    return p;
+}
+
 Program
-buildCompress(unsigned scale)
+buildCompress(const FootprintPlan &p)
 {
     ProgramBuilder b;
     Random rng(0xc0457);
 
-    const unsigned inputLen = 2048;
+    const std::size_t inputLen = p.words("input");
+    const std::size_t htabLen = p.words("htab");
     const Addr input = b.allocWords("input", inputLen);
-    const Addr htab = b.allocWords("htab", 4096);
+    const Addr htab = b.allocWords("htab", htabLen);
     const Addr output = b.allocWords("output", inputLen);
     const Addr frame = b.allocWords("frame", 32);
     fillRandomWords(b, input, inputLen, rng, 256);
-    fillRandomWords(b, htab, 4096, rng, 2);
+    fillRandomWords(b, htab, htabLen, rng, 2);
 
     b.loadAddr(ptr1, htab);
     b.loadAddr(framePtr, frame);
     b.ldi(acc0, 0);   // running code
     b.ldi(acc1, 0);   // output count
 
-    const unsigned passes = scale;
-    countedLoop(b, counter0, std::int32_t(passes), [&] {
+    countedLoop(b, counter0, p.count("passes"), [&] {
         b.loadAddr(ptr0, input);
         b.loadAddr(ptr2, output);
-        countedLoop(b, counter1, std::int32_t(inputLen), [&] {
+        countedLoop(b, counter1, p.wordTrip("input"), [&] {
             // Compressor-state reloads (bit budget, free code: stride 0).
             emitSpillReloads(b, 2, acc1);
             // Next input symbol (stride 1, vectorizable).
@@ -59,7 +73,7 @@ buildCompress(unsigned scale)
             b.loadImm64(scratch2, 2654435761ULL);
             b.mul(scratch1, acc0, scratch2);
             b.srli(scratch1, scratch1, 20);
-            b.andi(scratch1, scratch1, 4095);
+            b.andi(scratch1, scratch1, p.indexMask("htab"));
             b.slli(scratch1, scratch1, 3);
             b.add(ptr3, ptr1, scratch1);
             b.ldq(scratch2, ptr3, 0);
@@ -82,8 +96,8 @@ buildCompress(unsigned scale)
     });
 
     b.loadAddr(ptr3, output);
-    b.stq(acc0, ptr3, 8 * (inputLen - 2));
-    b.stq(acc1, ptr3, 8 * (inputLen - 1));
+    b.stq(acc0, ptr3, std::int32_t(8 * (inputLen - 2)));
+    b.stq(acc1, ptr3, std::int32_t(8 * (inputLen - 1)));
     b.halt();
     return b.finish();
 }

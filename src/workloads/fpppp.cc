@@ -15,14 +15,31 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planFpppp(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // The seed workspace is deliberately tiny (256B: fpppp's character
+    // is straight-line FP code over few cells). The grown modes tile a
+    // 128KB / 1MB workspace into 256-byte blocks and move to the next
+    // block every 8 iterations: stride-0 reloads still form vectors
+    // within a block's window, while the walk streams the footprint.
+    p.extent("work", byFootprint<std::size_t>(fp, 32, 16384, 131072));
+    p.extent("result", 8);
+    p.trip("iters", std::int64_t(scale) * 2200);
+    return p;
+}
+
 Program
-buildFpppp(unsigned scale)
+buildFpppp(const FootprintPlan &p)
 {
     ProgramBuilder b;
 
-    const Addr work = b.allocWords("work", 32);
+    const std::size_t workWords = p.words("work");
+    const Addr work = b.allocWords("work", workWords);
     const Addr result = b.allocWords("result", 8);
-    fillDoubles(b, work, 32, [](size_t i) { return 1.0 + 0.03 * i; });
+    fillDoubles(b, work, workWords,
+                [](size_t i) { return 1.0 + 0.03 * i; });
 
     const RegId f0 = 33, f1 = 34, f2 = 35, f3 = 36, f4 = 37, f5 = 38,
                 f6 = 39, facc = 40;
@@ -31,7 +48,25 @@ buildFpppp(unsigned scale)
     b.ldi(scratch0, 0);
     b.cvtif(facc, scratch0);
 
-    countedLoop(b, counter0, std::int32_t(scale * 2200), [&] {
+    // Grown footprints: 256B blocks, advanced every 8th iteration.
+    const bool walkBlocks = p.footprint != Footprint::Base;
+    const std::int32_t blockMask =
+        walkBlocks ? subIndexMask(workWords, 32) : 0;
+
+    countedLoop(b, counter0, p.count("iters"), [&] {
+        if (walkBlocks) {
+            auto sameBlock = b.newLabel();
+            b.andi(scratch0, counter0, 7);
+            b.bnez(scratch0, sameBlock);
+            // block = (counter0 >> 3) & (nblocks - 1); ptr0 = work +
+            // block * 256 — a fresh 4-line window in the workspace.
+            b.srli(scratch0, counter0, 3);
+            b.andi(scratch0, scratch0, blockMask);
+            b.slli(scratch0, scratch0, 8);
+            b.loadAddr(ptr0, work);
+            b.add(ptr0, ptr0, scratch0);
+            b.bind(sameBlock);
+        }
         // Integral-table bookkeeping: shell indices, symmetry flags
         // (scalar integer work that never vectorizes).
         b.slli(scratch1, counter0, 2);

@@ -15,21 +15,37 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planGcc(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // Footprint: the shuffled RTL node pool (irregular pointer chase)
+    // plus the hashed symbol table. 45KB / 176KB / 1.3MB total.
+    p.extent("nodes", 4 * byFootprint<std::size_t>(fp, 1024, 4096, 32768));
+    p.extent("tokens", byFootprint<std::size_t>(fp, 512, 2048, 8192));
+    p.extent("symtab", byFootprint<std::size_t>(fp, 1024, 4096, 16384));
+    p.extent("out", 16);
+    p.extent("frame", 32);
+    p.trip("iters", std::int64_t(scale) * 550);
+    return p;
+}
+
 Program
-buildGcc(unsigned scale)
+buildGcc(const FootprintPlan &p)
 {
     ProgramBuilder b;
     Random rng(0x6cc);
 
-    const Addr head = buildList(b, "nodes", 1024, 4, /*shuffled=*/true,
-                                rng);
-    const unsigned tokenLen = 512;
+    const std::size_t tokenLen = p.words("tokens");
+    const std::size_t symtabLen = p.words("symtab");
+    const Addr head = buildList(b, "nodes", p.words("nodes") / 4, 4,
+                                /*shuffled=*/true, rng);
     const Addr tokens = b.allocWords("tokens", tokenLen);
-    const Addr symtab = b.allocWords("symtab", 1024);
+    const Addr symtab = b.allocWords("symtab", symtabLen);
     const Addr out = b.allocWords("out", 16);
     const Addr frame = b.allocWords("frame", 32);
     fillRandomWords(b, tokens, tokenLen, rng, 200);
-    fillRandomWords(b, symtab, 1024, rng, 5000);
+    fillRandomWords(b, symtab, symtabLen, rng, 5000);
 
     emitLcgInit(b, 0xc0ffee);
     b.loadAddr(ptr0, head);
@@ -38,7 +54,7 @@ buildGcc(unsigned scale)
     b.ldi(acc0, 0);
     b.ldi(acc1, 0);
 
-    countedLoop(b, counter0, std::int32_t(scale * 550), [&] {
+    countedLoop(b, counter0, p.count("iters"), [&] {
         // Pass-state reloads (current function, flags: stride 0).
         emitSpillReloads(b, 5, acc1);
         // Walk one RTL node (shuffled pool: irregular strides).
@@ -57,7 +73,7 @@ buildGcc(unsigned scale)
 
         // Token scan (stride 1, vectorizable with its arithmetic).
         b.loadAddr(ptr1, tokens);
-        b.andi(scratch0, counter0, 255);
+        b.andi(scratch0, counter0, subIndexMask(tokenLen, 2));
         b.slli(scratch0, scratch0, 3);
         b.add(ptr1, ptr1, scratch0);
         countedLoop(b, counter1, 6, [&] {
@@ -69,7 +85,7 @@ buildGcc(unsigned scale)
         });
 
         // Symbol-table probe at a hashed (pseudo-random) index.
-        emitLcgNext(b, scratch0, 1023);
+        emitLcgNext(b, scratch0, std::uint32_t(p.indexMask("symtab")));
         b.slli(scratch0, scratch0, 3);
         b.add(ptr3, ptr2, scratch0);
         b.ldq(scratch1, ptr3, 0);

@@ -15,19 +15,35 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planGo(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // The probed board is the footprint: 8KB at the seed size, 128KB
+    // (L2-resident) and 1MB (memory-resident) beyond; the random
+    // probes spread over the whole board in every mode.
+    p.extent("board", byFootprint<std::size_t>(fp, 1024, 16384, 131072));
+    p.extent("weights", 64);
+    p.extent("globals", 8);
+    p.extent("frame", 32);
+    p.trip("iters", std::int64_t(scale) * 1400);
+    return p;
+}
+
 Program
-buildGo(unsigned scale)
+buildGo(const FootprintPlan &p)
 {
     ProgramBuilder b;
     Random rng(0x60601);
 
-    const Addr board = b.allocWords("board", 1024);
+    const std::size_t boardWords = p.words("board");
+    const Addr board = b.allocWords("board", boardWords);
     const Addr weights = b.allocWords("weights", 64);
     const Addr globals = b.allocWords("globals", 8);
     const Addr frame = b.allocWords("frame", 32);
     // ~70% of board positions are "interesting" (positive): the
     // evaluation branch is biased but data dependent.
-    fillWords(b, board, 1024, [&](size_t) {
+    fillWords(b, board, boardWords, [&](size_t) {
         return rng.chancePercent(70) ? rng.below(50) + 1
                                      : std::uint64_t(-std::int64_t(
                                            rng.below(50) + 1));
@@ -58,7 +74,7 @@ buildGo(unsigned scale)
     b.ldi(acc0, 0);
     b.ldi(acc1, 0);
 
-    countedLoop(b, counter0, std::int32_t(scale * 1400), [&] {
+    countedLoop(b, counter0, p.count("iters"), [&] {
         // Unoptimized-code locals reloads (stride 0).
         emitSpillReloads(b, 5, acc2);
         // Board probe: mostly sequential with occasional random jumps
@@ -72,10 +88,10 @@ buildGo(unsigned scale)
             b.addi(cursor, cursor, 8); // advance the sweep cursor
             b.br(probed);
             b.bind(jump);
-            emitLcgNext(b, scratch0, 1023);
+            emitLcgNext(b, scratch0, std::uint32_t(p.indexMask("board")));
             b.slli(cursor, scratch0, 3);
             b.bind(probed);
-            b.andi(scratch1, cursor, 8191);
+            b.andi(scratch1, cursor, p.byteMask("board"));
         }
         b.add(ptr1, ptr0, scratch1);
         b.ldq(scratch1, ptr1, 0);

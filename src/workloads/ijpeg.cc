@@ -13,30 +13,52 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planIjpeg(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // dim x dim image plus the same-size output plane: 64KB at the
+    // seed 64x64, 144KB at 96x96 (L2), 1MB at 256x256 (mem). The seed
+    // filter touches 12 rows per pass; the grown modes filter the
+    // whole plane so the streamed footprint matches the allocation.
+    const std::size_t dim = byFootprint<std::size_t>(fp, 64, 96, 256);
+    p.extent("image", dim * dim);
+    p.extent("out", dim * dim);
+    p.extent("coeff", 8);
+    p.extent("frame", 32);
+    p.trip("dim", std::int64_t(dim));
+    p.trip("rows", byFootprint<std::int64_t>(fp, 12, std::int64_t(dim),
+                                             std::int64_t(dim)));
+    // Per-pass pixels: 768 seed, 9216 L2 (12x), 65536 mem (85x).
+    p.trip("passes", scaledPasses(scale, 24, byFootprint(fp, 1u, 12u, 85u)));
+    return p;
+}
+
 Program
-buildIjpeg(unsigned scale)
+buildIjpeg(const FootprintPlan &p)
 {
     ProgramBuilder b;
     Random rng(0x17e6);
 
-    const unsigned dim = 64; // 64x64 image
-    const Addr image = b.allocWords("image", dim * dim);
+    const std::int32_t dim = p.count("dim");
+    const std::size_t planeWords = p.words("image");
+    const Addr image = b.allocWords("image", planeWords);
     const Addr coeff = b.allocWords("coeff", 8);
-    const Addr out = b.allocWords("out", dim * dim);
+    const Addr out = b.allocWords("out", planeWords);
     const Addr frame = b.allocWords("frame", 32);
-    fillRandomWords(b, image, dim * dim, rng, 256);
+    fillRandomWords(b, image, planeWords, rng, 256);
     fillWords(b, coeff, 8, [](size_t i) { return 2 * i + 1; });
 
     b.loadAddr(ptr2, coeff);
     b.loadAddr(framePtr, frame);
 
-    countedLoop(b, counter0, std::int32_t(scale * 24), [&] {
+    countedLoop(b, counter0, p.count("passes"), [&] {
         b.loadAddr(ptr0, image);
         b.loadAddr(ptr1, out);
-        // One filtering pass over 12 rows of the image.
-        countedLoop(b, counter1, 12, [&] {
+        // One filtering pass over the planned number of image rows.
+        countedLoop(b, counter1, p.count("rows"), [&] {
             b.ldq(scratch3, ptr2, 0); // coefficient reload (stride 0)
-            // Row body: 64 pixels, stride 1 load, a deep vectorizable
+            // Row body: dim pixels, stride 1 load, a deep vectorizable
             // MAC chain, stride 1 store.
             b.ldi(acc2, dim);
             const auto row = b.here();
@@ -59,7 +81,7 @@ buildIjpeg(unsigned scale)
     // Checksum pass (stride 1) and publish.
     b.loadAddr(ptr1, out);
     b.ldi(acc0, 0);
-    countedLoop(b, counter0, std::int32_t(dim * 4), [&] {
+    countedLoop(b, counter0, dim * 4, [&] {
         b.ldq(scratch0, ptr1, 0);
         b.addi(ptr1, ptr1, 8);
         b.add(acc0, acc0, scratch0);

@@ -8,6 +8,28 @@
 namespace sdv {
 namespace workloads {
 
+std::int32_t
+scaledPasses(unsigned scale, unsigned base_passes, unsigned growth)
+{
+    sdv_assert(base_passes >= 1 && growth >= 1,
+               "pass scaling needs positive factors");
+    const std::uint64_t total =
+        std::uint64_t(base_passes) * scale / growth;
+    return std::int32_t(total < 1 ? 1 : total);
+}
+
+std::int32_t
+subIndexMask(std::size_t words, std::size_t divisor)
+{
+    sdv_assert(divisor >= 1 && words % divisor == 0,
+               "window divisor must divide the extent");
+    const std::size_t w = words / divisor;
+    sdv_assert(w >= 2 && (w & (w - 1)) == 0,
+               "window size must be a power of two for masking");
+    sdv_assert(w - 1 <= 0x7fffffffu, "mask exceeds immediate range");
+    return std::int32_t(w - 1);
+}
+
 void
 fillWords(ProgramBuilder &b, Addr base, size_t count,
           const std::function<std::uint64_t(size_t)> &f)

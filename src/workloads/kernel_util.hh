@@ -10,9 +10,58 @@
 
 #include "common/random.hh"
 #include "isa/builder.hh"
+#include "workloads/workload.hh"
 
 namespace sdv {
 namespace workloads {
+
+// --- footprint-model helpers (shared by every kernel's plan fn) -----
+
+/** @return the variant of a sizing constant for @p fp. */
+template <typename T>
+inline T
+byFootprint(Footprint fp, T base, T l2, T mem)
+{
+    switch (fp) {
+      case Footprint::L2:
+        return l2;
+      case Footprint::Mem:
+        return mem;
+      case Footprint::Base:
+      default:
+        return base;
+    }
+}
+
+/** Start an empty plan bound to (@p scale, @p fp). */
+inline FootprintPlan
+makePlan(unsigned scale, Footprint fp)
+{
+    FootprintPlan p;
+    p.scale = scale;
+    p.footprint = fp;
+    return p;
+}
+
+/**
+ * Outer pass count for a kernel whose per-pass work grows with its
+ * footprint: base_passes * scale passes at the seed footprint, divided
+ * by the same factor the per-pass trip count grew by (never below one
+ * full pass), so the dynamic instruction count stays proportional to
+ * the scale in every mode.
+ */
+std::int32_t scaledPasses(unsigned scale, unsigned base_passes,
+                          unsigned growth);
+
+/**
+ * AND-mask covering 1/@p divisor of a power-of-two extent:
+ * words / divisor - 1. The validated way to derive the sub-extent
+ * window masks some kernels use (scan/copy/start windows) — asserts
+ * the power-of-two shape just like FootprintPlan::indexMask, so a
+ * future non-pow2 retune fails loudly instead of silently skewing the
+ * emitted index distribution.
+ */
+std::int32_t subIndexMask(std::size_t words, std::size_t divisor);
 
 /** Registers conventionally used by the kernels. */
 constexpr RegId scratch0 = 1, scratch1 = 2, scratch2 = 3, scratch3 = 4;

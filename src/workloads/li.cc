@@ -15,19 +15,37 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planLi(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // Footprint: the sequential cons-cell pool (32KB / 128KB / 1MB)
+    // plus the hashed environment. In the base mode the evaluator
+    // restarts at the head every iteration (the seed behaviour); in
+    // the grown modes the circular walk continues instead, so the
+    // constant-stride cdr chase actually streams the whole pool.
+    p.extent("cells", 2 * byFootprint<std::size_t>(fp, 2048, 8192, 65536));
+    p.extent("env", byFootprint<std::size_t>(fp, 256, 1024, 4096));
+    p.extent("stack", 64);
+    p.extent("frame", 32);
+    p.trip("iters", std::int64_t(scale) * 520);
+    return p;
+}
+
 Program
-buildLi(unsigned scale)
+buildLi(const FootprintPlan &p)
 {
     ProgramBuilder b;
     Random rng(0x115b);
 
+    const std::size_t envLen = p.words("env");
     // Sequential pool: cdr (word 0) strides by the 2-word cell size.
-    const Addr head = buildList(b, "cells", 2048, 2, /*shuffled=*/false,
-                                rng);
-    const Addr env = b.allocWords("env", 256);
+    const Addr head = buildList(b, "cells", p.words("cells") / 2, 2,
+                                /*shuffled=*/false, rng);
+    const Addr env = b.allocWords("env", envLen);
     const Addr stack = b.allocWords("stack", 64);
     const Addr frame = b.allocWords("frame", 32);
-    fillRandomWords(b, env, 256, rng, 400);
+    fillRandomWords(b, env, envLen, rng, 400);
 
     emitLcgInit(b, 0x11511);
     b.loadAddr(ptr2, env);
@@ -36,12 +54,17 @@ buildLi(unsigned scale)
     b.ldi(acc0, 0);
     b.ldi(acc1, 0);
 
-    countedLoop(b, counter0, std::int32_t(scale * 520), [&] {
+    const bool walkContinues = p.footprint != Footprint::Base;
+    if (walkContinues)
+        b.loadAddr(ptr0, head);
+    countedLoop(b, counter0, p.count("iters"), [&] {
         // Interpreter-state reloads (env pointer, depth: stride 0).
         emitSpillReloads(b, 6, acc1);
         // Evaluate a list of 5 cells: car is the value, cdr the next
-        // cell (constant-stride pointer loads).
-        b.loadAddr(ptr0, head);
+        // cell (constant-stride pointer loads). The grown footprints
+        // keep walking the circular pool instead of restarting.
+        if (!walkContinues)
+            b.loadAddr(ptr0, head);
         countedLoop(b, counter1, 5, [&] {
             b.ldq(scratch0, ptr0, 8); // car
             b.ldq(ptr0, ptr0, 0);     // cdr: strided pointer chase
@@ -62,7 +85,7 @@ buildLi(unsigned scale)
         b.stq(acc0, scratch1, 0);
 
         // Environment lookup at a hashed index with a biased branch.
-        emitLcgNext(b, scratch1, 255);
+        emitLcgNext(b, scratch1, std::uint32_t(p.indexMask("env")));
         b.slli(scratch1, scratch1, 3);
         b.add(ptr1, ptr2, scratch1);
         b.ldq(scratch2, ptr1, 0);

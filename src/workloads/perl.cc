@@ -13,21 +13,38 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planPerl(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // Footprint: streamed bytecode, scanned string arena and the
+    // randomly probed hash. 17KB / 160KB / 900KB total.
+    p.extent("bytecode", byFootprint<std::size_t>(fp, 1024, 8192, 32768));
+    p.extent("strings", byFootprint<std::size_t>(fp, 512, 4096, 16384));
+    p.extent("hash", byFootprint<std::size_t>(fp, 512, 8192, 65536));
+    p.extent("vstack", 64);
+    p.extent("frame", 32);
+    p.trip("passes", scaledPasses(scale, 2, byFootprint(fp, 1u, 8u, 32u)));
+    return p;
+}
+
 Program
-buildPerl(unsigned scale)
+buildPerl(const FootprintPlan &p)
 {
     ProgramBuilder b;
     Random rng(0x9e71);
 
-    const unsigned codeLen = 1024;
+    const std::size_t codeLen = p.words("bytecode");
+    const std::size_t stringsLen = p.words("strings");
+    const std::size_t hashLen = p.words("hash");
     const Addr bytecode = b.allocWords("bytecode", codeLen);
-    const Addr strings = b.allocWords("strings", 512);
-    const Addr hash = b.allocWords("hash", 512);
+    const Addr strings = b.allocWords("strings", stringsLen);
+    const Addr hash = b.allocWords("hash", hashLen);
     const Addr vstack = b.allocWords("vstack", 64);
     const Addr frame = b.allocWords("frame", 32);
     fillRandomWords(b, bytecode, codeLen, rng, 4);
-    fillRandomWords(b, strings, 512, rng, 128);
-    fillRandomWords(b, hash, 512, rng, 600);
+    fillRandomWords(b, strings, stringsLen, rng, 128);
+    fillRandomWords(b, hash, hashLen, rng, 600);
 
     emitLcgInit(b, 0x9e119e11);
     b.loadAddr(ptr1, strings);
@@ -37,9 +54,9 @@ buildPerl(unsigned scale)
     b.ldi(acc0, 0);
     b.ldi(acc1, 0);
 
-    countedLoop(b, counter0, std::int32_t(scale * 2), [&] {
+    countedLoop(b, counter0, p.count("passes"), [&] {
         b.loadAddr(ptr0, bytecode);
-        countedLoop(b, counter1, std::int32_t(codeLen), [&] {
+        countedLoop(b, counter1, p.wordTrip("bytecode"), [&] {
             // Interpreter-state reloads (sp, pad pointer: stride 0).
             emitSpillReloads(b, 2, acc1);
             // Opcode fetch (stride 1, vectorizable) and operand-field
@@ -65,7 +82,7 @@ buildPerl(unsigned scale)
             b.cmpeqi(scratch1, scratch0, 1);
             b.beqz(scratch1, op_hash);
             // op 1: scan four string cells (stride 1).
-            b.andi(scratch2, counter1, 127);
+            b.andi(scratch2, counter1, subIndexMask(stringsLen, 4));
             b.slli(scratch2, scratch2, 3);
             b.add(scratch2, scratch2, ptr1);
             countedLoop(b, acc2, 4, [&] {
@@ -79,7 +96,7 @@ buildPerl(unsigned scale)
             b.cmpeqi(scratch1, scratch0, 2);
             b.beqz(scratch1, op_push);
             // op 2: hash probe (random index) + biased branch.
-            emitLcgNext(b, scratch2, 511);
+            emitLcgNext(b, scratch2, std::uint32_t(p.indexMask("hash")));
             b.slli(scratch2, scratch2, 3);
             b.add(scratch2, scratch2, ptr2);
             b.ldq(scratch3, scratch2, 0);

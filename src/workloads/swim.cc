@@ -14,12 +14,27 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planSwim(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // Three streamed double grids of n elements: 50KB / 192KB / 1.5MB.
+    const std::size_t n = byFootprint<std::size_t>(fp, 2048, 8192, 65536);
+    p.extent("u", n + 8);
+    p.extent("v", n + 72);
+    p.extent("p", n + 8);
+    p.extent("consts", 4);
+    p.trip("n", std::int64_t(n));
+    p.trip("passes", scaledPasses(scale, 5, byFootprint(fp, 1u, 4u, 32u)));
+    return p;
+}
+
 Program
-buildSwim(unsigned scale)
+buildSwim(const FootprintPlan &plan)
 {
     ProgramBuilder b;
 
-    const unsigned n = 2048;
+    const std::size_t n = std::size_t(plan.count("n"));
     const Addr u = b.allocWords("u", n + 8);
     const Addr v = b.allocWords("v", n + 72);
     const Addr p = b.allocWords("p", n + 8);
@@ -36,12 +51,12 @@ buildSwim(unsigned scale)
     b.cvtif(facc, scratch0);
 
     const RegId idx = 16;
-    countedLoop(b, counter0, std::int32_t(scale * 5), [&] {
+    countedLoop(b, counter0, plan.count("passes"), [&] {
         b.loadAddr(ptr0, u);
         b.loadAddr(ptr1, v);
         b.loadAddr(ptr2, p);
         b.ldi(idx, 0);
-        countedLoop(b, counter1, std::int32_t(n), [&] {
+        countedLoop(b, counter1, plan.count("n"), [&] {
             // Explicit index arithmetic, as compiled array code does
             // (scalar overhead that never vectorizes).
             b.slli(scratch0, idx, 3);
@@ -67,7 +82,7 @@ buildSwim(unsigned scale)
     });
 
     b.loadAddr(ptr2, p);
-    b.fst(facc, ptr2, 8 * (n + 4));
+    b.fst(facc, ptr2, std::int32_t(8 * (n + 4)));
     b.halt();
     return b.finish();
 }

@@ -13,12 +13,33 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planTurb3d(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // Ping-pong signal buffers of n doubles (33KB / 192KB / 2MB). The
+    // seed butterfly counts touch a few KB per pass; the grown modes
+    // sweep the whole buffer at every stride (span pairs*stride ~ n).
+    const std::size_t n = byFootprint<std::size_t>(fp, 2048, 12288, 131072);
+    p.extent("sig", n + 64);
+    p.extent("outbuf", n + 64);
+    p.extent("twiddle", 4);
+    const std::int64_t sweep = std::int64_t(n) - 1024; // grown spans
+    p.trip("pairs1", byFootprint<std::int64_t>(fp, 224, sweep, sweep));
+    p.trip("pairs2", byFootprint<std::int64_t>(fp, 224, sweep / 2, sweep / 2));
+    p.trip("pairs4", byFootprint<std::int64_t>(fp, 96, sweep / 4, sweep / 4));
+    p.trip("pairs8", byFootprint<std::int64_t>(fp, 96, sweep / 8, sweep / 8));
+    // Total pairs per outer pass: 864 seed, ~37x at L2, ~432x at mem.
+    p.trip("passes", scaledPasses(scale, 5, byFootprint(fp, 1u, 37u, 432u)));
+    return p;
+}
+
 Program
-buildTurb3d(unsigned scale)
+buildTurb3d(const FootprintPlan &p)
 {
     ProgramBuilder b;
 
-    const unsigned n = 2048;
+    const std::size_t n = p.words("sig") - 64;
     const Addr sig = b.allocWords("sig", n + 64);
     const Addr out = b.allocWords("outbuf", n + 64);
     const Addr twiddle = b.allocWords("twiddle", 4);
@@ -32,19 +53,28 @@ buildTurb3d(unsigned scale)
     b.ldi(scratch0, 0);
     b.cvtif(facc, scratch0);
 
-    countedLoop(b, counter0, std::int32_t(scale * 5), [&] {
+    const std::int32_t pairsFor[9] = {0,
+                                      p.count("pairs1"),
+                                      p.count("pairs2"),
+                                      0,
+                                      p.count("pairs4"),
+                                      0,
+                                      0,
+                                      0,
+                                      p.count("pairs8")};
+    countedLoop(b, counter0, p.count("passes"), [&] {
         // One butterfly pass per stride in {1, 2, 4, 8}; short strides
         // dominate as in a real decimation (81% of strided accesses
         // stay below 4 elements for SpecFP in the paper).
         for (unsigned stride : {1u, 1u, 2u, 4u, 8u}) {
-            const unsigned pairs = stride <= 2 ? 224 : 96;
+            const std::int32_t pairs = pairsFor[stride];
             // Out-of-place butterflies (ping-pong buffers): the output
             // buffer is distinct from the streamed input, as in an FFT
             // that alternates between two work arrays.
             b.loadAddr(ptr0, sig);
             b.loadAddr(ptr1, out);
             b.ldi(acc2, 0); // butterfly index
-            countedLoop(b, counter1, std::int32_t(pairs), [&] {
+            countedLoop(b, counter1, pairs, [&] {
                 // Bit-reversal-style index bookkeeping (scalar).
                 b.slli(scratch0, acc2, 3);
                 b.mul(scratch1, acc2, counter1);
@@ -67,7 +97,7 @@ buildTurb3d(unsigned scale)
     });
 
     b.loadAddr(ptr0, sig);
-    b.fst(facc, ptr0, 8 * (n + 32));
+    b.fst(facc, ptr0, std::int32_t(8 * (n + 32)));
     b.halt();
     return b.finish();
 }

@@ -14,19 +14,40 @@ namespace sdv {
 
 using namespace workloads;
 
+FootprintPlan
+planVortex(unsigned scale, Footprint fp)
+{
+    FootprintPlan p = makePlan(scale, fp);
+    // Footprint: the two-word record store plus its mirror,
+    // 26KB / 200KB / 1.6MB. The grown modes also widen the scan and
+    // bulk-copy windows (the seed masks cover a hot subset only) so
+    // the streamed traffic spreads over the grown store.
+    const std::size_t nrec = byFootprint<std::size_t>(fp, 1024, 8192, 65536);
+    p.extent("records", nrec * 2);
+    p.extent("mirror", nrec);
+    p.extent("index", byFootprint<std::size_t>(fp, 256, 1024, 4096));
+    p.extent("frame", 32);
+    p.trip("nrec", std::int64_t(nrec));
+    p.trip("iters", std::int64_t(scale) * 190);
+    p.trip("scanmask", subIndexMask(nrec, fp == Footprint::Base ? 32 : 8));
+    p.trip("copymask", subIndexMask(nrec, fp == Footprint::Base ? 16 : 4));
+    return p;
+}
+
 Program
-buildVortex(unsigned scale)
+buildVortex(const FootprintPlan &p)
 {
     ProgramBuilder b;
     Random rng(0x04237e);
 
-    const unsigned nrec = 1024;
+    const std::size_t nrec = std::size_t(p.count("nrec"));
+    const std::size_t indexLen = p.words("index");
     const Addr records = b.allocWords("records", nrec * 2); // key,value
     const Addr mirror = b.allocWords("mirror", nrec);
-    const Addr index = b.allocWords("index", 256);
+    const Addr index = b.allocWords("index", indexLen);
     const Addr frame = b.allocWords("frame", 32);
     fillRandomWords(b, records, nrec * 2, rng, 10000);
-    fillWords(b, index, 256,
+    fillWords(b, index, indexLen,
               [&](size_t) { return rng.below(nrec); });
 
     emitLcgInit(b, 0x4237e);
@@ -34,12 +55,12 @@ buildVortex(unsigned scale)
     b.ldi(acc0, 0);
     b.ldi(acc1, 0);
 
-    countedLoop(b, counter0, std::int32_t(scale * 190), [&] {
+    countedLoop(b, counter0, p.count("iters"), [&] {
         // Transaction-state reloads (db handle, cursor: stride 0).
         emitSpillReloads(b, 6, acc1);
         // Key scan over 10 records (stride 2: the struct size).
         b.loadAddr(ptr0, records);
-        b.andi(scratch0, counter0, 31);
+        b.andi(scratch0, counter0, p.count("scanmask"));
         b.slli(scratch0, scratch0, 4);
         b.add(ptr0, ptr0, scratch0);
         countedLoop(b, counter1, 10, [&] {
@@ -60,7 +81,7 @@ buildVortex(unsigned scale)
         // and store).
         b.loadAddr(ptr1, records);
         b.loadAddr(ptr2, mirror);
-        b.andi(scratch0, counter0, 63);
+        b.andi(scratch0, counter0, p.count("copymask"));
         b.slli(scratch1, scratch0, 3);
         b.add(ptr2, ptr2, scratch1);
         b.slli(scratch1, scratch0, 4);
@@ -74,7 +95,7 @@ buildVortex(unsigned scale)
         });
 
         // Index-directed probe (random record).
-        emitLcgNext(b, scratch0, 255);
+        emitLcgNext(b, scratch0, std::uint32_t(p.indexMask("index")));
         b.slli(scratch0, scratch0, 3);
         b.loadAddr(ptr3, index);
         b.add(ptr3, ptr3, scratch0);

@@ -9,36 +9,138 @@
  * its stride mix (Figure 1), its vectorizable fraction (Figure 3), its
  * branch-predictability class and its pointer/array balance. See
  * DESIGN.md ("Substitutions") for the full rationale.
+ *
+ * Every kernel is instantiated through a two-stage WorkloadSpec layer:
+ * a *footprint model* maps (scale, footprint mode) to a FootprintPlan —
+ * named array extents, pointer-heap sizes and iteration counts — and a
+ * *builder* emits the program from the resolved plan. The base mode
+ * reproduces the seed kernels exactly (byte-identical programs at any
+ * scale); the l2 and mem modes grow the working set beyond the L1 and
+ * L2 capacities while preserving each kernel's stride mix and
+ * vectorizable fraction, the regime the paper's reference inputs ran
+ * in. See docs/workloads.md.
  */
 
 #ifndef SDV_WORKLOADS_WORKLOAD_HH
 #define SDV_WORKLOADS_WORKLOAD_HH
 
-#include <functional>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "isa/program.hh"
 
 namespace sdv {
 
-/** One registered workload. */
-struct Workload
+/** Working-set regime a kernel is instantiated for. */
+enum class Footprint
+{
+    Base, ///< seed footprint: L1-resident arrays, byte-identical programs
+    L2,   ///< working set beyond L1D but L2-resident (~2x L1D)
+    Mem   ///< working set beyond L2 (~4x L2 or more)
+};
+
+/** @return "base" / "l2" / "mem". */
+const char *footprintName(Footprint fp);
+
+/** Parse a --footprint argument (fatal on anything unknown). */
+Footprint parseFootprint(const std::string &name);
+
+/**
+ * The resolved sizing of one kernel instantiation: every array extent,
+ * pointer-heap size and iteration count the builder emits, as computed
+ * by the workload's footprint model for one (scale, footprint) pair.
+ * Extents are in 64-bit words (the kernels' universal unit); trip
+ * counts are dynamic iteration counts.
+ */
+struct FootprintPlan
+{
+    unsigned scale = 1;
+    Footprint footprint = Footprint::Base;
+
+    std::vector<std::pair<std::string, std::size_t>> extents; ///< words
+    std::vector<std::pair<std::string, std::int64_t>> trips;
+
+    /** Declare extent @p name of @p words words. */
+    void
+    extent(const std::string &name, std::size_t words)
+    {
+        extents.emplace_back(name, words);
+    }
+
+    /** Declare iteration count @p name. */
+    void
+    trip(const std::string &name, std::int64_t count)
+    {
+        trips.emplace_back(name, count);
+    }
+
+    /** @return extent @p name in words (fatal when undeclared). */
+    std::size_t words(const std::string &name) const;
+
+    /** @return extent @p name in words as a loop trip count. */
+    std::int32_t wordTrip(const std::string &name) const;
+
+    /** @return trip count @p name (fatal when undeclared). */
+    std::int32_t count(const std::string &name) const;
+
+    /** @return words(name) - 1, asserting the extent is a power of
+     *  two — the index masks the kernels' random probes use. */
+    std::int32_t indexMask(const std::string &name) const;
+
+    /** @return words(name) * 8 - 1 (power-of-two byte mask). */
+    std::int32_t byteMask(const std::string &name) const;
+
+    /** @return total initialized data footprint in bytes. */
+    std::size_t totalBytes() const;
+};
+
+/** One registered workload: identity plus its two-stage instantiation
+ *  (footprint model -> plan -> program builder). */
+struct WorkloadSpec
 {
     std::string name;        ///< SPEC95 program it stands in for
     bool isFp = false;       ///< SpecFP95 member
     std::string description; ///< behaviour the kernel models
-    std::function<Program(unsigned)> build; ///< scale >= 1
+
+    /** Footprint model: extents and trip counts for (scale, mode). */
+    FootprintPlan (*plan)(unsigned scale, Footprint fp);
+
+    /** Emit the program from a resolved plan. */
+    Program (*build)(const FootprintPlan &plan);
+
+    /**
+     * Resolve the model and build the program.
+     * @param scale dynamic-length scale factor (>= 1; fatal on 0)
+     * @param fp working-set regime
+     */
+    Program instantiate(unsigned scale,
+                        Footprint fp = Footprint::Base) const;
 };
 
+/** Legacy name: most call sites predate the footprint layer. */
+using Workload = WorkloadSpec;
+
 /** @return all 12 workloads (8 integer then 4 FP, paper order). */
-const std::vector<Workload> &allWorkloads();
+const std::vector<WorkloadSpec> &allWorkloads();
 
 /** @return the workload named @p name, or nullptr. */
-const Workload *findWorkload(const std::string &name);
+const WorkloadSpec *findWorkload(const std::string &name);
 
-/** Build a workload's program (fatal on unknown name). */
-Program buildWorkload(const std::string &name, unsigned scale = 1);
+/** Build a workload's program. Fatal on an unknown name or an invalid
+ *  (zero) scale — the requested values are reported, never clamped. */
+Program buildWorkload(const std::string &name, unsigned scale = 1,
+                      Footprint fp = Footprint::Base);
+
+/**
+ * @return a one-line footprint summary for @p w at (@p scale, @p fp):
+ * total initialized bytes plus the dominant extents, e.g.
+ * "160.0 KiB (htab 128.0 KiB, input 16.0 KiB, ...)". Used by the
+ * sweep driver's --list and the Table 1 bench.
+ */
+std::string describeFootprint(const WorkloadSpec &w, unsigned scale,
+                              Footprint fp);
 
 /** @return the 8 SpecInt95-like workload names in paper order. */
 std::vector<std::string> intWorkloadNames();
@@ -46,19 +148,31 @@ std::vector<std::string> intWorkloadNames();
 /** @return the 4 SpecFP95-like workload names in paper order. */
 std::vector<std::string> fpWorkloadNames();
 
-// Individual kernel builders (one translation unit each).
-Program buildGo(unsigned scale);       ///< go: branchy board evaluation
-Program buildM88ksim(unsigned scale);  ///< m88ksim: CPU simulator loop
-Program buildGcc(unsigned scale);      ///< gcc: tree/list compiler passes
-Program buildCompress(unsigned scale); ///< compress: LZW hashing
-Program buildLi(unsigned scale);       ///< li: lisp cons-cell interpreter
-Program buildIjpeg(unsigned scale);    ///< ijpeg: block image transforms
-Program buildPerl(unsigned scale);     ///< perl: bytecode interpreter
-Program buildVortex(unsigned scale);   ///< vortex: OO database store
-Program buildSwim(unsigned scale);     ///< swim: shallow-water stencil
-Program buildApplu(unsigned scale);    ///< applu: banded solver
-Program buildTurb3d(unsigned scale);   ///< turb3d: strided FFT passes
-Program buildFpppp(unsigned scale);    ///< fpppp: huge FP basic blocks
+// Individual kernel models and builders (one translation unit each).
+FootprintPlan planGo(unsigned scale, Footprint fp);
+Program buildGo(const FootprintPlan &plan); ///< go: branchy board evaluation
+FootprintPlan planM88ksim(unsigned scale, Footprint fp);
+Program buildM88ksim(const FootprintPlan &plan); ///< m88ksim: CPU simulator loop
+FootprintPlan planGcc(unsigned scale, Footprint fp);
+Program buildGcc(const FootprintPlan &plan); ///< gcc: tree/list compiler passes
+FootprintPlan planCompress(unsigned scale, Footprint fp);
+Program buildCompress(const FootprintPlan &plan); ///< compress: LZW hashing
+FootprintPlan planLi(unsigned scale, Footprint fp);
+Program buildLi(const FootprintPlan &plan); ///< li: lisp cons-cell interpreter
+FootprintPlan planIjpeg(unsigned scale, Footprint fp);
+Program buildIjpeg(const FootprintPlan &plan); ///< ijpeg: block image transforms
+FootprintPlan planPerl(unsigned scale, Footprint fp);
+Program buildPerl(const FootprintPlan &plan); ///< perl: bytecode interpreter
+FootprintPlan planVortex(unsigned scale, Footprint fp);
+Program buildVortex(const FootprintPlan &plan); ///< vortex: OO database store
+FootprintPlan planSwim(unsigned scale, Footprint fp);
+Program buildSwim(const FootprintPlan &plan); ///< swim: shallow-water stencil
+FootprintPlan planApplu(unsigned scale, Footprint fp);
+Program buildApplu(const FootprintPlan &plan); ///< applu: banded solver
+FootprintPlan planTurb3d(unsigned scale, Footprint fp);
+Program buildTurb3d(const FootprintPlan &plan); ///< turb3d: strided FFT passes
+FootprintPlan planFpppp(unsigned scale, Footprint fp);
+Program buildFpppp(const FootprintPlan &plan); ///< fpppp: huge FP basic blocks
 
 } // namespace sdv
 

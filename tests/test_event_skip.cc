@@ -132,7 +132,7 @@ TEST(EventSkip, BitIdenticalOnEveryTier1Workload)
 {
     std::uint64_t total_skipped = 0;
     for (const Workload &w : allWorkloads()) {
-        const Program &prog = keep(w.build(1));
+        const Program &prog = keep(w.instantiate(1));
         for (BusMode mode : {BusMode::WideBusSdv, BusMode::ScalarBus}) {
             const CoreConfig cfg = makeConfig(4, 1, mode);
             // Verification (functional re-execution + state compare)
@@ -168,7 +168,7 @@ TEST(EventSkip, BlockedDecodeWindowsSkipAndStayBitIdentical)
     std::uint64_t total_blocked = 0;
     std::uint64_t total_skipped = 0;
     for (const Workload &w : allWorkloads()) {
-        const Program &prog = keep(w.build(1));
+        const Program &prog = keep(w.instantiate(1));
         CoreConfig cfg = makeConfig(4, 1, BusMode::WideBusSdv);
         cfg.engine.blockOnScalarOperand = true;
         const RunDigest skip = runOnce(cfg, prog, true, false);

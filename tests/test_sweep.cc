@@ -130,7 +130,7 @@ constexpr std::uint64_t warmupInsts = 5'000;
 TEST(Checkpoint, RestoreThenRunMatchesStraightThroughOnEveryWorkload)
 {
     for (const Workload &w : allWorkloads()) {
-        const Program &prog = keep(w.build(1));
+        const Program &prog = keep(w.instantiate(1));
         const CoreConfig cfg = makeConfig(4, 1, BusMode::WideBusSdv);
 
         // Path A: warm up, then continue in place.

@@ -46,7 +46,7 @@ class WorkloadRun : public ::testing::TestWithParam<int>
 TEST_P(WorkloadRun, VerifiesOnHeadlineMachine)
 {
     const Workload &w = allWorkloads()[size_t(GetParam())];
-    const Program prog = w.build(1);
+    const Program prog = w.instantiate(1);
     const SimResult r =
         simulate(makeConfig(4, 1, BusMode::WideBusSdv), prog);
     ASSERT_TRUE(r.finished) << w.name;
@@ -62,7 +62,7 @@ TEST_P(WorkloadRun, SdvNeverLosesToWideBus)
     // Cycle counts: vectorization must not slow any workload down by
     // more than noise (the paper reports gains everywhere).
     const Workload &w = allWorkloads()[size_t(GetParam())];
-    const Program prog = w.build(1);
+    const Program prog = w.instantiate(1);
     const SimResult v = simulate(makeConfig(4, 1, BusMode::WideBusSdv),
                                  prog, 50'000'000, false);
     const SimResult im = simulate(makeConfig(4, 1, BusMode::WideBus),
@@ -80,7 +80,7 @@ TEST(Analyzers, StrideProfileShapeMatchesPaper)
     double int0 = 0, fp0 = 0, int_lt4 = 0, fp_lt4 = 0;
     unsigned n_int = 0, n_fp = 0;
     for (const Workload &w : allWorkloads()) {
-        const Program p = w.build(1);
+        const Program p = w.instantiate(1);
         const StrideProfile prof = profileStrides(p);
         if (w.isFp) {
             fp0 += prof.strideHist.fraction(0);
@@ -103,7 +103,7 @@ TEST(Analyzers, VectorizableFractionInPaperBand)
     double int_sum = 0, fp_sum = 0;
     unsigned n_int = 0, n_fp = 0;
     for (const Workload &w : allWorkloads()) {
-        const Program p = w.build(1);
+        const Program p = w.instantiate(1);
         const double f = analyzeVectorizability(p).fraction();
         EXPECT_GT(f, 0.10) << w.name;
         EXPECT_LT(f, 0.90) << w.name;

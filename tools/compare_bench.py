@@ -13,6 +13,12 @@ Three schemas are understood:
   "results": [...]}; the results records carry the same simulated
   statistics plus a commit_hash (compared exactly) and no per-record
   wall time — the total lives in the "sweep" metadata (warn-only).
+  Interval-sampled sweeps (sdv_sweep --samples) add "footprint",
+  "samples" and "measure_insts" to the metadata and a per-record
+  "samples" count: the sampled estimates are deterministic, so they
+  still compare exactly, but the measurement parameters must match —
+  a baseline captured under one sampling setup is meaningless against
+  results from another, so any metadata mismatch is an error.
 
 * google-benchmark schema (bench_micro_components): an object with a
   "benchmarks" array. Timings are host-dependent; the benchmark set
@@ -87,6 +93,10 @@ def compare_records(base, new, base_wall, new_wall):
             errors.append(
                 f"{k}: commit stream drifted "
                 f"{b['commit_hash']} -> {n['commit_hash']}")
+        if b.get("samples", 0) != n.get("samples", 0):
+            errors.append(
+                f"{k}: sample count changed "
+                f"{b.get('samples', 0)} -> {n.get('samples', 0)}")
     for k in sorted(nkey):
         if k not in bkey:
             warnings.append(f"new run {k} has no baseline yet")
@@ -105,10 +115,23 @@ def compare_harness(base, new):
         sum(r.get("wall_seconds", 0.0) for r in new))
 
 
+SWEEP_META_KEYS = ("plan", "scale", "event_skip", "checkpoint",
+                   "warmup_insts", "footprint", "samples",
+                   "measure_insts")
+
+
 def compare_sweep(base, new):
-    return compare_records(
+    errors = []
+    bmeta, nmeta = base.get("sweep", {}), new.get("sweep", {})
+    for key in SWEEP_META_KEYS:
+        if bmeta.get(key) != nmeta.get(key):
+            errors.append(
+                f"sweep metadata '{key}' changed "
+                f"{bmeta.get(key)!r} -> {nmeta.get(key)!r}")
+    rec_errors, warnings = compare_records(
         sweep_records(base), sweep_records(new),
         sweep_wall(base), sweep_wall(new))
+    return errors + rec_errors, warnings
 
 
 def compare_google_benchmark(base, new):

@@ -38,13 +38,21 @@ usage(const char *argv0)
         "everything)\n"
         "  --list            list registered plans and exit\n"
         "  --jobs N          worker threads (default 1)\n"
-        "  --scale N         workload scale factor (default 1)\n"
+        "  --scale N         workload scale factor (default 1, >= 1)\n"
+        "  --footprint M     working-set regime: base, l2 or mem "
+        "(default base)\n"
         "  --quick           first two INT + first FP workloads only\n"
         "  --no-event-skip   tick every cycle (cross-check mode)\n"
         "  --checkpoint      warm each workload once, fork every "
         "config from the snapshot\n"
-        "  --warmup N        checkpoint warm-up length in instructions "
-        "(default 10000)\n"
+        "  --warmup N        checkpoint/sampling warm-up length in "
+        "instructions (default 10000)\n"
+        "  --samples N       interval sampling: estimate every job "
+        "from N snapshot forks\n"
+        "  --sample-insts M  instructions measured per sample "
+        "(default 20000)\n"
+        "  --sample-period P capture period in insts (default: spread "
+        "evenly over the run)\n"
         "  --checkpoint-dir D  persist/reuse snapshots in D\n"
         "  --verify          run functional verification per job\n"
         "  --seed N          base of the per-job RNG stream seeds "
@@ -86,7 +94,23 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--scale") == 0) {
             popt.scale = unsigned(numArg(argc, argv, i));
             if (popt.scale == 0)
-                popt.scale = 1;
+                fatal("--scale 0 is invalid: the scale is a dynamic-"
+                      "length multiplier and must be >= 1");
+        } else if (std::strcmp(argv[i], "--footprint") == 0 &&
+                   i + 1 < argc) {
+            popt.footprint = parseFootprint(argv[++i]);
+        } else if (std::strcmp(argv[i], "--samples") == 0) {
+            const std::uint64_t samples = numArg(argc, argv, i);
+            if (samples > 100'000) // catches negative-value wraps too
+                fatal("--samples ", samples, " is not a sensible "
+                      "sample count");
+            eopt.sample.samples = unsigned(samples);
+        } else if (std::strcmp(argv[i], "--sample-insts") == 0) {
+            eopt.sample.measureInsts = numArg(argc, argv, i);
+            if (eopt.sample.measureInsts == 0)
+                fatal("--sample-insts must be >= 1");
+        } else if (std::strcmp(argv[i], "--sample-period") == 0) {
+            eopt.sample.periodInsts = numArg(argc, argv, i);
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             popt.quick = true;
         } else if (std::strcmp(argv[i], "--no-event-skip") == 0) {
@@ -117,20 +141,49 @@ main(int argc, char **argv)
         for (const sweep::PlanInfo &p : sweep::allPlans())
             std::printf("  %-10s %s\n", p.name.c_str(),
                         p.title.c_str());
+        std::printf("\nworkload footprints at --scale %u "
+                    "(initialized data):\n",
+                    popt.scale);
+        std::printf("  %-9s %-10s %s\n", "workload", "mode",
+                    "footprint");
+        for (const WorkloadSpec &w : allWorkloads())
+            for (Footprint fp :
+                 {Footprint::Base, Footprint::L2, Footprint::Mem})
+                std::printf("  %-9s %-10s %s\n", w.name.c_str(),
+                            footprintName(fp),
+                            describeFootprint(w, popt.scale, fp)
+                                .c_str());
         return 0;
     }
     if (plan_name.empty())
         usage(argv[0]);
     if (!sweep::havePlan(plan_name))
         fatal("unknown plan '", plan_name, "' (try --list)");
+    if (eopt.sample.enabled() && eopt.verify)
+        fatal("--verify is incompatible with --samples: sampled "
+              "results are estimates, not verifiable runs");
+    if (eopt.sample.enabled() && eopt.checkpoint)
+        warn("--samples subsumes --checkpoint; sampling mode used");
+    if (eopt.sample.enabled() && !eopt.checkpointDir.empty())
+        warn("--checkpoint-dir is not used with --samples: sample "
+             "snapshots are recaptured per invocation");
 
     // Warnings stay on: checkpoint fallbacks (stale snapshot, cold
     // run on geometry mismatch, no warm-up boundary) must be visible.
 
     const sweep::SweepPlan plan = sweep::buildPlan(plan_name, popt);
-    std::printf("plan %s: %zu jobs, %u thread(s)%s\n",
+    std::printf("plan %s: %zu jobs, %u thread(s), scale %u, "
+                "footprint %s%s",
                 plan.name.c_str(), plan.jobs.size(), eopt.jobs,
-                eopt.checkpoint ? ", checkpointed" : "");
+                plan.scale, footprintName(plan.footprint),
+                eopt.checkpoint && !eopt.sample.enabled()
+                    ? ", checkpointed"
+                    : "");
+    if (eopt.sample.enabled())
+        std::printf(", %u samples x %llu insts", eopt.sample.samples,
+                    static_cast<unsigned long long>(
+                        eopt.sample.measureInsts));
+    std::printf("\n");
 
     const auto t0 = std::chrono::steady_clock::now();
     const std::vector<sweep::RunOutcome> outcomes =
@@ -159,7 +212,12 @@ main(int argc, char **argv)
                 outcomes.size(), double(insts) / 1e6, wall,
                 wall > 0 ? double(insts) / 1e6 / wall : 0.0,
                 eopt.verify ? ", all verified" : "");
-    if (eopt.checkpoint)
+    if (eopt.sample.enabled())
+        std::printf("sampling: %u of %zu jobs estimated from "
+                    "per-sample forks%s\n",
+                    forked, outcomes.size(),
+                    forked < outcomes.size() ? " (rest ran full)" : "");
+    else if (eopt.checkpoint)
         std::printf("checkpoint: %u of %zu jobs forked from warm "
                     "snapshots%s\n",
                     forked, outcomes.size(),
