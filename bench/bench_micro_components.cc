@@ -12,6 +12,7 @@
 #include "harness.hh"
 #include "mem/cache.hh"
 #include "vector/table_of_loads.hh"
+#include "vector/vreg_file.hh"
 #include "vector/vrmt.hh"
 
 using namespace sdv;
@@ -75,6 +76,76 @@ BM_VrmtLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_VrmtLookup);
+
+void
+BM_VecRegFileChurn(benchmark::State &state)
+{
+    // The steady-state register lifecycle: allocate, compute and
+    // validate every element, supersede, and let the incremental
+    // release sweep reclaim — the sweepPending/sweepReleases hot path.
+    VecRegFile vrf(128, 4);
+    std::uint64_t released = 0;
+    for (auto _ : state) {
+        const VecRegRef r = vrf.allocate(0x1000);
+        for (unsigned e = 0; e < 4; ++e) {
+            vrf.setData(r, e, e);
+            vrf.setUsed(r, e, true);
+            vrf.setValid(r, e);
+            vrf.setFree(r, e);
+        }
+        released += vrf.sweepReleases(0x1000);
+    }
+    benchmark::DoNotOptimize(released);
+    state.counters["released/s"] = benchmark::Counter(
+        double(released), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VecRegFileChurn);
+
+void
+BM_ValidationWakeup(benchmark::State &state)
+{
+    // The event-driven validation scheduling path: register interest
+    // in an element, compute it, drain the wake event — what the core
+    // now does per validation instead of polling every pending one
+    // every cycle.
+    VecRegFile vrf(128, 4);
+    std::uint64_t wakes = 0;
+    for (auto _ : state) {
+        const VecRegRef r = vrf.allocate(0);
+        for (unsigned e = 0; e < 4; ++e) {
+            vrf.noteWaiter(r, e);
+            vrf.setData(r, e, e);
+            vrf.setFree(r, e);
+        }
+        vrf.drainWakeEvents([&](const VecWakeEvent &) { ++wakes; });
+        vrf.sweepReleases(0);
+    }
+    benchmark::DoNotOptimize(wakes);
+    state.counters["wakes/s"] = benchmark::Counter(
+        double(wakes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ValidationWakeup);
+
+void
+BM_VrmtQuiesceInvalidate(benchmark::State &state)
+{
+    // Context-switch invalidation (quiesce / --quiesce-interval): the
+    // epoch bump is O(1) regardless of occupancy.
+    Vrmt vrmt;
+    VrmtEntry e;
+    e.valid = true;
+    for (auto _ : state) {
+        state.PauseTiming();
+        for (Addr pc = 0x10000; pc < 0x10000 + 64 * 8; pc += 8) {
+            e.pc = pc;
+            vrmt.install(e);
+        }
+        state.ResumeTiming();
+        vrmt.invalidateAll();
+        benchmark::DoNotOptimize(vrmt.occupancy());
+    }
+}
+BENCHMARK(BM_VrmtQuiesceInvalidate);
 
 void
 BM_SparseMemoryRead64(benchmark::State &state)

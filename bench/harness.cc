@@ -21,12 +21,17 @@ struct JsonRecord
     std::uint64_t insts;
     double ipc;
     double wallSeconds;
+    std::uint64_t valMismatches; ///< engine self-check; CI gates on 0
 };
 
 std::vector<JsonRecord> jsonRecords;
 
 /** Set by parseArgs (--no-event-skip); applied to every run(). */
 bool eventSkipEnabled = true;
+
+/** Set by parseArgs (--eager-chain / --quiesce-interval). */
+bool eagerChainEnabled = false;
+std::uint64_t quiesceIntervalInsts = 0;
 
 } // namespace
 
@@ -55,6 +60,11 @@ parseArgs(int argc, char **argv, bool json_supported)
             opt.sampleInsts = std::strtoull(argv[++i], nullptr, 0);
             if (opt.sampleInsts == 0)
                 fatal("--sample-insts must be >= 1");
+        } else if (std::strcmp(argv[i], "--quiesce-interval") == 0 &&
+                   i + 1 < argc) {
+            opt.quiesceInterval = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--eager-chain") == 0) {
+            opt.eagerChain = true;
         } else if (std::strcmp(argv[i], "--quick") == 0) {
             opt.quick = true;
         } else if (std::strcmp(argv[i], "--no-event-skip") == 0) {
@@ -78,13 +88,16 @@ parseArgs(int argc, char **argv, bool json_supported)
                          "usage: %s [--scale N] [--footprint "
                          "base|l2|mem] [--quick] [--no-event-skip] "
                          "[--jobs N] [--checkpoint] [--warmup N] "
-                         "[--samples N] [--sample-insts M]%s\n",
+                         "[--samples N] [--sample-insts M] "
+                         "[--quiesce-interval N] [--eager-chain]%s\n",
                          argv[0],
                          json_supported ? " [--json PATH]" : "");
             std::exit(2);
         }
     }
     eventSkipEnabled = opt.eventSkip;
+    eagerChainEnabled = opt.eagerChain;
+    quiesceIntervalInsts = opt.quiesceInterval;
     detail::setQuiet(true);
     return opt;
 }
@@ -105,7 +118,10 @@ run(const CoreConfig &cfg, const Program &prog)
 {
     CoreConfig c = cfg;
     c.eventSkip = eventSkipEnabled;
-    return simulate(c, prog, 200'000'000, /*verify=*/false);
+    c.engine.eagerChainLoads = eagerChainEnabled;
+    Simulator sim(c, prog);
+    return sim.run(200'000'000, /*verify=*/false,
+                   quiesceIntervalInsts);
 }
 
 SimResult
@@ -118,8 +134,9 @@ run(const CoreConfig &cfg, const Program &prog,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
-    jsonRecords.push_back(
-        {workload, config_label, r.cycles, r.insts, r.ipc, wall});
+    jsonRecords.push_back({workload, config_label, r.cycles, r.insts,
+                           r.ipc, wall,
+                           r.engine.validationValueMismatches});
     return r;
 }
 
@@ -143,11 +160,13 @@ writeJson(const Options &opt, const std::string &bench_name)
             "  {\"bench\": \"%s\", \"workload\": \"%s\", "
             "\"config\": \"%s\", \"cycles\": %llu, \"insts\": %llu, "
             "\"ipc\": %.4f, \"wall_seconds\": %.6f, "
-            "\"sim_mips\": %.3f}%s\n",
+            "\"sim_mips\": %.3f, \"val_mismatches\": %llu}%s\n",
             bench_name.c_str(), r.workload.c_str(), r.config.c_str(),
             static_cast<unsigned long long>(r.cycles),
             static_cast<unsigned long long>(r.insts), r.ipc,
-            r.wallSeconds, mips, i + 1 < jsonRecords.size() ? "," : "");
+            r.wallSeconds, mips,
+            static_cast<unsigned long long>(r.valMismatches),
+            i + 1 < jsonRecords.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
@@ -260,6 +279,8 @@ runGrid(const Options &opt, const std::string &plan_name)
     eopt.warmupInsts = opt.warmupInsts;
     eopt.sample.samples = opt.samples;
     eopt.sample.measureInsts = opt.sampleInsts;
+    eopt.quiesceInterval = opt.quiesceInterval;
+    eopt.eagerChain = opt.eagerChain;
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<sweep::RunOutcome> outcomes =
@@ -273,11 +294,11 @@ runGrid(const Options &opt, const std::string &plan_name)
     // so charge each run its share of the grid's wall clock: the sum
     // (what compare_bench.py warns on) stays the true elapsed time.
     for (const sweep::RunOutcome &o : outcomes)
-        jsonRecords.push_back({o.workload, o.configKey, o.res.cycles,
-                               o.res.insts, o.res.ipc,
-                               outcomes.empty()
-                                   ? 0.0
-                                   : wall / double(outcomes.size())});
+        jsonRecords.push_back(
+            {o.workload, o.configKey, o.res.cycles, o.res.insts,
+             o.res.ipc,
+             outcomes.empty() ? 0.0 : wall / double(outcomes.size()),
+             o.res.engine.validationValueMismatches});
     return outcomes;
 }
 

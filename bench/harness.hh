@@ -32,6 +32,13 @@ struct Options
     std::uint64_t warmupInsts = 10'000; ///< --warmup N
     unsigned samples = 0; ///< --samples N: interval sampling (grids)
     std::uint64_t sampleInsts = 20'000; ///< --sample-insts M per sample
+    /** --quiesce-interval N: context-switch the transient vector state
+     *  every N fetched instructions (0 = never; steady-state
+     *  experiments; see docs/performance.md). */
+    std::uint64_t quiesceInterval = 0;
+    /** --eager-chain: spawn load-chain successors one incarnation
+     *  early (EngineConfig::eagerChainLoads). */
+    bool eagerChain = false;
     std::string jsonPath; ///< --json <path>: machine-readable results
 };
 

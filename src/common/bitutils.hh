@@ -57,6 +57,13 @@ signExtend(std::uint64_t v, unsigned len)
     return static_cast<std::int64_t>(v << shift) >> shift;
 }
 
+/** @return the index of the lowest set bit; @p v must be non-zero. */
+inline unsigned
+countTrailingZeros(std::uint64_t v)
+{
+    return unsigned(__builtin_ctzll(v));
+}
+
 /** Align @p a down to a multiple of @p align (power of two). */
 constexpr std::uint64_t
 alignDown(std::uint64_t a, std::uint64_t align)

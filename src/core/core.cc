@@ -14,6 +14,8 @@ Core::Core(const CoreConfig &cfg, const Program &prog)
       lsq_(cfg.lsqEntries), fuPool_(cfg.fu), engine_(cfg.engine),
       fetchPc_(prog.entry()), rob_(cfg.robEntries)
 {
+    valWaiters_.resize(std::size_t(cfg.engine.numVregs) *
+                       cfg.engine.vlen);
     // Speculative vector-element loads read their values from the
     // oracle memory image (sequentially correct state); conflicts with
     // later stores are caught by the Section 3.6 range check.
@@ -126,18 +128,15 @@ Core::trySkipIdle()
             return false; // fetch would run this cycle
     }
 
-    // Completion: every monitored instruction must be strictly waiting
-    // — a validation whose element resolved (or died) acts this cycle.
-    for (const DynInst *d : pendingCompletion_) {
-        if (d->isValidation()) {
-            if (engine_.validationStatus(*d) != ValStatus::Waiting)
-                return false;
-        } else if (d->issued) {
-            horizon = std::min(horizon, d->readyCycle);
-        }
-        // Not-yet-issued instructions wait in the issue queue and are
-        // covered by the dependence check below.
-    }
+    // Completion: pending wake events mean a woken validation acts
+    // this cycle; otherwise every parked validation is strictly
+    // waiting (its element's computation is a scheduled event already
+    // covered by the engine horizon below), and the earliest scalar
+    // completion is simply the heap top.
+    if (!valWakeNow_.empty() || engine_.vrf().hasWakeEvents())
+        return false;
+    if (!completionHeap_.empty())
+        horizon = std::min(horizon, completionHeap_.front()->readyCycle);
 
     // Issue: an instruction with completed producers may issue (or
     // charge an LSQ-conflict stall) this cycle.
@@ -173,8 +172,13 @@ Core::trySkipIdle()
     ports_.noteIdleCycles(skipped);
     ++stats_.eventSkipJumps;
     stats_.eventSkippedCycles += skipped;
-    if (fetchStalled_)
+    if (fetchStalled_) {
         stats_.fetchStallCycles += skipped;
+        // The classification is constant across the skip window: the
+        // jump lands on the first cycle anything completes.
+        if (fetchStallOnValidation())
+            stats_.fetchStallValWaitCycles += skipped;
+    }
     if (rob_full_stall)
         stats_.robFullStalls += skipped;
     if (lsq_full_stall)
@@ -198,27 +202,23 @@ Core::trySkipIdle()
 bool
 Core::quiescent() const
 {
-    return rob_.empty() && iq_.empty() && pendingCompletion_.empty() &&
+    return rob_.empty() && iq_.empty() && completionHeap_.empty() &&
+           parkedValidations_ == 0 && valWakeNow_.empty() &&
+           !engine_.vrf().hasWakeEvents() &&
            fetchQueue_.empty() && replayQueue_.empty() &&
            lsq_.size() == 0 && pendingStores_.empty() &&
-           !fetchStalled_ &&
-           engine_.nextEventCycle(cycle_) == neverCycle &&
+           !fetchStalled_ && engine_.idle() &&
            mem_.mshrs().busyCount(cycle_) == 0;
 }
 
 void
 Core::beginMeasurement()
 {
-    sdv_assert(quiescent(), "measurement rebase on a busy pipeline");
-
     // Context-switch the transient vector state; the warm TL, caches
     // and predictors survive. Releasing the registers resolves every
     // outstanding element-load ledger entry, so the Figure-13 slot
     // pool must be fully folded afterwards.
-    engine_.quiesce();
-    rt_.reset();
-    sdv_assert(ports_.ledgerLiveRecords() == 0,
-               "unresolved port ledger records at the boundary");
+    quiesceVectorState();
 
     // With every fill landed, expired MSHR entries behave identically
     // to free ones; clear them so the clock can rebase to zero.
@@ -239,6 +239,17 @@ Core::beginMeasurement()
     mem_.resetStats();
     btb_.resetStats();
     engine_.resetStats();
+}
+
+void
+Core::quiesceVectorState()
+{
+    sdv_assert(quiescent(), "vector quiesce on a busy pipeline");
+    engine_.quiesce();
+    rt_.reset();
+    sdv_assert(ports_.ledgerLiveRecords() == 0,
+               "unresolved port ledger records at the quiesce point");
+    quietLastTick_ = false;
 }
 
 void
@@ -369,9 +380,19 @@ Core::commitStage()
 void
 Core::squashAllInFlight()
 {
-    // Undo decode effects youngest-first.
+    // Undo decode effects youngest-first, unparking any waiting
+    // validations (their register-file interest bits may fire stale
+    // wake events later; empty waiter slots ignore them).
     for (size_t i = rob_.size(); i-- > 0;) {
-        engine_.undoDecode(rob_[i], rt_);
+        DynInst &d = rob_[i];
+        if (d.isValidation() && !d.completed) {
+            ValWaiter &w = valWaiters_[waiterSlot(d)];
+            if (w.d == &d) {
+                w = ValWaiter{};
+                --parkedValidations_;
+            }
+        }
+        engine_.undoDecode(d, rt_);
         ++stats_.squashedInsts;
     }
 
@@ -388,7 +409,8 @@ Core::squashAllInFlight()
 
     rob_.clear();
     iq_.clear();
-    pendingCompletion_.clear();
+    completionHeap_.clear();
+    valWakeNow_.clear();
     fetchQueue_.clear();
     lsq_.squashAfter(0);
 
@@ -402,52 +424,130 @@ Core::squashAllInFlight()
 
 // --- completion monitoring -----------------------------------------------
 
+namespace {
+
+/** Min-heap on readyCycle (std::*_heap build max-heaps, so invert). */
+struct CompletionLater
+{
+    bool
+    operator()(const DynInst *a, const DynInst *b) const
+    {
+        return a->readyCycle > b->readyCycle;
+    }
+};
+
+} // namespace
+
+void
+Core::scheduleCompletion(DynInst *d)
+{
+    completionHeap_.push_back(d);
+    std::push_heap(completionHeap_.begin(), completionHeap_.end(),
+                   CompletionLater{});
+}
+
+void
+Core::parkValidation(DynInst &d)
+{
+    ValWaiter &w = valWaiters_[waiterSlot(d)];
+    sdv_assert(w.d == nullptr, "validation waiter slot occupied");
+    w.d = &d;
+    w.seq = d.seq;
+    ++parkedValidations_;
+    if (engine_.validationStatus(d) == ValStatus::Waiting) {
+        // Strictly waiting: the register file will push a wake event
+        // when the element computes or the incarnation dies.
+        engine_.vrf().noteWaiter(d.valVreg, d.valElem);
+    } else {
+        // Already resolved (or dead) at decode: the next completion
+        // stage acts on it, exactly when the old poll would have.
+        valWakeNow_.push_back(&d);
+    }
+}
+
+void
+Core::processValidation(DynInst *d, bool &progress)
+{
+    ValWaiter &w = valWaiters_[waiterSlot(*d)];
+    if (w.d != d || w.seq != d->seq)
+        return; // stale wake (squashed or already processed)
+
+    switch (engine_.validationStatus(*d)) {
+      case ValStatus::Ready:
+        d->completed = true;
+        d->readyCycle = cycle_;
+        maybeUnstall(d);
+        w = ValWaiter{};
+        --parkedValidations_;
+        progress = true;
+        break;
+      case ValStatus::Dead: {
+        // The element will never be computed: re-execute this
+        // instance in scalar mode.
+        engine_.fallbackValidation(*d);
+        auto pos = std::lower_bound(
+            iq_.begin(), iq_.end(), d->seq,
+            [](const DynInst *a, InstSeqNum s) { return a->seq < s; });
+        iq_.insert(pos, d);
+        d->inIq = true;
+        w = ValWaiter{};
+        --parkedValidations_;
+        progress = true;
+        break;
+      }
+      case ValStatus::Waiting:
+        // Spurious wake: stay parked and re-arm the element event.
+        engine_.vrf().noteWaiter(d->valVreg, d->valElem);
+        break;
+    }
+}
+
 void
 Core::completionStage()
 {
-    size_t out = 0;
-    for (size_t i = 0; i < pendingCompletion_.size(); ++i) {
-        DynInst *d = pendingCompletion_[i];
+    bool progress = false;
 
-        if (d->isValidation()) {
-            switch (engine_.validationStatus(*d)) {
-              case ValStatus::Ready:
-                d->completed = true;
-                d->readyCycle = cycle_;
-                break;
-              case ValStatus::Dead: {
-                // The element will never be computed: re-execute this
-                // instance in scalar mode.
-                engine_.fallbackValidation(*d);
-                auto pos = std::lower_bound(
-                    iq_.begin(), iq_.end(), d->seq,
-                    [](const DynInst *a, InstSeqNum s) {
-                        return a->seq < s;
-                    });
-                iq_.insert(pos, d);
-                d->inIq = true;
-                break;
-              }
-              case ValStatus::Waiting:
-                break;
-            }
-        } else if (d->issued && !d->completed &&
-                   d->readyCycle <= cycle_) {
-            d->completed = true;
-        }
-
-        if (d->completed && d->seq == stallBranchSeq_) {
-            fetchStalled_ = false;
-            stallBranchSeq_ = 0;
-            fetchPc_ = d->rec.nextPc;
-        }
-
-        if (!d->completed)
-            pendingCompletion_[out++] = d;
+    // Scalar completions that matured: pop the heap instead of
+    // rescanning every in-flight instruction.
+    while (!completionHeap_.empty() &&
+           completionHeap_.front()->readyCycle <= cycle_) {
+        std::pop_heap(completionHeap_.begin(), completionHeap_.end(),
+                      CompletionLater{});
+        DynInst *d = completionHeap_.back();
+        completionHeap_.pop_back();
+        d->completed = true;
+        maybeUnstall(d);
+        progress = true;
     }
-    if (out != pendingCompletion_.size())
+
+    // Validation wake-ups: element-ready / incarnation-death events
+    // pushed by the register file since the last stage, plus the
+    // decode-time-resolved arrivals. Processing order within a cycle
+    // is immaterial — each wake completes, falls back, or re-parks its
+    // own instruction — and the woken set is exactly the set the old
+    // per-cycle poll would have found non-Waiting.
+    engine_.vrf().drainWakeEvents([&](const VecWakeEvent &e) {
+        const unsigned vlen = cfg_.engine.vlen;
+        const unsigned first =
+            e.elem == VecWakeEvent::allElems ? 0 : e.elem;
+        const unsigned last =
+            e.elem == VecWakeEvent::allElems ? vlen - 1 : e.elem;
+        for (unsigned el = first; el <= last; ++el) {
+            const std::size_t slot =
+                std::size_t(e.ref.reg) * vlen + el;
+            DynInst *d = valWaiters_[slot].d;
+            if (d && d->valVreg == e.ref)
+                processValidation(d, progress);
+        }
+    });
+    if (!valWakeNow_.empty()) {
+        for (DynInst *d : valWakeNow_)
+            processValidation(d, progress);
+        valWakeNow_.clear();
+    }
+
+    if (progress)
         quietLastTick_ = false;
-    pendingCompletion_.resize(out);
 }
 
 // --- issue ------------------------------------------------------------------
@@ -524,6 +624,7 @@ Core::issueStage()
 
         if (remove) {
             d->inIq = false;
+            scheduleCompletion(d);
             it = iq_.erase(it);
             ++issued;
         } else {
@@ -592,7 +693,9 @@ Core::decodeStage()
             lsq_.insert(&d);
 
         if (d.isValidation()) {
-            // Monitored by completionStage; no FU, no issue slot.
+            // Parked on its target element; woken by the register
+            // file's event queue. No FU, no issue slot.
+            parkValidation(d);
         } else if (info.opClass == OpClass::None) {
             d.completed = true;
             d.readyCycle = cycle_;
@@ -600,8 +703,6 @@ Core::decodeStage()
             d.inIq = true;
             iq_.push_back(&d);
         }
-        if (!d.completed)
-            pendingCompletion_.push_back(&d);
 
         fetchQueue_.pop_front();
         ++decoded;
@@ -611,6 +712,24 @@ Core::decodeStage()
 }
 
 // --- fetch ---------------------------------------------------------------------
+
+bool
+Core::fetchStallOnValidation() const
+{
+    if (stallBranchSeq_ == 0)
+        return false; // branch not renamed yet (still in fetch queue)
+    const DynInst *b = robFind(stallBranchSeq_);
+    if (!b || b->completed || b->issued)
+        return false; // resolving on an FU, not dep-blocked
+    for (InstSeqNum dep : {b->dep1, b->dep2}) {
+        if (dep == 0 || producerCompleted(dep))
+            continue;
+        const DynInst *p = robFind(dep);
+        if (p && p->isValidation())
+            return true;
+    }
+    return false;
+}
 
 void
 Core::predictControl(FetchedInst &f)
@@ -669,6 +788,8 @@ Core::fetchStage()
 {
     if (fetchStalled_) {
         ++stats_.fetchStallCycles;
+        if (fetchStallOnValidation())
+            ++stats_.fetchStallValWaitCycles;
         return;
     }
     if (fetchExhausted())

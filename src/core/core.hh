@@ -88,6 +88,11 @@ struct CoreStats
     std::uint64_t loadForwards = 0;
     std::uint64_t branchMispredicts = 0;
     std::uint64_t fetchStallCycles = 0;  ///< cycles fetch sat stalled
+    /** Of the fetch-stall cycles, those where the stalling branch was
+     *  dep-blocked on an in-flight *validation* — fetch serialized
+     *  behind vector element computation (see docs/performance.md,
+     *  "Steady-state behavior"). */
+    std::uint64_t fetchStallValWaitCycles = 0;
     std::uint64_t decodeBlockCycles = 0; ///< Figure 7 stalls
     std::uint64_t robFullStalls = 0;
     std::uint64_t lsqFullStalls = 0;
@@ -178,6 +183,16 @@ class Core : private VecExecContext
      */
     void beginMeasurement();
 
+    /**
+     * Context-switch the transient vector state only (engine quiesce +
+     * rename reset) *without* rebasing the clock or statistics: the
+     * steady-state reproduction hook behind --quiesce-interval. The
+     * run continues measuring; only the speculative vector state is
+     * dropped, exactly as at a measurement boundary. Requires
+     * quiescent() (callers drain via a fetch limit first).
+     */
+    void quiesceVectorState();
+
     /** @return commits since construction (warm-up included), the
      *  count end-of-run verification checks against the functional
      *  reference; stats().committedInsts covers the measured region
@@ -259,6 +274,48 @@ class Core : private VecExecContext
     /** Commit bookkeeping shared by all instruction kinds. */
     void commitCommon(DynInst &d);
 
+    /** Schedule an issued instruction's completion (min-heap keyed by
+     *  readyCycle; the completion stage pops entries as they mature,
+     *  and the event-skipping clock reads the top as its horizon). */
+    void scheduleCompletion(DynInst *d);
+
+    /** Park a just-decoded validation on its target element: the
+     *  register file pushes a wake event when the element computes or
+     *  the incarnation dies; already-resolved targets queue for the
+     *  next completion stage directly. */
+    void parkValidation(DynInst &d);
+
+    /** Re-examine a woken validation (the old per-cycle poll body):
+     *  complete it, fall it back to scalar re-execution, or re-park. */
+    void processValidation(DynInst *d, bool &progress);
+
+    /** Shared unstall hook: a completing instruction that is the
+     *  stalled-on branch resumes fetch at its resolved target. */
+    void
+    maybeUnstall(const DynInst *d)
+    {
+        if (d->seq == stallBranchSeq_) {
+            fetchStalled_ = false;
+            stallBranchSeq_ = 0;
+            fetchPc_ = d->rec.nextPc;
+        }
+    }
+
+    /** @return true when the stalled-on branch is dep-blocked on an
+     *  in-flight validation (fetch-stall attribution; constant across
+     *  an event-skip window, so the jump charges it per skipped
+     *  cycle exactly as ticking would). */
+    bool fetchStallOnValidation() const;
+
+    /** @return the validation-waiter slot of @p d (one per (vector
+     *  register, element) pair; at most one validation is in flight
+     *  per element). */
+    std::size_t
+    waiterSlot(const DynInst &d) const
+    {
+        return std::size_t(d.valVreg.reg) * cfg_.engine.vlen + d.valElem;
+    }
+
     /** Squash every in-flight instruction (store conflict path). */
     void squashAllInFlight();
 
@@ -329,11 +386,28 @@ class Core : private VecExecContext
     // and LSQ until the instruction retires.
     RingPool<DynInst> rob_;
     std::vector<DynInst *> iq_; ///< seq-ordered issue queue
-    /** Not-yet-completed entries in seq order. Completion transitions
-     *  only ever happen inside completionStage, so monitoring this
-     *  list instead of rescanning the whole ROB every cycle observes
-     *  the exact same transitions. */
-    std::vector<DynInst *> pendingCompletion_;
+
+    /** Issued-but-incomplete instructions as a min-heap on readyCycle:
+     *  the completion stage pops matured entries instead of rescanning
+     *  every in-flight instruction each cycle, and the event-skipping
+     *  clock reads the top as an exact horizon. */
+    std::vector<DynInst *> completionHeap_;
+
+    /** One waiter slot per (vector register, element): the in-flight
+     *  validation parked on that element, woken by the register file's
+     *  event queue instead of polled every cycle. */
+    struct ValWaiter
+    {
+        DynInst *d = nullptr;
+        InstSeqNum seq = 0;
+    };
+    std::vector<ValWaiter> valWaiters_;
+    unsigned parkedValidations_ = 0;
+    /** Validations whose target was already resolved (or dead) at
+     *  decode: examined by the next completion stage, exactly when the
+     *  old per-cycle poll would have seen them. */
+    std::vector<DynInst *> valWakeNow_;
+
     InstSeqNum nextSeq_ = 1;
 
     // Per-cycle issue-stage access completion map (wide-bus riders).

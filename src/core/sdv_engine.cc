@@ -76,6 +76,40 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
     const TlObservation obs = tl_.observe(pc, d.rec.addr);
 
     VrmtEntry *ve = vrmt_.lookup(pc);
+
+    // Eager chaining: once the current incarnation is exhausted — or
+    // already *released* (a fully validated, fully superseded register
+    // frees before this pc decodes again; the entry then reads dead
+    // even though its pending successor carries the chain) — swap the
+    // successor in and validate its first element.
+    if (cfg_.eagerChainLoads && ve && ve->isLoad && ve->hasNext) {
+        const bool cur_live = vrf_.isLive(ve->vreg) &&
+                              !vrf_.isKilled(ve->vreg);
+        const bool exhausted =
+            !cur_live || ve->offset >= vrf_.elemCount(ve->vreg);
+        if (exhausted) {
+            const bool next_ok = vrf_.isLive(ve->nextVreg) &&
+                                 !vrf_.isKilled(ve->nextVreg);
+            if (next_ok &&
+                d.rec.addr == ve->nextBase + Addr(ve->stride)) {
+                saveVrmtPrev(d); // pre-swap entry for squash undo
+                ve->vreg = ve->nextVreg;
+                ve->baseAddr = ve->nextBase;
+                ve->offset = 0;
+                ve->hasNext = false;
+                makeValidation(d, rt, *ve);
+                ++stats_.loadValidations;
+                eagerSpawnNext(d, *ve); // keep one incarnation ahead
+                return DecodeAction::Normal;
+            }
+            // The pattern broke right at the successor boundary (or
+            // the successor died): the eager loads were wasted.
+            killEntry(*ve);
+            plainRenameWrite(d, rt);
+            return DecodeAction::Normal;
+        }
+    }
+
     const bool ve_live = ve && vrf_.isLive(ve->vreg) &&
                          !vrf_.isKilled(ve->vreg) && ve->isLoad;
 
@@ -88,8 +122,21 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
             if (d.rec.addr == expected) {
                 makeValidation(d, rt, *ve);
                 ++stats_.loadValidations;
-                if (unsigned(d.valElem) + 1 == count)
+                if (cfg_.eagerChainLoads) {
+                    // Spawn the successor a whole incarnation early —
+                    // at the first validation — so its element loads
+                    // lead their consumers by ~vlen loop iterations
+                    // regardless of the chain's line alignment.
+                    if (d.valElem == 0 && !ve->hasNext)
+                        eagerSpawnNext(d, *ve);
+                    // Allocation failed at element 0: fall back to the
+                    // paper's last-element chain.
+                    if (unsigned(d.valElem) + 1 == count &&
+                        !ve->hasNext)
+                        tryChainLoad(d, rt);
+                } else if (unsigned(d.valElem) + 1 == count) {
                     tryChainLoad(d, rt);
+                }
                 return DecodeAction::Normal;
             }
             // Address misspeculation: scalar until the TL re-detects.
@@ -99,18 +146,20 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
             plainRenameWrite(d, rt);
             return DecodeAction::Normal;
         }
-        // Every element validated but the chain spawn could not get a
-        // register; continue the pattern with a fresh spawn if the
-        // address still follows it.
+        // The chain spawn could not get a register (or the successor
+        // died to a store conflict); continue the pattern with a fresh
+        // spawn if the address still follows it.
         const Addr expected =
             ve->baseAddr + Addr(ve->stride * std::int64_t(count + 1));
         if (d.rec.addr == expected &&
-            trySpawnLoad(d, rt, ve->stride))
+            trySpawnLoad(d, rt, ve->stride)) {
             return DecodeAction::Normal;
+        }
         killEntry(*ve);
         plainRenameWrite(d, rt);
         return DecodeAction::Normal;
     }
+
 
     if (obs.spawn && trySpawnLoad(d, rt, obs.stride))
         return DecodeAction::Normal;
@@ -160,6 +209,43 @@ SdvEngine::trySpawnLoad(DynInst &d, RenameTable &rt, std::int64_t stride)
     return true;
 }
 
+/**
+ * Allocate and launch a load-chain successor incarnation starting at
+ * @p base: the shared construction sequence of the last-element chain
+ * (tryChainLoad) and the eager chain (eagerSpawnNext), so successor
+ * invariants live in exactly one place.
+ *
+ * The successor of a stride-0 chain is uniform by construction —
+ * every element loads the same address. (Bugfix in PR 5: the seed
+ * only marked fresh spawns, so chained incarnations lost the flag and
+ * their consumers fell back to lockstep element matching.)
+ *
+ * @return the new incarnation, or an invalid ref when no register was
+ * free (the caller's retry paths handle it)
+ */
+VecRegRef
+SdvEngine::spawnSuccessorLoad(DynInst &d, Addr base,
+                              std::int64_t stride, VecRegRef pred)
+{
+    const VecRegRef v2 = vrf_.allocate(gmrbb_);
+    if (!v2.valid())
+        return v2;
+    const unsigned vl = cfg_.vlen;
+    vrf_.setElemCount(v2, vl);
+    vrf_.setUniform(v2, stride == 0);
+    vrf_.setPredecessor(v2, pred);
+    vrf_.setAddrRange(v2, base + Addr(stride),
+                      base + Addr(stride * std::int64_t(vl)),
+                      d.rec.size);
+
+    datapath_.spawnLoad(d.pc(), v2, base, stride, d.rec.size, vl);
+
+    d.spawnedVector = true;
+    d.spawnedDest = v2;
+    ++stats_.loadChainSpawns;
+    return v2;
+}
+
 void
 SdvEngine::tryChainLoad(DynInst &d, RenameTable &rt)
 {
@@ -167,16 +253,11 @@ SdvEngine::tryChainLoad(DynInst &d, RenameTable &rt)
     // successor incarnation continues from there.
     VrmtEntry *ve = vrmt_.lookup(d.pc());
     sdv_assert(ve, "chain with no entry");
-    const VecRegRef v2 = vrf_.allocate(gmrbb_);
+    const Addr base = d.rec.addr;
+    const VecRegRef v2 = spawnSuccessorLoad(d, base, ve->stride,
+                                            ve->vreg);
     if (!v2.valid())
         return; // the offset==count decode path retries later
-    const unsigned vl = cfg_.vlen;
-    vrf_.setElemCount(v2, vl);
-    vrf_.setPredecessor(v2, ve->vreg);
-    const std::int64_t stride = ve->stride;
-    const Addr base = d.rec.addr;
-    vrf_.setAddrRange(v2, base + Addr(stride),
-                      base + Addr(stride * std::int64_t(vl)), d.rec.size);
 
     saveVrmtPrev(d);
     VrmtEntry e = *ve;
@@ -185,19 +266,31 @@ SdvEngine::tryChainLoad(DynInst &d, RenameTable &rt)
     e.baseAddr = base;
     vrmt_.install(e);
 
-    datapath_.spawnLoad(d.pc(), v2, base, stride, d.rec.size, vl);
-
-    d.spawnedVector = true;
-    d.spawnedDest = v2;
-
     // Keep lastWriter/curElem from the validation; repoint the vector
     // mapping at the new incarnation.
     RenameEntry re = rt.entry(d.inst().rd);
     re.vreg = v2;
     re.offset = 0;
     rt.set(d.inst().rd, re);
+}
 
-    ++stats_.loadChainSpawns;
+void
+SdvEngine::eagerSpawnNext(DynInst &d, VrmtEntry &ve)
+{
+    // The successor continues from the current incarnation's last
+    // element, whose address is fully determined by the stored stride.
+    const Addr base =
+        ve.baseAddr +
+        Addr(ve.stride * std::int64_t(vrf_.elemCount(ve.vreg)));
+    const VecRegRef v2 = spawnSuccessorLoad(d, base, ve.stride,
+                                            ve.vreg);
+    if (!v2.valid())
+        return; // last-element validation falls back to tryChainLoad
+
+    saveVrmtPrev(d);
+    ve.hasNext = true;
+    ve.nextVreg = v2;
+    ve.nextBase = base;
 }
 
 // --- arithmetic ------------------------------------------------------------
@@ -548,6 +641,10 @@ SdvEngine::killEntry(VrmtEntry &ve)
         vrf_.kill(ve.vreg);
         datapath_.abortByDest(ve.vreg);
     }
+    if (ve.hasNext && vrf_.isLive(ve.nextVreg)) {
+        vrf_.kill(ve.nextVreg);
+        datapath_.abortByDest(ve.nextVreg);
+    }
     ve.valid = false;
 }
 
@@ -620,14 +717,26 @@ SdvEngine::onStoreCommit(const DynInst &d)
     bool conflict = false;
     std::vector<Addr> &load_pcs = storeCheckPcs_;
     load_pcs.clear();
+    std::vector<VecRegRef> &successors = storeCheckSuccessors_;
+    successors.clear();
     vrf_.forEachLive([&](VecRegRef ref) {
         if (vrf_.rangeOverlaps(ref, lo, hi) && !vrf_.isKilled(ref)) {
             conflict = true;
-            vrmt_.invalidateByVreg(ref, &load_pcs);
+            vrmt_.invalidateByVreg(ref, &load_pcs, &successors);
             vrf_.kill(ref);
             datapath_.abortByDest(ref);
         }
     });
+    // An invalidated entry's eagerly-spawned successor is reachable
+    // only through that entry: kill it with the entry (as killEntry
+    // does), or it leaks as an unreachable live register with element
+    // loads still in flight.
+    for (const VecRegRef succ : successors) {
+        if (vrf_.isLive(succ) && !vrf_.isKilled(succ)) {
+            vrf_.kill(succ);
+            datapath_.abortByDest(succ);
+        }
+    }
     if (conflict) {
         ++stats_.storeRangeConflicts;
         // Scalar mode until the TL regains confidence (Section 3.1).
@@ -682,6 +791,7 @@ SdvEngine::undoDecode(DynInst &d, RenameTable &rt)
 void
 SdvEngine::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
 {
+    vrf_.setClock(now);
     datapath_.tick(now, ports, mem);
     vrf_.sweepReleases(gmrbb_);
 }

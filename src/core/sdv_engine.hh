@@ -36,6 +36,19 @@ struct EngineConfig
     /** Figure 7: block decode while a captured-scalar operand's
      *  producer has not completed (real) or not (ideal). */
     bool blockOnScalarOperand = true;
+    /**
+     * Eager load chaining: spawn a load entry's successor incarnation
+     * when its *first* element validates instead of its last, keeping
+     * the speculative element loads a full incarnation ahead of the
+     * validations that consume them. Breaks the cache-line phase lock
+     * documented in docs/performance.md ("Steady-state behavior"):
+     * with vlen x stride smaller than an L1 line, an unluckily aligned
+     * chain otherwise issues each new line's first element only one
+     * loop iteration before its consumer, exposing the miss latency on
+     * every dependent branch. Off by default (the paper chains at the
+     * last validation, Section 3.2).
+     */
+    bool eagerChainLoads = false;
     VectorFuConfig fu;            ///< vector FU bandwidth
 };
 
@@ -162,6 +175,17 @@ class SdvEngine
         return datapath_.nextEventCycle(now);
     }
 
+    /** @return true when no transient vector state is in flight: no
+     *  datapath instances or scheduled completions and no pending
+     *  release sweep. This is the engine half of Core::quiescent();
+     *  deliberately not derived from nextEventCycle(), whose exact
+     *  horizon can be finite (or never) while instances are parked. */
+    bool
+    idle() const
+    {
+        return datapath_.idle() && !vrf_.sweepPending();
+    }
+
     /** End of simulation: release registers so ledgers resolve. */
     void finalize();
 
@@ -205,6 +229,9 @@ class SdvEngine
 
     /** @return the vector register file. */
     VecRegFile &vrf() { return vrf_; }
+
+    /** @return the vector register file (const). */
+    const VecRegFile &vrf() const { return vrf_; }
 
     /** @return the VRMT. */
     Vrmt &vrmt() { return vrmt_; }
@@ -250,8 +277,17 @@ class SdvEngine
     /** Spawn a fresh vectorized load covering the next vlen elements. */
     bool trySpawnLoad(DynInst &d, RenameTable &rt, std::int64_t stride);
 
+    /** Shared successor construction for both chain flavours. */
+    VecRegRef spawnSuccessorLoad(DynInst &d, Addr base,
+                                 std::int64_t stride, VecRegRef pred);
+
     /** Chain-spawn the successor load incarnation (Section 3.2). */
     void tryChainLoad(DynInst &d, RenameTable &rt);
+
+    /** Eager load chaining: spawn @p ve's successor incarnation ahead
+     *  of exhaustion (recorded in the entry's hasNext/nextVreg fields
+     *  and swapped in by decodeLoad when the offset runs out). */
+    void eagerSpawnNext(DynInst &d, VrmtEntry &ve);
 
     /** Build the current SrcSpec of source slot 1 or 2. */
     SrcSpec currentSpec(const DynInst &d, unsigned slot,
@@ -300,6 +336,7 @@ class SdvEngine
     std::array<Shadow, numLogicalRegs> shadow_{};
     /** Scratch for onStoreCommit (kept allocated across stores). */
     std::vector<Addr> storeCheckPcs_;
+    std::vector<VecRegRef> storeCheckSuccessors_;
     EngineStats stats_;
 };
 

@@ -91,12 +91,33 @@ Simulator::runInsts(std::uint64_t insts, std::uint64_t max_cycles)
 }
 
 SimResult
-Simulator::run(std::uint64_t max_cycles, bool verify)
+Simulator::run(std::uint64_t max_cycles, bool verify,
+               std::uint64_t quiesce_interval)
 {
     SimResult res;
     core_.setCycleLimit(max_cycles);
-    while (!core_.done() && core_.cycle() < max_cycles)
-        core_.tick();
+    if (quiesce_interval == 0) {
+        while (!core_.done() && core_.cycle() < max_cycles)
+            core_.tick();
+    } else {
+        // Periodic context-switch semantics: cap fetch at the next
+        // boundary, drain until quiescent, drop the transient vector
+        // state, continue. The clock and statistics keep accumulating
+        // (unlike warmup()/advanceTo(), which rebase them).
+        std::uint64_t boundary =
+            core_.oracle().instCount() + quiesce_interval;
+        while (!core_.done() && core_.cycle() < max_cycles) {
+            core_.setFetchLimit(boundary);
+            while (core_.cycle() < max_cycles &&
+                   !(core_.fetchExhausted() && core_.quiescent()))
+                core_.tick();
+            core_.setFetchLimit(0);
+            if (core_.done() || core_.cycle() >= max_cycles)
+                break;
+            core_.quiesceVectorState();
+            boundary += quiesce_interval;
+        }
+    }
 
     core_.finalize();
 

@@ -84,9 +84,16 @@ class Simulator
      * Run to HALT (or @p max_cycles).
      * @param verify re-run the program functionally and compare the
      *        committed stream / final state
+     * @param quiesce_interval when non-zero, drain the pipeline and
+     *        context-switch the transient vector state every this many
+     *        fetched instructions (clock and statistics keep
+     *        accumulating): the CLI-reproducible form of the
+     *        measurement-boundary quiesce, for steady-state
+     *        experiments (--quiesce-interval)
      */
     SimResult run(std::uint64_t max_cycles = 50'000'000,
-                  bool verify = true);
+                  bool verify = true,
+                  std::uint64_t quiesce_interval = 0);
 
     /**
      * Warm up: simulate the first @p insts dynamic instructions to

@@ -74,14 +74,19 @@ captureCheckpoints(const SweepPlan &plan, const ExecOptions &opt,
 
         CoreConfig cfg = warm_job->cfg;
         cfg.eventSkip = opt.eventSkip;
+        cfg.engine.eagerChainLoads = opt.eagerChain;
         const Program &prog = programs.at(job.workload);
 
+        // The cache key includes every option that shapes the warm-up
+        // run itself: a snapshot captured under a different chaining
+        // mode holds differently-warmed caches and TL state.
         const std::string path =
             opt.checkpointDir.empty()
                 ? std::string()
                 : opt.checkpointDir + "/" + job.workload + ".s" +
                       std::to_string(plan.scale) + ".w" +
-                      std::to_string(opt.warmupInsts) + ".ckpt";
+                      std::to_string(opt.warmupInsts) +
+                      (opt.eagerChain ? ".eager" : "") + ".ckpt";
 
         std::vector<std::uint8_t> bytes;
         if (!path.empty() && Checkpoint::load(path, bytes)) {
@@ -173,6 +178,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
             }
         CoreConfig cfg = warm_job->cfg;
         cfg.eventSkip = opt.eventSkip;
+        cfg.engine.eagerChainLoads = opt.eagerChain;
         SamplePlan sp = opt.sample;
         sp.warmupInsts = opt.warmupInsts;
         sets.emplace(job.workload,
@@ -198,6 +204,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
         if (it == configOk.end()) {
             CoreConfig cfg = job.cfg;
             cfg.eventSkip = opt.eventSkip;
+            cfg.engine.eagerChainLoads = opt.eagerChain;
             Simulator probe(cfg, programs.at(job.workload));
             // samples[0] is the cold region (no image); the first
             // warm snapshot decides whether this config can fork.
@@ -255,11 +262,13 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
             const SweepJob &job = plan.jobs[unit.job];
             CoreConfig cfg = job.cfg;
             cfg.eventSkip = opt.eventSkip;
+            cfg.engine.eagerChainLoads = opt.eagerChain;
             const Program &prog = programs.at(job.workload);
             const auto t0 = std::chrono::steady_clock::now();
             if (unit.sample < 0) {
                 Simulator sim(cfg, prog);
-                outcomes[unit.job].res = sim.run(opt.maxCycles, false);
+                outcomes[unit.job].res =
+                    sim.run(opt.maxCycles, false, opt.quiesceInterval);
                 outcomes[unit.job].commitHash =
                     sim.core().commitPcHash();
                 unitWall[u] = secondsSince(t0);
@@ -336,6 +345,7 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
             const auto t0 = std::chrono::steady_clock::now();
             CoreConfig cfg = job.cfg;
             cfg.eventSkip = opt.eventSkip;
+            cfg.engine.eagerChainLoads = opt.eagerChain;
             const Program &prog = programs.at(job.workload);
             std::optional<Simulator> sim;
             sim.emplace(cfg, prog);
@@ -361,7 +371,8 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
                 }
             }
 
-            out.res = sim->run(opt.maxCycles, opt.verify);
+            out.res = sim->run(opt.maxCycles, opt.verify,
+                               opt.checkpoint ? 0 : opt.quiesceInterval);
             out.commitHash = sim->core().commitPcHash();
             out.wallSeconds = secondsSince(t0);
         }
@@ -383,14 +394,16 @@ resultsJson(const std::vector<RunOutcome> &outcomes)
             "\"config\": \"%s\", \"cycles\": %llu, \"insts\": %llu, "
             "\"ipc\": %.4f, \"commit_hash\": \"0x%016llx\", "
             "\"finished\": %s, \"from_checkpoint\": %s, "
-            "\"seed\": %llu",
+            "\"seed\": %llu, \"val_mismatches\": %llu",
             o.figure.c_str(), o.workload.c_str(), o.configKey.c_str(),
             static_cast<unsigned long long>(o.res.cycles),
             static_cast<unsigned long long>(o.res.insts), o.res.ipc,
             static_cast<unsigned long long>(o.commitHash),
             o.res.finished ? "true" : "false",
             o.fromCheckpoint ? "true" : "false",
-            static_cast<unsigned long long>(o.seed));
+            static_cast<unsigned long long>(o.seed),
+            static_cast<unsigned long long>(
+                o.res.engine.validationValueMismatches));
         out += buf;
         // Sampled estimates carry their sample count; exact runs keep
         // the pre-sampling record layout byte for byte.

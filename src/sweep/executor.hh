@@ -36,6 +36,12 @@ struct ExecOptions
     std::uint64_t warmupInsts = 10'000; ///< checkpoint warm-up length
     std::uint64_t maxCycles = 200'000'000; ///< per-job cycle budget
     bool verify = false;        ///< functional verification per job
+    /** Context-switch the transient vector state every N fetched
+     *  instructions (0 = never). Full runs only — checkpointed and
+     *  sampled jobs already quiesce at their own boundaries. */
+    std::uint64_t quiesceInterval = 0;
+    /** EngineConfig::eagerChainLoads on every job's machine. */
+    bool eagerChain = false;
     /** Interval sampling: when enabled (samples > 0), every job is
      *  estimated from per-sample forks instead of a full run, and the
      *  per-(job, sample) measurements are what the worker pool

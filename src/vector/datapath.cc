@@ -116,6 +116,38 @@ VectorDatapath::fuBandwidth(OpClass cls) const
     }
 }
 
+Cycle
+VectorDatapath::nextEventCycle(Cycle now) const
+{
+    Cycle e = neverCycle;
+    for (const Completion &c : completions_)
+        e = c.ready < e ? c.ready : e;
+    for (const VecInstance &inst : active_) {
+        // tick() erases finished/dead instances and cascade-aborts
+        // consumers of dead sources; those bookkeeping transitions
+        // must happen at their exact cycle, so they pin the horizon.
+        if (inst.done() || !vrf_.isLive(inst.dest))
+            return now;
+        if (inst.isLoad)
+            return now; // loads initiate/retry ports every cycle
+        bool blocked = false;
+        for (const SrcSpec *src : {&inst.src1, &inst.src2}) {
+            if (src->isVector() &&
+                vrf_.elemUncomputable(src->vreg,
+                                      src->srcOffset + inst.nextElem))
+                return now; // cascade abort fires this cycle
+        }
+        if (inst.scalarDep != 0 &&
+            (!ctx_ || !ctx_->seqCompleted(inst.scalarDep)))
+            blocked = true; // parked; wakes on the producer's event
+        else if (!srcsReady(inst, inst.nextElem))
+            blocked = true; // wakes on a source element completion
+        if (!blocked)
+            return now; // an element can be initiated this cycle
+    }
+    return e;
+}
+
 void
 VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
 {

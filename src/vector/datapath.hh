@@ -138,21 +138,27 @@ class VectorDatapath
      * Event-horizon query for the event-skipping clock: the earliest
      * cycle at which tick() could change any state.
      *
-     * With instances in flight the datapath may initiate elements (or
-     * retry port/FU arbitration) every cycle, so the horizon is @p now
-     * — the caller must not skip. Otherwise only scheduled completions
-     * remain and the horizon is the earliest of their ready cycles
-     * (neverCycle when fully idle).
+     * PR 5 made the horizon exact for parked instances: an arithmetic
+     * instance waiting on a captured-scalar producer or on source
+     * elements that are not yet computed cannot make progress until a
+     * scheduled completion lands (its own sources' completions are in
+     * completions_; a scalar producer's completion is the core's
+     * scheduled event), so such instances no longer pin the horizon to
+     * "now". Instances that could initiate an element, retry port/FU
+     * arbitration (loads), cascade-abort, or be erased this cycle
+     * still do. In steady-state stall windows — every instance stuck
+     * behind an L2 miss — the clock now jumps straight to the miss
+     * completion instead of ticking through the wait.
      */
-    Cycle
-    nextEventCycle(Cycle now) const
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** @return true when no instance is in flight and no element
+     *  completion is scheduled (the quiescence condition; independent
+     *  of the horizon above, which may be finite-but-idle). */
+    bool
+    idle() const
     {
-        if (!active_.empty())
-            return now;
-        Cycle e = neverCycle;
-        for (const Completion &c : completions_)
-            e = c.ready < e ? c.ready : e;
-        return e;
+        return active_.empty() && completions_.empty();
     }
 
     /** @return live (not fully initiated) instance count. */

@@ -12,6 +12,11 @@ VecRegFile::VecRegFile(unsigned num_regs, unsigned vlen)
     sdv_assert(vlen >= 2, "vector length must be at least 2");
     for (auto &r : regs_)
         r.elems.resize(vlen);
+    const std::size_t words = (num_regs + 63) / 64;
+    freeMask_.assign(words, 0);
+    liveMask_.assign(words, 0);
+    for (unsigned i = 0; i < num_regs; ++i)
+        setMaskBit(freeMask_, i, true);
     sweepMarked_.assign(num_regs, false);
     sweepCandidates_.reserve(num_regs);
 }
@@ -37,19 +42,23 @@ VecRegRef
 VecRegFile::allocate(Addr mrbb)
 {
     Reg *chosen = nullptr;
-    for (auto &r : regs_) {
-        if (!r.allocated) {
-            chosen = &r;
-            break;
-        }
-    }
+    for (std::size_t w = 0; w < freeMask_.size() && !chosen; ++w)
+        if (freeMask_[w])
+            chosen = &regs_[w * 64 + countTrailingZeros(freeMask_[w])];
     if (!chosen) {
-        // Lazy condition-2 reclamation (see the header comment).
-        for (unsigned i = 0; i < numRegs_ && !chosen; ++i) {
-            const Reg &r = regs_[i];
-            if (tryRelease(VecRegRef{VecRegId(i), r.gen}, mrbb,
-                           /*allow_cond2=*/true))
-                chosen = &regs_[i];
+        // Lazy condition-2 reclamation (see the header comment). Walk
+        // the live registers lowest-index-first: every register is
+        // live here, so the order matches the old full scan exactly.
+        for (std::size_t w = 0; w < liveMask_.size() && !chosen; ++w) {
+            std::uint64_t bits = liveMask_[w];
+            while (bits && !chosen) {
+                const unsigned i =
+                    unsigned(w * 64) + countTrailingZeros(bits);
+                bits &= bits - 1;
+                if (tryRelease(VecRegRef{VecRegId(i), regs_[i].gen},
+                               mrbb, /*allow_cond2=*/true))
+                    chosen = &regs_[i];
+            }
         }
     }
     if (!chosen) {
@@ -64,12 +73,16 @@ VecRegFile::allocate(Addr mrbb)
     r.killed = false;
     r.uniform = false;
     r.hasRange = false;
+    r.waiters = 0;
+    r.allocCycle = clock_;
     r.pred = VecRegRef{};
     for (auto &e : r.elems)
         e = Elem{};
     --freeCount_;
     ++allocations_;
     const VecRegId id = VecRegId(unsigned(&r - regs_.data()));
+    setMaskBit(freeMask_, id, false);
+    setMaskBit(liveMask_, id, true);
     markSweepCandidate(id); // a degenerate incarnation may free at once
     return VecRegRef{id, r.gen};
 }
@@ -79,8 +92,14 @@ VecRegFile::setData(VecRegRef ref, unsigned elem, std::uint64_t value)
 {
     Reg &r = regFor(ref);
     sdv_assert(elem < r.elemCount, "element out of range");
-    r.elems[elem].data = value;
-    r.elems[elem].r = true;
+    Elem &el = r.elems[elem];
+    el.data = value;
+    el.r = true;
+    if (el.w) {
+        el.w = false;
+        --r.waiters;
+        wakeEvents_.push_back({ref, std::uint16_t(elem)});
+    }
     markSweepCandidate(ref.reg);
 }
 
@@ -225,7 +244,9 @@ void
 VecRegFile::kill(VecRegRef ref)
 {
     if (isLive(ref)) {
-        regFor(ref).killed = true;
+        Reg &r = regFor(ref);
+        r.killed = true;
+        wakeAll(r);
         markSweepCandidate(ref.reg);
     }
 }
@@ -237,7 +258,7 @@ VecRegFile::isKilled(VecRegRef ref) const
 }
 
 void
-VecRegFile::release(Reg &reg)
+VecRegFile::release(Reg &reg, ReleaseCause cause)
 {
     for (unsigned e = 0; e < vlen_; ++e) {
         const Elem &el = reg.elems[e];
@@ -251,8 +272,27 @@ VecRegFile::release(Reg &reg)
             ports_->resolveElem(el.loadId, el.v);
     }
     ++fates_.regsReleased;
+    fates_.lifetimeCycles += clock_ - reg.allocCycle;
+    switch (cause) {
+      case ReleaseCause::Cond1:
+        ++fates_.releasedCond1;
+        break;
+      case ReleaseCause::Cond2:
+        ++fates_.releasedCond2;
+        break;
+      case ReleaseCause::Killed:
+        ++fates_.releasedKilled;
+        break;
+      case ReleaseCause::Bulk:
+        ++fates_.releasedBulk;
+        break;
+    }
+    wakeAll(reg);
     reg.allocated = false;
     ++freeCount_;
+    const VecRegId id = VecRegId(unsigned(&reg - regs_.data()));
+    setMaskBit(freeMask_, id, true);
+    setMaskBit(liveMask_, id, false);
 }
 
 bool
@@ -277,7 +317,7 @@ VecRegFile::tryRelease(VecRegRef ref, Addr gmrbb, bool allow_cond2)
     // Killed incarnations just wait for in-flight validations to drain.
     if (r.killed) {
         if (!any_u) {
-            release(r);
+            release(r, ReleaseCause::Killed);
             return true;
         }
         return false;
@@ -285,7 +325,7 @@ VecRegFile::tryRelease(VecRegRef ref, Addr gmrbb, bool allow_cond2)
 
     // Condition 1: every element computed and freed.
     if (all_rf && !any_u) {
-        release(r);
+        release(r, ReleaseCause::Cond1);
         return true;
     }
 
@@ -294,7 +334,7 @@ VecRegFile::tryRelease(VecRegRef ref, Addr gmrbb, bool allow_cond2)
     // Only applied under allocation pressure (see allocate()).
     if (allow_cond2 && valids_freed && all_r && !any_u &&
         r.mrbb != gmrbb) {
-        release(r);
+        release(r, ReleaseCause::Cond2);
         return true;
     }
     return false;
@@ -319,9 +359,8 @@ VecRegFile::sweepReleases(Addr gmrbb)
 void
 VecRegFile::releaseAll()
 {
-    for (auto &r : regs_)
-        if (r.allocated)
-            release(r);
+    forEachLive([&](VecRegRef ref) { release(regs_[ref.reg],
+                                             ReleaseCause::Bulk); });
 }
 
 void
@@ -333,8 +372,11 @@ VecRegFile::releaseSquashed(VecRegRef ref)
     for (auto &e : r.elems)
         if (e.loadId != 0 && ports_)
             ports_->resolveElem(e.loadId, false);
+    wakeAll(r);
     r.allocated = false;
     ++freeCount_;
+    setMaskBit(freeMask_, ref.reg, true);
+    setMaskBit(liveMask_, ref.reg, false);
 }
 
 } // namespace sdv

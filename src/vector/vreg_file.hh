@@ -17,6 +17,15 @@
  * A register is released when either freeing condition of Section 3.3
  * holds; the file records the Figure 15 computed/validated ledger at
  * that moment.
+ *
+ * Steady-state hot paths are event-driven (PR 5):
+ *  - allocation and the live-register walk run off free/live bitmasks
+ *    (lowest-index-first, exactly the order the old linear scans used);
+ *  - element-readiness transitions push *wake events* that the core
+ *    drains once per cycle, so waiting validations are notified instead
+ *    of polled. Events are only emitted for elements a waiter
+ *    registered interest in (noteWaiter), so standalone use of the
+ *    file costs nothing.
  */
 
 #ifndef SDV_VECTOR_VREG_FILE_HH
@@ -25,6 +34,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitutils.hh"
 #include "common/types.hh"
 #include "mem/port.hh"
 
@@ -42,13 +52,22 @@ struct VecRegRef
     bool operator==(const VecRegRef &o) const = default;
 };
 
-/** Figure 15 ledger: average element fates at register release. */
+/** Figure 15 ledger: average element fates at register release, plus
+ *  the PR 5 lifetime/release-cause attribution counters (all u64 so
+ *  the sampled-sweep aggregation can scale the struct as a flat span). */
 struct VecRegFateStats
 {
     std::uint64_t regsReleased = 0;
     std::uint64_t elemsComputedUsed = 0;    ///< R and V at release
     std::uint64_t elemsComputedNotUsed = 0; ///< R but never validated
     std::uint64_t elemsNotComputed = 0;     ///< never became R
+
+    // --- steady-state attribution (PR 5) ---------------------------------
+    std::uint64_t lifetimeCycles = 0;   ///< sum of alloc->release ages
+    std::uint64_t releasedCond1 = 0;    ///< all elements computed+freed
+    std::uint64_t releasedCond2 = 0;    ///< MRBB condition under pressure
+    std::uint64_t releasedKilled = 0;   ///< killed, validations drained
+    std::uint64_t releasedBulk = 0;     ///< releaseAll (quiesce/finalize)
 
     double
     avgComputedUsed() const
@@ -66,6 +85,21 @@ struct VecRegFateStats
     {
         return regsReleased ? double(elemsNotComputed) / regsReleased : 0;
     }
+    double
+    avgLifetimeCycles() const
+    {
+        return regsReleased ? double(lifetimeCycles) / regsReleased : 0;
+    }
+};
+
+/** One register-file wake event: element @p elem of @p ref became
+ *  ready, or (elem == allElems) the incarnation died (killed or
+ *  released) and every waiter must re-evaluate. */
+struct VecWakeEvent
+{
+    static constexpr std::uint16_t allElems = 0xffff;
+    VecRegRef ref;
+    std::uint16_t elem = 0;
 };
 
 /** The vector register file. */
@@ -89,6 +123,10 @@ class VecRegFile
 
     /**
      * Allocate a register.
+     *
+     * The free list is a bitmask scanned lowest-index-first — the exact
+     * register the old linear scan would have chosen, at a word-popcount
+     * cost instead of a 128-entry walk.
      *
      * When no register is free, the Section 3.3 condition-2 candidates
      * (all elements computed, every validated element freed, nothing in
@@ -118,7 +156,7 @@ class VecRegFile
 
     // --- element data / flags ------------------------------------------
 
-    /** Record a computed element value (sets R). */
+    /** Record a computed element value (sets R; wakes waiters). */
     void setData(VecRegRef ref, unsigned elem, std::uint64_t value);
 
     /** @return element data (element must be R). */
@@ -169,15 +207,21 @@ class VecRegFile
     bool rangeOverlaps(VecRegRef ref, Addr lo, Addr hi) const;
 
     /** Run @p fn over every live register (inlined; no type erasure —
-     *  this runs once per committed store for the Section 3.6 check). */
+     *  this runs once per committed store for the Section 3.6 check).
+     *  Iterates the live bitmask in ascending index order — the same
+     *  order (and the same registers) the old full scan visited. */
     template <typename Fn>
     void
     forEachLive(Fn &&fn) const
     {
-        for (unsigned i = 0; i < numRegs_; ++i) {
-            const Reg &r = regs_[i];
-            if (r.allocated)
-                fn(VecRegRef{VecRegId(i), r.gen});
+        for (std::size_t w = 0; w < liveMask_.size(); ++w) {
+            std::uint64_t bits = liveMask_[w];
+            while (bits) {
+                const unsigned i =
+                    unsigned(w * 64) + countTrailingZeros(bits);
+                bits &= bits - 1;
+                fn(VecRegRef{VecRegId(i), regs_[i].gen});
+            }
         }
     }
 
@@ -257,6 +301,48 @@ class VecRegFile
     /** @return true when the incarnation was killed. */
     bool isKilled(VecRegRef ref) const;
 
+    // --- event-driven validation wake-up ---------------------------------
+
+    /**
+     * Register interest in element @p elem of @p ref: the next R
+     * transition of that element — or any death of the incarnation —
+     * will push a VecWakeEvent. The caller (the core's validation
+     * scheduler) maps events back to the waiting instructions; the
+     * interest bit is consumed by the event, re-register to keep
+     * waiting.
+     */
+    void
+    noteWaiter(VecRegRef ref, unsigned elem)
+    {
+        if (!isLive(ref) || elem >= vlen_)
+            return;
+        Reg &r = regs_[ref.reg];
+        if (!r.elems[elem].w) {
+            r.elems[elem].w = true;
+            ++r.waiters;
+        }
+    }
+
+    /** @return true when undrained wake events exist (the validation
+     *  scheduler acts this cycle; the event-skipping clock must not
+     *  jump). */
+    bool hasWakeEvents() const { return !wakeEvents_.empty(); }
+
+    /** Drain the wake-event queue into @p fn (called once per cycle by
+     *  the core's completion stage). The queue is swapped out before
+     *  iterating, so a callback that itself triggers flag mutations
+     *  may safely push new events — they survive into the next drain
+     *  instead of invalidating the live iteration. */
+    template <typename Fn>
+    void
+    drainWakeEvents(Fn &&fn)
+    {
+        wakeScratch_.clear();
+        wakeScratch_.swap(wakeEvents_);
+        for (const VecWakeEvent &e : wakeScratch_)
+            fn(e);
+    }
+
     // --- freeing -----------------------------------------------------------
 
     /**
@@ -302,6 +388,11 @@ class VecRegFile
      *  element at release (direct call, no type erasure). */
     void setElemLedger(DCachePorts *ports) { ports_ = ports; }
 
+    /** Advance the file's notion of time (set once per cycle by the
+     *  engine tick; allocate() stamps it into the register so release
+     *  can attribute lifetimes). */
+    void setClock(Cycle now) { clock_ = now; }
+
     /** @return the Figure 15 ledger. */
     const VecRegFateStats &fateStats() const { return fates_; }
 
@@ -325,6 +416,7 @@ class VecRegFile
     {
         std::uint64_t data = 0;
         bool v = false, r = false, u = false, f = false;
+        bool w = false; ///< a waiter wants this element's R transition
         ElemLoadId loadId = 0;
     };
 
@@ -337,14 +429,39 @@ class VecRegFile
         bool killed = false;
         bool uniform = false;
         bool hasRange = false;
+        std::uint8_t waiters = 0; ///< elements with the w bit set
         Addr rangeLo = 0, rangeHi = 0; ///< inclusive byte range
+        Cycle allocCycle = 0;
         VecRegRef pred;
         std::vector<Elem> elems;
     };
 
+    /** Why a register is being released (fate attribution). */
+    enum class ReleaseCause : std::uint8_t
+    {
+        Cond1,
+        Cond2,
+        Killed,
+        Bulk,
+    };
+
     const Reg &regFor(VecRegRef ref) const;
     Reg &regFor(VecRegRef ref);
-    void release(Reg &reg);
+    void release(Reg &reg, ReleaseCause cause);
+
+    /** Push a death event when any waiter is registered. */
+    void
+    wakeAll(Reg &r)
+    {
+        if (r.waiters == 0)
+            return;
+        const VecRegId id = VecRegId(unsigned(&r - regs_.data()));
+        wakeEvents_.push_back(
+            {VecRegRef{id, r.gen}, VecWakeEvent::allElems});
+        for (auto &e : r.elems)
+            e.w = false;
+        r.waiters = 0;
+    }
 
     /** Mark @p id for the next incremental sweepReleases() pass. */
     void
@@ -356,13 +473,27 @@ class VecRegFile
         }
     }
 
+    void
+    setMaskBit(std::vector<std::uint64_t> &mask, unsigned i, bool on)
+    {
+        if (on)
+            mask[i / 64] |= std::uint64_t(1) << (i % 64);
+        else
+            mask[i / 64] &= ~(std::uint64_t(1) << (i % 64));
+    }
+
     unsigned numRegs_;
     unsigned vlen_;
     unsigned freeCount_;
     std::vector<Reg> regs_;
+    std::vector<std::uint64_t> freeMask_; ///< bit set = register free
+    std::vector<std::uint64_t> liveMask_; ///< bit set = register live
     std::vector<VecRegId> sweepCandidates_;
     std::vector<bool> sweepMarked_;     ///< dedup for the candidate list
+    std::vector<VecWakeEvent> wakeEvents_;
+    std::vector<VecWakeEvent> wakeScratch_; ///< drain double buffer
     VecRegFateStats fates_;
+    Cycle clock_ = 0;
     std::uint64_t allocations_ = 0;
     std::uint64_t allocFailures_ = 0;
     DCachePorts *ports_ = nullptr;

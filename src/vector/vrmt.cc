@@ -24,7 +24,7 @@ Vrmt::lookup(Addr pc)
 {
     VrmtEntry *set = &entries_[size_t(setIndex(pc)) * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].pc == pc) {
+        if (live(set[w]) && set[w].pc == pc) {
             set[w].lastUse = ++useClock_;
             return &set[w];
         }
@@ -43,7 +43,7 @@ Vrmt::peek(Addr pc) const
 {
     const VrmtEntry *set = &entries_[size_t(setIndex(pc)) * ways_];
     for (unsigned w = 0; w < ways_; ++w)
-        if (set[w].valid && set[w].pc == pc)
+        if (live(set[w]) && set[w].pc == pc)
             return &set[w];
     return nullptr;
 }
@@ -55,7 +55,7 @@ Vrmt::touch(Addr pc, std::uint64_t n)
         return;
     VrmtEntry *set = &entries_[size_t(setIndex(pc)) * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
-        if (set[w].valid && set[w].pc == pc) {
+        if (live(set[w]) && set[w].pc == pc) {
             useClock_ += n;
             set[w].lastUse = useClock_;
             return;
@@ -70,13 +70,16 @@ Vrmt::install(const VrmtEntry &entry)
     if (VrmtEntry *existing = lookup(entry.pc)) {
         const std::uint64_t use = existing->lastUse;
         *existing = entry;
+        // The caller's entry is epoch-agnostic (spawn code builds it
+        // from scratch): stamp the current epoch, as for new installs.
+        existing->epoch = epoch_;
         existing->lastUse = use;
         return *existing;
     }
     VrmtEntry *set = &entries_[size_t(setIndex(entry.pc)) * ways_];
     VrmtEntry *victim = nullptr;
     for (unsigned w = 0; w < ways_ && !victim; ++w)
-        if (!set[w].valid)
+        if (!live(set[w]))
             victim = &set[w];
     if (!victim) {
         victim = &set[0];
@@ -85,6 +88,7 @@ Vrmt::install(const VrmtEntry &entry)
                 victim = &set[w];
     }
     *victim = entry;
+    victim->epoch = epoch_;
     victim->lastUse = ++useClock_;
     return *victim;
 }
@@ -97,14 +101,17 @@ Vrmt::invalidate(Addr pc)
 }
 
 unsigned
-Vrmt::invalidateByVreg(VecRegRef ref, std::vector<Addr> *load_pcs)
+Vrmt::invalidateByVreg(VecRegRef ref, std::vector<Addr> *load_pcs,
+                       std::vector<VecRegRef> *successors)
 {
     unsigned n = 0;
     for (auto &e : entries_) {
-        if (e.valid && e.vreg == ref) {
+        if (live(e) && e.vreg == ref) {
             e.valid = false;
             if (load_pcs && e.isLoad)
                 load_pcs->push_back(e.pc);
+            if (successors && e.hasNext)
+                successors->push_back(e.nextVreg);
             ++n;
         }
     }
@@ -114,15 +121,17 @@ Vrmt::invalidateByVreg(VecRegRef ref, std::vector<Addr> *load_pcs)
 void
 Vrmt::invalidateAll()
 {
-    for (auto &e : entries_)
-        e.valid = false;
+    // O(1) epoch bump: every existing entry's epoch now mismatches, so
+    // it reads as invalid everywhere and is recycled as a free way on
+    // the next install into its set.
+    ++epoch_;
 }
 
 void
 Vrmt::forEach(const std::function<void(VrmtEntry &)> &fn)
 {
     for (auto &e : entries_)
-        if (e.valid)
+        if (live(e))
             fn(e);
 }
 
@@ -131,7 +140,7 @@ Vrmt::occupancy() const
 {
     unsigned n = 0;
     for (const auto &e : entries_)
-        if (e.valid)
+        if (live(e))
             ++n;
     return n;
 }

@@ -31,6 +31,15 @@ struct VrmtEntry
     std::int64_t stride = 0;  ///< load: predicted stride
     Addr baseAddr = 0;        ///< load: address of the spawning instance
     std::uint64_t lastUse = 0;
+    std::uint64_t epoch = 0;  ///< validity epoch (see Vrmt::invalidateAll)
+
+    // Eager load chaining (EngineConfig::eagerChainLoads): the
+    // successor incarnation spawned ahead of the current one's
+    // exhaustion, swapped in when the current offset runs out.
+    bool hasNext = false;
+    VecRegRef nextVreg;
+    Addr nextBase = 0;        ///< address of the current incarnation's
+                              ///< last element (successor spawn base)
 };
 
 /** The VRMT. */
@@ -82,12 +91,21 @@ class Vrmt
      *             invalidated *load* entries so the caller can reset
      *             their Table of Loads confidence ("executed in scalar
      *             mode until the engine detects again", Section 3.1)
+     * @param[out] successors when non-null, receives the pending
+     *             eagerly-spawned successors (hasNext/nextVreg) of the
+     *             invalidated entries — the caller must kill them too,
+     *             or they leak as unreachable live registers
      * @return number invalidated
      */
     unsigned invalidateByVreg(VecRegRef ref,
-                              std::vector<Addr> *load_pcs = nullptr);
+                              std::vector<Addr> *load_pcs = nullptr,
+                              std::vector<VecRegRef> *successors =
+                                  nullptr);
 
-    /** Invalidate everything (context switch semantics, Section 3.2). */
+    /** Invalidate everything (context switch semantics, Section 3.2).
+     *  O(1): bumps the validity epoch instead of sweeping the table —
+     *  entries from older epochs read as invalid and are recycled as
+     *  free ways by install(). */
     void invalidateAll();
 
     /** Run @p fn over each valid entry. */
@@ -109,10 +127,18 @@ class Vrmt
   private:
     unsigned setIndex(Addr pc) const;
 
+    /** @return true when @p e is valid in the current epoch. */
+    bool
+    live(const VrmtEntry &e) const
+    {
+        return e.valid && e.epoch == epoch_;
+    }
+
     unsigned sets_;
     unsigned ways_;
     std::vector<VrmtEntry> entries_;
     std::uint64_t useClock_ = 0;
+    std::uint64_t epoch_ = 0;
 };
 
 } // namespace sdv

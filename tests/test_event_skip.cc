@@ -77,6 +77,7 @@ expectIdentical(const RunDigest &skip, const RunDigest &ref,
     EXPECT_EQ(a.loadForwards, b.loadForwards);
     EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
     EXPECT_EQ(a.fetchStallCycles, b.fetchStallCycles);
+    EXPECT_EQ(a.fetchStallValWaitCycles, b.fetchStallValWaitCycles);
     EXPECT_EQ(a.decodeBlockCycles, b.decodeBlockCycles);
     EXPECT_EQ(a.robFullStalls, b.robFullStalls);
     EXPECT_EQ(a.lsqFullStalls, b.lsqFullStalls);
@@ -114,6 +115,12 @@ expectIdentical(const RunDigest &skip, const RunDigest &ref,
     EXPECT_EQ(skip.res.fates.regsReleased, ref.res.fates.regsReleased);
     EXPECT_EQ(skip.res.fates.elemsComputedUsed,
               ref.res.fates.elemsComputedUsed);
+    EXPECT_EQ(skip.res.fates.lifetimeCycles,
+              ref.res.fates.lifetimeCycles);
+    EXPECT_EQ(skip.res.fates.releasedCond1, ref.res.fates.releasedCond1);
+    EXPECT_EQ(skip.res.fates.releasedCond2, ref.res.fates.releasedCond2);
+    EXPECT_EQ(skip.res.fates.releasedKilled,
+              ref.res.fates.releasedKilled);
 
     // Cache hierarchy.
     EXPECT_EQ(skip.res.l1d.accesses(), ref.res.l1d.accesses());

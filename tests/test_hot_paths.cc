@@ -18,6 +18,8 @@
 #include "common/ring_pool.hh"
 #include "core/lsq.hh"
 #include "core/store_overlay.hh"
+#include "vector/vreg_file.hh"
+#include "vector/vrmt.hh"
 
 namespace sdv {
 namespace {
@@ -434,6 +436,182 @@ TEST(HistogramFlow, MergeAndResetCarryUnderflow)
     EXPECT_EQ(a.underflow(), 0u);
     EXPECT_EQ(a.overflow(), 0u);
     EXPECT_EQ(a.total(), 0u);
+}
+
+// --- VecRegFile free list / wake events (PR 5) -----------------------------
+
+TEST(VecRegFreeList, AllocatesLowestFreeIndexAndRecycles)
+{
+    VecRegFile vrf(8, 4);
+    // Fresh file: ascending indices.
+    std::vector<VecRegRef> refs;
+    for (unsigned i = 0; i < 8; ++i) {
+        refs.push_back(vrf.allocate(0));
+        ASSERT_TRUE(refs.back().valid());
+        EXPECT_EQ(refs.back().reg, VecRegId(i));
+    }
+    EXPECT_EQ(vrf.numFree(), 0u);
+    // Exhausted with nothing reclaimable: allocation fails.
+    EXPECT_FALSE(vrf.allocate(0).valid());
+    EXPECT_EQ(vrf.allocFailures(), 1u);
+
+    // Free 5 and 2 (kill + sweep); the next allocations take the
+    // lowest free index first, with fresh generations.
+    for (VecRegId id : {VecRegId(5), VecRegId(2)}) {
+        vrf.kill(refs[id]);
+        EXPECT_TRUE(vrf.isKilled(refs[id]));
+    }
+    EXPECT_TRUE(vrf.sweepPending());
+    EXPECT_EQ(vrf.sweepReleases(0), 2u);
+    EXPECT_FALSE(vrf.sweepPending());
+    EXPECT_EQ(vrf.numFree(), 2u);
+
+    const VecRegRef a = vrf.allocate(0);
+    EXPECT_EQ(a.reg, VecRegId(2));
+    EXPECT_NE(a.gen, refs[2].gen);
+    EXPECT_FALSE(vrf.isLive(refs[2])); // stale ref stays stale
+    EXPECT_TRUE(vrf.isLive(a));
+    EXPECT_EQ(vrf.allocate(0).reg, VecRegId(5));
+}
+
+TEST(VecRegFreeList, LazyCond2ReclaimsUnderPressureOnly)
+{
+    VecRegFile vrf(2, 4);
+    const VecRegRef a = vrf.allocate(/*mrbb=*/0x100);
+    const VecRegRef b = vrf.allocate(/*mrbb=*/0x100);
+    // a: all elements computed, none validated — condition-2 eligible
+    // once its loop terminates (GMRBB moves on).
+    for (unsigned e = 0; e < 4; ++e)
+        vrf.setData(a, e, e);
+    vrf.sweepReleases(0x100); // condition 1 does not apply: not freed
+    EXPECT_TRUE(vrf.isLive(a));
+
+    // Pressure with GMRBB still at the allocating loop: no reclaim.
+    EXPECT_FALSE(vrf.allocate(0x100).valid());
+    EXPECT_TRUE(vrf.isLive(a));
+
+    // Pressure after the loop terminated: a is stolen, b (elements
+    // not computed) is not.
+    const VecRegRef c = vrf.allocate(0x200);
+    ASSERT_TRUE(c.valid());
+    EXPECT_EQ(c.reg, a.reg);
+    EXPECT_FALSE(vrf.isLive(a));
+    EXPECT_TRUE(vrf.isLive(b));
+    EXPECT_EQ(vrf.fateStats().releasedCond2, 1u);
+}
+
+TEST(VecRegWakeEvents, FireOnlyForRegisteredWaiters)
+{
+    VecRegFile vrf(4, 4);
+    const VecRegRef r = vrf.allocate(0);
+
+    // No waiter: computing elements pushes no events.
+    vrf.setData(r, 0, 11);
+    EXPECT_FALSE(vrf.hasWakeEvents());
+
+    // A waiter on element 1 wakes exactly once, on its R transition.
+    vrf.noteWaiter(r, 1);
+    EXPECT_FALSE(vrf.hasWakeEvents());
+    vrf.setData(r, 1, 22);
+    ASSERT_TRUE(vrf.hasWakeEvents());
+    unsigned events = 0;
+    vrf.drainWakeEvents([&](const VecWakeEvent &e) {
+        ++events;
+        EXPECT_EQ(e.ref, r);
+        EXPECT_EQ(e.elem, 1u);
+    });
+    EXPECT_EQ(events, 1u);
+    EXPECT_FALSE(vrf.hasWakeEvents());
+
+    // Interest is consumed: a second write on the same element (e.g.
+    // a re-computed value) stays silent until re-registered.
+    vrf.setData(r, 1, 33);
+    EXPECT_FALSE(vrf.hasWakeEvents());
+
+    // Death wakes every registered waiter with an all-elements event.
+    vrf.noteWaiter(r, 2);
+    vrf.noteWaiter(r, 3);
+    vrf.kill(r);
+    ASSERT_TRUE(vrf.hasWakeEvents());
+    events = 0;
+    vrf.drainWakeEvents([&](const VecWakeEvent &e) {
+        ++events;
+        EXPECT_EQ(e.ref, r);
+        EXPECT_EQ(e.elem, VecWakeEvent::allElems);
+    });
+    EXPECT_EQ(events, 1u);
+
+    // A killed register with no waiters releases silently.
+    vrf.sweepReleases(0);
+    EXPECT_FALSE(vrf.hasWakeEvents());
+    EXPECT_FALSE(vrf.isLive(r));
+}
+
+TEST(VecRegFateAttribution, LifetimesAndReleaseCauses)
+{
+    VecRegFile vrf(4, 4);
+    vrf.setClock(100);
+    const VecRegRef a = vrf.allocate(0);
+    for (unsigned e = 0; e < 4; ++e) {
+        vrf.setData(a, e, e);
+        vrf.setValid(a, e);
+        vrf.setFree(a, e);
+    }
+    vrf.setClock(140);
+    EXPECT_EQ(vrf.sweepReleases(0), 1u); // condition 1
+    const VecRegFateStats &f = vrf.fateStats();
+    EXPECT_EQ(f.releasedCond1, 1u);
+    EXPECT_EQ(f.lifetimeCycles, 40u);
+    EXPECT_DOUBLE_EQ(f.avgLifetimeCycles(), 40.0);
+
+    const VecRegRef b = vrf.allocate(0);
+    vrf.kill(b);
+    vrf.setClock(150);
+    EXPECT_EQ(vrf.sweepReleases(0), 1u);
+    EXPECT_EQ(vrf.fateStats().releasedKilled, 1u);
+
+    vrf.allocate(0);
+    vrf.releaseAll();
+    EXPECT_EQ(vrf.fateStats().releasedBulk, 1u);
+    EXPECT_EQ(vrf.fateStats().regsReleased, 3u);
+}
+
+// --- VRMT epoch invalidation (PR 5) ---------------------------------------
+
+TEST(VrmtEpoch, InvalidateAllIsAnEpochBumpNotASweep)
+{
+    Vrmt vrmt(16, 2);
+    VrmtEntry e;
+    e.valid = true;
+    for (Addr pc = 0x1000; pc < 0x1000 + 16 * 8; pc += 8) {
+        e.pc = pc;
+        vrmt.install(e);
+    }
+    EXPECT_EQ(vrmt.occupancy(), 16u);
+
+    vrmt.invalidateAll();
+    EXPECT_EQ(vrmt.occupancy(), 0u);
+    EXPECT_EQ(vrmt.lookup(Addr(0x1000)), nullptr);
+    EXPECT_EQ(vrmt.peek(Addr(0x1008)), nullptr);
+
+    // Stale-epoch entries are recycled as free ways, and the same-pc
+    // replace path stamps the current epoch (a replaced entry must not
+    // read as stale).
+    e.pc = 0x1000;
+    e.offset = 3;
+    vrmt.install(e);
+    ASSERT_NE(vrmt.lookup(Addr(0x1000)), nullptr);
+    e.offset = 4;
+    vrmt.install(e); // replace in place
+    ASSERT_NE(vrmt.lookup(Addr(0x1000)), nullptr);
+    EXPECT_EQ(vrmt.lookup(Addr(0x1000))->offset, 4u);
+    EXPECT_EQ(vrmt.occupancy(), 1u);
+
+    // Repeated quiesces keep working (epochs are monotonic).
+    vrmt.invalidateAll();
+    EXPECT_EQ(vrmt.occupancy(), 0u);
+    vrmt.install(e);
+    EXPECT_EQ(vrmt.occupancy(), 1u);
 }
 
 } // namespace

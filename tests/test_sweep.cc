@@ -63,6 +63,7 @@ expectIdenticalResults(const SimResult &a, const SimResult &b,
     EXPECT_EQ(ca.loadForwards, cb.loadForwards);
     EXPECT_EQ(ca.branchMispredicts, cb.branchMispredicts);
     EXPECT_EQ(ca.fetchStallCycles, cb.fetchStallCycles);
+    EXPECT_EQ(ca.fetchStallValWaitCycles, cb.fetchStallValWaitCycles);
     EXPECT_EQ(ca.decodeBlockCycles, cb.decodeBlockCycles);
     EXPECT_EQ(ca.robFullStalls, cb.robFullStalls);
     EXPECT_EQ(ca.lsqFullStalls, cb.lsqFullStalls);

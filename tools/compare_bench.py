@@ -24,6 +24,16 @@ Three schemas are understood:
   "benchmarks" array. Timings are host-dependent; the benchmark set
   must match and a >10% real_time regression warns.
 
+Harness and sweep records may carry a "val_mismatches" counter (the
+engine's validation value self-check): any non-zero value in the NEW
+results is an error regardless of the baseline — a mismatch means
+speculative values diverged from architectural ones.
+
+Both record schemas also print a per-plan wall-time delta summary
+table (aggregated by the record's "bench" field) so the perf
+trajectory is visible in CI logs, not just the warn-on-regression
+threshold.
+
 Exit status: 1 on stat drift or schema mismatch, 0 otherwise (warnings
 included). --update rewrites the baseline file with the new results
 after a successful (or warn-only) comparison, keeping the checked-in
@@ -59,6 +69,44 @@ def sweep_records(doc):
 
 def sweep_wall(doc):
     return doc.get("sweep", {}).get("wall_seconds", 0.0)
+
+
+def wall_summary(base, new, base_total=None, new_total=None):
+    """Per-plan wall-time delta table, aggregated by the "bench" field.
+
+    Per-record wall times exist only in the harness schema; sweep
+    documents carry one total, passed via base_total/new_total."""
+    plans = {}
+    for r in base:
+        k = r.get("bench", "")
+        plans.setdefault(k, [0.0, 0.0])[0] += r.get("wall_seconds", 0.0)
+    for r in new:
+        k = r.get("bench", "")
+        plans.setdefault(k, [0.0, 0.0])[1] += r.get("wall_seconds", 0.0)
+    if base_total is not None:
+        only = {k.split(":")[-1] for k in plans}
+        label = "total(%s)" % "+".join(sorted(only)) if only else "total"
+        plans = {label: [base_total, new_total]}
+    rows = [(k, b, n) for k, (b, n) in sorted(plans.items())
+            if b > 0 or n > 0]
+    if not rows:
+        return
+    print(f"  {'plan':<28} {'base':>9} {'new':>9} {'delta':>8}")
+    for k, b, n in rows:
+        delta = "n/a" if b <= 0 else f"{100.0 * (n - b) / b:+.1f}%"
+        print(f"  {k:<28} {b:>8.3f}s {n:>8.3f}s {delta:>8}")
+
+
+def check_val_mismatches(new):
+    """Non-zero validation self-check counters are always errors."""
+    errors = []
+    for r in new:
+        if r.get("val_mismatches", 0) != 0:
+            errors.append(
+                f"({r.get('bench', '')}, {r.get('workload', '')}, "
+                f"{r.get('config', '')}): validationValueMismatches = "
+                f"{r['val_mismatches']} (speculative values diverged)")
+    return errors
 
 
 def compare_records(base, new, base_wall, new_wall):
@@ -109,10 +157,13 @@ def compare_records(base, new, base_wall, new_wall):
 
 
 def compare_harness(base, new):
-    return compare_records(
+    errors, warnings = compare_records(
         base, new,
         sum(r.get("wall_seconds", 0.0) for r in base),
         sum(r.get("wall_seconds", 0.0) for r in new))
+    errors += check_val_mismatches(new)
+    wall_summary(base, new)
+    return errors, warnings
 
 
 SWEEP_META_KEYS = ("plan", "scale", "event_skip", "checkpoint",
@@ -131,6 +182,9 @@ def compare_sweep(base, new):
     rec_errors, warnings = compare_records(
         sweep_records(base), sweep_records(new),
         sweep_wall(base), sweep_wall(new))
+    rec_errors += check_val_mismatches(sweep_records(new))
+    wall_summary(sweep_records(base), sweep_records(new),
+                 sweep_wall(base), sweep_wall(new))
     return errors + rec_errors, warnings
 
 

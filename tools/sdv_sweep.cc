@@ -54,6 +54,12 @@ usage(const char *argv0)
         "  --sample-period P capture period in insts (default: spread "
         "evenly over the run)\n"
         "  --checkpoint-dir D  persist/reuse snapshots in D\n"
+        "  --quiesce-interval N  context-switch the transient vector\n"
+        "                    state every N fetched instructions\n"
+        "                    (steady-state experiments; full runs "
+        "only)\n"
+        "  --eager-chain     spawn load-chain successors one "
+        "incarnation early\n"
         "  --verify          run functional verification per job\n"
         "  --seed N          base of the per-job RNG stream seeds "
         "(recorded per job in the JSON; today's workloads are fully "
@@ -124,6 +130,10 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
                    i + 1 < argc) {
             eopt.checkpointDir = argv[++i];
+        } else if (std::strcmp(argv[i], "--quiesce-interval") == 0) {
+            eopt.quiesceInterval = numArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--eager-chain") == 0) {
+            eopt.eagerChain = true;
         } else if (std::strcmp(argv[i], "--verify") == 0) {
             eopt.verify = true;
         } else if (std::strcmp(argv[i], "--seed") == 0) {
