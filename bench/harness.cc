@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "sweep/fuzz.hh"
 
 namespace sdv {
 namespace bench {
@@ -35,12 +36,69 @@ std::uint64_t quiesceIntervalInsts = 0;
 
 } // namespace
 
+namespace {
+
+/**
+ * --fuzz-speculation in any bench binary: run the speculation fuzz
+ * campaign (every workload x N fuzzed samples, each against the
+ * no-vectorization divergence oracle) with this bench's shared options
+ * and exit — non-zero on any divergence, like a failed assertion. The
+ * figure tables themselves are meaningless under fuzzed inputs, so the
+ * campaign replaces the bench body rather than wrapping it.
+ */
+[[noreturn]] void
+runFuzzAndExit(const Options &opt, unsigned samples,
+               std::uint64_t seed)
+{
+    sweep::FuzzOptions fopt;
+    fopt.samples = samples;
+    fopt.baseSeed = seed;
+    fopt.jobs = opt.jobs;
+    fopt.scale = opt.scale;
+    fopt.footprint = opt.footprint;
+    fopt.quick = opt.quick;
+    fopt.eventSkip = opt.eventSkip;
+
+    std::printf("speculation fuzz campaign: %u samples per workload, "
+                "seed %llu, %u thread(s)\n",
+                fopt.samples, static_cast<unsigned long long>(seed),
+                fopt.jobs);
+    const sweep::FuzzReport rep = sweep::runFuzzCampaign(fopt);
+    for (const sweep::FuzzOutcome &o : rep.outcomes)
+        if (o.diverged)
+            std::printf("  %s sample %u: DIVERGED (%s)\n",
+                        o.c.workload.c_str(), o.c.sample,
+                        o.reason.c_str());
+    std::printf("fuzzed %zu samples: %u divergence(s)\n",
+                rep.outcomes.size(), rep.divergences);
+    if (rep.divergences && !rep.reproPath.empty())
+        std::printf("minimized repro written to %s (re-run with "
+                    "sdv_sweep --fuzz-replay)\n",
+                    rep.reproPath.c_str());
+    std::exit(rep.divergences ? 1 : 0);
+}
+
+} // namespace
+
 Options
 parseArgs(int argc, char **argv, bool json_supported)
 {
     Options opt;
+    bool fuzz = false;
+    unsigned fuzz_samples = 8;
+    std::uint64_t fuzz_seed = 0;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+        if (std::strcmp(argv[i], "--fuzz-speculation") == 0) {
+            fuzz = true;
+        } else if (std::strcmp(argv[i], "--fuzz-samples") == 0 &&
+                   i + 1 < argc) {
+            fuzz_samples = unsigned(std::atoi(argv[++i]));
+            if (fuzz_samples == 0)
+                fatal("--fuzz-samples must be >= 1");
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            fuzz_seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
             opt.scale = unsigned(std::atoi(argv[++i]));
             if (opt.scale == 0)
                 fatal("--scale ", argv[i], " is invalid: the scale is "
@@ -89,12 +147,16 @@ parseArgs(int argc, char **argv, bool json_supported)
                          "base|l2|mem] [--quick] [--no-event-skip] "
                          "[--jobs N] [--checkpoint] [--warmup N] "
                          "[--samples N] [--sample-insts M] "
-                         "[--quiesce-interval N] [--eager-chain]%s\n",
+                         "[--quiesce-interval N] [--eager-chain] "
+                         "[--fuzz-speculation] [--fuzz-samples N] "
+                         "[--seed N]%s\n",
                          argv[0],
                          json_supported ? " [--json PATH]" : "");
             std::exit(2);
         }
     }
+    if (fuzz)
+        runFuzzAndExit(opt, fuzz_samples, fuzz_seed);
     eventSkipEnabled = opt.eventSkip;
     eagerChainEnabled = opt.eagerChain;
     quiesceIntervalInsts = opt.quiesceInterval;

@@ -245,6 +245,19 @@ void
 Core::quiesceVectorState()
 {
     sdv_assert(quiescent(), "vector quiesce on a busy pipeline");
+    // Transient-exposure probe (timing-channel experiments): what
+    // speculative state is alive at the instant the boundary drops it.
+    // beginMeasurement() zeroes these right after its own quiesce, so
+    // only mid-run (--quiesce-interval) boundaries accumulate.
+    ++stats_.quiesceEvents;
+    const VecRegFile &vrf = engine_.vrf();
+    vrf.forEachLive([&](VecRegRef ref) {
+        ++stats_.quiesceLiveVregs;
+        const unsigned n = vrf.elemCount(ref);
+        for (unsigned e = 0; e < n; ++e)
+            if (vrf.isReady(ref, e) && !vrf.isValid(ref, e))
+                ++stats_.quiesceTransientElems;
+    });
     engine_.quiesce();
     rt_.reset();
     sdv_assert(ports_.ledgerLiveRecords() == 0,
@@ -320,9 +333,20 @@ Core::commitCommon(DynInst &d)
         ++stats_.committedValidations;
         if (d.isLoad())
             ++stats_.committedLoadValidations;
-        engine_.onValidationCommit(d);
+        const ValCommitResult vres = engine_.onValidationCommit(d);
+        if (vres.faultDetected)
+            ++stats_.specFaultsDetected;
+        if (vres.chainDemoted)
+            ++stats_.specChainDemotions;
     } else {
-        engine_.onScalarWriterCommit(d);
+        if (engine_.onScalarWriterCommit(d))
+            ++stats_.specChainReenables;
+        // Decode-time VRMT-corruption detections ride the instruction
+        // to commit so squashed wrong-path detections don't count.
+        if (d.fiDetected)
+            ++stats_.specFaultsDetected;
+        if (d.fiDemoted)
+            ++stats_.specChainDemotions;
     }
     if (d.inst().writesReg() || d.isValidation())
         rt_.onWriterCommit(d.inst().rd, d.seq);

@@ -11,6 +11,8 @@ SdvEngine::SdvEngine(const EngineConfig &cfg)
       vrmt_(cfg.vrmtSets, cfg.vrmtWays), vrf_(cfg.numVregs, cfg.vlen),
       datapath_(cfg.fu, vrf_)
 {
+    finj_.configure(cfg.fault);
+    datapath_.setFaultInjector(&finj_);
 }
 
 void
@@ -50,6 +52,13 @@ SdvEngine::decode(DynInst &d, RenameTable &rt,
                   const VecExecContext &ctx)
 {
     if (!cfg_.enabled) {
+        plainRenameWrite(d, rt);
+        return DecodeAction::Normal;
+    }
+    // Graceful degradation: a chain demoted after repeated injected
+    // faults executes purely scalar — no TL observation, no VRMT, no
+    // validations — until its clean-commit window re-enables it.
+    if (chainDemoted(d.pc())) {
         plainRenameWrite(d, rt);
         return DecodeAction::Normal;
     }
@@ -140,7 +149,18 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
                 return DecodeAction::Normal;
             }
             // Address misspeculation: scalar until the TL re-detects.
-            ++stats_.loadAddrMisspecs;
+            if (ve->faultInjected) {
+                // The expected-address check caught an entry whose
+                // stride/base was corrupted at install: that is the
+                // VRMT fault site *detecting*, so it feeds the
+                // injection ledger, not the genuine misspec stat.
+                ++stats_.faultVrmtDetects;
+                d.fiDetected = true;
+                if (noteChainFault(pc))
+                    d.fiDemoted = true;
+            } else {
+                ++stats_.loadAddrMisspecs;
+            }
             killEntry(*ve);
             tl_.resetConfidence(pc);
             plainRenameWrite(d, rt);
@@ -190,7 +210,7 @@ SdvEngine::trySpawnLoad(DynInst &d, RenameTable &rt, std::int64_t stride)
     e.isLoad = true;
     e.stride = stride;
     e.baseAddr = d.rec.addr;
-    vrmt_.install(e);
+    corruptInstall(vrmt_.install(e));
 
     datapath_.spawnLoad(d.pc(), v, d.rec.addr, stride, d.rec.size, vl);
 
@@ -264,7 +284,7 @@ SdvEngine::tryChainLoad(DynInst &d, RenameTable &rt)
     e.vreg = v2;
     e.offset = 0;
     e.baseAddr = base;
-    vrmt_.install(e);
+    corruptInstall(vrmt_.install(e));
 
     // Keep lastWriter/curElem from the validation; repoint the vector
     // mapping at the new incarnation.
@@ -386,6 +406,8 @@ SdvEngine::decodeWouldBlock(const ExecRecord &rec, const RenameTable &rt,
     // disabled engine or the Figure-7 "ideal" configuration.
     if (!cfg_.enabled || !cfg_.blockOnScalarOperand)
         return false;
+    if (chainDemoted(rec.pc))
+        return false; // demoted chains decode as plain scalar
     const OpInfo &info = rec.inst.info();
     if (!info.vectorizable || !info.writesRd ||
         rec.inst.rd == zeroReg || rec.inst.isLoad())
@@ -635,6 +657,55 @@ SdvEngine::makeValidation(DynInst &d, RenameTable &rt, VrmtEntry &ve)
 }
 
 void
+SdvEngine::corruptInstall(VrmtEntry &ie)
+{
+    if (!finj_.armed())
+        return;
+    const VrmtFault f = finj_.drawVrmtFault();
+    if (!f.fire)
+        return;
+    if (f.strideField)
+        ie.stride ^= std::int64_t(f.mask);
+    else
+        ie.baseAddr ^= f.mask;
+    ie.faultInjected = true;
+}
+
+bool
+SdvEngine::noteChainFault(Addr pc)
+{
+    if (!finj_.armed())
+        return false;
+    Demotion &dm = demotions_[pc];
+    if (dm.demoted)
+        return false; // draining validations of an already-demoted chain
+    if (++dm.consecutiveFaults < cfg_.fault.demoteThreshold)
+        return false;
+    dm.demoted = true;
+    dm.consecutiveFaults = 0;
+    dm.cleanRemaining =
+        cfg_.fault.reenableWindow ? cfg_.fault.reenableWindow : 1;
+    ++stats_.faultChainDemotions;
+    // Cut the chain immediately: kill its entry (and datapath
+    // instance) so no further validation consumes the faulted stream;
+    // in-flight validations of the killed register fall back to scalar
+    // instead of wedging the register file.
+    if (VrmtEntry *ve = vrmt_.lookup(pc))
+        killEntry(*ve);
+    return true;
+}
+
+void
+SdvEngine::noteChainClean(Addr pc)
+{
+    if (demotions_.empty())
+        return;
+    auto it = demotions_.find(pc);
+    if (it != demotions_.end() && !it->second.demoted)
+        it->second.consecutiveFaults = 0;
+}
+
+void
 SdvEngine::killEntry(VrmtEntry &ve)
 {
     if (vrf_.isLive(ve.vreg)) {
@@ -672,13 +743,49 @@ SdvEngine::fallbackValidation(DynInst &d)
     ++stats_.lateValidationFallbacks;
 }
 
-void
+ValCommitResult
 SdvEngine::onValidationCommit(const DynInst &d)
 {
+    ValCommitResult res;
     if (vrf_.isLive(d.valVreg)) {
-        if (vrf_.isReady(d.valVreg, d.valElem) &&
-            vrf_.data(d.valVreg, d.valElem) != d.rec.value)
-            ++stats_.validationValueMismatches;
+        if (vrf_.isReady(d.valVreg, d.valElem)) {
+            const bool mismatch =
+                vrf_.data(d.valVreg, d.valElem) != d.rec.value;
+            if (vrf_.elemFaultMarked(d.valVreg, d.valElem)) {
+                // Injection ledger: a marked element never passes
+                // silently — it is detected here (mismatch), examined
+                // and found benign (the flip reverted a value that was
+                // already misspeculated by exactly that bit, or a
+                // tainted recomputation landed on the right value), or
+                // its register releases unconsumed (the vanished
+                // fates). Either way the mark is consumed now, so the
+                // genuine self-check below stays a genuine self-check.
+                const bool injected =
+                    vrf_.elemFaultInjected(d.valVreg, d.valElem);
+                if (mismatch) {
+                    if (injected)
+                        ++stats_.faultValidationDetects;
+                    else
+                        ++stats_.faultTaintDetects;
+                    res.faultDetected = true;
+                    res.chainDemoted = noteChainFault(d.pc());
+                    // Repair the payload with the architectural value
+                    // the oracle just committed: later consumers of
+                    // this element read clean data, so one flip is
+                    // accounted exactly once.
+                    vrf_.repairData(d.valVreg, d.valElem, d.rec.value);
+                } else {
+                    if (injected)
+                        ++stats_.faultValidationBenign;
+                    vrf_.clearFaultMarks(d.valVreg, d.valElem);
+                    noteChainClean(d.pc());
+                }
+            } else if (mismatch) {
+                ++stats_.validationValueMismatches;
+            } else {
+                noteChainClean(d.pc());
+            }
+        }
         vrf_.setValid(d.valVreg, d.valElem);
     }
     Shadow next;
@@ -686,13 +793,29 @@ SdvEngine::onValidationCommit(const DynInst &d)
     next.vreg = d.valVreg;
     next.elem = d.valElem;
     applyShadowWrite(d.inst().rd, next);
+    return res;
 }
 
-void
+bool
 SdvEngine::onScalarWriterCommit(const DynInst &d)
 {
     if (d.inst().writesReg())
         applyShadowWrite(d.inst().rd, Shadow{});
+    // Clean-commit countdown of a demoted chain: after reenableWindow
+    // scalar commits of the demoted PC without further incident, give
+    // speculation another chance.
+    if (demotions_.empty())
+        return false;
+    auto it = demotions_.find(d.pc());
+    if (it == demotions_.end() || !it->second.demoted)
+        return false;
+    if (it->second.cleanRemaining > 1) {
+        --it->second.cleanRemaining;
+        return false;
+    }
+    demotions_.erase(it);
+    ++stats_.faultChainReenables;
+    return true;
 }
 
 void
@@ -794,6 +917,12 @@ SdvEngine::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
     vrf_.setClock(now);
     datapath_.tick(now, ports, mem);
     vrf_.sweepReleases(gmrbb_);
+    if (finj_.armed()) {
+        // Mirror the injector's applied-fault counters into the stats
+        // block every tick so interval samples see current values.
+        stats_.faultElemFlips = finj_.elemFlips();
+        stats_.faultVrmtFlips = finj_.vrmtFlips();
+    }
 }
 
 void
@@ -801,6 +930,8 @@ SdvEngine::finalize()
 {
     datapath_.clear();
     vrf_.releaseAll();
+    stats_.faultElemFlips = finj_.elemFlips();
+    stats_.faultVrmtFlips = finj_.vrmtFlips();
 }
 
 void

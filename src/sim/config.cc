@@ -89,6 +89,20 @@ defaultSdvConfig()
     return makeConfig(4, 1, BusMode::WideBusSdv);
 }
 
+std::string
+describeFaultPlan(const FaultPlan &plan)
+{
+    if (!plan.enabled)
+        return "off";
+    std::string s = "seed=" + std::to_string(plan.seed);
+    s += " elem_ppm=" + std::to_string(plan.elemFlipPpm);
+    s += " vrmt_ppm=" + std::to_string(plan.vrmtFlipPpm);
+    s += " image_ppm=" + std::to_string(plan.imageFlipPpm);
+    s += " demote_k=" + std::to_string(plan.demoteThreshold);
+    s += " reenable=" + std::to_string(plan.reenableWindow);
+    return s;
+}
+
 StorageCost
 storageCost(const CoreConfig &cfg)
 {

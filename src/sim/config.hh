@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/core.hh"
+#include "sim/fault_injection.hh"
 
 namespace sdv {
 
@@ -54,6 +55,10 @@ struct StorageCost
 
 /** @return the storage accounting of Section 4.1 for @p cfg. */
 StorageCost storageCost(const CoreConfig &cfg);
+
+/** @return a one-line description of @p plan ("off" when disabled),
+ *  used by logs and fuzz repro files. */
+std::string describeFaultPlan(const FaultPlan &plan);
 
 } // namespace sdv
 

@@ -1,0 +1,21 @@
+#include "sim/fault_injection.hh"
+
+namespace sdv {
+
+std::size_t
+applyImageFaults(std::vector<std::uint8_t> &bytes, Random &rng,
+                 std::uint32_t flip_ppm)
+{
+    std::size_t corrupted = 0;
+    if (flip_ppm == 0)
+        return corrupted;
+    for (auto &b : bytes) {
+        if (rng.below(1'000'000) < flip_ppm) {
+            b ^= std::uint8_t(1) << rng.below(8);
+            ++corrupted;
+        }
+    }
+    return corrupted;
+}
+
+} // namespace sdv

@@ -30,7 +30,7 @@ Simulator::advanceTo(std::uint64_t target_insts,
     // the boundary). The quiescence check runs only once fetch is
     // exhausted, so the steady-state warm-up loop stays as cheap as a
     // normal run.
-    while (core_.cycle() < max_cycles &&
+    while (core_.cycle() < max_cycles && !checkAbort() &&
            !(core_.fetchExhausted() && core_.quiescent()))
         core_.tick();
     core_.setFetchLimit(0);
@@ -72,19 +72,22 @@ Simulator::runInsts(std::uint64_t insts, std::uint64_t max_cycles)
     // As in advanceTo(): run until the capped fetch stream has fully
     // drained, so the measured region's statistics are complete.
     while (core_.cycle() < max_cycles && !core_.done() &&
+           !checkAbort() &&
            !(core_.fetchExhausted() && core_.quiescent()))
         core_.tick();
     // A sample is complete when its region drained or the program ran
     // to HALT inside it; only a blown cycle budget leaves it unusable.
     const bool drained =
-        core_.done() || (core_.fetchExhausted() && core_.quiescent());
+        !aborted_ &&
+        (core_.done() || (core_.fetchExhausted() && core_.quiescent()));
     core_.setFetchLimit(0);
     core_.setCycleLimit(neverCycle);
     core_.finalize();
 
     SimResult res;
     res.finished = drained;
-    if (!res.finished)
+    res.timedOut = aborted_;
+    if (!res.finished && !res.timedOut)
         warn("sample measurement hit the cycle budget");
     collect(res);
     return res;
@@ -97,7 +100,8 @@ Simulator::run(std::uint64_t max_cycles, bool verify,
     SimResult res;
     core_.setCycleLimit(max_cycles);
     if (quiesce_interval == 0) {
-        while (!core_.done() && core_.cycle() < max_cycles)
+        while (!core_.done() && core_.cycle() < max_cycles &&
+               !checkAbort())
             core_.tick();
     } else {
         // Periodic context-switch semantics: cap fetch at the next
@@ -106,13 +110,15 @@ Simulator::run(std::uint64_t max_cycles, bool verify,
         // (unlike warmup()/advanceTo(), which rebase them).
         std::uint64_t boundary =
             core_.oracle().instCount() + quiesce_interval;
-        while (!core_.done() && core_.cycle() < max_cycles) {
+        while (!core_.done() && core_.cycle() < max_cycles &&
+               !checkAbort()) {
             core_.setFetchLimit(boundary);
-            while (core_.cycle() < max_cycles &&
+            while (core_.cycle() < max_cycles && !checkAbort() &&
                    !(core_.fetchExhausted() && core_.quiescent()))
                 core_.tick();
             core_.setFetchLimit(0);
-            if (core_.done() || core_.cycle() >= max_cycles)
+            if (core_.done() || core_.cycle() >= max_cycles ||
+                aborted_)
                 break;
             core_.quiesceVectorState();
             boundary += quiesce_interval;
@@ -121,8 +127,9 @@ Simulator::run(std::uint64_t max_cycles, bool verify,
 
     core_.finalize();
 
-    res.finished = core_.done();
-    if (!res.finished)
+    res.finished = !aborted_ && core_.done();
+    res.timedOut = aborted_;
+    if (!res.finished && !res.timedOut)
         warn("simulation hit the cycle budget before HALT");
 
     collect(res);

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "common/log.hh"
+#include "common/random.hh"
 #include "sweep/checkpoint.hh"
 #include "workloads/workload.hh"
 
@@ -23,6 +24,112 @@ secondsSince(const std::chrono::steady_clock::time_point &t0)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+/**
+ * Wall-clock job watchdog (--job-timeout): one timer slot per pool
+ * unit. A worker arms its slot (begin) before running a simulation and
+ * disarms it (end) after; the scan thread wakes every 50 ms and trips
+ * the abort flag of any armed slot past the timeout. The Simulator
+ * polls that flag and stops with SimResult::timedOut set — the worker
+ * thread itself is never killed, so no state is torn down mid-write.
+ */
+class JobWatchdog
+{
+  public:
+    JobWatchdog(std::size_t units, std::uint64_t timeout_sec,
+                std::function<std::string(std::size_t)> describe)
+        : timeoutMs_(timeout_sec * 1000),
+          describe_(std::move(describe)), entries_(units)
+    {
+        if (timeoutMs_ != 0)
+            thread_ = std::thread([this] { scan(); });
+    }
+
+    ~JobWatchdog()
+    {
+        if (thread_.joinable()) {
+            stop_.store(true, std::memory_order_relaxed);
+            thread_.join();
+        }
+    }
+
+    bool enabled() const { return timeoutMs_ != 0; }
+
+    /** Arm unit @p u's timer and attach its abort flag to @p sim. */
+    void
+    begin(std::size_t u, Simulator &sim)
+    {
+        if (!enabled())
+            return;
+        Entry &e = entries_[u];
+        e.abort.store(false, std::memory_order_relaxed);
+        sim.setAbortFlag(&e.abort);
+        e.startMs.store(nowMs(), std::memory_order_release);
+    }
+
+    /** Disarm unit @p u's timer (the attempt is over). */
+    void
+    end(std::size_t u)
+    {
+        if (enabled())
+            entries_[u].startMs.store(0, std::memory_order_release);
+    }
+
+  private:
+    struct Entry
+    {
+        std::atomic<std::uint64_t> startMs{0}; ///< 0 = not running
+        std::atomic<bool> abort{false};
+    };
+
+    static std::uint64_t
+    nowMs()
+    {
+        return std::uint64_t(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    void
+    scan()
+    {
+        while (!stop_.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+            const std::uint64_t now = nowMs();
+            for (std::size_t u = 0; u < entries_.size(); ++u) {
+                Entry &e = entries_[u];
+                const std::uint64_t t0 =
+                    e.startMs.load(std::memory_order_acquire);
+                if (t0 == 0 || now < t0 || now - t0 < timeoutMs_)
+                    continue;
+                if (!e.abort.exchange(true,
+                                      std::memory_order_relaxed))
+                    warn("job watchdog: aborting ", describe_(u),
+                         " after ", (now - t0) / 1000, "s");
+            }
+        }
+    }
+
+    const std::uint64_t timeoutMs_;
+    const std::function<std::string(std::size_t)> describe_;
+    std::vector<Entry> entries_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/** Per-job fault-injection plan: the CLI plan with the injector seed
+ *  specialized to the job identity (scheduling-independent). */
+FaultPlan
+jobFaultPlan(const FaultPlan &base, const SweepJob &job)
+{
+    FaultPlan plan = base;
+    if (plan.enabled)
+        plan.seed = deriveSeed(job.workload, "fault:" + job.configKey,
+                               base.seed);
+    return plan;
 }
 
 /** Programs used by a plan, keyed by workload, built once and
@@ -253,50 +360,94 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
     // Each unit owns its wall-time slot; the per-job totals fold in
     // after the pool joins (a shared += would be a data race).
     std::vector<double> unitWall(units.size(), 0.0);
+    std::vector<char> unitTimedOut(units.size(), 0);
+
+    JobWatchdog wd(units.size(), opt.jobTimeout,
+                   [&plan, &units](std::size_t u) {
+                       const SweepJob &j = plan.jobs[units[u].job];
+                       std::string d = j.workload + "/" + j.configKey +
+                                       " (seed " +
+                                       std::to_string(j.seed) + ")";
+                       if (units[u].sample >= 0)
+                           d += " sample " +
+                                std::to_string(units[u].sample);
+                       return d;
+                   });
+
+    auto runUnit = [&](std::size_t u) {
+        const Unit unit = units[u];
+        const SweepJob &job = plan.jobs[unit.job];
+        CoreConfig cfg = job.cfg;
+        cfg.eventSkip = opt.eventSkip;
+        cfg.engine.eagerChainLoads = opt.eagerChain;
+        const Program &prog = programs.at(job.workload);
+        const auto t0 = std::chrono::steady_clock::now();
+        if (unit.sample < 0) {
+            Simulator sim(cfg, prog);
+            wd.begin(u, sim);
+            outcomes[unit.job].res =
+                sim.run(opt.maxCycles, false, opt.quiesceInterval);
+            wd.end(u);
+            unitTimedOut[u] = outcomes[unit.job].res.timedOut;
+            outcomes[unit.job].commitHash = sim.core().commitPcHash();
+            unitWall[u] = secondsSince(t0);
+            return;
+        }
+        const SampleCheckpoint &sc =
+            sets.at(job.workload).samples[size_t(unit.sample)];
+        Simulator sim(cfg, prog);
+        std::string err;
+        // Empty bytes: the exact cold-start region forks from
+        // reset instead of restoring a snapshot.
+        if (!sc.bytes.empty() &&
+            !Checkpoint::restore(sim, sc.bytes, &err)) {
+            // validate() passed serially, so this is exceptional;
+            // a zero-inst measurement drops out of the weighted
+            // aggregation (deterministically) instead of crashing.
+            warn("sample restore failed for ", job.workload, "/",
+                 job.configKey, ": ", err);
+            return;
+        }
+        wd.begin(u, sim);
+        SimResult r = sim.runInsts(sc.measureInsts, opt.maxCycles);
+        wd.end(u);
+        unitTimedOut[u] = r.timedOut;
+        // An aborted sample contributes nothing (like a failed
+        // restore): zero-inst measurements drop out of the weighted
+        // aggregation deterministically.
+        if (r.timedOut)
+            return;
+        sampleHashes[unit.job][size_t(unit.sample)] =
+            sim.core().commitPcHash();
+        sampleResults[unit.job][size_t(unit.sample)] = std::move(r);
+        unitWall[u] = secondsSince(t0);
+    };
 
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
         for (std::size_t u = next.fetch_add(1); u < units.size();
-             u = next.fetch_add(1)) {
-            const Unit unit = units[u];
-            const SweepJob &job = plan.jobs[unit.job];
-            CoreConfig cfg = job.cfg;
-            cfg.eventSkip = opt.eventSkip;
-            cfg.engine.eagerChainLoads = opt.eagerChain;
-            const Program &prog = programs.at(job.workload);
-            const auto t0 = std::chrono::steady_clock::now();
-            if (unit.sample < 0) {
-                Simulator sim(cfg, prog);
-                outcomes[unit.job].res =
-                    sim.run(opt.maxCycles, false, opt.quiesceInterval);
-                outcomes[unit.job].commitHash =
-                    sim.core().commitPcHash();
-                unitWall[u] = secondsSince(t0);
-                continue;
-            }
-            const SampleCheckpoint &sc =
-                sets.at(job.workload).samples[size_t(unit.sample)];
-            Simulator sim(cfg, prog);
-            std::string err;
-            // Empty bytes: the exact cold-start region forks from
-            // reset instead of restoring a snapshot.
-            if (!sc.bytes.empty() &&
-                !Checkpoint::restore(sim, sc.bytes, &err)) {
-                // validate() passed serially, so this is exceptional;
-                // a zero-inst measurement drops out of the weighted
-                // aggregation (deterministically) instead of crashing.
-                warn("sample restore failed for ", job.workload, "/",
-                     job.configKey, ": ", err);
-                continue;
-            }
-            SimResult r = sim.runInsts(sc.measureInsts, opt.maxCycles);
-            sampleHashes[unit.job][size_t(unit.sample)] =
-                sim.core().commitPcHash();
-            sampleResults[unit.job][size_t(unit.sample)] = std::move(r);
-            unitWall[u] = secondsSince(t0);
-        }
+             u = next.fetch_add(1))
+            runUnit(u);
     };
     runOnPool(opt.jobs, units.size(), worker);
+
+    // Watchdog retry pass: aborted units re-run once, serially, with a
+    // fresh timer each.
+    if (wd.enabled()) {
+        for (std::size_t u = 0; u < units.size(); ++u) {
+            if (!unitTimedOut[u])
+                continue;
+            const SweepJob &j = plan.jobs[units[u].job];
+            warn("job watchdog: retrying ", j.workload, "/",
+                 j.configKey, " serially");
+            unitTimedOut[u] = 0;
+            runUnit(u);
+            outcomes[units[u].job].retried = true;
+        }
+        for (std::size_t u = 0; u < units.size(); ++u)
+            if (unitTimedOut[u])
+                outcomes[units[u].job].timedOut = true;
+    }
 
     // Plan-ordered aggregation: a pure integer fold of the per-sample
     // measurements, independent of which thread measured what.
@@ -333,51 +484,79 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
         checkpoints = captureCheckpoints(plan, opt, programs);
 
     std::vector<RunOutcome> outcomes(plan.jobs.size());
-    std::atomic<std::size_t> next{0};
+    JobWatchdog wd(plan.jobs.size(), opt.jobTimeout,
+                   [&plan](std::size_t u) {
+                       const SweepJob &j = plan.jobs[u];
+                       return j.workload + "/" + j.configKey +
+                              " (seed " + std::to_string(j.seed) + ")";
+                   });
 
+    auto runJob = [&](std::size_t i) {
+        const SweepJob &job = plan.jobs[i];
+        RunOutcome &out = outcomes[i];
+        stampOutcome(out, job);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        CoreConfig cfg = job.cfg;
+        cfg.eventSkip = opt.eventSkip;
+        cfg.engine.eagerChainLoads = opt.eagerChain;
+        cfg.engine.fault = jobFaultPlan(opt.fault, job);
+        out.cfg = cfg; ///< resolved config (fault plan, chaining mode)
+        const Program &prog = programs.at(job.workload);
+        std::optional<Simulator> sim;
+        sim.emplace(cfg, prog);
+
+        if (opt.checkpoint) {
+            const auto &bytes = checkpoints.at(job.workload);
+            // A job whose configuration cannot take the snapshot
+            // (e.g. an ablation entry varying checkpointed
+            // geometry such as the TL confidence) runs from cold
+            // instead — deterministic per job, and visible in the
+            // output via from_checkpoint. A failed restore may
+            // leave partial state, so the cold path rebuilds the
+            // simulator from scratch.
+            std::string err;
+            if (!bytes.empty() && Checkpoint::validate(*sim, bytes) &&
+                Checkpoint::restore(*sim, bytes, &err)) {
+                out.fromCheckpoint = true;
+            } else if (!bytes.empty()) {
+                warn("running ", job.workload, "/", job.configKey,
+                     " cold", err.empty() ? "" : ": ", err);
+                sim.emplace(cfg, prog);
+            }
+        }
+
+        wd.begin(i, *sim);
+        out.res = sim->run(opt.maxCycles, opt.verify,
+                           opt.checkpoint ? 0 : opt.quiesceInterval);
+        wd.end(i);
+        out.timedOut = out.res.timedOut;
+        out.commitHash = sim->core().commitPcHash();
+        out.wallSeconds = secondsSince(t0);
+    };
+
+    std::atomic<std::size_t> next{0};
     auto worker = [&]() {
         for (std::size_t i = next.fetch_add(1); i < plan.jobs.size();
-             i = next.fetch_add(1)) {
-            const SweepJob &job = plan.jobs[i];
-            RunOutcome &out = outcomes[i];
-            stampOutcome(out, job);
-
-            const auto t0 = std::chrono::steady_clock::now();
-            CoreConfig cfg = job.cfg;
-            cfg.eventSkip = opt.eventSkip;
-            cfg.engine.eagerChainLoads = opt.eagerChain;
-            const Program &prog = programs.at(job.workload);
-            std::optional<Simulator> sim;
-            sim.emplace(cfg, prog);
-
-            if (opt.checkpoint) {
-                const auto &bytes = checkpoints.at(job.workload);
-                // A job whose configuration cannot take the snapshot
-                // (e.g. an ablation entry varying checkpointed
-                // geometry such as the TL confidence) runs from cold
-                // instead — deterministic per job, and visible in the
-                // output via from_checkpoint. A failed restore may
-                // leave partial state, so the cold path rebuilds the
-                // simulator from scratch.
-                std::string err;
-                if (!bytes.empty() &&
-                    Checkpoint::validate(*sim, bytes) &&
-                    Checkpoint::restore(*sim, bytes, &err)) {
-                    out.fromCheckpoint = true;
-                } else if (!bytes.empty()) {
-                    warn("running ", job.workload, "/", job.configKey,
-                         " cold", err.empty() ? "" : ": ", err);
-                    sim.emplace(cfg, prog);
-                }
-            }
-
-            out.res = sim->run(opt.maxCycles, opt.verify,
-                               opt.checkpoint ? 0 : opt.quiesceInterval);
-            out.commitHash = sim->core().commitPcHash();
-            out.wallSeconds = secondsSince(t0);
-        }
+             i = next.fetch_add(1))
+            runJob(i);
     };
     runOnPool(opt.jobs, plan.jobs.size(), worker);
+
+    // Watchdog retry pass: every aborted job gets one serial re-run
+    // with an uncontended machine and a fresh timer. A job that times
+    // out again stays marked failed (timedOut && !finished).
+    if (wd.enabled()) {
+        for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+            if (!outcomes[i].timedOut)
+                continue;
+            warn("job watchdog: retrying ", plan.jobs[i].workload, "/",
+                 plan.jobs[i].configKey, " serially");
+            outcomes[i] = RunOutcome{};
+            runJob(i);
+            outcomes[i].retried = true;
+        }
+    }
     return outcomes;
 }
 
@@ -410,6 +589,72 @@ resultsJson(const std::vector<RunOutcome> &outcomes)
         if (o.samples > 0) {
             std::snprintf(buf, sizeof(buf), ", \"samples\": %u",
                           o.samples);
+            out += buf;
+        }
+        // Every field below appears only when its mode was active, so
+        // default-mode documents stay byte-identical to the checked-in
+        // baselines.
+        if (o.timedOut || o.retried) {
+            std::snprintf(buf, sizeof(buf),
+                          ", \"timed_out\": %s, \"retried\": %s",
+                          o.timedOut ? "true" : "false",
+                          o.retried ? "true" : "false");
+            out += buf;
+        }
+        if (o.res.core.quiesceEvents > 0) {
+            // Transient-exposure report of the timing-channel
+            // experiments (--quiesce-interval): speculative state
+            // alive at each boundary plus the register lifetime
+            // histogram (ascending 4x buckets from < 8 cycles).
+            std::snprintf(
+                buf, sizeof(buf),
+                ", \"quiesce_events\": %llu, "
+                "\"quiesce_live_vregs\": %llu, "
+                "\"quiesce_transient_elems\": %llu",
+                static_cast<unsigned long long>(
+                    o.res.core.quiesceEvents),
+                static_cast<unsigned long long>(
+                    o.res.core.quiesceLiveVregs),
+                static_cast<unsigned long long>(
+                    o.res.core.quiesceTransientElems));
+            out += buf;
+            out += ", \"vreg_lifetime_hist\": [";
+            for (int b = 0; b < 8; ++b) {
+                std::snprintf(buf, sizeof(buf), "%s%llu",
+                              b ? ", " : "",
+                              static_cast<unsigned long long>(
+                                  o.res.fates.lifetimeHist[b]));
+                out += buf;
+            }
+            out += "]";
+        }
+        if (o.cfg.engine.fault.armed()) {
+            std::snprintf(
+                buf, sizeof(buf),
+                ", \"fault_elem_flips\": %llu, "
+                "\"fault_vrmt_flips\": %llu, "
+                "\"faults_detected\": %llu, "
+                "\"faults_benign\": %llu, "
+                "\"faults_vanished\": %llu, "
+                "\"chain_demotions\": %llu, "
+                "\"chain_reenables\": %llu",
+                static_cast<unsigned long long>(
+                    o.res.engine.faultElemFlips),
+                static_cast<unsigned long long>(
+                    o.res.engine.faultVrmtFlips),
+                static_cast<unsigned long long>(
+                    o.res.engine.faultValidationDetects +
+                    o.res.engine.faultTaintDetects +
+                    o.res.engine.faultVrmtDetects),
+                static_cast<unsigned long long>(
+                    o.res.engine.faultValidationBenign),
+                static_cast<unsigned long long>(
+                    o.res.fates.faultInjectedVanished +
+                    o.res.fates.faultTaintVanished),
+                static_cast<unsigned long long>(
+                    o.res.engine.faultChainDemotions),
+                static_cast<unsigned long long>(
+                    o.res.engine.faultChainReenables));
             out += buf;
         }
         out += i + 1 < outcomes.size() ? "},\n" : "}\n";

@@ -42,6 +42,17 @@ struct ExecOptions
     std::uint64_t quiesceInterval = 0;
     /** EngineConfig::eagerChainLoads on every job's machine. */
     bool eagerChain = false;
+    /** Speculative-state fault injection (--fault-elem-ppm /
+     *  --fault-vrmt-ppm) on every job's machine. The per-job injector
+     *  seed is derived from the job identity and this plan's seed, so
+     *  parallel and serial sweeps stay byte-identical. Full runs only
+     *  (checkpoint capture and sampling ignore it). */
+    FaultPlan fault;
+    /** Wall-clock watchdog (--job-timeout, seconds; 0 = off): a pool
+     *  unit running longer than this is aborted, marked failed with
+     *  its context, and retried once serially after the pool drains
+     *  (the retry gets a fresh timer). */
+    std::uint64_t jobTimeout = 0;
     /** Interval sampling: when enabled (samples > 0), every job is
      *  estimated from per-sample forks instead of a full run, and the
      *  per-(job, sample) measurements are what the worker pool
@@ -76,6 +87,12 @@ struct RunOutcome
      *  sampled job, commitHash is the FNV fold of the per-sample
      *  commit-stream hashes in capture order. */
     unsigned samples = 0;
+    /** Job watchdog verdicts: timedOut mirrors the *final* attempt's
+     *  res.timedOut; retried marks a job whose first attempt was
+     *  aborted and which ran again serially. Both stay false (and out
+     *  of the JSON) without --job-timeout. */
+    bool timedOut = false;
+    bool retried = false;
     double wallSeconds = 0.0; ///< host timing; kept out of the
                               ///< deterministic JSON payload
 };

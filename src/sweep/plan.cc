@@ -77,7 +77,32 @@ struct PlanDef
 {
     PlanInfo info;
     std::vector<GridConfig> (*grid)();
+    /** Included in --plan all. The adversarial "attack" plan is not:
+     *  "all" regenerates the paper-figure baselines, and its job list
+     *  (and JSON) must not change when robustness plans are added. */
+    bool inAll = true;
 };
+
+/** The "attack" plan's machines: SDV geometry variants whose transient
+ *  exposure across --quiesce-interval boundaries differs, plus a
+ *  no-vectorization control with zero speculative state to leak. */
+std::vector<GridConfig>
+attackGrid()
+{
+    const CoreConfig base = makeConfig(4, 1, BusMode::WideBusSdv);
+    std::vector<GridConfig> grid;
+    grid.push_back({"", "novec", makeConfig(4, 1, BusMode::WideBus)});
+    grid.push_back({"", "base", base});
+    for (unsigned vl : {2u, 8u}) {
+        GridConfig g{"", "vlen" + std::to_string(vl), base};
+        g.cfg.engine.vlen = vl;
+        grid.push_back(g);
+    }
+    GridConfig eager{"", "eager", base};
+    eager.cfg.engine.eagerChainLoads = true;
+    grid.push_back(eager);
+    return grid;
+}
 
 /** The four machines behind the paper's headline prose claims. The
  *  columns keep the legacy bench labels ("4w-1pV") so delegating
@@ -149,6 +174,9 @@ planDefs()
          ablationGrid},
         {{"headline", "the four machines behind the headline claims"},
          headlineGrid},
+        {{"attack", "timing-channel pair: transient exposure across "
+                    "quiesce boundaries"},
+         attackGrid, /*inAll=*/false},
     };
     return defs;
 }
@@ -194,8 +222,12 @@ appendFigure(SweepPlan &plan, const std::string &name,
              const PlanOptions &opt)
 {
     const std::vector<GridConfig> grid = figureGrid(name);
+    // The attack plan runs the timing-channel pair, not the figure
+    // suite (which stays fixed at the paper's 12 workloads).
+    const std::vector<Workload> &suite =
+        name == "attack" ? attackWorkloads() : allWorkloads();
     unsigned ints_done = 0, fps_done = 0;
-    for (const Workload &w : allWorkloads()) {
+    for (const Workload &w : suite) {
         if (opt.quick) {
             if (!w.isFp && ints_done >= 2)
                 continue;
@@ -235,7 +267,8 @@ buildPlan(const std::string &name, const PlanOptions &opt)
     if (name == "all") {
         plan.title = "every figure grid back to back";
         for (const PlanDef &d : planDefs())
-            appendFigure(plan, d.info.name, opt);
+            if (d.inAll)
+                appendFigure(plan, d.info.name, opt);
         return plan;
     }
 

@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "isa/alu.hh"
+#include "sim/fault_injection.hh"
 
 namespace sdv {
 
@@ -158,7 +159,19 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
     for (auto it = completions_.begin(); it != completions_.end();) {
         if (it->ready <= now) {
             if (vrf_.isLive(it->dest)) {
-                vrf_.setData(it->dest, it->elem, it->value);
+                std::uint64_t value = it->value;
+                std::uint64_t flip = 0;
+                // Fault site: the value lands in the register file
+                // possibly with one bit flipped. The draw happens at
+                // this discrete event, so the stream position is
+                // identical under ticking and event-skipping clocks.
+                if (finj_ && finj_->armed())
+                    flip = finj_->drawElemFlip();
+                vrf_.setData(it->dest, it->elem, value ^ flip);
+                if (flip != 0)
+                    vrf_.markFaultInjected(it->dest, it->elem);
+                if (it->tainted)
+                    vrf_.markFaultTaint(it->dest, it->elem);
                 if (it->loadId != 0)
                     vrf_.setElemLoadId(it->dest, it->elem, it->loadId);
                 ++stats_.elemsComputed;
@@ -220,7 +233,10 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
             if (grant.newAccess) {
                 if (!mem.loadAccess(addr, now, done_at)) {
                     // MSHR full: the claimed port slot is wasted this
-                    // cycle and the element retries next cycle.
+                    // cycle and the element retries next cycle. The
+                    // retry draws a fresh load id, so this one must
+                    // resolve (unused) or its ledger record leaks.
+                    ports.resolveElem(lid, false);
                     ++stats_.elemLoadMshrStalls;
                     load_slots = 0;
                     break;
@@ -237,6 +253,7 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
                 // fresh (hit-latency) lookup for the element instead.
                 if (done_at == neverCycle &&
                     !mem.loadAccess(addr, now, done_at)) {
+                    ports.resolveElem(lid, false);
                     ++stats_.elemLoadMshrStalls;
                     load_slots = 0;
                     break;
@@ -286,6 +303,14 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
         c.elem = k;
         c.value = evalScalarOp(inst.op, srcValue(inst.src1, k),
                                srcValue(inst.src2, k), inst.imm);
+        // Taint propagation: a value computed from a fault-marked
+        // source carries the mark forward, so its own validation is
+        // attributed to the injection instead of the genuine
+        // value-mismatch self-check.
+        for (const SrcSpec *src : {&inst.src1, &inst.src2})
+            if (src->isVector() &&
+                vrf_.srcFaultMarked(src->vreg, src->srcOffset + k))
+                c.tainted = true;
         completions_.push_back(c);
         ++inst.nextElem;
         --slot;

@@ -268,11 +268,22 @@ VecRegFile::release(Reg &reg, ReleaseCause cause)
             ++fates_.elemsComputedNotUsed;
         else
             ++fates_.elemsNotComputed;
+        // Fault marks still set here were never examined by a
+        // validation: the corrupted value vanished unconsumed.
+        if (el.fi)
+            ++fates_.faultInjectedVanished;
+        else if (el.ft)
+            ++fates_.faultTaintVanished;
         if (el.loadId != 0 && ports_)
             ports_->resolveElem(el.loadId, el.v);
     }
     ++fates_.regsReleased;
-    fates_.lifetimeCycles += clock_ - reg.allocCycle;
+    const Cycle age = clock_ - reg.allocCycle;
+    fates_.lifetimeCycles += age;
+    unsigned bucket = 0;
+    for (Cycle bound = 8; bucket < 7 && age >= bound; bound <<= 2)
+        ++bucket;
+    ++fates_.lifetimeHist[bucket];
     switch (cause) {
       case ReleaseCause::Cond1:
         ++fates_.releasedCond1;
@@ -369,9 +380,17 @@ VecRegFile::releaseSquashed(VecRegRef ref)
     if (!isLive(ref))
         return;
     Reg &r = regFor(ref);
-    for (auto &e : r.elems)
+    for (auto &e : r.elems) {
+        // No Figure 15 fates (the incarnation never existed
+        // architecturally), but the fault ledger must still account
+        // for every mark exactly once.
+        if (e.fi)
+            ++fates_.faultInjectedVanished;
+        else if (e.ft)
+            ++fates_.faultTaintVanished;
         if (e.loadId != 0 && ports_)
             ports_->resolveElem(e.loadId, false);
+    }
     wakeAll(r);
     r.allocated = false;
     ++freeCount_;

@@ -69,6 +69,21 @@ struct VecRegFateStats
     std::uint64_t releasedKilled = 0;   ///< killed, validations drained
     std::uint64_t releasedBulk = 0;     ///< releaseAll (quiesce/finalize)
 
+    // --- adversarial accounting (PR 6) -----------------------------------
+    /** Fault-marked elements whose register released before a
+     *  validation examined them: the corrupted value died unconsumed.
+     *  Injected = direct bit flips; taint = values computed from a
+     *  marked source. Together with the engine's detect/benign
+     *  counters these account for every mark exactly once. */
+    std::uint64_t faultInjectedVanished = 0;
+    std::uint64_t faultTaintVanished = 0;
+
+    /** Register lifetime histogram (alloc->release cycles), log-ish
+     *  buckets: <8, <32, <128, <512, <2K, <8K, <32K, rest. Feeds the
+     *  per-config transient-exposure report of the timing-channel
+     *  experiments. */
+    std::uint64_t lifetimeHist[8] = {};
+
     double
     avgComputedUsed() const
     {
@@ -270,6 +285,79 @@ class VecRegFile
         return r.elems[r.uniform ? 0 : elem].data;
     }
 
+    // --- fault-injection marks (PR 6) -----------------------------------
+    // A mark travels with the element until a validation examines it
+    // (the engine then counts detect/benign and repairs/clears) or the
+    // register releases (counted as vanished above). Marks are pure
+    // accounting: they never influence timing or release decisions.
+
+    /** Mark element @p elem as carrying an injected bit flip. */
+    void
+    markFaultInjected(VecRegRef ref, unsigned elem)
+    {
+        regFor(ref).elems[elem].fi = true;
+    }
+
+    /** Mark element @p elem as computed from a fault-marked source. */
+    void
+    markFaultTaint(VecRegRef ref, unsigned elem)
+    {
+        regFor(ref).elems[elem].ft = true;
+    }
+
+    /** @return true when the exact element carries any fault mark
+     *  (engine-side check at validation commit; caller guarantees
+     *  liveness). */
+    bool
+    elemFaultMarked(VecRegRef ref, unsigned elem) const
+    {
+        const Elem &el = regFor(ref).elems[elem];
+        return el.fi || el.ft;
+    }
+
+    /** @return true when the element had an injected (direct) flip. */
+    bool
+    elemFaultInjected(VecRegRef ref, unsigned elem) const
+    {
+        return regFor(ref).elems[elem].fi;
+    }
+
+    /** @return the fault mark of a *source* element, folded exactly
+     *  like elemValue (element 0 when uniform; no liveness asserts —
+     *  the datapath checks srcsReady first). */
+    bool
+    srcFaultMarked(VecRegRef ref, unsigned elem) const
+    {
+        const Reg &r = regs_[ref.reg];
+        const Elem &el = r.elems[r.uniform ? 0 : elem];
+        return el.fi || el.ft;
+    }
+
+    /** Clear the element's fault marks (validation examined it). */
+    void
+    clearFaultMarks(VecRegRef ref, unsigned elem)
+    {
+        Elem &el = regFor(ref).elems[elem];
+        el.fi = false;
+        el.ft = false;
+    }
+
+    /**
+     * Overwrite a corrupted element with the architectural value the
+     * validation compared against, clearing its marks. Unlike
+     * setData this fires no wake events and flips no flags — the
+     * element was already R; only its payload is repaired, so
+     * consumers that read it after the validation see clean data.
+     */
+    void
+    repairData(VecRegRef ref, unsigned elem, std::uint64_t value)
+    {
+        Elem &el = regFor(ref).elems[elem];
+        el.data = value;
+        el.fi = false;
+        el.ft = false;
+    }
+
     /** Associate the port-ledger id of a speculative element load. */
     void setElemLoadId(VecRegRef ref, unsigned elem, ElemLoadId id);
 
@@ -417,6 +505,8 @@ class VecRegFile
         std::uint64_t data = 0;
         bool v = false, r = false, u = false, f = false;
         bool w = false; ///< a waiter wants this element's R transition
+        bool fi = false; ///< fault injected: value carries a bit flip
+        bool ft = false; ///< fault taint: computed from a marked source
         ElemLoadId loadId = 0;
     };
 

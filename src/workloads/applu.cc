@@ -39,10 +39,13 @@ buildApplu(const FootprintPlan &p)
     const Addr rhs = b.allocWords("rhs", n + 16);
     const Addr x = b.allocWords("x", n + 16);
     const Addr pivots = b.allocWords("pivots", 4);
-    fillDoubles(b, a, n + 16, [](size_t i) { return 1.0 + 0.01 * (i % 97); });
+    const double fz = fuzzOffset(p.fuzzSeed);
+    fillDoubles(b, a, n + 16,
+                [=](size_t i) { return 1.0 + fz + 0.01 * (i % 97); });
     fillDoubles(b, rhs, n + 16,
-                [](size_t i) { return 2.0 - 0.002 * (i % 53); });
-    fillDoubles(b, pivots, 4, [](size_t i) { return 0.9 + 0.02 * i; });
+                [=](size_t i) { return 2.0 + fz - 0.002 * (i % 53); });
+    fillDoubles(b, pivots, 4,
+                [=](size_t i) { return 0.9 + fz + 0.02 * i; });
 
     const RegId fa0 = 33, fa1 = 34, fr0 = 35, fr1 = 36, fx0 = 37,
                 fx1 = 38, facc = 39, fden = 40, fpiv = 41;

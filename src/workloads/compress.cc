@@ -33,7 +33,7 @@ Program
 buildCompress(const FootprintPlan &p)
 {
     ProgramBuilder b;
-    Random rng(0xc0457);
+    Random rng(0xc0457 ^ p.fuzzSeed);
 
     const std::size_t inputLen = p.words("input");
     const std::size_t htabLen = p.words("htab");

@@ -38,8 +38,9 @@ buildFpppp(const FootprintPlan &p)
     const std::size_t workWords = p.words("work");
     const Addr work = b.allocWords("work", workWords);
     const Addr result = b.allocWords("result", 8);
+    const double fz = fuzzOffset(p.fuzzSeed);
     fillDoubles(b, work, workWords,
-                [](size_t i) { return 1.0 + 0.03 * i; });
+                [=](size_t i) { return 1.0 + fz + 0.03 * i; });
 
     const RegId f0 = 33, f1 = 34, f2 = 35, f3 = 36, f4 = 37, f5 = 38,
                 f6 = 39, facc = 40;

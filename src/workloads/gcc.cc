@@ -34,7 +34,7 @@ Program
 buildGcc(const FootprintPlan &p)
 {
     ProgramBuilder b;
-    Random rng(0x6cc);
+    Random rng(0x6cc ^ p.fuzzSeed);
 
     const std::size_t tokenLen = p.words("tokens");
     const std::size_t symtabLen = p.words("symtab");
@@ -47,7 +47,7 @@ buildGcc(const FootprintPlan &p)
     fillRandomWords(b, tokens, tokenLen, rng, 200);
     fillRandomWords(b, symtab, symtabLen, rng, 5000);
 
-    emitLcgInit(b, 0xc0ffee);
+    emitLcgInit(b, 0xc0ffee ^ p.fuzzSeed);
     b.loadAddr(ptr0, head);
     b.loadAddr(ptr2, symtab);
     b.loadAddr(framePtr, frame);

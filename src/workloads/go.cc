@@ -34,7 +34,7 @@ Program
 buildGo(const FootprintPlan &p)
 {
     ProgramBuilder b;
-    Random rng(0x60601);
+    Random rng(0x60601 ^ p.fuzzSeed);
 
     const std::size_t boardWords = p.words("board");
     const Addr board = b.allocWords("board", boardWords);
@@ -67,7 +67,7 @@ buildGo(const FootprintPlan &p)
     b.jr(31);
 
     b.bind(start);
-    emitLcgInit(b, 0xdecafbad);
+    emitLcgInit(b, 0xdecafbad ^ p.fuzzSeed);
     b.loadAddr(ptr0, board);
     b.loadAddr(ptr2, globals);
     b.loadAddr(framePtr, frame);

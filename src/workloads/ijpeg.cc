@@ -38,7 +38,7 @@ Program
 buildIjpeg(const FootprintPlan &p)
 {
     ProgramBuilder b;
-    Random rng(0x17e6);
+    Random rng(0x17e6 ^ p.fuzzSeed);
 
     const std::int32_t dim = p.count("dim");
     const std::size_t planeWords = p.words("image");

@@ -83,6 +83,15 @@ void fillRandomWords(ProgramBuilder &b, Addr base, size_t count,
 void fillDoubles(ProgramBuilder &b, Addr base, size_t count,
                  const std::function<double(size_t)> &f);
 
+/** Input perturbation of the FP builders under --fuzz-speculation: a
+ *  small deterministic offset derived from the plan's fuzz seed,
+ *  exactly 0.0 at seed 0 so the seed kernels stay byte-identical. */
+inline double
+fuzzOffset(std::uint64_t fuzz_seed)
+{
+    return double(fuzz_seed % 9973) * 1e-7;
+}
+
 /**
  * Build a singly linked list of @p nodes nodes of @p node_words words
  * (word 0 is the next pointer; the rest is payload filled from @p rng).

@@ -36,7 +36,7 @@ Program
 buildLi(const FootprintPlan &p)
 {
     ProgramBuilder b;
-    Random rng(0x115b);
+    Random rng(0x115b ^ p.fuzzSeed);
 
     const std::size_t envLen = p.words("env");
     // Sequential pool: cdr (word 0) strides by the 2-word cell size.
@@ -47,7 +47,7 @@ buildLi(const FootprintPlan &p)
     const Addr frame = b.allocWords("frame", 32);
     fillRandomWords(b, env, envLen, rng, 400);
 
-    emitLcgInit(b, 0x11511);
+    emitLcgInit(b, 0x11511 ^ p.fuzzSeed);
     b.loadAddr(ptr2, env);
     b.loadAddr(ptr3, stack);
     b.loadAddr(framePtr, frame);

@@ -34,7 +34,7 @@ Program
 buildM88ksim(const FootprintPlan &p)
 {
     ProgramBuilder b;
-    Random rng(0x88000);
+    Random rng(0x88000 ^ p.fuzzSeed);
 
     const std::size_t traceLen = p.words("trace");
     const Addr trace = b.allocWords("trace", traceLen);

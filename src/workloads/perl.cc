@@ -32,7 +32,7 @@ Program
 buildPerl(const FootprintPlan &p)
 {
     ProgramBuilder b;
-    Random rng(0x9e71);
+    Random rng(0x9e71 ^ p.fuzzSeed);
 
     const std::size_t codeLen = p.words("bytecode");
     const std::size_t stringsLen = p.words("strings");
@@ -46,7 +46,7 @@ buildPerl(const FootprintPlan &p)
     fillRandomWords(b, strings, stringsLen, rng, 128);
     fillRandomWords(b, hash, hashLen, rng, 600);
 
-    emitLcgInit(b, 0x9e119e11);
+    emitLcgInit(b, 0x9e119e11 ^ p.fuzzSeed);
     b.loadAddr(ptr1, strings);
     b.loadAddr(ptr2, hash);
     b.loadAddr(ptr3, vstack);

@@ -96,12 +96,15 @@ FootprintPlan::totalBytes() const
 // --- registry -------------------------------------------------------
 
 Program
-WorkloadSpec::instantiate(unsigned scale, Footprint fp) const
+WorkloadSpec::instantiate(unsigned scale, Footprint fp,
+                          std::uint64_t fuzz_seed) const
 {
     if (scale == 0)
         fatal("workload '", name, "': invalid scale 0 (the scale is a "
               "dynamic-length multiplier and must be >= 1)");
-    return build(plan(scale, fp));
+    FootprintPlan p = plan(scale, fp);
+    p.fuzzSeed = fuzz_seed;
+    return build(p);
 }
 
 const std::vector<WorkloadSpec> &
@@ -136,22 +139,40 @@ allWorkloads()
     return workloads;
 }
 
+const std::vector<WorkloadSpec> &
+attackWorkloads()
+{
+    static const std::vector<WorkloadSpec> workloads = {
+        {"tc_victim", false,
+         "timing-channel victim: secret-length speculative chains",
+         planTcVictim, buildTcVictim},
+        {"tc_attack", false,
+         "timing-channel attacker: victim phases + cache probes",
+         planTcAttack, buildTcAttack},
+    };
+    return workloads;
+}
+
 const WorkloadSpec *
 findWorkload(const std::string &name)
 {
     for (const WorkloadSpec &w : allWorkloads())
         if (w.name == name)
             return &w;
+    for (const WorkloadSpec &w : attackWorkloads())
+        if (w.name == name)
+            return &w;
     return nullptr;
 }
 
 Program
-buildWorkload(const std::string &name, unsigned scale, Footprint fp)
+buildWorkload(const std::string &name, unsigned scale, Footprint fp,
+              std::uint64_t fuzz_seed)
 {
     const WorkloadSpec *w = findWorkload(name);
     if (!w)
         fatal("unknown workload '", name, "'");
-    return w->instantiate(scale, fp);
+    return w->instantiate(scale, fp, fuzz_seed);
 }
 
 namespace {

@@ -39,9 +39,13 @@ buildSwim(const FootprintPlan &plan)
     const Addr v = b.allocWords("v", n + 72);
     const Addr p = b.allocWords("p", n + 8);
     const Addr consts = b.allocWords("consts", 4);
-    fillDoubles(b, u, n + 8, [](size_t i) { return 0.25 + 0.001 * i; });
-    fillDoubles(b, v, n + 72, [](size_t i) { return 1.5 - 0.0005 * i; });
-    fillDoubles(b, consts, 4, [](size_t i) { return 0.5 + 0.125 * i; });
+    const double fz = fuzzOffset(plan.fuzzSeed);
+    fillDoubles(b, u, n + 8,
+                [=](size_t i) { return 0.25 + fz + 0.001 * i; });
+    fillDoubles(b, v, n + 72,
+                [=](size_t i) { return 1.5 + fz - 0.0005 * i; });
+    fillDoubles(b, consts, 4,
+                [=](size_t i) { return 0.5 + fz + 0.125 * i; });
 
     const RegId fu0 = 33, fu1 = 34, fv0 = 35, fc = 36, facc = 37,
                 ftmp = 38;

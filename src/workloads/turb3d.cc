@@ -43,9 +43,12 @@ buildTurb3d(const FootprintPlan &p)
     const Addr sig = b.allocWords("sig", n + 64);
     const Addr out = b.allocWords("outbuf", n + 64);
     const Addr twiddle = b.allocWords("twiddle", 4);
-    fillDoubles(b, sig, n + 64,
-                [](size_t i) { return 0.001 * double(i % 611) - 0.3; });
-    fillDoubles(b, twiddle, 4, [](size_t i) { return 0.7 + 0.05 * i; });
+    const double fz = fuzzOffset(p.fuzzSeed);
+    fillDoubles(b, sig, n + 64, [=](size_t i) {
+        return 0.001 * double(i % 611) - 0.3 + fz;
+    });
+    fillDoubles(b, twiddle, 4,
+                [=](size_t i) { return 0.7 + fz + 0.05 * i; });
 
     const RegId fx = 33, fy = 34, fw = 35, ft = 36, facc = 37;
 

@@ -38,7 +38,7 @@ Program
 buildVortex(const FootprintPlan &p)
 {
     ProgramBuilder b;
-    Random rng(0x04237e);
+    Random rng(0x04237e ^ p.fuzzSeed);
 
     const std::size_t nrec = std::size_t(p.count("nrec"));
     const std::size_t indexLen = p.words("index");
@@ -50,7 +50,7 @@ buildVortex(const FootprintPlan &p)
     fillWords(b, index, indexLen,
               [&](size_t) { return rng.below(nrec); });
 
-    emitLcgInit(b, 0x4237e);
+    emitLcgInit(b, 0x4237e ^ p.fuzzSeed);
     b.loadAddr(framePtr, frame);
     b.ldi(acc0, 0);
     b.ldi(acc1, 0);

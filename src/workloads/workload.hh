@@ -59,6 +59,13 @@ struct FootprintPlan
     unsigned scale = 1;
     Footprint footprint = Footprint::Base;
 
+    /** Speculation-fuzzing input perturbation (--fuzz-speculation):
+     *  XORed into every builder-side data RNG and LCG seed, and folded
+     *  into the FP builders' fill patterns, so one workload yields a
+     *  family of input-distinct but structurally identical programs.
+     *  0 (the default) reproduces the seed kernels byte-identically. */
+    std::uint64_t fuzzSeed = 0;
+
     std::vector<std::pair<std::string, std::size_t>> extents; ///< words
     std::vector<std::pair<std::string, std::int64_t>> trips;
 
@@ -114,9 +121,10 @@ struct WorkloadSpec
      * Resolve the model and build the program.
      * @param scale dynamic-length scale factor (>= 1; fatal on 0)
      * @param fp working-set regime
+     * @param fuzz_seed input perturbation (0 = exact seed kernel)
      */
-    Program instantiate(unsigned scale,
-                        Footprint fp = Footprint::Base) const;
+    Program instantiate(unsigned scale, Footprint fp = Footprint::Base,
+                        std::uint64_t fuzz_seed = 0) const;
 };
 
 /** Legacy name: most call sites predate the footprint layer. */
@@ -125,13 +133,21 @@ using Workload = WorkloadSpec;
 /** @return all 12 workloads (8 integer then 4 FP, paper order). */
 const std::vector<WorkloadSpec> &allWorkloads();
 
-/** @return the workload named @p name, or nullptr. */
+/** @return the adversarial timing-channel pair (tc_victim, tc_attack;
+ *  PR 6). Deliberately NOT part of allWorkloads(): the 12-workload
+ *  suite is the fixed surface of every figure baseline. The pair is
+ *  reachable by name (findWorkload) and through the "attack" plan. */
+const std::vector<WorkloadSpec> &attackWorkloads();
+
+/** @return the workload named @p name (the 12-workload suite or the
+ *  timing-channel pair), or nullptr. */
 const WorkloadSpec *findWorkload(const std::string &name);
 
 /** Build a workload's program. Fatal on an unknown name or an invalid
  *  (zero) scale — the requested values are reported, never clamped. */
 Program buildWorkload(const std::string &name, unsigned scale = 1,
-                      Footprint fp = Footprint::Base);
+                      Footprint fp = Footprint::Base,
+                      std::uint64_t fuzz_seed = 0);
 
 /**
  * @return a one-line footprint summary for @p w at (@p scale, @p fp):
@@ -173,6 +189,10 @@ FootprintPlan planTurb3d(unsigned scale, Footprint fp);
 Program buildTurb3d(const FootprintPlan &plan); ///< turb3d: strided FFT passes
 FootprintPlan planFpppp(unsigned scale, Footprint fp);
 Program buildFpppp(const FootprintPlan &plan); ///< fpppp: huge FP basic blocks
+FootprintPlan planTcVictim(unsigned scale, Footprint fp);
+Program buildTcVictim(const FootprintPlan &plan); ///< secret-length chains
+FootprintPlan planTcAttack(unsigned scale, Footprint fp);
+Program buildTcAttack(const FootprintPlan &plan); ///< victim + probe phases
 
 } // namespace sdv
 

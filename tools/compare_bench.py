@@ -97,6 +97,41 @@ def wall_summary(base, new, base_total=None, new_total=None):
         print(f"  {k:<28} {b:>8.3f}s {n:>8.3f}s {delta:>8}")
 
 
+REQUIRED_STAT_FIELDS = ("workload", "config", "cycles", "insts", "ipc")
+
+
+def check_stat_fields(new):
+    """Hard-fail on missing or non-finite simulated statistics.
+
+    A record that lost a stat field (schema regression) or carries a
+    NaN/inf (bad aggregation, divide-by-zero) would otherwise slip
+    through the exact-match comparison whenever the baseline has the
+    same defect; validate the NEW results unconditionally.
+    """
+    import math
+
+    errors = []
+
+    def scan(value, path):
+        if isinstance(value, float) and not math.isfinite(value):
+            errors.append(f"{path}: non-finite stat value {value!r}")
+        elif isinstance(value, dict):
+            for k, v in value.items():
+                scan(v, f"{path}.{k}")
+        elif isinstance(value, list):
+            for i, v in enumerate(value):
+                scan(v, f"{path}[{i}]")
+
+    for r in new:
+        ident = (f"({r.get('bench', '')}, {r.get('workload', '?')}, "
+                 f"{r.get('config', '?')})")
+        for field in REQUIRED_STAT_FIELDS:
+            if field not in r:
+                errors.append(f"{ident}: stat field '{field}' missing")
+        scan(r, ident)
+    return errors
+
+
 def check_val_mismatches(new):
     """Non-zero validation self-check counters are always errors."""
     errors = []
@@ -130,12 +165,16 @@ def compare_records(base, new, base_wall, new_wall):
             errors.append(f"run {k} missing from new results")
             continue
         b, n = bkey[k], nkey[k]
+        # .get(): a record that lost a stat field must not crash the
+        # comparison — check_stat_fields() reports the absence itself.
         for stat in ("cycles", "insts"):
-            if b[stat] != n[stat]:
+            if b.get(stat) != n.get(stat):
                 errors.append(
-                    f"{k}: {stat} drifted {b[stat]} -> {n[stat]}")
-        if abs(b["ipc"] - n["ipc"]) > IPC_TOLERANCE:
-            errors.append(f"{k}: ipc drifted {b['ipc']} -> {n['ipc']}")
+                    f"{k}: {stat} drifted "
+                    f"{b.get(stat)} -> {n.get(stat)}")
+        if abs(b.get("ipc", 0.0) - n.get("ipc", 0.0)) > IPC_TOLERANCE:
+            errors.append(
+                f"{k}: ipc drifted {b.get('ipc')} -> {n.get('ipc')}")
         if "commit_hash" in b and "commit_hash" in n and \
                 b["commit_hash"] != n["commit_hash"]:
             errors.append(
@@ -162,6 +201,7 @@ def compare_harness(base, new):
         sum(r.get("wall_seconds", 0.0) for r in base),
         sum(r.get("wall_seconds", 0.0) for r in new))
     errors += check_val_mismatches(new)
+    errors += check_stat_fields(new)
     wall_summary(base, new)
     return errors, warnings
 
@@ -183,6 +223,7 @@ def compare_sweep(base, new):
         sweep_records(base), sweep_records(new),
         sweep_wall(base), sweep_wall(new))
     rec_errors += check_val_mismatches(sweep_records(new))
+    rec_errors += check_stat_fields(sweep_records(new))
     wall_summary(sweep_records(base), sweep_records(new),
                  sweep_wall(base), sweep_wall(new))
     return errors + rec_errors, warnings

@@ -10,6 +10,8 @@
  *   sdv_sweep --plan fig11 --jobs 4 --json fig11.json
  *   sdv_sweep --plan fig11 --checkpoint --warmup 10000 --jobs 4
  *   sdv_sweep --plan all --quick --jobs 2
+ *   sdv_sweep --fuzz-speculation --fuzz-samples 8 --jobs 4
+ *   sdv_sweep --fuzz-replay fuzz_repro.json
  */
 
 #include <chrono>
@@ -20,6 +22,7 @@
 
 #include "common/log.hh"
 #include "sweep/executor.hh"
+#include "sweep/fuzz.hh"
 #include "sweep/plan.hh"
 
 using namespace sdv;
@@ -64,9 +67,43 @@ usage(const char *argv0)
         "  --seed N          base of the per-job RNG stream seeds "
         "(recorded per job in the JSON; today's workloads are fully "
         "deterministic, so results do not change)\n"
-        "  --json PATH       write machine-readable results\n",
+        "  --job-timeout S   wall-clock watchdog: abort any job "
+        "running longer than S seconds, retry it once serially\n"
+        "  --fault-elem-ppm N  inject vector-element bit flips at N "
+        "per million landings (adversarial robustness runs)\n"
+        "  --fault-vrmt-ppm N  corrupt VRMT installs at N per million\n"
+        "  --json PATH       write machine-readable results\n"
+        "fuzzing (instead of --plan):\n"
+        "  --fuzz-speculation  run the speculation fuzz campaign: "
+        "every workload x N fuzzed samples, each checked against a "
+        "no-vectorization divergence oracle; exits non-zero on any "
+        "divergence and writes a minimized replayable repro\n"
+        "  --fuzz-samples N  fuzzed samples per workload (default 8)\n"
+        "  --fuzz-no-faults  fuzz without concurrent fault injection\n"
+        "  --fuzz-repro PATH where to write a divergence repro "
+        "(default fuzz_repro.json)\n"
+        "  --fuzz-replay F   re-run one case from a repro file\n",
         argv0, argv0);
     std::exit(2);
+}
+
+/** Print one fuzz case outcome; @return true when it diverged. */
+bool
+reportFuzzOutcome(const sdv::sweep::FuzzOutcome &o)
+{
+    std::printf("  %-9s sample %u: %s", o.c.workload.c_str(),
+                o.c.sample, o.diverged ? "DIVERGED" : "ok");
+    if (o.diverged)
+        std::printf(" (%s)", o.reason.c_str());
+    if (o.c.fault.armed())
+        std::printf(" [faults: %llu injected, %llu detected, "
+                    "%llu demotions]",
+                    static_cast<unsigned long long>(o.elemFlips +
+                                                    o.vrmtFlips),
+                    static_cast<unsigned long long>(o.faultsDetected),
+                    static_cast<unsigned long long>(o.chainDemotions));
+    std::printf("\n");
+    return o.diverged;
 }
 
 std::uint64_t
@@ -87,6 +124,11 @@ main(int argc, char **argv)
     sweep::PlanOptions popt;
     sweep::ExecOptions eopt;
     bool list = false;
+    bool fuzz = false;
+    unsigned fuzz_samples = 8;
+    bool fuzz_faults = true;
+    std::string fuzz_repro = "fuzz_repro.json";
+    std::string fuzz_replay;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
@@ -138,12 +180,102 @@ main(int argc, char **argv)
             eopt.verify = true;
         } else if (std::strcmp(argv[i], "--seed") == 0) {
             popt.baseSeed = numArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--job-timeout") == 0) {
+            eopt.jobTimeout = numArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--fault-elem-ppm") == 0) {
+            eopt.fault.elemFlipPpm =
+                unsigned(numArg(argc, argv, i));
+            eopt.fault.enabled = true;
+        } else if (std::strcmp(argv[i], "--fault-vrmt-ppm") == 0) {
+            eopt.fault.vrmtFlipPpm =
+                unsigned(numArg(argc, argv, i));
+            eopt.fault.enabled = true;
+        } else if (std::strcmp(argv[i], "--fuzz-speculation") == 0) {
+            fuzz = true;
+        } else if (std::strcmp(argv[i], "--fuzz-samples") == 0) {
+            fuzz_samples = unsigned(numArg(argc, argv, i));
+            if (fuzz_samples == 0 || fuzz_samples > 100'000)
+                fatal("--fuzz-samples ", fuzz_samples,
+                      " is not a sensible sample count");
+        } else if (std::strcmp(argv[i], "--fuzz-no-faults") == 0) {
+            fuzz_faults = false;
+        } else if (std::strcmp(argv[i], "--fuzz-repro") == 0 &&
+                   i + 1 < argc) {
+            fuzz_repro = argv[++i];
+        } else if (std::strcmp(argv[i], "--fuzz-replay") == 0 &&
+                   i + 1 < argc) {
+            fuzz_replay = argv[++i];
         } else if (std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             json_path = argv[++i];
         } else {
             usage(argv[0]);
         }
+    }
+
+    if (!fuzz_replay.empty()) {
+        sweep::FuzzCase c;
+        std::string err;
+        if (!sweep::loadFuzzRepro(fuzz_replay, c, &err))
+            fatal("--fuzz-replay: ", err);
+        std::printf("replaying %s: workload %s sample %u "
+                    "(fuzz_seed %llu, quiesce %llu, vlen %u, "
+                    "vregs %u, %up, conf %u%s, faults: %s)\n",
+                    fuzz_replay.c_str(), c.workload.c_str(), c.sample,
+                    static_cast<unsigned long long>(c.fuzzSeed),
+                    static_cast<unsigned long long>(c.quiesceInterval),
+                    c.vlen, c.numVregs, c.ports,
+                    unsigned(c.tlConfidence),
+                    c.eagerChain ? ", eager" : "",
+                    describeFaultPlan(c.fault).c_str());
+        const sweep::FuzzOutcome o =
+            sweep::runFuzzCase(c, eopt.eventSkip, eopt.maxCycles);
+        reportFuzzOutcome(o);
+        return o.diverged ? 1 : 0;
+    }
+
+    if (fuzz) {
+        sweep::FuzzOptions fopt;
+        fopt.samples = fuzz_samples;
+        fopt.baseSeed = popt.baseSeed;
+        fopt.jobs = eopt.jobs;
+        fopt.scale = popt.scale;
+        fopt.footprint = popt.footprint;
+        fopt.quick = popt.quick;
+        fopt.eventSkip = eopt.eventSkip;
+        fopt.withFaults = fuzz_faults;
+        fopt.maxCycles = eopt.maxCycles;
+        fopt.reproPath = fuzz_repro;
+
+        std::printf("speculation fuzz campaign: %u samples per "
+                    "workload, seed %llu, %u thread(s)%s\n",
+                    fopt.samples,
+                    static_cast<unsigned long long>(fopt.baseSeed),
+                    fopt.jobs,
+                    fopt.withFaults ? ", with fault injection" : "");
+        const auto t0 = std::chrono::steady_clock::now();
+        const sweep::FuzzReport rep = sweep::runFuzzCampaign(fopt);
+        const double wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        for (const sweep::FuzzOutcome &o : rep.outcomes)
+            reportFuzzOutcome(o);
+        std::printf("fuzzed %zu samples in %.2fs: %u divergence(s); "
+                    "%llu faults injected, %llu detected by "
+                    "validation\n",
+                    rep.outcomes.size(), wall, rep.divergences,
+                    static_cast<unsigned long long>(
+                        rep.totalElemFlips + rep.totalVrmtFlips),
+                    static_cast<unsigned long long>(
+                        rep.totalFaultsDetected));
+        if (rep.divergences) {
+            if (!rep.reproPath.empty())
+                std::printf("minimized repro written to %s "
+                            "(re-run with --fuzz-replay)\n",
+                            rep.reproPath.c_str());
+            return 1;
+        }
+        return 0;
     }
 
     if (list) {
