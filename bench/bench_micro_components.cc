@@ -5,12 +5,16 @@
  * VRMT lookups, sparse-memory access and whole-core simulation speed.
  */
 
+#include <array>
+
 #include <benchmark/benchmark.h>
 
+#include "arch/executor.hh"
 #include "arch/memory.hh"
 #include "branch/gshare.hh"
 #include "harness.hh"
 #include "mem/cache.hh"
+#include "vector/elem_kernels.hh"
 #include "vector/table_of_loads.hh"
 #include "vector/vreg_file.hh"
 #include "vector/vrmt.hh"
@@ -160,6 +164,52 @@ BM_SparseMemoryRead64(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SparseMemoryRead64);
+
+void
+BM_TraceDispatch(benchmark::State &state)
+{
+    // Pure functional execution rate through the compiled trace
+    // (arg 1) against the decode-and-switch interpreter (arg 0) — the
+    // dispatch overhead the timing core's oracle pays per fetch.
+    static const Program prog = [] {
+        Program p = buildWorkload("compress");
+        p.predecodeAll();
+        return p;
+    }();
+    const bool use_trace = state.range(0) != 0;
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        FunctionalCore fc(prog, use_trace);
+        insts += fc.runToHalt(nullptr);
+    }
+    state.counters["insts/s"] = benchmark::Counter(
+        double(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceDispatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void
+BM_SimdElementBatch(benchmark::State &state)
+{
+    // Batched element semantics: one resolved kernel pointer applied
+    // to a whole vector register's worth of lanes (the loop the host
+    // compiler auto-vectorizes), swept over the figVL axis.
+    const unsigned vl = unsigned(state.range(0));
+    const ElemKernelFn kern = elemKernel(Opcode::ADD);
+    std::array<std::uint64_t, 64> a{}, b{}, dst{};
+    for (unsigned i = 0; i < 64; ++i) {
+        a[i] = i * 3;
+        b[i] = i * 7 + 1;
+    }
+    std::uint64_t elems = 0;
+    for (auto _ : state) {
+        kern(dst.data(), a.data(), b.data(), 0, vl);
+        benchmark::DoNotOptimize(dst[vl - 1]);
+        elems += vl;
+    }
+    state.counters["elems/s"] = benchmark::Counter(
+        double(elems), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimdElementBatch)->Arg(4)->Arg(16)->Arg(64);
 
 void
 BM_CoreSimulation(benchmark::State &state)

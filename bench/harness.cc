@@ -30,6 +30,9 @@ std::vector<JsonRecord> jsonRecords;
 /** Set by parseArgs (--no-event-skip); applied to every run(). */
 bool eventSkipEnabled = true;
 
+/** Set by parseArgs (--no-trace); applied to every run(). */
+bool traceEnabled = true;
+
 /** Set by parseArgs (--eager-chain / --quiesce-interval). */
 bool eagerChainEnabled = false;
 std::uint64_t quiesceIntervalInsts = 0;
@@ -127,6 +130,8 @@ parseArgs(int argc, char **argv, bool json_supported)
             opt.quick = true;
         } else if (std::strcmp(argv[i], "--no-event-skip") == 0) {
             opt.eventSkip = false;
+        } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+            opt.trace = false;
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             opt.jobs = unsigned(std::atoi(argv[++i]));
             if (opt.jobs == 0)
@@ -145,6 +150,7 @@ parseArgs(int argc, char **argv, bool json_supported)
             std::fprintf(stderr,
                          "usage: %s [--scale N] [--footprint "
                          "base|l2|mem] [--quick] [--no-event-skip] "
+                         "[--no-trace] "
                          "[--jobs N] [--checkpoint] [--warmup N] "
                          "[--samples N] [--sample-insts M] "
                          "[--quiesce-interval N] [--eager-chain] "
@@ -158,6 +164,7 @@ parseArgs(int argc, char **argv, bool json_supported)
     if (fuzz)
         runFuzzAndExit(opt, fuzz_samples, fuzz_seed);
     eventSkipEnabled = opt.eventSkip;
+    traceEnabled = opt.trace;
     eagerChainEnabled = opt.eagerChain;
     quiesceIntervalInsts = opt.quiesceInterval;
     detail::setQuiet(true);
@@ -180,6 +187,7 @@ run(const CoreConfig &cfg, const Program &prog)
 {
     CoreConfig c = cfg;
     c.eventSkip = eventSkipEnabled;
+    c.traceExec = traceEnabled;
     c.engine.eagerChainLoads = eagerChainEnabled;
     Simulator sim(c, prog);
     return sim.run(200'000'000, /*verify=*/false,
@@ -337,6 +345,7 @@ runGrid(const Options &opt, const std::string &plan_name)
     sweep::ExecOptions eopt;
     eopt.jobs = opt.jobs;
     eopt.eventSkip = opt.eventSkip;
+    eopt.trace = opt.trace;
     eopt.checkpoint = opt.checkpoint;
     eopt.warmupInsts = opt.warmupInsts;
     eopt.sample.samples = opt.samples;

@@ -27,6 +27,7 @@ struct Options
     Footprint footprint = Footprint::Base; ///< --footprint base|l2|mem
     bool quick = false; ///< --quick: restrict to a subset of runs
     bool eventSkip = true; ///< --no-event-skip: tick every cycle
+    bool trace = true; ///< --no-trace: interpreter dispatch reference
     unsigned jobs = 1;  ///< --jobs N: worker threads for grid benches
     bool checkpoint = false; ///< --checkpoint: fork from warm snapshots
     std::uint64_t warmupInsts = 10'000; ///< --warmup N

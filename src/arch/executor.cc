@@ -3,6 +3,7 @@
 #include "common/bitutils.hh"
 #include "common/log.hh"
 #include "isa/alu.hh"
+#include "isa/trace.hh"
 
 namespace sdv {
 
@@ -143,31 +144,76 @@ initialState(const Program &prog)
     return st;
 }
 
-FunctionalCore::FunctionalCore(const Program &prog) : prog_(prog)
+FunctionalCore::FunctionalCore(const Program &prog, bool use_trace)
+    : prog_(prog), trace_(use_trace ? &prog.trace() : nullptr)
 {
     loadProgram(prog_, mem_);
     state_ = initialState(prog_);
 }
 
-ExecRecord
-FunctionalCore::step()
+void
+FunctionalCore::stepInto(ExecRecord &rec)
 {
     sdv_assert(!halted_, "step() after halt");
-    ExecRecord rec = executeOne(prog_, state_, mem_);
+    if (trace_) {
+        const CompiledTrace::Slot &u = trace_->slotAt(state_.pc);
+        u.step(u, state_, mem_, rec);
+    } else {
+        rec = executeOne(prog_, state_, mem_);
+    }
     ++instCount_;
     if (rec.halted)
         halted_ = true;
-    return rec;
 }
 
 std::uint64_t
 FunctionalCore::run(std::uint64_t max_insts)
 {
     std::uint64_t n = 0;
-    while (!halted_ && n < max_insts) {
-        step();
-        ++n;
+    if (trace_) {
+        while (!halted_ && n < max_insts) {
+            const CompiledTrace::Slot &u = trace_->slotAt(state_.pc);
+            u.fast(u, state_, mem_);
+            if (u.inst.op == Opcode::HALT)
+                halted_ = true;
+            ++n;
+        }
+        instCount_ += n;
+    } else {
+        while (!halted_ && n < max_insts) {
+            step();
+            ++n;
+        }
     }
+    return n;
+}
+
+std::uint64_t
+FunctionalCore::runToHalt(std::uint64_t *pc_hash)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    std::uint64_t n = 0;
+    if (trace_) {
+        while (!halted_) {
+            const CompiledTrace::Slot &u = trace_->slotAt(state_.pc);
+            h = (h ^ state_.pc) * 1099511628211ULL;
+            u.fast(u, state_, mem_);
+            if (u.inst.op == Opcode::HALT)
+                halted_ = true;
+            ++n;
+        }
+    } else {
+        while (!halted_) {
+            h = (h ^ state_.pc) * 1099511628211ULL;
+            const ExecRecord rec = executeOne(prog_, state_, mem_);
+            if (rec.halted)
+                halted_ = true;
+            ++n;
+        }
+    }
+    instCount_ += n;
+    if (pc_hash)
+        *pc_hash = h;
     return n;
 }
 

@@ -16,6 +16,8 @@
 
 namespace sdv {
 
+class CompiledTrace;
+
 /** Everything observable about one executed dynamic instruction. */
 struct ExecRecord
 {
@@ -53,15 +55,39 @@ ExecRecord executeOne(const Program &prog, ArchState &state,
 class FunctionalCore
 {
   public:
-    /** Load @p prog into a fresh memory image and reset the state. */
-    explicit FunctionalCore(const Program &prog);
+    /**
+     * Load @p prog into a fresh memory image and reset the state.
+     *
+     * @param use_trace execute through the program's compiled trace
+     *        (the default); false falls back to the interpreter, the
+     *        bit-identity reference (--no-trace).
+     */
+    explicit FunctionalCore(const Program &prog, bool use_trace = true);
+
+    /** Execute one instruction into caller storage (the oracle-at-fetch
+     *  hot path: the record is overwritten in place, no copy). Must not
+     *  be called after halt. */
+    void stepInto(ExecRecord &rec);
 
     /** Execute one instruction. Must not be called after halt. */
-    ExecRecord step();
+    ExecRecord
+    step()
+    {
+        ExecRecord rec;
+        stepInto(rec);
+        return rec;
+    }
 
-    /** Run until HALT or until @p max_insts more have executed.
+    /** Run until HALT or until @p max_insts more have executed, using
+     *  the fast (architectural-effects-only) handlers when tracing.
      *  @return number of instructions executed. */
     std::uint64_t run(std::uint64_t max_insts);
+
+    /** Run to HALT, FNV-1a-hashing each instruction's pc (HALT
+     *  included) — the committed-stream fingerprint the timing core's
+     *  commitPcHash() is verified against.
+     *  @return number of instructions executed. */
+    std::uint64_t runToHalt(std::uint64_t *pc_hash);
 
     /** @return true once HALT has executed. */
     bool halted() const { return halted_; }
@@ -107,6 +133,7 @@ class FunctionalCore
 
   private:
     const Program &prog_;
+    const CompiledTrace *trace_ = nullptr; ///< null: interpreter path
     ArchState state_;
     SparseMemory mem_;
     bool halted_ = false;

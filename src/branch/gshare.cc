@@ -42,6 +42,19 @@ Gshare::update(Addr pc, bool taken)
     history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
 }
 
+bool
+Gshare::predictAndUpdate(Addr pc, bool taken)
+{
+    SatCounter &ctr = table_[index(pc)];
+    const bool pred = ctr.taken();
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    return pred;
+}
+
 void
 Gshare::reset()
 {

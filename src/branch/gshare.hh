@@ -37,6 +37,11 @@ class Gshare
      */
     void update(Addr pc, bool taken);
 
+    /** predict() + update() fused: one table index computation instead
+     *  of two (the fetch hot path predicts and trains back to back).
+     *  @return the prediction made before training. */
+    bool predictAndUpdate(Addr pc, bool taken);
+
     /** @return the current global history register value. */
     std::uint64_t history() const { return history_; }
 

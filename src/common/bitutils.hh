@@ -64,6 +64,20 @@ countTrailingZeros(std::uint64_t v)
     return unsigned(__builtin_ctzll(v));
 }
 
+/** @return the number of set bits in @p v. */
+inline unsigned
+popCount(std::uint64_t v)
+{
+    return unsigned(__builtin_popcountll(v));
+}
+
+/** @return a mask of the low @p n bits (n <= 64). */
+constexpr std::uint64_t
+lowMask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : (1ULL << n) - 1;
+}
+
 /** Align @p a down to a multiple of @p align (power of two). */
 constexpr std::uint64_t
 alignDown(std::uint64_t a, std::uint64_t align)

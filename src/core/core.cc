@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "isa/trace.hh"
 
 namespace sdv {
 
 Core::Core(const CoreConfig &cfg, const Program &prog)
-    : cfg_(cfg), prog_(prog), oracle_(prog), mem_(cfg.mem),
+    : cfg_(cfg), prog_(prog),
+      trace_(cfg.traceExec ? &prog.trace() : nullptr),
+      oracle_(prog, cfg.traceExec), mem_(cfg.mem),
       ports_(cfg.dcachePorts, cfg.widePorts, cfg.mem.l1dLineBytes),
       gshare_(cfg.gshareEntries, cfg.gshareHistoryBits),
       btb_(cfg.btbSets, cfg.btbWays), ras_(cfg.rasDepth),
@@ -139,10 +142,14 @@ Core::trySkipIdle()
         horizon = std::min(horizon, completionHeap_.front()->readyCycle);
 
     // Issue: an instruction with completed producers may issue (or
-    // charge an LSQ-conflict stall) this cycle.
-    for (const DynInst *d : iq_)
-        if (producerCompleted(d->dep1) && producerCompleted(d->dep2))
-            return false;
+    // charge an LSQ-conflict stall) this cycle. When the last issue
+    // walk proved every entry dep-blocked (and nothing has completed
+    // or entered the queue since), the scan is skipped: it would find
+    // exactly what the walk found.
+    if (!iqAllDepBlocked_)
+        for (const DynInst *d : iq_)
+            if (producerCompleted(d->dep1) && producerCompleted(d->dep2))
+                return false;
 
     // Vector engine: in-flight instances arbitrate every cycle; only
     // scheduled element completions (and nothing else) may remain.
@@ -227,6 +234,7 @@ Core::beginMeasurement()
     cycle_ = 0;
     icacheReadyAt_ = 0;
     quietLastTick_ = false;
+    iqAllDepBlocked_ = false;
     fig10Remaining_ = 0;
     stallBranchSeq_ = 0;
 
@@ -442,6 +450,7 @@ Core::squashAllInFlight()
     stallBranchSeq_ = 0;
     icacheReadyAt_ = 0;
     quietLastTick_ = false;
+    iqAllDepBlocked_ = false;
     if (!replayQueue_.empty())
         fetchPc_ = replayQueue_.front().pc;
 }
@@ -570,8 +579,12 @@ Core::completionStage()
         valWakeNow_.clear();
     }
 
-    if (progress)
+    if (progress) {
         quietLastTick_ = false;
+        // A completion may have unblocked a queued consumer (and a
+        // dead validation re-enters the queue): re-walk it.
+        iqAllDepBlocked_ = false;
+    }
 }
 
 // --- issue ------------------------------------------------------------------
@@ -579,7 +592,15 @@ Core::completionStage()
 void
 Core::issueStage()
 {
+    // Every queued instruction was dep-blocked by the last walk and no
+    // producer has completed (nor the queue changed) since: skipping
+    // the walk is invisible — a fully-blocked walk touches nothing,
+    // charges nothing, and issues nothing.
+    if (iqAllDepBlocked_)
+        return;
+
     unsigned issued = 0;
+    bool any_ready = false;
     auto it = iq_.begin();
     while (it != iq_.end() && issued < cfg_.issueWidth) {
         DynInst *d = *it;
@@ -588,6 +609,7 @@ Core::issueStage()
         const bool deps_ready =
             producerCompleted(d->dep1) && producerCompleted(d->dep2);
         if (deps_ready) {
+            any_ready = true;
             if (d->isLoad()) {
                 const LoadCheck chk = lsq_.checkLoad(d);
                 if (chk == LoadCheck::Forward) {
@@ -655,6 +677,9 @@ Core::issueStage()
             ++it;
         }
     }
+    // any_ready false implies the walk visited every entry (the width
+    // cap only stops a walk that issued something).
+    iqAllDepBlocked_ = !any_ready;
     if (issued)
         quietLastTick_ = false;
 }
@@ -726,6 +751,7 @@ Core::decodeStage()
         } else {
             d.inIq = true;
             iq_.push_back(&d);
+            iqAllDepBlocked_ = false; // fresh entry: re-walk the queue
         }
 
         fetchQueue_.pop_front();
@@ -763,10 +789,11 @@ Core::predictControl(FetchedInst &f)
     const Addr fallthrough = pc + instBytes;
 
     if (in.isCondBranch()) {
-        f.predTaken = gshare_.predict(pc);
+        f.predTaken = gshare_.predictAndUpdate(pc, f.rec.taken);
         f.predTarget =
-            pc + Addr(std::int64_t(in.imm) * std::int64_t(instBytes));
-        gshare_.update(pc, f.rec.taken);
+            trace_ ? trace_->slotAt(pc).target
+                   : pc + Addr(std::int64_t(in.imm) *
+                               std::int64_t(instBytes));
         f.mispredicted = f.predTaken != f.rec.taken;
         return;
     }
@@ -832,33 +859,34 @@ Core::fetchStage()
     unsigned fetched = 0;
     while (fetched < cfg_.fetchWidth &&
            fetchQueue_.size() < cfg_.fetchQueueEntries) {
-        ExecRecord rec;
-        if (!replayQueue_.empty()) {
-            rec = replayQueue_.front();
-            sdv_assert(rec.pc == fetchPc_, "replay pc mismatch");
+        const bool replay = !replayQueue_.empty();
+        if (!replay &&
+            (oracle_.halted() ||
+             (fetchLimit_ != 0 && oracle_.instCount() >= fetchLimit_)))
+            break;
+
+        // The oracle executes straight into the queue slot: no
+        // intermediate ExecRecord copies on the fetch hot path.
+        fetchQueue_.emplace_back();
+        FetchedInst &f = fetchQueue_.back();
+        f.fetchCycle = cycle_;
+        if (replay) {
+            f.rec = replayQueue_.front();
+            sdv_assert(f.rec.pc == fetchPc_, "replay pc mismatch");
             replayQueue_.pop_front();
-        } else if (!oracle_.halted() &&
-                   (fetchLimit_ == 0 ||
-                    oracle_.instCount() < fetchLimit_)) {
+        } else {
             sdv_assert(oracle_.state().pc == fetchPc_,
                        "oracle pc diverged from fetch pc");
-            rec = oracle_.step();
-            if (rec.isStore)
-                pendingStores_.push(rec.addr, rec.size,
-                                    rec.prevMemValue);
-        } else {
-            break;
+            oracle_.stepInto(f.rec);
+            if (f.rec.isStore)
+                pendingStores_.push(f.rec.addr, f.rec.size,
+                                    f.rec.prevMemValue);
         }
-
-        FetchedInst f;
-        f.rec = rec;
-        f.fetchCycle = cycle_;
-        if (rec.inst.isControl())
+        if (f.rec.inst.isControl())
             predictControl(f);
-        fetchQueue_.push_back(f);
         ++fetched;
 
-        if (rec.halted)
+        if (f.rec.halted)
             break;
         if (f.mispredicted) {
             // No wrong-path fetch: stall until the branch resolves.
@@ -866,8 +894,8 @@ Core::fetchStage()
             stallBranchSeq_ = 0; // assigned at decode
             break;
         }
-        fetchPc_ = rec.nextPc;
-        if (rec.inst.isControl() && rec.taken)
+        fetchPc_ = f.rec.nextPc;
+        if (f.rec.inst.isControl() && f.rec.taken)
             break; // at most one taken branch per fetch group
     }
     if (fetched)

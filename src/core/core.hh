@@ -70,6 +70,14 @@ struct CoreConfig
      *  to cross-check. */
     bool eventSkip = true;
 
+    /** Trace-compiled dispatch: fetch and the oracle consume the
+     *  program's compiled trace (pre-resolved handlers, pre-folded
+     *  immediates, pre-computed branch targets) instead of re-decoding
+     *  through instAt(). Bit-identical to the interpreter path (see
+     *  tests/test_trace_compile.cc); disable (--no-trace) to
+     *  cross-check. */
+    bool traceExec = true;
+
     MemHierarchyConfig mem;    ///< cache geometry and latencies
     EngineConfig engine;       ///< dynamic vectorization engine
 };
@@ -376,6 +384,9 @@ class Core : private VecExecContext
     const Program &prog_;
 
     // Substrate components.
+    /** The program's compiled trace (null under --no-trace): fetch
+     *  reads pre-computed branch targets from it. */
+    const CompiledTrace *trace_ = nullptr;
     FunctionalCore oracle_;
     MemHierarchy mem_;
     DCachePorts ports_;
@@ -440,6 +451,13 @@ class Core : private VecExecContext
      *  committed, completed, issued, decoded or fetched): the only
      *  state in which attempting an event-skip jump can pay off. */
     bool quietLastTick_ = false;
+    /** True when the last issueStage walk found every queued
+     *  instruction dep-blocked. A blocked walk has no side effects
+     *  (the LSQ/port/FU probes are only reached once producers have
+     *  completed), so until a producer completes or the queue changes
+     *  — completion stage, validation resolution, decode dispatch and
+     *  squash all clear this — the walk can be skipped outright. */
+    bool iqAllDepBlocked_ = false;
     bool haltCommitted_ = false;
     std::uint64_t commitHash_ = 1469598103934665603ULL;
 

@@ -18,6 +18,8 @@ LoadStoreQueue::insert(DynInst *inst)
     sdv_assert(entries_.empty() || entries_.back()->seq < inst->seq,
                "LSQ inserts must be in program order");
     entries_.push_back(inst);
+    if (inst->isStore())
+        stores_.push_back(inst);
 }
 
 void
@@ -25,13 +27,28 @@ LoadStoreQueue::erase(InstSeqNum seq)
 {
     // Memory instructions commit in program order, so the erased entry
     // is the oldest one in the common case.
+    const DynInst *victim = nullptr;
     if (!entries_.empty() && entries_.front()->seq == seq) {
+        victim = entries_.front();
         entries_.pop_front();
+    } else {
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if ((*it)->seq == seq) {
+                victim = *it;
+                entries_.erase(it);
+                break;
+            }
+        }
+    }
+    if (!victim || !victim->isStore())
+        return;
+    if (!stores_.empty() && stores_.front()->seq == seq) {
+        stores_.pop_front();
         return;
     }
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    for (auto it = stores_.begin(); it != stores_.end(); ++it) {
         if ((*it)->seq == seq) {
-            entries_.erase(it);
+            stores_.erase(it);
             return;
         }
     }
@@ -42,11 +59,16 @@ LoadStoreQueue::squashAfter(InstSeqNum seq)
 {
     while (!entries_.empty() && entries_.back()->seq > seq)
         entries_.pop_back();
+    while (!stores_.empty() && stores_.back()->seq > seq)
+        stores_.pop_back();
 }
 
 LoadCheck
 LoadStoreQueue::checkLoad(const DynInst *ld) const
 {
+    if (stores_.empty())
+        return LoadCheck::Ready; // no store in flight at all
+
     const Addr lo = ld->rec.addr;
     const Addr hi = lo + ld->rec.size - 1;
 
@@ -61,10 +83,11 @@ LoadStoreQueue::checkLoad(const DynInst *ld) const
     std::uint16_t unclaimed = full;  ///< bytes no store has supplied yet
     std::uint16_t forwarded = 0;     ///< bytes a completed store supplies
 
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    for (auto it = stores_.rbegin(); it != stores_.rend(); ++it) {
         const DynInst *e = *it;
-        if (e->seq >= ld->seq || !e->isStore())
-            continue;
+        if (e->seq >= ld->seq)
+            continue; // younger than the load
+
         const Addr slo = e->rec.addr;
         const Addr shi = slo + e->rec.size - 1;
         if (hi < slo || lo > shi)

@@ -81,6 +81,10 @@ class LoadStoreQueue
   private:
     unsigned capacity_;
     std::deque<DynInst *> entries_; ///< program order (by seq)
+    /** The store entries only, same program order: checkLoad scans
+     *  stores exclusively, and a load-heavy window (the common case)
+     *  answers Ready without touching the main queue at all. */
+    std::deque<DynInst *> stores_;
     std::uint64_t forwards_ = 0;
     std::uint64_t conflictStalls_ = 0;
 };

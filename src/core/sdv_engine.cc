@@ -102,7 +102,7 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
             if (next_ok &&
                 d.rec.addr == ve->nextBase + Addr(ve->stride)) {
                 saveVrmtPrev(d); // pre-swap entry for squash undo
-                ve->vreg = ve->nextVreg;
+                vrmt_.rebindVreg(*ve, ve->nextVreg);
                 ve->baseAddr = ve->nextBase;
                 ve->offset = 0;
                 ve->hasNext = false;
@@ -434,10 +434,6 @@ SdvEngine::decodeArith(DynInst &d, RenameTable &rt,
                        const VecExecContext &ctx)
 {
     const Addr pc = d.pc();
-    const SrcSpec s1 = currentSpec(d, 1, rt);
-    const SrcSpec s2 = currentSpec(d, 2, rt);
-    const bool any_vec = s1.isVector() || s2.isVector();
-
     VrmtEntry *ve = vrmt_.lookup(pc);
     const bool ve_live = ve && vrf_.isLive(ve->vreg) &&
                          !vrf_.isKilled(ve->vreg) && !ve->isLoad;
@@ -471,6 +467,13 @@ SdvEngine::decodeArith(DynInst &d, RenameTable &rt,
             tryChainArith(d, rt, cs1, cs2);
         return DecodeAction::Normal;
     }
+
+    // Source specs for the spawn path, captured before any killEntry
+    // below: a stale entry being killed may BE a source's current
+    // rename mapping (rd == rs), and the original capture saw it live.
+    const SrcSpec s1 = currentSpec(d, 1, rt);
+    const SrcSpec s2 = currentSpec(d, 2, rt);
+    const bool any_vec = s1.isVector() || s2.isVector();
 
     if (ve_live) {
         // Entry exists but cannot validate this instance: operand
@@ -916,7 +919,8 @@ SdvEngine::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
 {
     vrf_.setClock(now);
     datapath_.tick(now, ports, mem);
-    vrf_.sweepReleases(gmrbb_);
+    if (vrf_.sweepPending())
+        vrf_.sweepReleases(gmrbb_);
     if (finj_.armed()) {
         // Mirror the injector's applied-fault counters into the stats
         // block every tick so interval samples see current values.

@@ -1,109 +1,22 @@
 #include "isa/alu.hh"
 
-#include <cmath>
-#include <cstring>
-#include <limits>
-
 #include "common/log.hh"
 
 namespace sdv {
 
-namespace {
-
-double
-asDouble(std::uint64_t bits)
-{
-    double d;
-    std::memcpy(&d, &bits, 8);
-    return d;
-}
-
-std::uint64_t
-asBits(double d)
-{
-    std::uint64_t v;
-    std::memcpy(&v, &d, 8);
-    return v;
-}
-
-std::int64_t
-safeDiv(std::int64_t a, std::int64_t b)
-{
-    if (b == 0)
-        return 0;
-    if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
-        return a;
-    return a / b;
-}
-
-std::int64_t
-safeCvtFi(double d)
-{
-    if (!std::isfinite(d))
-        return 0;
-    if (d >= 9.2233720368547758e18)
-        return std::numeric_limits<std::int64_t>::max();
-    if (d <= -9.2233720368547758e18)
-        return std::numeric_limits<std::int64_t>::min();
-    return std::int64_t(d);
-}
-
-} // namespace
-
 std::uint64_t
 evalScalarOp(Opcode op, std::uint64_t a, std::uint64_t b, std::int32_t imm)
 {
-    const auto sa = std::int64_t(a);
-    const auto sb = std::int64_t(b);
-    const std::int64_t simm = imm;
-
     switch (op) {
-      case Opcode::ADD:    return a + b;
-      case Opcode::SUB:    return a - b;
-      case Opcode::MUL:    return a * b;
-      case Opcode::DIV:    return std::uint64_t(safeDiv(sa, sb));
-      case Opcode::AND:    return a & b;
-      case Opcode::OR:     return a | b;
-      case Opcode::XOR:    return a ^ b;
-      case Opcode::SLL:    return a << (b & 63);
-      case Opcode::SRL:    return a >> (b & 63);
-      case Opcode::SRA:    return std::uint64_t(sa >> (b & 63));
-      case Opcode::CMPEQ:  return a == b;
-      case Opcode::CMPLT:  return sa < sb;
-      case Opcode::CMPLE:  return sa <= sb;
-      case Opcode::CMPULT: return a < b;
-
-      case Opcode::ADDI:   return a + std::uint64_t(simm);
-      case Opcode::ANDI:   return a & std::uint64_t(simm);
-      case Opcode::ORI:    return a | std::uint64_t(simm);
-      case Opcode::XORI:   return a ^ std::uint64_t(simm);
-      case Opcode::SLLI:   return a << (imm & 63);
-      case Opcode::SRLI:   return a >> (imm & 63);
-      case Opcode::SRAI:   return std::uint64_t(sa >> (imm & 63));
-      case Opcode::CMPEQI: return a == std::uint64_t(simm);
-      case Opcode::CMPLTI: return sa < simm;
-
-      case Opcode::LDI:    return std::uint64_t(simm);
-      case Opcode::LDIH:
-        return std::uint64_t(std::uint32_t(a)) |
-               (std::uint64_t(std::uint32_t(imm)) << 32);
-
-      case Opcode::FADD:   return asBits(asDouble(a) + asDouble(b));
-      case Opcode::FSUB:   return asBits(asDouble(a) - asDouble(b));
-      case Opcode::FMUL:   return asBits(asDouble(a) * asDouble(b));
-      case Opcode::FDIV:   return asBits(asDouble(a) / asDouble(b));
-      case Opcode::FNEG:   return asBits(-asDouble(a));
-      case Opcode::FABS:   return asBits(std::fabs(asDouble(a)));
-      case Opcode::FMOV:   return a;
-      case Opcode::FCMPEQ: return asDouble(a) == asDouble(b);
-      case Opcode::FCMPLT: return asDouble(a) < asDouble(b);
-      case Opcode::FCMPLE: return asDouble(a) <= asDouble(b);
-      case Opcode::CVTIF:  return asBits(double(sa));
-      case Opcode::CVTFI:  return std::uint64_t(safeCvtFi(asDouble(a)));
-
-      default:
-        panic("evalScalarOp on non-ALU opcode ", mnemonic(op));
+#define SDV_ALU_CASE(name, ...)                                              \
+      case Opcode::name:                                                     \
+        if (isScalarEvalOp(Opcode::name))                                    \
+            return evalScalarOpFor<Opcode::name>(a, b, imm);                 \
+        break;
+        SDV_FOR_EACH_OPCODE(SDV_ALU_CASE)
+#undef SDV_ALU_CASE
     }
+    panic("evalScalarOp on non-ALU opcode ", mnemonic(op));
 }
 
 } // namespace sdv

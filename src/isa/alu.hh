@@ -1,18 +1,161 @@
 /**
  * @file
  * Pure arithmetic semantics of the mini-ISA, shared by the functional
- * executor and the vector functional units (which apply the same
- * operation element-wise).
+ * executor, the compiled-trace handlers and the vector functional
+ * units (which apply the same operation element-wise).
+ *
+ * The semantics live in the per-opcode template evalScalarOpFor<O> so
+ * the interpreter switch (evalScalarOp), the trace step handlers and
+ * the batched element kernels all compile from one definition — a
+ * value divergence between the paths is impossible by construction.
  */
 
 #ifndef SDV_ISA_ALU_HH
 #define SDV_ISA_ALU_HH
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 
 #include "isa/opcodes.hh"
 
 namespace sdv {
+
+namespace alu_detail {
+
+inline double
+asDouble(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+}
+
+inline std::uint64_t
+asBits(double d)
+{
+    std::uint64_t v;
+    std::memcpy(&v, &d, 8);
+    return v;
+}
+
+inline std::int64_t
+safeDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return 0;
+    if (a == std::numeric_limits<std::int64_t>::min() && b == -1)
+        return a;
+    return a / b;
+}
+
+inline std::int64_t
+safeCvtFi(double d)
+{
+    if (!std::isfinite(d))
+        return 0;
+    if (d >= 9.2233720368547758e18)
+        return std::numeric_limits<std::int64_t>::max();
+    if (d <= -9.2233720368547758e18)
+        return std::numeric_limits<std::int64_t>::min();
+    return std::int64_t(d);
+}
+
+} // namespace alu_detail
+
+/** @return true when @p op has evalScalarOp semantics (any ALU / FP /
+ *  constant-materialization op; memory, control, NOP and HALT do not). */
+constexpr bool
+isScalarEvalOp(Opcode op)
+{
+    switch (detail::opInfoTable[unsigned(op)].opClass) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Statically-dispatched evaluation of one ALU/FP operation: the single
+ * definition of every op's value semantics. Instantiations for
+ * non-ALU opcodes return 0 (callers gate on isScalarEvalOp).
+ */
+template <Opcode O>
+inline std::uint64_t
+evalScalarOpFor(std::uint64_t a, std::uint64_t b, std::int32_t imm)
+{
+    using namespace alu_detail;
+    const auto sa = std::int64_t(a);
+    const auto sb = std::int64_t(b);
+    const std::int64_t simm = imm;
+    (void)sb;
+    (void)simm;
+
+    if constexpr (O == Opcode::ADD)    return a + b;
+    else if constexpr (O == Opcode::SUB)    return a - b;
+    else if constexpr (O == Opcode::MUL)    return a * b;
+    else if constexpr (O == Opcode::DIV)
+        return std::uint64_t(safeDiv(sa, sb));
+    else if constexpr (O == Opcode::AND)    return a & b;
+    else if constexpr (O == Opcode::OR)     return a | b;
+    else if constexpr (O == Opcode::XOR)    return a ^ b;
+    else if constexpr (O == Opcode::SLL)    return a << (b & 63);
+    else if constexpr (O == Opcode::SRL)    return a >> (b & 63);
+    else if constexpr (O == Opcode::SRA)
+        return std::uint64_t(sa >> (b & 63));
+    else if constexpr (O == Opcode::CMPEQ)  return a == b;
+    else if constexpr (O == Opcode::CMPLT)  return sa < sb;
+    else if constexpr (O == Opcode::CMPLE)  return sa <= sb;
+    else if constexpr (O == Opcode::CMPULT) return a < b;
+
+    else if constexpr (O == Opcode::ADDI)   return a + std::uint64_t(simm);
+    else if constexpr (O == Opcode::ANDI)   return a & std::uint64_t(simm);
+    else if constexpr (O == Opcode::ORI)    return a | std::uint64_t(simm);
+    else if constexpr (O == Opcode::XORI)   return a ^ std::uint64_t(simm);
+    else if constexpr (O == Opcode::SLLI)   return a << (imm & 63);
+    else if constexpr (O == Opcode::SRLI)   return a >> (imm & 63);
+    else if constexpr (O == Opcode::SRAI)
+        return std::uint64_t(sa >> (imm & 63));
+    else if constexpr (O == Opcode::CMPEQI)
+        return a == std::uint64_t(simm);
+    else if constexpr (O == Opcode::CMPLTI) return sa < simm;
+
+    else if constexpr (O == Opcode::LDI)    return std::uint64_t(simm);
+    else if constexpr (O == Opcode::LDIH)
+        return std::uint64_t(std::uint32_t(a)) |
+               (std::uint64_t(std::uint32_t(imm)) << 32);
+
+    else if constexpr (O == Opcode::FADD)
+        return asBits(asDouble(a) + asDouble(b));
+    else if constexpr (O == Opcode::FSUB)
+        return asBits(asDouble(a) - asDouble(b));
+    else if constexpr (O == Opcode::FMUL)
+        return asBits(asDouble(a) * asDouble(b));
+    else if constexpr (O == Opcode::FDIV)
+        return asBits(asDouble(a) / asDouble(b));
+    else if constexpr (O == Opcode::FNEG)   return asBits(-asDouble(a));
+    else if constexpr (O == Opcode::FABS)
+        return asBits(std::fabs(asDouble(a)));
+    else if constexpr (O == Opcode::FMOV)   return a;
+    else if constexpr (O == Opcode::FCMPEQ)
+        return asDouble(a) == asDouble(b);
+    else if constexpr (O == Opcode::FCMPLT)
+        return asDouble(a) < asDouble(b);
+    else if constexpr (O == Opcode::FCMPLE)
+        return asDouble(a) <= asDouble(b);
+    else if constexpr (O == Opcode::CVTIF)  return asBits(double(sa));
+    else if constexpr (O == Opcode::CVTFI)
+        return std::uint64_t(safeCvtFi(asDouble(a)));
+
+    else return 0; // non-ALU opcode: callers gate on isScalarEvalOp()
+}
 
 /**
  * Evaluate a non-memory, non-control operation.

@@ -5,12 +5,42 @@
 
 #include "common/log.hh"
 #include "common/serialize.hh"
+#include "isa/trace.hh"
 
 namespace sdv {
 
 Program::Program(Addr code_base) : codeBase_(code_base)
 {
     sdv_assert(code_base % instBytes == 0, "misaligned code base");
+}
+
+Program::~Program() = default;
+Program::Program(Program &&other) noexcept = default;
+Program &Program::operator=(Program &&other) noexcept = default;
+
+Program::Program(const Program &other)
+    : codeBase_(other.codeBase_), entry_(other.entry_), code_(other.code_),
+      decoded_(other.decoded_), decodedValid_(other.decodedValid_),
+      data_(other.data_), symbols_(other.symbols_)
+{
+    // trace_ deliberately not copied: a patched copy must not mutate
+    // the original's compiled trace. The copy rebuilds lazily.
+}
+
+Program &
+Program::operator=(const Program &other)
+{
+    if (this != &other) {
+        codeBase_ = other.codeBase_;
+        entry_ = other.entry_;
+        code_ = other.code_;
+        decoded_ = other.decoded_;
+        decodedValid_ = other.decodedValid_;
+        data_ = other.data_;
+        symbols_ = other.symbols_;
+        trace_.reset();
+    }
+    return *this;
 }
 
 Addr
@@ -20,6 +50,8 @@ Program::append(const Instruction &inst)
     code_.push_back(inst.encode());
     decoded_.emplace_back();
     decodedValid_.push_back(0);
+    if (trace_)
+        trace_->appendSlot(code_.back());
     return pc;
 }
 
@@ -29,6 +61,8 @@ Program::patch(size_t index, const Instruction &inst)
     sdv_assert(index < code_.size(), "patch out of range");
     code_[index] = inst.encode();
     decodedValid_[index] = 0;
+    if (trace_)
+        trace_->recompile(index, code_[index]);
 }
 
 std::uint64_t
@@ -61,6 +95,15 @@ Program::predecodeAll() const
         sdv_assert(ok, "undecodable instruction in slot ", idx);
         decodedValid_[idx] = 1;
     }
+    trace(); // build the compiled trace alongside the decode cache
+}
+
+const CompiledTrace &
+Program::trace() const
+{
+    if (!trace_)
+        trace_ = std::make_unique<CompiledTrace>(codeBase_, code_);
+    return *trace_;
 }
 
 std::uint64_t

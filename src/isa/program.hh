@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,8 @@
 #include "isa/instruction.hh"
 
 namespace sdv {
+
+class CompiledTrace;
 
 /** A contiguous run of initialized bytes in the data space. */
 struct DataSegment
@@ -43,6 +46,14 @@ class Program
     static constexpr Addr defaultStackTop = 0x7fff0000;
 
     explicit Program(Addr code_base = defaultCodeBase);
+    ~Program();
+
+    /** The compiled trace is per-image: a copy may be patched
+     *  independently, so it recompiles its own trace on demand. */
+    Program(const Program &other);
+    Program &operator=(const Program &other);
+    Program(Program &&other) noexcept;
+    Program &operator=(Program &&other) noexcept;
 
     /** Append one encoded instruction; @return its address. */
     Addr append(const Instruction &inst);
@@ -92,6 +103,18 @@ class Program
     void predecodeAll() const;
 
     /**
+     * @return the compiled trace of this program (built on first use;
+     * predecodeAll() also builds it so sweep jobs share it read-only).
+     *
+     * Slots stay in sync with the code image: patch() recompiles the
+     * affected slot and append() extends the trace. Like instAt()
+     * references, trace slots shift under append() — re-fetch after
+     * growing the program. The lazy build mutates a side-table, so the
+     * same predecodeAll() rule applies before concurrent sharing.
+     */
+    const CompiledTrace &trace() const;
+
+    /**
      * @return an FNV-1a hash over code base, entry point and every
      * encoded instruction word: the program identity a checkpoint is
      * bound to (restoring onto a different program is rejected).
@@ -138,6 +161,9 @@ class Program
      *  program's observable state. */
     mutable std::vector<Instruction> decoded_;
     mutable std::vector<std::uint8_t> decodedValid_;
+    /** Lazily-built compiled form (see trace()); never shared between
+     *  Program instances — copies rebuild their own. */
+    mutable std::unique_ptr<CompiledTrace> trace_;
     std::vector<DataSegment> data_;
     std::map<std::string, Addr> symbols_;
 };

@@ -1,0 +1,243 @@
+#include "isa/trace.hh"
+
+#include "arch/executor.hh"
+#include "common/bitutils.hh"
+#include "common/log.hh"
+#include "isa/alu.hh"
+
+namespace sdv {
+
+namespace {
+
+/** Static properties of @p O as a compile-time constant. */
+template <Opcode O>
+inline constexpr const OpInfo &kInfo = detail::opInfoTable[unsigned(O)];
+
+template <Opcode O>
+constexpr bool
+isStoreKind()
+{
+    return kInfo<O>.opClass == OpClass::MemWrite;
+}
+
+/** Resolve the branch direction of a conditional branch opcode. */
+template <Opcode O>
+inline bool
+condTaken(std::uint64_t a)
+{
+    const auto sa = std::int64_t(a);
+    if constexpr (O == Opcode::BEQZ)
+        return sa == 0;
+    else if constexpr (O == Opcode::BNEZ)
+        return sa != 0;
+    else if constexpr (O == Opcode::BLTZ)
+        return sa < 0;
+    else if constexpr (O == Opcode::BGEZ)
+        return sa >= 0;
+    else
+        return false;
+}
+
+/**
+ * Full-record step handler: one instantiation per opcode, mirroring
+ * executeOne() field for field (the interpreter stays the bit-identity
+ * reference — see tests/test_trace_compile.cc). The record is caller
+ * storage and may be reused, so every field is (re)assigned.
+ */
+template <Opcode O>
+void
+stepImpl(const CompiledTrace::Slot &u, ArchState &st, SparseMemory &mem,
+         ExecRecord &rec)
+{
+    rec.pc = st.pc;
+    rec.inst = u.inst;
+    rec.nextPc = u.fallthrough;
+    rec.taken = false;
+    rec.isMem = false;
+    rec.isStore = false;
+    rec.addr = 0;
+    rec.size = 0;
+    rec.value = 0;
+    rec.writesReg = false;
+    rec.halted = false;
+    rec.prevMemValue = 0;
+
+    const std::uint64_t a = st.reg(u.inst.rs1);
+    const std::uint64_t b = st.reg(u.inst.rs2);
+    rec.srcValue1 = a;
+    rec.srcValue2 = b;
+
+    std::uint64_t result = 0;
+
+    if constexpr (O == Opcode::LDQ || O == Opcode::FLD) {
+        rec.isMem = true;
+        rec.addr = a + std::uint64_t(u.simm);
+        rec.size = 8;
+        result = mem.read64(rec.addr);
+    } else if constexpr (O == Opcode::LDL) {
+        rec.isMem = true;
+        rec.addr = a + std::uint64_t(u.simm);
+        rec.size = 4;
+        result = std::uint64_t(signExtend(mem.read32(rec.addr), 32));
+    } else if constexpr (O == Opcode::STQ || O == Opcode::FST) {
+        rec.isMem = true;
+        rec.isStore = true;
+        rec.addr = a + std::uint64_t(u.simm);
+        rec.size = 8;
+        rec.value = b;
+        rec.prevMemValue = mem.read64(rec.addr);
+        mem.write64(rec.addr, b);
+    } else if constexpr (O == Opcode::STL) {
+        rec.isMem = true;
+        rec.isStore = true;
+        rec.addr = a + std::uint64_t(u.simm);
+        rec.size = 4;
+        rec.value = b;
+        rec.prevMemValue = mem.read32(rec.addr);
+        mem.write32(rec.addr, std::uint32_t(b));
+    } else if constexpr (kInfo<O>.isCondBranch) {
+        rec.taken = condTaken<O>(a);
+        if (rec.taken)
+            rec.nextPc = u.target;
+    } else if constexpr (O == Opcode::BR) {
+        rec.taken = true;
+        rec.nextPc = u.target;
+    } else if constexpr (O == Opcode::JAL) {
+        rec.taken = true;
+        result = u.fallthrough;
+        rec.nextPc = u.target;
+    } else if constexpr (O == Opcode::JR) {
+        rec.taken = true;
+        rec.nextPc = a;
+    } else if constexpr (O == Opcode::JALR) {
+        rec.taken = true;
+        rec.nextPc = a;
+        result = u.fallthrough;
+    } else if constexpr (O == Opcode::NOP) {
+        // no effects
+    } else if constexpr (O == Opcode::HALT) {
+        rec.halted = true;
+    } else {
+        result = evalScalarOpFor<O>(a, b, u.inst.imm);
+    }
+
+    if constexpr (kInfo<O>.writesRd) {
+        st.setReg(u.inst.rd, result);
+        rec.writesReg = u.inst.rd != zeroReg;
+        rec.value = result;
+    } else if constexpr (!isStoreKind<O>()) {
+        rec.value = result;
+    }
+
+    st.pc = rec.nextPc;
+}
+
+/**
+ * Architectural-effects-only handler: registers, memory, pc. The hot
+ * loop of functional fast-forward, sample counting and verification —
+ * no ExecRecord is materialized at all.
+ */
+template <Opcode O>
+void
+fastImpl(const CompiledTrace::Slot &u, ArchState &st, SparseMemory &mem)
+{
+    const std::uint64_t a = st.reg(u.inst.rs1);
+    Addr next = u.fallthrough;
+    std::uint64_t result = 0;
+
+    if constexpr (O == Opcode::LDQ || O == Opcode::FLD) {
+        result = mem.read64(a + std::uint64_t(u.simm));
+    } else if constexpr (O == Opcode::LDL) {
+        result = std::uint64_t(
+            signExtend(mem.read32(a + std::uint64_t(u.simm)), 32));
+    } else if constexpr (O == Opcode::STQ || O == Opcode::FST) {
+        mem.write64(a + std::uint64_t(u.simm), st.reg(u.inst.rs2));
+    } else if constexpr (O == Opcode::STL) {
+        mem.write32(a + std::uint64_t(u.simm),
+                    std::uint32_t(st.reg(u.inst.rs2)));
+    } else if constexpr (kInfo<O>.isCondBranch) {
+        if (condTaken<O>(a))
+            next = u.target;
+    } else if constexpr (O == Opcode::BR) {
+        next = u.target;
+    } else if constexpr (O == Opcode::JAL) {
+        result = u.fallthrough;
+        next = u.target;
+    } else if constexpr (O == Opcode::JR) {
+        next = a;
+    } else if constexpr (O == Opcode::JALR) {
+        next = a;
+        result = u.fallthrough;
+    } else if constexpr (O == Opcode::NOP || O == Opcode::HALT) {
+        // no effects (HALT is detected by the caller via the slot)
+    } else {
+        result = evalScalarOpFor<O>(a, st.reg(u.inst.rs2), u.inst.imm);
+    }
+
+    if constexpr (kInfo<O>.writesRd)
+        st.setReg(u.inst.rd, result);
+
+    st.pc = next;
+}
+
+/** Handler tables, one entry per opcode, generated from the X-macro. */
+constexpr CompiledTrace::StepFn stepTable[numOpcodes] = {
+#define SDV_STEP(name, ...) &stepImpl<Opcode::name>,
+    SDV_FOR_EACH_OPCODE(SDV_STEP)
+#undef SDV_STEP
+};
+
+constexpr CompiledTrace::FastFn fastTable[numOpcodes] = {
+#define SDV_FAST(name, ...) &fastImpl<Opcode::name>,
+    SDV_FOR_EACH_OPCODE(SDV_FAST)
+#undef SDV_FAST
+};
+
+} // namespace
+
+CompiledTrace::Slot
+CompiledTrace::compileSlot(std::size_t index, std::uint64_t word) const
+{
+    Slot s;
+    const bool ok = Instruction::decode(word, s.inst);
+    sdv_assert(ok, "undecodable instruction in trace slot ", index);
+
+    const Addr pc = base_ + Addr(index) * instBytes;
+    const OpInfo &info = s.inst.info();
+    s.step = stepTable[unsigned(s.inst.op)];
+    s.fast = fastTable[unsigned(s.inst.op)];
+    s.simm = std::int64_t(s.inst.imm);
+    s.fallthrough = pc + instBytes;
+    // pc-relative control targets fold at compile time; indirect jumps
+    // (JR/JALR) resolve through a register and keep target == 0.
+    s.target = 0;
+    if (info.isCondBranch || s.inst.op == Opcode::BR ||
+        s.inst.op == Opcode::JAL)
+        s.target = pc + Addr(std::int64_t(s.inst.imm) *
+                             std::int64_t(instBytes));
+    return s;
+}
+
+CompiledTrace::CompiledTrace(Addr code_base,
+                             const std::vector<std::uint64_t> &words)
+    : base_(code_base)
+{
+    slots_.reserve(words.size());
+    for (std::size_t i = 0; i < words.size(); ++i)
+        slots_.push_back(compileSlot(i, words[i]));
+}
+
+void
+CompiledTrace::recompile(std::size_t index, std::uint64_t word)
+{
+    sdv_assert(index < slots_.size(), "trace recompile out of range");
+    slots_[index] = compileSlot(index, word);
+}
+
+void
+CompiledTrace::appendSlot(std::uint64_t word)
+{
+    slots_.push_back(compileSlot(slots_.size(), word));
+}
+
+} // namespace sdv

@@ -137,13 +137,12 @@ Simulator::run(std::uint64_t max_cycles, bool verify,
     if (verify && res.finished) {
         // Independent functional execution: the committed stream (PC
         // sequence and count) and the final architectural state must
-        // match exactly — speculation must never leak into state.
-        FunctionalCore ref(prog_);
-        std::uint64_t hash = 1469598103934665603ULL;
-        while (!ref.halted()) {
-            const ExecRecord rec = ref.step();
-            hash = (hash ^ rec.pc) * 1099511628211ULL;
-        }
+        // match exactly — speculation must never leak into state. The
+        // reference runs the same dispatch path as the timing core's
+        // oracle (trace or interpreter) through the fast handlers.
+        FunctionalCore ref(prog_, core_.config().traceExec);
+        std::uint64_t hash = 0;
+        ref.runToHalt(&hash);
         // committedTotal() spans any warm-up region too: the hash and
         // count cover the whole committed stream, not just the
         // measured statistics window.

@@ -181,6 +181,7 @@ captureCheckpoints(const SweepPlan &plan, const ExecOptions &opt,
 
         CoreConfig cfg = warm_job->cfg;
         cfg.eventSkip = opt.eventSkip;
+        cfg.traceExec = opt.trace;
         cfg.engine.eagerChainLoads = opt.eagerChain;
         const Program &prog = programs.at(job.workload);
 
@@ -285,6 +286,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
             }
         CoreConfig cfg = warm_job->cfg;
         cfg.eventSkip = opt.eventSkip;
+        cfg.traceExec = opt.trace;
         cfg.engine.eagerChainLoads = opt.eagerChain;
         SamplePlan sp = opt.sample;
         sp.warmupInsts = opt.warmupInsts;
@@ -311,6 +313,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
         if (it == configOk.end()) {
             CoreConfig cfg = job.cfg;
             cfg.eventSkip = opt.eventSkip;
+            cfg.traceExec = opt.trace;
             cfg.engine.eagerChainLoads = opt.eagerChain;
             Simulator probe(cfg, programs.at(job.workload));
             // samples[0] is the cold region (no image); the first
@@ -379,6 +382,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
         const SweepJob &job = plan.jobs[unit.job];
         CoreConfig cfg = job.cfg;
         cfg.eventSkip = opt.eventSkip;
+        cfg.traceExec = opt.trace;
         cfg.engine.eagerChainLoads = opt.eagerChain;
         const Program &prog = programs.at(job.workload);
         const auto t0 = std::chrono::steady_clock::now();
@@ -499,6 +503,7 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
         const auto t0 = std::chrono::steady_clock::now();
         CoreConfig cfg = job.cfg;
         cfg.eventSkip = opt.eventSkip;
+        cfg.traceExec = opt.trace;
         cfg.engine.eagerChainLoads = opt.eagerChain;
         cfg.engine.fault = jobFaultPlan(opt.fault, job);
         out.cfg = cfg; ///< resolved config (fault plan, chaining mode)
@@ -690,10 +695,11 @@ writeJsonFile(const std::string &path, const SweepPlan &plan,
     std::fprintf(
         f,
         "{\n\"sweep\": {\"plan\": \"%s\", \"scale\": %u, "
-        "\"event_skip\": %s, \"checkpoint\": %s, "
+        "\"event_skip\": %s, \"trace\": %s, \"checkpoint\": %s, "
         "\"warmup_insts\": %llu%s, \"wall_seconds\": %.6f},\n"
         "\"results\": %s\n}\n",
         plan.name.c_str(), plan.scale, opt.eventSkip ? "true" : "false",
+        opt.trace ? "true" : "false",
         opt.checkpoint ? "true" : "false",
         static_cast<unsigned long long>(opt.warmupInsts), extra.c_str(),
         wall_seconds, resultsJson(outcomes).c_str());

@@ -32,6 +32,7 @@ struct ExecOptions
 {
     unsigned jobs = 1;          ///< worker threads
     bool eventSkip = true;      ///< event-skipping clock
+    bool trace = true;          ///< trace-compiled dispatch (--no-trace)
     bool checkpoint = false;    ///< fork configs from warmed snapshots
     std::uint64_t warmupInsts = 10'000; ///< checkpoint warm-up length
     std::uint64_t maxCycles = 200'000'000; ///< per-job cycle budget

@@ -53,9 +53,8 @@ captureSamples(const CoreConfig &cfg, const Program &prog,
     // magnitude cheaper than the timing model, and it pins the sample
     // positions and weights before any timing state exists.
     {
-        FunctionalCore ref(prog);
-        while (!ref.halted())
-            ref.step();
+        FunctionalCore ref(prog, cfg.traceExec);
+        ref.runToHalt(nullptr);
         set.totalInsts = ref.instCount();
     }
 

@@ -11,6 +11,8 @@ namespace sdv {
 VectorDatapath::VectorDatapath(const VectorFuConfig &cfg, VecRegFile &vrf)
     : cfg_(cfg), vrf_(vrf)
 {
+    for (unsigned c = 0; c <= unsigned(OpClass::None); ++c)
+        fuSlots_[c] = fuBandwidth(OpClass(c));
 }
 
 void
@@ -29,6 +31,7 @@ VectorDatapath::spawnLoad(Addr pc, VecRegRef dest, Addr base,
     inst.stride = stride;
     inst.elemBytes = elem_bytes;
     active_.push_back(inst);
+    stallValid_ = false;
     ++stats_.instancesSpawned;
     ++stats_.loadInstances;
 }
@@ -42,6 +45,10 @@ VectorDatapath::spawnArith(Addr pc, Opcode op, std::int32_t imm,
     inst.id = nextInstanceId_++;
     inst.pc = pc;
     inst.op = op;
+    inst.kern = elemKernel(op);
+    inst.cls = opInfo(op).opClass;
+    sdv_assert(inst.kern, "vectorized op without element semantics: ",
+               mnemonic(op));
     inst.imm = imm;
     inst.dest = dest;
     inst.src1 = src1;
@@ -53,6 +60,7 @@ VectorDatapath::spawnArith(Addr pc, Opcode op, std::int32_t imm,
         if (s->isScalar() && s->depSeq > inst.scalarDep)
             inst.scalarDep = s->depSeq;
     active_.push_back(inst);
+    stallValid_ = false;
     ++stats_.instancesSpawned;
     ++stats_.arithInstances;
     if ((src1.isVector() && src1.srcOffset != 0) ||
@@ -66,6 +74,7 @@ VectorDatapath::abortByDest(VecRegRef dest)
     for (auto &inst : active_) {
         if (inst.dest == dest && !inst.aborted) {
             inst.aborted = true;
+            stallValid_ = false;
             ++stats_.instancesAborted;
         }
     }
@@ -120,9 +129,13 @@ VectorDatapath::fuBandwidth(OpClass cls) const
 Cycle
 VectorDatapath::nextEventCycle(Cycle now) const
 {
-    Cycle e = neverCycle;
-    for (const Completion &c : completions_)
-        e = c.ready < e ? c.ready : e;
+    // Cached stall: the last tick proved every instance blocked on
+    // source elements whose completions are all scheduled, and the
+    // register file has not changed since — exactly the state in
+    // which the walk below returns completionsMin_.
+    if (stallValid_ && vrf_.version() == stallVrfVersion_)
+        return completionsMin_;
+    Cycle e = completionsMin_;
     for (const VecInstance &inst : active_) {
         // tick() erases finished/dead instances and cascade-aborts
         // consumers of dead sources; those bookkeeping transitions
@@ -155,7 +168,21 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
     if (active_.empty() && completions_.empty())
         return; // nothing in flight this cycle
 
-    // 1. Land completions due this cycle.
+    // Cached stall window: every instance is provably blocked until a
+    // scheduled completion lands, and the register file is untouched
+    // since the cache was armed. A tick here would walk the phases
+    // below and mutate nothing (a fully-blocked tick charges no stat
+    // either), so skip it.
+    if (stallValid_) {
+        if (now < completionsMin_ && vrf_.version() == stallVrfVersion_)
+            return;
+        stallValid_ = false;
+    }
+
+    // 1. Land completions due this cycle (skipped entirely until the
+    //    earliest scheduled one matures).
+    if (completionsMin_ <= now) {
+    Cycle new_min = neverCycle;
     for (auto it = completions_.begin(); it != completions_.end();) {
         if (it->ready <= now) {
             if (vrf_.isLive(it->dest)) {
@@ -183,8 +210,11 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
             *it = completions_.back();
             completions_.pop_back();
         } else {
+            new_min = it->ready < new_min ? it->ready : new_min;
             ++it;
         }
+    }
+    completionsMin_ = new_min;
     }
 
     // 2. Cascade-abort instances whose sources died (killed, freed or
@@ -268,6 +298,7 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
             c.value = ctx_ ? ctx_->specLoadValue(addr, inst.elemBytes) : 0;
             c.loadId = lid;
             completions_.push_back(c);
+            completionsMin_ = std::min(completionsMin_, done_at);
             ++inst.nextElem;
             --load_slots;
         }
@@ -276,10 +307,11 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
     }
 
     // 4. Initiate arithmetic elements, one per instance per cycle,
-    //    bounded by the per-class FU bandwidth.
+    //    bounded by the per-class FU bandwidth (table precomputed at
+    //    construction; bandwidth replenishes fully every cycle).
     unsigned slots[unsigned(OpClass::None) + 1];
-    for (unsigned c = 0; c <= unsigned(OpClass::None); ++c)
-        slots[c] = fuBandwidth(OpClass(c));
+    std::copy(std::begin(fuSlots_), std::end(fuSlots_),
+              std::begin(slots));
 
     for (auto &inst : active_) {
         if (inst.isLoad || inst.done())
@@ -289,8 +321,7 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
                 continue; // waiting on the scalar operand's producer
             inst.scalarDep = 0;
         }
-        const OpClass cls = opInfo(inst.op).opClass;
-        unsigned &slot = slots[unsigned(cls)];
+        unsigned &slot = slots[unsigned(inst.cls)];
         if (slot == 0)
             continue;
         const unsigned k = inst.nextElem;
@@ -298,11 +329,18 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
             continue;
 
         Completion c;
-        c.ready = now + opClassLatency(cls);
+        c.ready = now + opClassLatency(inst.cls);
         c.dest = inst.dest;
         c.elem = k;
-        c.value = evalScalarOp(inst.op, srcValue(inst.src1, k),
-                               srcValue(inst.src2, k), inst.imm);
+        // The timing model initiates one element per instance per
+        // cycle, so the batched kernel runs with n = 1 here — still a
+        // straight call through the spawn-resolved pointer, no opcode
+        // switch. BM_SimdElementBatch exercises the n > 1 form.
+        const std::uint64_t a = srcValue(inst.src1, k);
+        const std::uint64_t b = srcValue(inst.src2, k);
+        std::uint64_t value;
+        inst.kern(&value, &a, &b, inst.imm, 1);
+        c.value = value;
         // Taint propagation: a value computed from a fault-marked
         // source carries the mark forward, so its own validation is
         // attributed to the injection instead of the genuine
@@ -312,9 +350,42 @@ VectorDatapath::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
                 vrf_.srcFaultMarked(src->vreg, src->srcOffset + k))
                 c.tainted = true;
         completions_.push_back(c);
+        completionsMin_ = std::min(completionsMin_, c.ready);
         ++inst.nextElem;
         --slot;
     }
+
+    refreshStallCache();
+}
+
+void
+VectorDatapath::refreshStallCache()
+{
+    // Arm the stall cache when this tick left every active instance in
+    // a state only a scheduled completion or a register-file mutation
+    // can change: non-load (loads re-arbitrate ports every cycle),
+    // live and unfinished (else next tick erases it), no captured-
+    // scalar dependence (its wake-up is a core-side completion the
+    // cache cannot see), no dead source (else next tick cascade-
+    // aborts), and sources not ready (else next tick initiates — FU
+    // slots replenish every cycle, so readiness alone is progress).
+    // Every one of these predicates reads only instance fields frozen
+    // between ticks and register-file state guarded by version().
+    stallValid_ = false;
+    for (const VecInstance &inst : active_) {
+        if (inst.isLoad || inst.done() || inst.scalarDep != 0 ||
+            !vrf_.isLive(inst.dest))
+            return;
+        for (const SrcSpec *src : {&inst.src1, &inst.src2})
+            if (src->isVector() &&
+                vrf_.elemUncomputable(src->vreg,
+                                      src->srcOffset + inst.nextElem))
+                return;
+        if (srcsReady(inst, inst.nextElem))
+            return;
+    }
+    stallValid_ = true;
+    stallVrfVersion_ = vrf_.version();
 }
 
 void
@@ -322,6 +393,8 @@ VectorDatapath::clear()
 {
     active_.clear();
     completions_.clear();
+    completionsMin_ = neverCycle;
+    stallValid_ = false;
 }
 
 } // namespace sdv

@@ -16,6 +16,7 @@
 #include "isa/opcodes.hh"
 #include "mem/hierarchy.hh"
 #include "mem/port.hh"
+#include "vector/elem_kernels.hh"
 #include "vector/src_spec.hh"
 #include "vector/vreg_file.hh"
 
@@ -60,6 +61,10 @@ struct VecInstance
     std::uint64_t id = 0;    ///< unique instance id
     Addr pc = 0;             ///< spawning static instruction
     Opcode op = Opcode::NOP; ///< operation (element-wise)
+    /** Arith: batched element kernel and FU class, resolved once at
+     *  spawn (no per-element opcode switch or OpInfo lookup). */
+    ElemKernelFn kern = nullptr;
+    OpClass cls = OpClass::None;
     std::int32_t imm = 0;    ///< immediate for reg-imm forms
     VecRegRef dest;          ///< destination register incarnation
     SrcSpec src1;            ///< first operand
@@ -196,6 +201,9 @@ class VectorDatapath
     /** @return true when element @p k's sources are ready. */
     bool srcsReady(const VecInstance &inst, unsigned k) const;
 
+    /** Re-arm the stall cache after a full tick (see stallValid_). */
+    void refreshStallCache();
+
     /** @return source operand value for element @p k. */
     std::uint64_t srcValue(const SrcSpec &src, unsigned k) const;
 
@@ -203,8 +211,29 @@ class VectorDatapath
 
     VectorFuConfig cfg_;
     VecRegFile &vrf_;
+    /** Per-cycle FU issue slots by op class (constant; copied into a
+     *  local each tick instead of re-deriving from the config). */
+    unsigned fuSlots_[unsigned(OpClass::None) + 1] = {};
     std::vector<VecInstance> active_;
     std::vector<Completion> completions_;
+    /** Earliest ready cycle across completions_ (neverCycle when
+     *  empty): tick() skips the landing scan until it matures, and
+     *  nextEventCycle() reads it instead of rescanning the list. */
+    Cycle completionsMin_ = neverCycle;
+    /**
+     * Stall cache: true when the last tick proved every active
+     * instance is a non-load, alive, un-parked (no captured-scalar
+     * dependence) arithmetic instance whose next element's sources are
+     * not yet computed. In that state a tick can change nothing until
+     * a scheduled completion matures (completionsMin_) or the register
+     * file mutates (version mismatch), so tick() returns immediately
+     * and nextEventCycle() skips the instance walk. Instances parked
+     * on a scalar producer are deliberately excluded — their wake-up
+     * (the producer completing) is core-side state this cache cannot
+     * observe.
+     */
+    bool stallValid_ = false;
+    std::uint64_t stallVrfVersion_ = 0; ///< VecRegFile::version() at cache
     const VecExecContext *ctx_ = nullptr;
     FaultInjector *finj_ = nullptr;
     /** Per-tick scratch: completion cycle of each new access this

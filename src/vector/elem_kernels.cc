@@ -1,0 +1,39 @@
+#include "vector/elem_kernels.hh"
+
+#include "isa/alu.hh"
+
+namespace sdv {
+
+namespace {
+
+/**
+ * The batched loop body is trivially countable and carries no
+ * cross-iteration dependence, so -O2/-O3 auto-vectorizes the integer
+ * kernels and unrolls the FP ones; the per-opcode instantiation means
+ * the operation is a compile-time constant inside the loop.
+ */
+template <Opcode O>
+void
+kernelImpl(std::uint64_t *dst, const std::uint64_t *a,
+           const std::uint64_t *b, std::int32_t imm, unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i)
+        dst[i] = evalScalarOpFor<O>(a[i], b[i], imm);
+}
+
+constexpr ElemKernelFn kernelTable[numOpcodes] = {
+#define SDV_KERNEL(name, ...)                                                \
+    isScalarEvalOp(Opcode::name) ? &kernelImpl<Opcode::name> : nullptr,
+    SDV_FOR_EACH_OPCODE(SDV_KERNEL)
+#undef SDV_KERNEL
+};
+
+} // namespace
+
+ElemKernelFn
+elemKernel(Opcode op)
+{
+    return kernelTable[unsigned(op)];
+}
+
+} // namespace sdv

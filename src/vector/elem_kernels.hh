@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Batched element kernels: the element-wise ALU/FP semantics of a
+ * vectorized instance as dense-array loops the host compiler can
+ * auto-vectorize (SIMD or word-at-a-time), in the VL-agnostic style of
+ * an SVE loop — the batch length is a runtime parameter, so the same
+ * kernel serves any vector length (the planned figVL axis).
+ *
+ * Each kernel is one per-opcode instantiation over evalScalarOpFor<O>:
+ * the same single definition of the semantics the interpreter and the
+ * trace handlers compile from, so batching cannot diverge. The
+ * datapath resolves the kernel pointer once at spawn and calls it per
+ * initiated element (n = 1 under the paper's one-element-per-instance-
+ * per-cycle timing); BM_SimdElementBatch drives the batched form.
+ */
+
+#ifndef SDV_VECTOR_ELEM_KERNELS_HH
+#define SDV_VECTOR_ELEM_KERNELS_HH
+
+#include <cstdint>
+
+#include "isa/opcodes.hh"
+
+namespace sdv {
+
+/**
+ * Apply one operation element-wise over a batch.
+ *
+ * @param dst   n result values
+ * @param a     n first-operand values
+ * @param b     n second-operand values (ignored by reg-imm forms)
+ * @param imm   immediate field
+ * @param n     batch length (any value >= 1)
+ */
+using ElemKernelFn = void (*)(std::uint64_t *dst, const std::uint64_t *a,
+                              const std::uint64_t *b, std::int32_t imm,
+                              unsigned n);
+
+/** @return the batched kernel for @p op, or nullptr when @p op has no
+ *  scalar-eval semantics (memory/control/NOP/HALT). */
+ElemKernelFn elemKernel(Opcode op);
+
+} // namespace sdv
+
+#endif // SDV_VECTOR_ELEM_KERNELS_HH

@@ -10,6 +10,7 @@ VecRegFile::VecRegFile(unsigned num_regs, unsigned vlen)
 {
     sdv_assert(num_regs >= 1, "need at least one vector register");
     sdv_assert(vlen >= 2, "vector length must be at least 2");
+    sdv_assert(vlen <= 64, "flag bitmasks hold at most 64 elements");
     for (auto &r : regs_)
         r.elems.resize(vlen);
     const std::size_t words = (num_regs + 63) / 64;
@@ -73,13 +74,15 @@ VecRegFile::allocate(Addr mrbb)
     r.killed = false;
     r.uniform = false;
     r.hasRange = false;
-    r.waiters = 0;
+    r.vMask = r.rMask = r.uMask = r.fMask = 0;
+    r.wMask = r.fiMask = r.ftMask = 0;
     r.allocCycle = clock_;
     r.pred = VecRegRef{};
     for (auto &e : r.elems)
         e = Elem{};
     --freeCount_;
     ++allocations_;
+    ++version_;
     const VecRegId id = VecRegId(unsigned(&r - regs_.data()));
     setMaskBit(freeMask_, id, false);
     setMaskBit(liveMask_, id, true);
@@ -92,12 +95,12 @@ VecRegFile::setData(VecRegRef ref, unsigned elem, std::uint64_t value)
 {
     Reg &r = regFor(ref);
     sdv_assert(elem < r.elemCount, "element out of range");
-    Elem &el = r.elems[elem];
-    el.data = value;
-    el.r = true;
-    if (el.w) {
-        el.w = false;
-        --r.waiters;
+    const std::uint64_t bit = std::uint64_t(1) << elem;
+    r.elems[elem].data = value;
+    r.rMask |= bit;
+    ++version_;
+    if (r.wMask & bit) {
+        r.wMask &= ~bit;
         wakeEvents_.push_back({ref, std::uint16_t(elem)});
     }
     markSweepCandidate(ref.reg);
@@ -107,7 +110,8 @@ std::uint64_t
 VecRegFile::data(VecRegRef ref, unsigned elem) const
 {
     const Reg &r = regFor(ref);
-    sdv_assert(elem < vlen_ && r.elems[elem].r, "reading non-ready element");
+    sdv_assert(elem < vlen_ && ((r.rMask >> elem) & 1),
+               "reading non-ready element");
     return r.elems[elem].data;
 }
 
@@ -116,7 +120,7 @@ VecRegFile::isReady(VecRegRef ref, unsigned elem) const
 {
     const Reg &r = regFor(ref);
     sdv_assert(elem < vlen_, "element out of range");
-    return r.elems[elem].r;
+    return (r.rMask >> elem) & 1;
 }
 
 void
@@ -124,7 +128,9 @@ VecRegFile::setUsed(VecRegRef ref, unsigned elem, bool used)
 {
     Reg &r = regFor(ref);
     sdv_assert(elem < vlen_, "element out of range");
-    r.elems[elem].u = used;
+    const std::uint64_t bit = std::uint64_t(1) << elem;
+    r.uMask = used ? (r.uMask | bit) : (r.uMask & ~bit);
+    ++version_;
     markSweepCandidate(ref.reg);
 }
 
@@ -133,7 +139,7 @@ VecRegFile::isUsed(VecRegRef ref, unsigned elem) const
 {
     const Reg &r = regFor(ref);
     sdv_assert(elem < vlen_, "element out of range");
-    return r.elems[elem].u;
+    return (r.uMask >> elem) & 1;
 }
 
 void
@@ -141,8 +147,10 @@ VecRegFile::setValid(VecRegRef ref, unsigned elem)
 {
     Reg &r = regFor(ref);
     sdv_assert(elem < vlen_, "element out of range");
-    r.elems[elem].v = true;
-    r.elems[elem].u = false;
+    const std::uint64_t bit = std::uint64_t(1) << elem;
+    r.vMask |= bit;
+    r.uMask &= ~bit;
+    ++version_;
     markSweepCandidate(ref.reg);
 }
 
@@ -151,7 +159,7 @@ VecRegFile::isValid(VecRegRef ref, unsigned elem) const
 {
     const Reg &r = regFor(ref);
     sdv_assert(elem < vlen_, "element out of range");
-    return r.elems[elem].v;
+    return (r.vMask >> elem) & 1;
 }
 
 void
@@ -159,7 +167,8 @@ VecRegFile::setFree(VecRegRef ref, unsigned elem)
 {
     Reg &r = regFor(ref);
     sdv_assert(elem < vlen_, "element out of range");
-    r.elems[elem].f = true;
+    r.fMask |= std::uint64_t(1) << elem;
+    ++version_;
     markSweepCandidate(ref.reg);
 }
 
@@ -167,8 +176,8 @@ void
 VecRegFile::setAllFree(VecRegRef ref)
 {
     Reg &r = regFor(ref);
-    for (auto &e : r.elems)
-        e.f = true;
+    r.fMask = lowMask(vlen_);
+    ++version_;
     markSweepCandidate(ref.reg);
 }
 
@@ -178,6 +187,7 @@ VecRegFile::setElemCount(VecRegRef ref, unsigned count)
     Reg &r = regFor(ref);
     sdv_assert(count >= 1 && count <= vlen_, "bad element count");
     r.elemCount = count;
+    ++version_;
     markSweepCandidate(ref.reg);
 }
 
@@ -232,6 +242,7 @@ void
 VecRegFile::setUniform(VecRegRef ref, bool uniform)
 {
     regFor(ref).uniform = uniform;
+    ++version_;
 }
 
 bool
@@ -246,6 +257,7 @@ VecRegFile::kill(VecRegRef ref)
     if (isLive(ref)) {
         Reg &r = regFor(ref);
         r.killed = true;
+        ++version_;
         wakeAll(r);
         markSweepCandidate(ref.reg);
     }
@@ -260,23 +272,22 @@ VecRegFile::isKilled(VecRegRef ref) const
 void
 VecRegFile::release(Reg &reg, ReleaseCause cause)
 {
-    for (unsigned e = 0; e < vlen_; ++e) {
-        const Elem &el = reg.elems[e];
-        if (el.r && el.v)
-            ++fates_.elemsComputedUsed;
-        else if (el.r)
-            ++fates_.elemsComputedNotUsed;
-        else
-            ++fates_.elemsNotComputed;
-        // Fault marks still set here were never examined by a
-        // validation: the corrupted value vanished unconsumed.
-        if (el.fi)
-            ++fates_.faultInjectedVanished;
-        else if (el.ft)
-            ++fates_.faultTaintVanished;
-        if (el.loadId != 0 && ports_)
-            ports_->resolveElem(el.loadId, el.v);
-    }
+    const std::uint64_t all = lowMask(vlen_);
+    const unsigned computed = popCount(reg.rMask & all);
+    fates_.elemsComputedUsed += popCount(reg.rMask & reg.vMask & all);
+    fates_.elemsComputedNotUsed +=
+        popCount(reg.rMask & ~reg.vMask & all);
+    fates_.elemsNotComputed += vlen_ - computed;
+    // Fault marks still set here were never examined by a validation:
+    // the corrupted value vanished unconsumed.
+    fates_.faultInjectedVanished += popCount(reg.fiMask & all);
+    fates_.faultTaintVanished += popCount(reg.ftMask & ~reg.fiMask & all);
+    if (ports_)
+        for (unsigned e = 0; e < vlen_; ++e) {
+            const ElemLoadId lid = reg.elems[e].loadId;
+            if (lid != 0)
+                ports_->resolveElem(lid, (reg.vMask >> e) & 1);
+        }
     ++fates_.regsReleased;
     const Cycle age = clock_ - reg.allocCycle;
     fates_.lifetimeCycles += age;
@@ -301,6 +312,7 @@ VecRegFile::release(Reg &reg, ReleaseCause cause)
     wakeAll(reg);
     reg.allocated = false;
     ++freeCount_;
+    ++version_;
     const VecRegId id = VecRegId(unsigned(&reg - regs_.data()));
     setMaskBit(freeMask_, id, true);
     setMaskBit(liveMask_, id, false);
@@ -313,17 +325,13 @@ VecRegFile::tryRelease(VecRegRef ref, Addr gmrbb, bool allow_cond2)
         return false;
     Reg &r = regFor(ref);
 
-    bool any_u = false;
-    bool all_rf = true; ///< condition 1 over computable elements
-    bool all_r = true;
-    bool valids_freed = true;
-    for (unsigned e = 0; e < r.elemCount; ++e) {
-        const Elem &el = r.elems[e];
-        any_u = any_u || el.u;
-        all_rf = all_rf && el.r && el.f;
-        all_r = all_r && el.r;
-        valids_freed = valids_freed && (!el.v || el.f);
-    }
+    // All four Section 3.3 predicates over the computable elements are
+    // single-word mask tests.
+    const std::uint64_t cnt = lowMask(r.elemCount);
+    const bool any_u = (r.uMask & cnt) != 0;
+    const bool all_rf = (r.rMask & r.fMask & cnt) == cnt;
+    const bool all_r = (r.rMask & cnt) == cnt;
+    const bool valids_freed = (r.vMask & ~r.fMask & cnt) == 0;
 
     // Killed incarnations just wait for in-flight validations to drain.
     if (r.killed) {
@@ -380,20 +388,20 @@ VecRegFile::releaseSquashed(VecRegRef ref)
     if (!isLive(ref))
         return;
     Reg &r = regFor(ref);
-    for (auto &e : r.elems) {
-        // No Figure 15 fates (the incarnation never existed
-        // architecturally), but the fault ledger must still account
-        // for every mark exactly once.
-        if (e.fi)
-            ++fates_.faultInjectedVanished;
-        else if (e.ft)
-            ++fates_.faultTaintVanished;
-        if (e.loadId != 0 && ports_)
-            ports_->resolveElem(e.loadId, false);
-    }
+    // No Figure 15 fates (the incarnation never existed
+    // architecturally), but the fault ledger must still account for
+    // every mark exactly once.
+    const std::uint64_t all = lowMask(vlen_);
+    fates_.faultInjectedVanished += popCount(r.fiMask & all);
+    fates_.faultTaintVanished += popCount(r.ftMask & ~r.fiMask & all);
+    if (ports_)
+        for (auto &e : r.elems)
+            if (e.loadId != 0)
+                ports_->resolveElem(e.loadId, false);
     wakeAll(r);
     r.allocated = false;
     ++freeCount_;
+    ++version_;
     setMaskBit(freeMask_, ref.reg, true);
     setMaskBit(liveMask_, ref.reg, false);
 }

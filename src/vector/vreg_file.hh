@@ -273,7 +273,7 @@ class VecRegFile
             return false;
         const Reg &r = regs_[ref.reg];
         const unsigned e = r.uniform ? 0 : elem;
-        return e < vlen_ && r.elems[e].r;
+        return e < vlen_ && ((r.rMask >> e) & 1);
     }
 
     /** @return the source element's value (element 0 when uniform);
@@ -295,14 +295,16 @@ class VecRegFile
     void
     markFaultInjected(VecRegRef ref, unsigned elem)
     {
-        regFor(ref).elems[elem].fi = true;
+        regFor(ref).fiMask |= std::uint64_t(1) << elem;
+        ++version_;
     }
 
     /** Mark element @p elem as computed from a fault-marked source. */
     void
     markFaultTaint(VecRegRef ref, unsigned elem)
     {
-        regFor(ref).elems[elem].ft = true;
+        regFor(ref).ftMask |= std::uint64_t(1) << elem;
+        ++version_;
     }
 
     /** @return true when the exact element carries any fault mark
@@ -311,15 +313,15 @@ class VecRegFile
     bool
     elemFaultMarked(VecRegRef ref, unsigned elem) const
     {
-        const Elem &el = regFor(ref).elems[elem];
-        return el.fi || el.ft;
+        const Reg &r = regFor(ref);
+        return ((r.fiMask | r.ftMask) >> elem) & 1;
     }
 
     /** @return true when the element had an injected (direct) flip. */
     bool
     elemFaultInjected(VecRegRef ref, unsigned elem) const
     {
-        return regFor(ref).elems[elem].fi;
+        return (regFor(ref).fiMask >> elem) & 1;
     }
 
     /** @return the fault mark of a *source* element, folded exactly
@@ -329,17 +331,18 @@ class VecRegFile
     srcFaultMarked(VecRegRef ref, unsigned elem) const
     {
         const Reg &r = regs_[ref.reg];
-        const Elem &el = r.elems[r.uniform ? 0 : elem];
-        return el.fi || el.ft;
+        return ((r.fiMask | r.ftMask) >> (r.uniform ? 0 : elem)) & 1;
     }
 
     /** Clear the element's fault marks (validation examined it). */
     void
     clearFaultMarks(VecRegRef ref, unsigned elem)
     {
-        Elem &el = regFor(ref).elems[elem];
-        el.fi = false;
-        el.ft = false;
+        Reg &r = regFor(ref);
+        const std::uint64_t bit = std::uint64_t(1) << elem;
+        r.fiMask &= ~bit;
+        r.ftMask &= ~bit;
+        ++version_;
     }
 
     /**
@@ -352,10 +355,12 @@ class VecRegFile
     void
     repairData(VecRegRef ref, unsigned elem, std::uint64_t value)
     {
-        Elem &el = regFor(ref).elems[elem];
-        el.data = value;
-        el.fi = false;
-        el.ft = false;
+        Reg &r = regFor(ref);
+        r.elems[elem].data = value;
+        const std::uint64_t bit = std::uint64_t(1) << elem;
+        r.fiMask &= ~bit;
+        r.ftMask &= ~bit;
+        ++version_;
     }
 
     /** Associate the port-ledger id of a speculative element load. */
@@ -404,11 +409,7 @@ class VecRegFile
     {
         if (!isLive(ref) || elem >= vlen_)
             return;
-        Reg &r = regs_[ref.reg];
-        if (!r.elems[elem].w) {
-            r.elems[elem].w = true;
-            ++r.waiters;
-        }
+        regs_[ref.reg].wMask |= std::uint64_t(1) << elem;
     }
 
     /** @return true when undrained wake events exist (the validation
@@ -481,6 +482,15 @@ class VecRegFile
      *  can attribute lifetimes). */
     void setClock(Cycle now) { clock_ = now; }
 
+    /**
+     * Monotonic mutation counter: every state change that could alter
+     * a liveness / flag / value query bumps it. The datapath's stall
+     * cache compares versions to prove "nothing I read last tick has
+     * changed", so it may skip re-polling blocked instances. Pure
+     * observation (setClock, noteWaiter, stat resets) does not bump.
+     */
+    std::uint64_t version() const { return version_; }
+
     /** @return the Figure 15 ledger. */
     const VecRegFateStats &fateStats() const { return fates_; }
 
@@ -500,13 +510,15 @@ class VecRegFile
     }
 
   private:
+    /** Per-element payload. The V/R/U/F and bookkeeping flags live in
+     *  per-register bitmasks (below) so the hot flag queries — element
+     *  readiness, the Section 3.3 freeing conditions — are single-word
+     *  loads and popcounts instead of a strided walk over fat element
+     *  records (vlen is capped at 64 everywhere, enforced in the
+     *  constructor). */
     struct Elem
     {
         std::uint64_t data = 0;
-        bool v = false, r = false, u = false, f = false;
-        bool w = false; ///< a waiter wants this element's R transition
-        bool fi = false; ///< fault injected: value carries a bit flip
-        bool ft = false; ///< fault taint: computed from a marked source
         ElemLoadId loadId = 0;
     };
 
@@ -519,7 +531,13 @@ class VecRegFile
         bool killed = false;
         bool uniform = false;
         bool hasRange = false;
-        std::uint8_t waiters = 0; ///< elements with the w bit set
+        std::uint64_t vMask = 0;  ///< V: validation committed
+        std::uint64_t rMask = 0;  ///< R: value computed / loaded
+        std::uint64_t uMask = 0;  ///< U: validation in flight
+        std::uint64_t fMask = 0;  ///< F: element dead
+        std::uint64_t wMask = 0;  ///< waiter wants the R transition
+        std::uint64_t fiMask = 0; ///< fault injected (bit flip)
+        std::uint64_t ftMask = 0; ///< fault taint (marked source)
         Addr rangeLo = 0, rangeHi = 0; ///< inclusive byte range
         Cycle allocCycle = 0;
         VecRegRef pred;
@@ -543,14 +561,12 @@ class VecRegFile
     void
     wakeAll(Reg &r)
     {
-        if (r.waiters == 0)
+        if (r.wMask == 0)
             return;
         const VecRegId id = VecRegId(unsigned(&r - regs_.data()));
         wakeEvents_.push_back(
             {VecRegRef{id, r.gen}, VecWakeEvent::allElems});
-        for (auto &e : r.elems)
-            e.w = false;
-        r.waiters = 0;
+        r.wMask = 0;
     }
 
     /** Mark @p id for the next incremental sweepReleases() pass. */
@@ -584,6 +600,7 @@ class VecRegFile
     std::vector<VecWakeEvent> wakeScratch_; ///< drain double buffer
     VecRegFateStats fates_;
     Cycle clock_ = 0;
+    std::uint64_t version_ = 0; ///< see version()
     std::uint64_t allocations_ = 0;
     std::uint64_t allocFailures_ = 0;
     DCachePorts *ports_ = nullptr;

@@ -74,6 +74,7 @@ Vrmt::install(const VrmtEntry &entry)
         // from scratch): stamp the current epoch, as for new installs.
         existing->epoch = epoch_;
         existing->lastUse = use;
+        bindVreg(std::size_t(existing - entries_.data()), entry.vreg);
         return *existing;
     }
     VrmtEntry *set = &entries_[size_t(setIndex(entry.pc)) * ways_];
@@ -90,6 +91,7 @@ Vrmt::install(const VrmtEntry &entry)
     *victim = entry;
     victim->epoch = epoch_;
     victim->lastUse = ++useClock_;
+    bindVreg(std::size_t(victim - entries_.data()), entry.vreg);
     return *victim;
 }
 
@@ -104,18 +106,26 @@ unsigned
 Vrmt::invalidateByVreg(VecRegRef ref, std::vector<Addr> *load_pcs,
                        std::vector<VecRegRef> *successors)
 {
-    unsigned n = 0;
-    for (auto &e : entries_) {
-        if (live(e) && e.vreg == ref) {
-            e.valid = false;
-            if (load_pcs && e.isLoad)
-                load_pcs->push_back(e.pc);
-            if (successors && e.hasNext)
-                successors->push_back(e.nextVreg);
-            ++n;
-        }
-    }
-    return n;
+    // O(1) via the reverse index: each vector register incarnation is
+    // the freshly-allocated destination of exactly one entry, so the
+    // latest binding of ref's register id is the only candidate. A
+    // stale binding (entry replaced, incarnation dead, old epoch)
+    // fails the validity check, which is exactly the no-match case of
+    // the scan this replaces.
+    if (std::size_t(ref.reg) >= byReg_.size())
+        return 0;
+    const std::int32_t idx = byReg_[ref.reg];
+    if (idx < 0)
+        return 0;
+    VrmtEntry &e = entries_[std::size_t(idx)];
+    if (!live(e) || !(e.vreg == ref))
+        return 0;
+    e.valid = false;
+    if (load_pcs && e.isLoad)
+        load_pcs->push_back(e.pc);
+    if (successors && e.hasNext)
+        successors->push_back(e.nextVreg);
+    return 1;
 }
 
 void

@@ -109,6 +109,18 @@ class Vrmt
                               std::vector<VecRegRef> *successors =
                                   nullptr);
 
+    /**
+     * Swap entry @p e's destination to @p v (the eager-chain successor
+     * takeover), keeping the vreg reverse index in sync. @p e must be
+     * an entry of this table.
+     */
+    void
+    rebindVreg(VrmtEntry &e, VecRegRef v)
+    {
+        e.vreg = v;
+        bindVreg(std::size_t(&e - entries_.data()), v);
+    }
+
     /** Invalidate everything (context switch semantics, Section 3.2).
      *  O(1): bumps the validity epoch instead of sweeping the table —
      *  entries from older epochs read as invalid and are recycled as
@@ -141,9 +153,35 @@ class Vrmt
         return e.valid && e.epoch == epoch_;
     }
 
+    /** Record entry @p idx as the latest holder of @p v's register in
+     *  the reverse index (see byReg_). */
+    void
+    bindVreg(std::size_t idx, VecRegRef v)
+    {
+        if (!v.valid())
+            return;
+        if (byReg_.size() <= std::size_t(v.reg))
+            byReg_.resize(std::size_t(v.reg) + 1, -1);
+        byReg_[v.reg] = std::int32_t(idx);
+    }
+
     unsigned sets_;
     unsigned ways_;
     std::vector<VrmtEntry> entries_;
+    /**
+     * Reverse index for the store-conflict path: register id -> index
+     * of the entry that most recently bound an incarnation of it (-1:
+     * never bound). Mappings are never eagerly unbound; a consumer
+     * validates with live(e) && e.vreg == ref, which rejects stale
+     * bindings (replaced entries, dead incarnations, old epochs). A
+     * live entry holding a live incarnation is always the latest
+     * binding of its register id — re-allocating the id requires the
+     * previous incarnation dead first — so the index can never miss
+     * one, and invalidateByVreg stays O(1) instead of scanning all
+     * sets x ways entries per committed store overlapping a vector
+     * register's address range.
+     */
+    std::vector<std::int32_t> byReg_;
     std::uint64_t useClock_ = 0;
     std::uint64_t epoch_ = 0;
 };

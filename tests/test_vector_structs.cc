@@ -147,19 +147,58 @@ TEST(Vrmt, LruEvictionWithinSet)
 
 TEST(Vrmt, InvalidateByVregCollectsLoadPcs)
 {
+    // Every live incarnation is the destination of at most one entry
+    // (allocate() hands out fresh incarnations), which is what lets
+    // the reverse index answer invalidateByVreg in O(1).
     Vrmt vrmt;
     VrmtEntry load = entryFor(0x1000, VecRegRef{7, 1});
     load.isLoad = true;
-    VrmtEntry arith = entryFor(0x2000, VecRegRef{7, 1});
     vrmt.install(load);
-    vrmt.install(arith);
-    vrmt.install(entryFor(0x3000, VecRegRef{8, 1}));
+    vrmt.install(entryFor(0x2000, VecRegRef{8, 1}));
+    vrmt.install(entryFor(0x3000, VecRegRef{9, 1}));
 
     std::vector<Addr> pcs;
-    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{7, 1}, &pcs), 2u);
-    ASSERT_EQ(pcs.size(), 1u); // only the load entry's pc
+    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{7, 1}, &pcs), 1u);
+    ASSERT_EQ(pcs.size(), 1u); // the load entry's pc
     EXPECT_EQ(pcs[0], 0x1000u);
+    EXPECT_EQ(vrmt.lookup(0x1000), nullptr);
+    // Repeat hits the now-stale binding: no match, no pc.
+    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{7, 1}, &pcs), 0u);
+    EXPECT_EQ(pcs.size(), 1u);
+    // Non-load entries invalidate without reporting a pc.
+    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{8, 1}, &pcs), 1u);
+    EXPECT_EQ(pcs.size(), 1u);
     EXPECT_NE(vrmt.lookup(0x3000), nullptr);
+}
+
+TEST(Vrmt, InvalidateByVregReportsEagerSuccessor)
+{
+    Vrmt vrmt;
+    VrmtEntry e = entryFor(0x1000, VecRegRef{7, 1});
+    e.hasNext = true;
+    e.nextVreg = VecRegRef{12, 3};
+    vrmt.install(e);
+
+    std::vector<VecRegRef> succ;
+    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{7, 1}, nullptr, &succ), 1u);
+    ASSERT_EQ(succ.size(), 1u);
+    EXPECT_TRUE(succ[0] == (VecRegRef{12, 3}));
+}
+
+TEST(Vrmt, ReverseIndexSurvivesReplacementAndRebind)
+{
+    Vrmt vrmt;
+    vrmt.install(entryFor(0x1000, VecRegRef{7, 1}));
+    // Replacing the same pc re-binds the index to the new register.
+    vrmt.install(entryFor(0x1000, VecRegRef{7, 2}));
+    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{7, 1}), 0u);
+    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{7, 2}), 1u);
+
+    // rebindVreg (eager-chain takeover) keeps the index in sync.
+    VrmtEntry &live = vrmt.install(entryFor(0x2000, VecRegRef{5, 1}));
+    vrmt.rebindVreg(live, VecRegRef{6, 4});
+    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{5, 1}), 0u);
+    EXPECT_EQ(vrmt.invalidateByVreg(VecRegRef{6, 4}), 1u);
 }
 
 TEST(Vrmt, StorageMatchesPaper)

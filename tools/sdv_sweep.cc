@@ -46,6 +46,8 @@ usage(const char *argv0)
         "(default base)\n"
         "  --quick           first two INT + first FP workloads only\n"
         "  --no-event-skip   tick every cycle (cross-check mode)\n"
+        "  --no-trace        interpreter dispatch instead of the "
+        "compiled trace (cross-check mode)\n"
         "  --checkpoint      warm each workload once, fork every "
         "config from the snapshot\n"
         "  --warmup N        checkpoint/sampling warm-up length in "
@@ -163,6 +165,8 @@ main(int argc, char **argv)
             popt.quick = true;
         } else if (std::strcmp(argv[i], "--no-event-skip") == 0) {
             eopt.eventSkip = false;
+        } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+            eopt.trace = false;
         } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
             eopt.checkpoint = true;
         } else if (std::strcmp(argv[i], "--warmup") == 0) {
