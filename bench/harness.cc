@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "common/log.hh"
+#include "obs/telemetry.hh"
 #include "sweep/fuzz.hh"
 
 namespace sdv {
@@ -23,6 +25,7 @@ struct JsonRecord
     double ipc;
     double wallSeconds;
     std::uint64_t valMismatches; ///< engine self-check; CI gates on 0
+    std::string telemetry; ///< "[...]" under --telemetry, else empty
 };
 
 std::vector<JsonRecord> jsonRecords;
@@ -36,6 +39,18 @@ bool traceEnabled = true;
 /** Set by parseArgs (--eager-chain / --quiesce-interval). */
 bool eagerChainEnabled = false;
 std::uint64_t quiesceIntervalInsts = 0;
+
+/** Set by parseArgs (--trace-events / --trace-filter / --trace-last /
+ *  --telemetry); applied to every recorded run. */
+std::string traceEventsPath;
+unsigned traceFilterMask = obs::CatAll;
+std::size_t traceLastEvents = 0;
+std::uint64_t telemetryCycles = 0;
+
+/** Recorders of every traced run, in record order (the trace file's
+ *  source order — deterministic, since recorded runs are serial). */
+std::vector<std::pair<std::shared_ptr<obs::TraceRecorder>, std::string>>
+    traceRecorders;
 
 } // namespace
 
@@ -146,6 +161,24 @@ parseArgs(int argc, char **argv, bool json_supported)
         } else if (json_supported && std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             opt.jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-events") == 0 &&
+                   i + 1 < argc) {
+            opt.traceEventsPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-filter") == 0 &&
+                   i + 1 < argc) {
+            if (!obs::parseCategoryMask(argv[++i], opt.traceFilter))
+                fatal("--trace-filter: unknown category in '", argv[i],
+                      "' (use a comma list of sdv, mem, core)");
+        } else if (std::strcmp(argv[i], "--trace-last") == 0 &&
+                   i + 1 < argc) {
+            opt.traceLast =
+                std::size_t(std::strtoull(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--telemetry") == 0 &&
+                   i + 1 < argc) {
+            opt.telemetryInterval =
+                std::strtoull(argv[++i], nullptr, 0);
+            if (opt.telemetryInterval == 0)
+                fatal("--telemetry needs an interval >= 1 cycle");
         } else {
             std::fprintf(stderr,
                          "usage: %s [--scale N] [--footprint "
@@ -154,6 +187,8 @@ parseArgs(int argc, char **argv, bool json_supported)
                          "[--jobs N] [--checkpoint] [--warmup N] "
                          "[--samples N] [--sample-insts M] "
                          "[--quiesce-interval N] [--eager-chain] "
+                         "[--trace-events F] [--trace-filter C] "
+                         "[--trace-last N] [--telemetry N] "
                          "[--fuzz-speculation] [--fuzz-samples N] "
                          "[--seed N]%s\n",
                          argv[0],
@@ -167,6 +202,10 @@ parseArgs(int argc, char **argv, bool json_supported)
     traceEnabled = opt.trace;
     eagerChainEnabled = opt.eagerChain;
     quiesceIntervalInsts = opt.quiesceInterval;
+    traceEventsPath = opt.traceEventsPath;
+    traceFilterMask = opt.traceFilter;
+    traceLastEvents = opt.traceLast;
+    telemetryCycles = opt.telemetryInterval;
     detail::setQuiet(true);
     return opt;
 }
@@ -198,21 +237,65 @@ SimResult
 run(const CoreConfig &cfg, const Program &prog,
     const std::string &workload, const std::string &config_label)
 {
+    CoreConfig c = cfg;
+    c.eventSkip = eventSkipEnabled;
+    c.traceExec = traceEnabled;
+    c.engine.eagerChainLoads = eagerChainEnabled;
+    Simulator sim(c, prog);
+
+    // Flight recorder + interval telemetry (pure observation; only
+    // attached when the flags asked for them, so default runs take the
+    // exact same path as before).
+    std::shared_ptr<obs::TraceRecorder> rec;
+    if (!traceEventsPath.empty()) {
+        rec = std::make_shared<obs::TraceRecorder>();
+        rec->configure(traceFilterMask, traceLastEvents);
+        sim.setRecorder(rec.get());
+    }
+    obs::IntervalTelemetry telemetry(telemetryCycles ? telemetryCycles
+                                                     : 1);
+    if (telemetryCycles)
+        sim.setTelemetry(&telemetry);
+
     const auto t0 = std::chrono::steady_clock::now();
-    SimResult r = run(cfg, prog);
+    SimResult r =
+        sim.run(200'000'000, /*verify=*/false, quiesceIntervalInsts);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
             .count();
+    if (rec)
+        traceRecorders.emplace_back(rec,
+                                    workload + "/" + config_label);
     jsonRecords.push_back({workload, config_label, r.cycles, r.insts,
                            r.ipc, wall,
-                           r.engine.validationValueMismatches});
+                           r.engine.validationValueMismatches,
+                           telemetryCycles ? telemetry.toJson()
+                                           : std::string()});
     return r;
 }
 
 void
 writeJson(const Options &opt, const std::string &bench_name)
 {
+    // Flush the flight-recorder trace first: it is requested by its
+    // own flag and must appear even without --json.
+    if (!opt.traceEventsPath.empty()) {
+        std::vector<obs::TraceSource> sources;
+        sources.reserve(traceRecorders.size());
+        for (const auto &[rec, label] : traceRecorders)
+            sources.push_back({rec.get(), label});
+        if (!obs::writeTraceFile(opt.traceEventsPath, sources))
+            fatal("cannot write --trace-events path ",
+                  opt.traceEventsPath);
+        std::size_t recorded = 0;
+        for (const obs::TraceSource &s : sources)
+            recorded += s.recorder->size();
+        std::printf("trace: %zu events from %zu runs written to %s\n",
+                    recorded, sources.size(),
+                    opt.traceEventsPath.c_str());
+    }
+
     if (opt.jsonPath.empty())
         return;
     FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
@@ -230,13 +313,19 @@ writeJson(const Options &opt, const std::string &bench_name)
             "  {\"bench\": \"%s\", \"workload\": \"%s\", "
             "\"config\": \"%s\", \"cycles\": %llu, \"insts\": %llu, "
             "\"ipc\": %.4f, \"wall_seconds\": %.6f, "
-            "\"sim_mips\": %.3f, \"val_mismatches\": %llu}%s\n",
+            "\"sim_mips\": %.3f, \"val_mismatches\": %llu",
             bench_name.c_str(), r.workload.c_str(), r.config.c_str(),
             static_cast<unsigned long long>(r.cycles),
             static_cast<unsigned long long>(r.insts), r.ipc,
             r.wallSeconds, mips,
-            static_cast<unsigned long long>(r.valMismatches),
-            i + 1 < jsonRecords.size() ? "," : "");
+            static_cast<unsigned long long>(r.valMismatches));
+        // Telemetry rides along only under --telemetry: the default
+        // record layout stays byte-identical to the baselines.
+        if (!r.telemetry.empty() && r.telemetry != "[]")
+            std::fprintf(f, ", \"telemetry\": %s",
+                         r.telemetry.c_str());
+        std::fprintf(f, "}%s\n",
+                     i + 1 < jsonRecords.size() ? "," : "");
     }
     std::fprintf(f, "]\n");
     std::fclose(f);
@@ -352,6 +441,10 @@ runGrid(const Options &opt, const std::string &plan_name)
     eopt.sample.measureInsts = opt.sampleInsts;
     eopt.quiesceInterval = opt.quiesceInterval;
     eopt.eagerChain = opt.eagerChain;
+    eopt.traceEvents = !opt.traceEventsPath.empty();
+    eopt.traceCategories = opt.traceFilter;
+    eopt.traceLast = opt.traceLast;
+    eopt.telemetryInterval = opt.telemetryInterval;
 
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<sweep::RunOutcome> outcomes =
@@ -364,12 +457,16 @@ runGrid(const Options &opt, const std::string &plan_name)
     // Record for writeJson(). Per-run wall times overlap under --jobs,
     // so charge each run its share of the grid's wall clock: the sum
     // (what compare_bench.py warns on) stays the true elapsed time.
-    for (const sweep::RunOutcome &o : outcomes)
+    for (const sweep::RunOutcome &o : outcomes) {
         jsonRecords.push_back(
             {o.workload, o.configKey, o.res.cycles, o.res.insts,
              o.res.ipc,
              outcomes.empty() ? 0.0 : wall / double(outcomes.size()),
-             o.res.engine.validationValueMismatches});
+             o.res.engine.validationValueMismatches, o.telemetryJson});
+        if (o.trace)
+            traceRecorders.emplace_back(
+                o.trace, o.workload + "/" + o.configKey);
+    }
     return outcomes;
 }
 

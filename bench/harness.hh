@@ -41,6 +41,14 @@ struct Options
      *  early (EngineConfig::eagerChainLoads). */
     bool eagerChain = false;
     std::string jsonPath; ///< --json <path>: machine-readable results
+
+    // Observability (docs/observability.md); applies to recorded runs
+    // (the named run() overload and runGrid). All default-off so the
+    // default --json output stays byte-identical.
+    std::string traceEventsPath; ///< --trace-events F: Perfetto JSON
+    unsigned traceFilter = obs::CatAll; ///< --trace-filter sdv,mem,core
+    std::size_t traceLast = 0;   ///< --trace-last N: ring capacity
+    std::uint64_t telemetryInterval = 0; ///< --telemetry N cycles
 };
 
 /**
@@ -74,7 +82,10 @@ SimResult run(const CoreConfig &cfg, const Program &prog,
  * Emit every recorded run as a JSON array to Options::jsonPath (no-op
  * when --json was not given). Schema per element:
  * {bench, workload, config, cycles, insts, ipc, wall_seconds,
- *  sim_mips}.
+ *  sim_mips} plus an optional "telemetry" array under --telemetry.
+ * Also flushes the flight-recorder trace file when --trace-events was
+ * given (independent of --json), one source per recorded run in
+ * record order.
  */
 void writeJson(const Options &opt, const std::string &bench_name);
 

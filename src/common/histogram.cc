@@ -70,6 +70,33 @@ Histogram::merge(const Histogram &other)
     total_ += other.total_;
 }
 
+std::int64_t
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return -1;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Smallest value whose cumulative count reaches ceil(q * total),
+    // with at least one sample so quantile(0) is the minimum value.
+    std::uint64_t target = std::uint64_t(q * double(total_) + 0.999999);
+    if (target == 0)
+        target = 1;
+    if (target > total_)
+        target = total_;
+    std::uint64_t cum = underflow_;
+    if (cum >= target)
+        return -1;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (cum >= target)
+            return std::int64_t(i);
+    }
+    return std::int64_t(buckets_.size());
+}
+
 std::string
 Histogram::toString() const
 {
@@ -81,6 +108,30 @@ Histogram::toString() const
         os << buckets_[i];
     }
     os << " | unf " << underflow_ << " ovf " << overflow_ << "]";
+    return os.str();
+}
+
+std::string
+Histogram::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"buckets\":" << bucketArrayJson(buckets_.data(), buckets_.size())
+       << ",\"underflow\":" << underflow_ << ",\"overflow\":" << overflow_
+       << ",\"total\":" << total_ << "}";
+    return os.str();
+}
+
+std::string
+bucketArrayJson(const std::uint64_t *buckets, std::size_t n)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i)
+            os << ", ";
+        os << buckets[i];
+    }
+    os << "]";
     return os.str();
 }
 

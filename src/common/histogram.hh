@@ -57,8 +57,23 @@ class Histogram
     /** Merge another histogram of identical shape into this one. */
     void merge(const Histogram &other);
 
+    /**
+     * @return the smallest bucket value v whose cumulative count
+     * reaches fraction @p q (clamped to [0,1]) of all samples: -1 when
+     * the quantile falls in the underflow bucket, numBuckets() when it
+     * falls in the overflow bucket, -1 when the histogram is empty.
+     */
+    std::int64_t quantile(double q) const;
+
     /** @return a one-line textual rendering (for logs and tests). */
     std::string toString() const;
+
+    /**
+     * @return a JSON object {"buckets":[...],"underflow":u,
+     * "overflow":o,"total":t} — the shared emission format for every
+     * histogram-shaped statistic in the JSON reports.
+     */
+    std::string toJson() const;
 
   private:
     std::vector<std::uint64_t> buckets_;
@@ -66,6 +81,14 @@ class Histogram
     std::uint64_t underflow_ = 0;
     std::uint64_t total_ = 0;
 };
+
+/**
+ * Render a raw bucket-count array as a JSON array ("[a, b, c]") —
+ * shared by the Histogram JSON emitter and the fixed C-array
+ * histograms (e.g. VecRegFateStats::lifetimeHist) so every bucket dump
+ * in the JSON reports uses one format.
+ */
+std::string bucketArrayJson(const std::uint64_t *buckets, std::size_t n);
 
 /** Incremental mean tracker. */
 class RunningMean

@@ -7,7 +7,28 @@ namespace sdv {
 namespace detail {
 
 namespace {
+
 bool quietFlag = false;
+thread_local LogContext threadContext;
+
+/** Format the "[subsystem @cycle] " prefix of the active context. */
+std::string
+contextPrefix()
+{
+    if (!threadContext.subsystem)
+        return "";
+    std::string out = "[";
+    out += threadContext.subsystem;
+    if (threadContext.cycle) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " @%llu",
+                      static_cast<unsigned long long>(*threadContext.cycle));
+        out += buf;
+    }
+    out += "] ";
+    return out;
+}
+
 } // namespace
 
 void
@@ -28,14 +49,16 @@ void
 warnImpl(const std::string &msg)
 {
     if (!quietFlag)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        std::fprintf(stderr, "warn: %s%s\n", contextPrefix().c_str(),
+                     msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
     if (!quietFlag)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        std::fprintf(stderr, "info: %s%s\n", contextPrefix().c_str(),
+                     msg.c_str());
 }
 
 void
@@ -48,6 +71,19 @@ bool
 quiet()
 {
     return quietFlag;
+}
+
+LogContext
+logContext()
+{
+    return threadContext;
+}
+
+void
+setLogContext(const char *subsystem, const Cycle *cycle)
+{
+    threadContext.subsystem = subsystem;
+    threadContext.cycle = subsystem ? cycle : nullptr;
 }
 
 } // namespace detail

@@ -7,8 +7,12 @@
 #ifndef SDV_COMMON_LOG_HH
 #define SDV_COMMON_LOG_HH
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
+
+#include "common/types.hh"
 
 namespace sdv {
 
@@ -44,7 +48,48 @@ void setQuiet(bool quiet);
 /** @return whether warn()/inform() are silenced. */
 bool quiet();
 
+/** Per-thread message tag: the emitting subsystem plus a live pointer
+ *  to its simulated clock, prefixed to warn/inform output so messages
+ *  from concurrent sweep workers stay attributable. */
+struct LogContext
+{
+    const char *subsystem = nullptr;
+    const Cycle *cycle = nullptr;
+};
+
+/** @return this thread's current log context. */
+LogContext logContext();
+
+/** Replace this thread's log context (null subsystem clears it). */
+void setLogContext(const char *subsystem, const Cycle *cycle);
+
 } // namespace detail
+
+/**
+ * RAII log tag: while alive, warn()/inform() from this thread are
+ * prefixed with "[subsystem @cycle]". The cycle pointer must outlive
+ * the scope (pass nullptr when no simulated clock applies).
+ */
+class ScopedLogContext
+{
+  public:
+    ScopedLogContext(const char *subsystem, const Cycle *cycle)
+        : prev_(detail::logContext())
+    {
+        detail::setLogContext(subsystem, cycle);
+    }
+
+    ~ScopedLogContext()
+    {
+        detail::setLogContext(prev_.subsystem, prev_.cycle);
+    }
+
+    ScopedLogContext(const ScopedLogContext &) = delete;
+    ScopedLogContext &operator=(const ScopedLogContext &) = delete;
+
+  private:
+    detail::LogContext prev_;
+};
 
 /**
  * Report an internal simulator bug and abort. Use when a condition can
@@ -85,6 +130,24 @@ inform(Args &&...args)
 {
     detail::informImpl(detail::concat(std::forward<Args>(args)...));
 }
+
+/** Warn at most once per call site (first caller wins across threads). */
+#define warn_once(...)                                                      \
+    do {                                                                    \
+        static std::atomic<bool> _sdv_warned_once{false};                   \
+        if (!_sdv_warned_once.exchange(true, std::memory_order_relaxed))    \
+            ::sdv::warn(__VA_ARGS__);                                       \
+    } while (0)
+
+/** Rate-limited warning: emit on the 1st, (n+1)th, (2n+1)th... call of
+ *  this call site, so a per-cycle condition cannot flood stderr. */
+#define warn_every(n, ...)                                                  \
+    do {                                                                    \
+        static std::atomic<std::uint64_t> _sdv_warn_count{0};               \
+        if (_sdv_warn_count.fetch_add(1, std::memory_order_relaxed) %       \
+                std::uint64_t(n) == 0)                                      \
+            ::sdv::warn(__VA_ARGS__);                                       \
+    } while (0)
 
 /** Panic unless a condition holds. */
 #define sdv_assert(cond, ...)                                               \

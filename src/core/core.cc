@@ -4,6 +4,7 @@
 
 #include "common/log.hh"
 #include "isa/trace.hh"
+#include "obs/hooks.hh"
 
 namespace sdv {
 
@@ -42,6 +43,21 @@ Core::specLoadValue(Addr addr, unsigned size) const
     return raw;
 }
 
+void
+Core::setRecorder(obs::TraceRecorder *rec)
+{
+#if SDV_OBS_ENABLED
+    recorder_ = rec;
+    engine_.setRecorder(rec);
+    engine_.vrf().setRecorder(rec);
+    mem_.mshrs().setRecorder(rec);
+    if (rec)
+        rec->setCycle(cycle_);
+#else
+    (void)rec;
+#endif
+}
+
 DynInst *
 Core::robFind(InstSeqNum seq) const
 {
@@ -64,6 +80,8 @@ Core::tick()
     if (cfg_.eventSkip && quietLastTick_ && trySkipIdle())
         return; // jump hit the cycle budget: nothing left to simulate
     quietLastTick_ = true; // stages clear it when they do work
+
+    SDV_OBS_SET_CYCLE(recorder_, cycle_);
 
     ports_.beginCycle();
     fuPool_.beginCycle();
@@ -197,6 +215,7 @@ Core::trySkipIdle()
 
     cycle_ = target;
     stats_.cycles = cycle_;
+    SDV_OBS_SET_CYCLE(recorder_, cycle_);
 
     // When the event lies at or beyond the budget, every remaining
     // cycle was idle: the jump itself finishes the run and the cycle
@@ -259,13 +278,19 @@ Core::quiesceVectorState()
     // only mid-run (--quiesce-interval) boundaries accumulate.
     ++stats_.quiesceEvents;
     const VecRegFile &vrf = engine_.vrf();
+    std::uint64_t live_vregs = 0;
+    std::uint64_t transient_elems = 0;
     vrf.forEachLive([&](VecRegRef ref) {
-        ++stats_.quiesceLiveVregs;
+        ++live_vregs;
         const unsigned n = vrf.elemCount(ref);
         for (unsigned e = 0; e < n; ++e)
             if (vrf.isReady(ref, e) && !vrf.isValid(ref, e))
-                ++stats_.quiesceTransientElems;
+                ++transient_elems;
     });
+    stats_.quiesceLiveVregs += live_vregs;
+    stats_.quiesceTransientElems += transient_elems;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::Quiesce, fetchPc_,
+                  live_vregs, transient_elems);
     engine_.quiesce();
     rt_.reset();
     sdv_assert(ports_.ledgerLiveRecords() == 0,
@@ -412,6 +437,9 @@ Core::commitStage()
 void
 Core::squashAllInFlight()
 {
+    SDV_OBS_EVENT(recorder_, obs::EventKind::Squash, fetchPc_,
+                  rob_.size(), fetchQueue_.size());
+
     // Undo decode effects youngest-first, unparking any waiting
     // validations (their register-file interest bits may fire stale
     // wake events later; empty waiter slots ignore them).
@@ -853,6 +881,8 @@ Core::fetchStage()
     const Cycle ready = mem_.fetchAccess(fetchPc_, cycle_);
     if (ready > cycle_ + cfg_.mem.l1iHitCycles) {
         icacheReadyAt_ = ready;
+        SDV_OBS_EVENT(recorder_, obs::EventKind::IcacheRefill, fetchPc_,
+                      ready);
         return;
     }
 

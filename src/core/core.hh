@@ -36,6 +36,10 @@
 
 namespace sdv {
 
+namespace obs {
+class TraceRecorder;
+} // namespace obs
+
 /** Full machine configuration (Table 1 shapes live in sim/config). */
 struct CoreConfig
 {
@@ -242,6 +246,10 @@ class Core : private VecExecContext
     /** @return current cycle. */
     Cycle cycle() const { return cycle_; }
 
+    /** @return a stable pointer to the cycle counter (log-context
+     *  tagging: warnings print the cycle they fired at). */
+    const Cycle *cyclePtr() const { return &cycle_; }
+
     /** @return core statistics. */
     const CoreStats &stats() const { return stats_; }
 
@@ -265,6 +273,11 @@ class Core : private VecExecContext
 
     /** Release remaining vector state and resolve ledgers. */
     void finalize() { engine_.finalize(); }
+
+    /** Attach a flight recorder to the core and every instrumented
+     *  component (engine, vector register file, MSHRs). Null detaches.
+     *  Pure observation: recording never changes simulated state. */
+    void setRecorder(obs::TraceRecorder *rec);
 
   private:
     /** An instruction fetched but not yet renamed. */
@@ -463,6 +476,9 @@ class Core : private VecExecContext
 
     // Figure 10 window.
     unsigned fig10Remaining_ = 0;
+
+    /** Flight recorder (null when detached / observability is off). */
+    obs::TraceRecorder *recorder_ = nullptr;
 
     CoreStats stats_;
 };

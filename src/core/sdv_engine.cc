@@ -3,8 +3,21 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/hooks.hh"
 
 namespace sdv {
+
+namespace {
+
+/** Pack a register incarnation into one trace-event argument. */
+std::uint64_t
+packRef(VecRegRef ref)
+{
+    return std::uint64_t(ref.reg) |
+           (std::uint64_t(ref.gen & 0xffffu) << 16);
+}
+
+} // namespace
 
 SdvEngine::SdvEngine(const EngineConfig &cfg)
     : cfg_(cfg), tl_(cfg.tlSets, cfg.tlWays, cfg.tlConfidence),
@@ -155,11 +168,16 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
                 // VRMT fault site *detecting*, so it feeds the
                 // injection ledger, not the genuine misspec stat.
                 ++stats_.faultVrmtDetects;
+                SDV_OBS_EVENT(recorder_,
+                              ::sdv::obs::EventKind::FaultDetect, pc,
+                              packRef(ve->vreg));
                 d.fiDetected = true;
                 if (noteChainFault(pc))
                     d.fiDemoted = true;
             } else {
                 ++stats_.loadAddrMisspecs;
+                SDV_OBS_EVENT(recorder_, ::sdv::obs::EventKind::ValMiss,
+                              pc, packRef(ve->vreg), /*addr_misspec=*/2);
             }
             killEntry(*ve);
             tl_.resetConfidence(pc);
@@ -181,8 +199,12 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
     }
 
 
-    if (obs.spawn && trySpawnLoad(d, rt, obs.stride))
-        return DecodeAction::Normal;
+    if (obs.spawn) {
+        SDV_OBS_EVENT(recorder_, ::sdv::obs::EventKind::TlPromote, pc,
+                      std::uint64_t(obs.stride));
+        if (trySpawnLoad(d, rt, obs.stride))
+            return DecodeAction::Normal;
+    }
 
     plainRenameWrite(d, rt);
     return DecodeAction::Normal;
@@ -226,6 +248,8 @@ SdvEngine::trySpawnLoad(DynInst &d, RenameTable &rt, std::int64_t stride)
     rt.set(d.inst().rd, re);
 
     ++stats_.loadSpawns;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ChainSpawn, d.pc(),
+                  packRef(v), /*arith=*/0);
     return true;
 }
 
@@ -278,6 +302,8 @@ SdvEngine::tryChainLoad(DynInst &d, RenameTable &rt)
                                             ve->vreg);
     if (!v2.valid())
         return; // the offset==count decode path retries later
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ChainExtend, d.pc(),
+                  packRef(v2), /*eager=*/0);
 
     saveVrmtPrev(d);
     VrmtEntry e = *ve;
@@ -306,6 +332,8 @@ SdvEngine::eagerSpawnNext(DynInst &d, VrmtEntry &ve)
                                             ve.vreg);
     if (!v2.valid())
         return; // last-element validation falls back to tryChainLoad
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ChainExtend, d.pc(),
+                  packRef(v2), /*eager=*/1);
 
     saveVrmtPrev(d);
     ve.hasNext = true;
@@ -478,8 +506,11 @@ SdvEngine::decodeArith(DynInst &d, RenameTable &rt,
     if (ve_live) {
         // Entry exists but cannot validate this instance: operand
         // mismatch (misspeculation) or exhausted incarnation.
-        if (ve->offset < vrf_.elemCount(ve->vreg))
+        if (ve->offset < vrf_.elemCount(ve->vreg)) {
             ++stats_.arithOperandMisspecs;
+            SDV_OBS_EVENT(recorder_, obs::EventKind::ValMiss, pc,
+                          packRef(ve->vreg), /*operand_misspec=*/3);
+        }
         killEntry(*ve);
     } else if (ve && ve->isLoad && vrf_.isLive(ve->vreg)) {
         // A load entry aliased onto this PC (should not happen: PCs are
@@ -585,6 +616,8 @@ SdvEngine::trySpawnArith(DynInst &d, RenameTable &rt, const SrcSpec &s1,
     if ((s1.isScalar() && s2.isVector()) ||
         (s1.isVector() && s2.isScalar()))
         ++stats_.mixedScalarSpawns;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ChainSpawn, d.pc(),
+                  packRef(v), /*arith=*/1);
     return true;
 }
 
@@ -633,6 +666,8 @@ SdvEngine::tryChainArith(DynInst &d, RenameTable &rt, const SrcSpec &s1,
     rt.set(d.inst().rd, re);
 
     ++stats_.arithChainSpawns;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ChainExtend, d.pc(),
+                  packRef(v2), /*eager=*/0);
 }
 
 // --- shared decode helpers ------------------------------------------------
@@ -643,6 +678,8 @@ SdvEngine::makeValidation(DynInst &d, RenameTable &rt, VrmtEntry &ve)
     d.mode = InstMode::Validation;
     d.valVreg = ve.vreg;
     d.valElem = ve.offset;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ValIssue, d.pc(),
+                  packRef(ve.vreg), ve.offset);
     vrf_.setUsed(ve.vreg, ve.offset, true);
     ++ve.offset;
     d.bumpedVrmtOffset = true;
@@ -672,6 +709,8 @@ SdvEngine::corruptInstall(VrmtEntry &ie)
     else
         ie.baseAddr ^= f.mask;
     ie.faultInjected = true;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::FaultInject, ie.pc,
+                  packRef(ie.vreg));
 }
 
 bool
@@ -689,6 +728,7 @@ SdvEngine::noteChainFault(Addr pc)
     dm.cleanRemaining =
         cfg_.fault.reenableWindow ? cfg_.fault.reenableWindow : 1;
     ++stats_.faultChainDemotions;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ChainDemote, pc);
     // Cut the chain immediately: kill its entry (and datapath
     // instance) so no further validation consumes the faulted stream;
     // in-flight validations of the killed register fall back to scalar
@@ -711,6 +751,8 @@ SdvEngine::noteChainClean(Addr pc)
 void
 SdvEngine::killEntry(VrmtEntry &ve)
 {
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ChainKill, ve.pc,
+                  packRef(ve.vreg));
     if (vrf_.isLive(ve.vreg)) {
         vrf_.kill(ve.vreg);
         datapath_.abortByDest(ve.vreg);
@@ -744,6 +786,8 @@ SdvEngine::fallbackValidation(DynInst &d)
     d.mode = InstMode::Scalar;
     d.valElemFellBack = true;
     ++stats_.lateValidationFallbacks;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ValMiss, d.pc(),
+                  packRef(d.valVreg), /*fallback=*/1);
 }
 
 ValCommitResult
@@ -770,6 +814,8 @@ SdvEngine::onValidationCommit(const DynInst &d)
                         ++stats_.faultValidationDetects;
                     else
                         ++stats_.faultTaintDetects;
+                    SDV_OBS_EVENT(recorder_, obs::EventKind::FaultDetect,
+                                  d.pc(), packRef(d.valVreg));
                     res.faultDetected = true;
                     res.chainDemoted = noteChainFault(d.pc());
                     // Repair the payload with the architectural value
@@ -782,11 +828,17 @@ SdvEngine::onValidationCommit(const DynInst &d)
                         ++stats_.faultValidationBenign;
                     vrf_.clearFaultMarks(d.valVreg, d.valElem);
                     noteChainClean(d.pc());
+                    SDV_OBS_EVENT(recorder_, obs::EventKind::ValHit,
+                                  d.pc(), packRef(d.valVreg), d.valElem);
                 }
             } else if (mismatch) {
                 ++stats_.validationValueMismatches;
+                SDV_OBS_EVENT(recorder_, obs::EventKind::ValMiss, d.pc(),
+                              packRef(d.valVreg), /*mismatch=*/0);
             } else {
                 noteChainClean(d.pc());
+                SDV_OBS_EVENT(recorder_, obs::EventKind::ValHit, d.pc(),
+                              packRef(d.valVreg), d.valElem);
             }
         }
         vrf_.setValid(d.valVreg, d.valElem);
@@ -818,6 +870,7 @@ SdvEngine::onScalarWriterCommit(const DynInst &d)
     }
     demotions_.erase(it);
     ++stats_.faultChainReenables;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::ChainReenable, d.pc());
     return true;
 }
 

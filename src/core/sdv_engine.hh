@@ -291,6 +291,10 @@ class SdvEngine
     /** @return the configuration. */
     const EngineConfig &config() const { return cfg_; }
 
+    /** Attach a flight recorder for chain-lifecycle events (null
+     *  detaches; forwarded to the register file by Core::setRecorder). */
+    void setRecorder(obs::TraceRecorder *rec) { recorder_ = rec; }
+
   private:
     /** Shadow of the last committed vector-element writer per logical
      *  register, used to set F flags (Section 3.3). */
@@ -411,6 +415,7 @@ class SdvEngine
 
     FaultInjector finj_;
     EngineStats stats_;
+    obs::TraceRecorder *recorder_ = nullptr;
 };
 
 } // namespace sdv

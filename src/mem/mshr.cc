@@ -1,6 +1,7 @@
 #include "mem/mshr.hh"
 
 #include "common/log.hh"
+#include "obs/hooks.hh"
 
 namespace sdv {
 
@@ -42,6 +43,7 @@ MshrFile::allocate(Addr line_addr, Cycle ready, Cycle now,
     }
     if (!free_entry) {
         ++fullStalls_;
+        SDV_OBS_EVENT(recorder_, obs::EventKind::MshrRetry, line_addr);
         return false;
     }
     free_entry->valid = true;
@@ -49,6 +51,7 @@ MshrFile::allocate(Addr line_addr, Cycle ready, Cycle now,
     free_entry->ready = ready;
     ++allocations_;
     completion = ready;
+    SDV_OBS_EVENT(recorder_, obs::EventKind::MshrAlloc, line_addr, ready);
     return true;
 }
 

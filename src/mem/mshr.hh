@@ -15,6 +15,10 @@
 
 namespace sdv {
 
+namespace obs {
+class TraceRecorder;
+} // namespace obs
+
 /** The MSHR file of one cache. */
 class MshrFile
 {
@@ -62,6 +66,10 @@ class MshrFile
     /** Clear all entries and statistics. */
     void reset();
 
+    /** Attach a flight recorder for alloc/retry events (null
+     *  detaches; pure observation). */
+    void setRecorder(obs::TraceRecorder *rec) { recorder_ = rec; }
+
     /** Zero the statistics, keeping any tracked fills. */
     void
     resetStats()
@@ -94,6 +102,7 @@ class MshrFile
     std::uint64_t allocations_ = 0;
     std::uint64_t merges_ = 0;
     std::uint64_t fullStalls_ = 0;
+    obs::TraceRecorder *recorder_ = nullptr;
 };
 
 } // namespace sdv

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Compile-time gate for observability hooks. With SDV_OBS defined
+ * (the default build) each hook is one null-pointer test; without it
+ * the hooks compile to nothing, so the disabled build is provably
+ * unchanged. Recording never mutates model state either way: the
+ * simulated statistics are bit-identical with and without a recorder.
+ */
+
+#ifndef SDV_OBS_HOOKS_HH
+#define SDV_OBS_HOOKS_HH
+
+#ifdef SDV_OBS
+
+#include "obs/trace.hh"
+
+#define SDV_OBS_ENABLED 1
+
+/** Record one event if a recorder is attached. */
+#define SDV_OBS_EVENT(rec, ...)                                             \
+    do {                                                                    \
+        if (rec)                                                            \
+            (rec)->record(__VA_ARGS__);                                     \
+    } while (0)
+
+/** Stamp the recorder clock (call once per simulated cycle). */
+#define SDV_OBS_SET_CYCLE(rec, now)                                         \
+    do {                                                                    \
+        if (rec)                                                            \
+            (rec)->setCycle(now);                                           \
+    } while (0)
+
+#else
+
+#define SDV_OBS_ENABLED 0
+#define SDV_OBS_EVENT(rec, ...) do { } while (0)
+#define SDV_OBS_SET_CYCLE(rec, now) do { } while (0)
+
+#endif // SDV_OBS
+
+#endif // SDV_OBS_HOOKS_HH

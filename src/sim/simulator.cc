@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include "common/log.hh"
+#include "obs/telemetry.hh"
 
 namespace sdv {
 
@@ -22,6 +23,7 @@ Simulator::advanceTo(std::uint64_t target_insts,
 {
     sdv_assert(target_insts > core_.oracle().instCount(),
                "advanceTo target is behind the current position");
+    const ScopedLogContext log_ctx("sim", core_.cyclePtr());
     core_.setFetchLimit(target_insts);
     core_.setCycleLimit(max_cycles);
     // Run until the capped fetch stream has fully drained through the
@@ -67,6 +69,7 @@ SimResult
 Simulator::runInsts(std::uint64_t insts, std::uint64_t max_cycles)
 {
     sdv_assert(insts > 0, "runInsts needs at least one instruction");
+    const ScopedLogContext log_ctx("sim", core_.cyclePtr());
     core_.setFetchLimit(core_.oracle().instCount() + insts);
     core_.setCycleLimit(max_cycles);
     // As in advanceTo(): run until the capped fetch stream has fully
@@ -98,11 +101,17 @@ Simulator::run(std::uint64_t max_cycles, bool verify,
                std::uint64_t quiesce_interval)
 {
     SimResult res;
+    const ScopedLogContext log_ctx("sim", core_.cyclePtr());
     core_.setCycleLimit(max_cycles);
+    if (telemetry_)
+        telemetry_->begin(core_);
     if (quiesce_interval == 0) {
         while (!core_.done() && core_.cycle() < max_cycles &&
-               !checkAbort())
+               !checkAbort()) {
             core_.tick();
+            if (telemetry_ && telemetry_->due(core_.cycle()))
+                telemetry_->sample(core_);
+        }
     } else {
         // Periodic context-switch semantics: cap fetch at the next
         // boundary, drain until quiescent, drop the transient vector
@@ -114,8 +123,11 @@ Simulator::run(std::uint64_t max_cycles, bool verify,
                !checkAbort()) {
             core_.setFetchLimit(boundary);
             while (core_.cycle() < max_cycles && !checkAbort() &&
-                   !(core_.fetchExhausted() && core_.quiescent()))
+                   !(core_.fetchExhausted() && core_.quiescent())) {
                 core_.tick();
+                if (telemetry_ && telemetry_->due(core_.cycle()))
+                    telemetry_->sample(core_);
+            }
             core_.setFetchLimit(0);
             if (core_.done() || core_.cycle() >= max_cycles ||
                 aborted_)
@@ -124,6 +136,12 @@ Simulator::run(std::uint64_t max_cycles, bool verify,
             boundary += quiesce_interval;
         }
     }
+
+    // Flush the final partial interval while the vector state is still
+    // live (finalize() releases it, which would skew the last sample's
+    // live-vreg occupancy).
+    if (telemetry_)
+        telemetry_->finish(core_);
 
     core_.finalize();
 

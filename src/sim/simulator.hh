@@ -17,6 +17,10 @@
 
 namespace sdv {
 
+namespace obs {
+class IntervalTelemetry;
+} // namespace obs
+
 /** Everything measured by one simulation. */
 struct SimResult
 {
@@ -161,6 +165,21 @@ class Simulator
         abortPoll_ = 0;
     }
 
+    /** Attach a flight recorder (forwards to the core and every
+     *  instrumented component; null detaches). Pure observation. */
+    void setRecorder(obs::TraceRecorder *rec) { core_.setRecorder(rec); }
+
+    /** Attach an interval-telemetry collector (null detaches). run()
+     *  begins it at loop entry, samples it whenever the clock crosses
+     *  an interval boundary, and flushes the final partial interval
+     *  before finalize() — so the sample deltas sum exactly to the
+     *  end-of-run aggregates. Only run() samples; the bounded-region
+     *  entry points (runInsts/advanceTo) ignore it. */
+    void setTelemetry(obs::IntervalTelemetry *telemetry)
+    {
+        telemetry_ = telemetry;
+    }
+
     /** @return the core (inspection/tests). */
     Core &core() { return core_; }
 
@@ -186,6 +205,7 @@ class Simulator
 
     const Program &prog_;
     Core core_;
+    obs::IntervalTelemetry *telemetry_ = nullptr;
     const std::atomic<bool> *abort_ = nullptr;
     bool aborted_ = false;
     std::uint32_t abortPoll_ = 0;

@@ -8,8 +8,10 @@
 #include <optional>
 #include <thread>
 
+#include "common/histogram.hh"
 #include "common/log.hh"
 #include "common/random.hh"
+#include "obs/telemetry.hh"
 #include "sweep/checkpoint.hh"
 #include "workloads/workload.hh"
 
@@ -164,7 +166,8 @@ buildPrograms(const SweepPlan &plan)
  */
 std::map<std::string, std::vector<std::uint8_t>>
 captureCheckpoints(const SweepPlan &plan, const ExecOptions &opt,
-                   const std::map<std::string, Program> &programs)
+                   const std::map<std::string, Program> &programs,
+                   ExecMetrics *metrics)
 {
     std::map<std::string, std::vector<std::uint8_t>> checkpoints;
     for (const SweepJob &job : plan.jobs) {
@@ -219,6 +222,10 @@ captureCheckpoints(const SweepPlan &plan, const ExecOptions &opt,
             continue;
         }
         bytes = Checkpoint::capture(sim);
+        if (metrics) {
+            ++metrics->checkpointCaptures;
+            metrics->checkpointCaptureBytes += bytes.size();
+        }
         if (!path.empty() && !Checkpoint::save(path, bytes))
             warn("could not write checkpoint ", path);
         checkpoints.emplace(job.workload, std::move(bytes));
@@ -269,7 +276,8 @@ stampOutcome(RunOutcome &out, const SweepJob &job)
  */
 std::vector<RunOutcome>
 runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
-               const std::map<std::string, Program> &programs)
+               const std::map<std::string, Program> &programs,
+               ExecMetrics *metrics)
 {
     // Capture pass (serial, scheduling-independent): the warm-up
     // configuration is the workload's first engine-enabled job, as in
@@ -363,7 +371,10 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
     // Each unit owns its wall-time slot; the per-job totals fold in
     // after the pool joins (a shared += would be a data race).
     std::vector<double> unitWall(units.size(), 0.0);
+    std::vector<double> unitQueueWait(units.size(), 0.0);
     std::vector<char> unitTimedOut(units.size(), 0);
+    std::atomic<std::uint64_t> restoreCount{0}, restoreBytes{0};
+    const auto poolStart = std::chrono::steady_clock::now();
 
     JobWatchdog wd(units.size(), opt.jobTimeout,
                    [&plan, &units](std::size_t u) {
@@ -385,6 +396,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
         cfg.traceExec = opt.trace;
         cfg.engine.eagerChainLoads = opt.eagerChain;
         const Program &prog = programs.at(job.workload);
+        unitQueueWait[u] = secondsSince(poolStart);
         const auto t0 = std::chrono::steady_clock::now();
         if (unit.sample < 0) {
             Simulator sim(cfg, prog);
@@ -403,6 +415,11 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
         std::string err;
         // Empty bytes: the exact cold-start region forks from
         // reset instead of restoring a snapshot.
+        if (!sc.bytes.empty()) {
+            restoreCount.fetch_add(1, std::memory_order_relaxed);
+            restoreBytes.fetch_add(sc.bytes.size(),
+                                   std::memory_order_relaxed);
+        }
         if (!sc.bytes.empty() &&
             !Checkpoint::restore(sim, sc.bytes, &err)) {
             // validate() passed serially, so this is exceptional;
@@ -434,6 +451,15 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
             runUnit(u);
     };
     runOnPool(opt.jobs, units.size(), worker);
+    if (metrics) {
+        metrics->poolWallSeconds = secondsSince(poolStart);
+        metrics->workers = unsigned(std::min<std::size_t>(
+            std::max(1u, opt.jobs), units.size()));
+        metrics->checkpointRestores =
+            restoreCount.load(std::memory_order_relaxed);
+        metrics->checkpointRestoreBytes =
+            restoreBytes.load(std::memory_order_relaxed);
+    }
 
     // Watchdog retry pass: aborted units re-run once, serially, with a
     // fresh timer each.
@@ -455,6 +481,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
 
     // Plan-ordered aggregation: a pure integer fold of the per-sample
     // measurements, independent of which thread measured what.
+    const auto collate0 = std::chrono::steady_clock::now();
     for (std::size_t u = 0; u < units.size(); ++u)
         outcomes[units[u].job].wallSeconds += unitWall[u];
     for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
@@ -466,26 +493,53 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
         outcomes[i].fromCheckpoint = true;
         outcomes[i].samples = unsigned(set.samples.size());
     }
+    if (metrics) {
+        metrics->collateSeconds = secondsSince(collate0);
+        metrics->jobs.resize(plan.jobs.size());
+        for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+            ExecMetrics::JobMetrics &jm = metrics->jobs[i];
+            jm.workload = plan.jobs[i].workload;
+            jm.configKey = plan.jobs[i].configKey;
+            jm.queueWaitSeconds = -1.0; // min over the job's units
+            jm.runSeconds = outcomes[i].wallSeconds;
+        }
+        for (std::size_t u = 0; u < units.size(); ++u) {
+            ExecMetrics::JobMetrics &jm = metrics->jobs[units[u].job];
+            if (jm.queueWaitSeconds < 0.0 ||
+                unitQueueWait[u] < jm.queueWaitSeconds)
+                jm.queueWaitSeconds = unitQueueWait[u];
+        }
+        for (ExecMetrics::JobMetrics &jm : metrics->jobs) {
+            if (jm.queueWaitSeconds < 0.0)
+                jm.queueWaitSeconds = 0.0;
+            metrics->busySeconds += jm.runSeconds;
+        }
+    }
     return outcomes;
 }
 
 } // namespace
 
 std::vector<RunOutcome>
-runPlan(const SweepPlan &plan, const ExecOptions &opt)
+runPlan(const SweepPlan &plan, const ExecOptions &opt,
+        ExecMetrics *metrics)
 {
+    if (metrics) {
+        *metrics = ExecMetrics{};
+        metrics->enabled = true;
+    }
     const std::map<std::string, Program> programs = buildPrograms(plan);
 
     if (opt.sample.enabled()) {
         sdv_assert(!opt.verify,
                    "interval sampling produces estimates that cannot "
                    "be functionally verified; drop --verify");
-        return runPlanSampled(plan, opt, programs);
+        return runPlanSampled(plan, opt, programs, metrics);
     }
 
     std::map<std::string, std::vector<std::uint8_t>> checkpoints;
     if (opt.checkpoint)
-        checkpoints = captureCheckpoints(plan, opt, programs);
+        checkpoints = captureCheckpoints(plan, opt, programs, metrics);
 
     std::vector<RunOutcome> outcomes(plan.jobs.size());
     JobWatchdog wd(plan.jobs.size(), opt.jobTimeout,
@@ -495,11 +549,16 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
                               " (seed " + std::to_string(j.seed) + ")";
                    });
 
+    std::vector<double> jobQueueWait(plan.jobs.size(), 0.0);
+    std::atomic<std::uint64_t> restoreCount{0}, restoreBytes{0};
+    const auto poolStart = std::chrono::steady_clock::now();
+
     auto runJob = [&](std::size_t i) {
         const SweepJob &job = plan.jobs[i];
         RunOutcome &out = outcomes[i];
         stampOutcome(out, job);
 
+        jobQueueWait[i] = secondsSince(poolStart);
         const auto t0 = std::chrono::steady_clock::now();
         CoreConfig cfg = job.cfg;
         cfg.eventSkip = opt.eventSkip;
@@ -524,12 +583,27 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
             if (!bytes.empty() && Checkpoint::validate(*sim, bytes) &&
                 Checkpoint::restore(*sim, bytes, &err)) {
                 out.fromCheckpoint = true;
+                restoreCount.fetch_add(1, std::memory_order_relaxed);
+                restoreBytes.fetch_add(bytes.size(),
+                                       std::memory_order_relaxed);
             } else if (!bytes.empty()) {
                 warn("running ", job.workload, "/", job.configKey,
                      " cold", err.empty() ? "" : ": ", err);
                 sim.emplace(cfg, prog);
             }
         }
+
+        // Flight recorder + interval telemetry (pure observation: the
+        // simulated outcome is bit-identical with or without them).
+        obs::IntervalTelemetry telemetry(
+            opt.telemetryInterval ? opt.telemetryInterval : 1);
+        if (opt.traceEvents) {
+            out.trace = std::make_shared<obs::TraceRecorder>();
+            out.trace->configure(opt.traceCategories, opt.traceLast);
+            sim->setRecorder(out.trace.get());
+        }
+        if (opt.telemetryInterval)
+            sim->setTelemetry(&telemetry);
 
         wd.begin(i, *sim);
         out.res = sim->run(opt.maxCycles, opt.verify,
@@ -538,6 +612,8 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
         out.timedOut = out.res.timedOut;
         out.commitHash = sim->core().commitPcHash();
         out.wallSeconds = secondsSince(t0);
+        if (opt.telemetryInterval)
+            out.telemetryJson = telemetry.toJson();
     };
 
     std::atomic<std::size_t> next{0};
@@ -560,6 +636,24 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt)
             outcomes[i] = RunOutcome{};
             runJob(i);
             outcomes[i].retried = true;
+        }
+    }
+    if (metrics) {
+        metrics->poolWallSeconds = secondsSince(poolStart);
+        metrics->workers = unsigned(std::min<std::size_t>(
+            std::max(1u, opt.jobs), plan.jobs.size()));
+        metrics->checkpointRestores =
+            restoreCount.load(std::memory_order_relaxed);
+        metrics->checkpointRestoreBytes =
+            restoreBytes.load(std::memory_order_relaxed);
+        metrics->jobs.resize(plan.jobs.size());
+        for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+            ExecMetrics::JobMetrics &jm = metrics->jobs[i];
+            jm.workload = plan.jobs[i].workload;
+            jm.configKey = plan.jobs[i].configKey;
+            jm.queueWaitSeconds = jobQueueWait[i];
+            jm.runSeconds = outcomes[i].wallSeconds;
+            metrics->busySeconds += jm.runSeconds;
         }
     }
     return outcomes;
@@ -623,15 +717,8 @@ resultsJson(const std::vector<RunOutcome> &outcomes)
                 static_cast<unsigned long long>(
                     o.res.core.quiesceTransientElems));
             out += buf;
-            out += ", \"vreg_lifetime_hist\": [";
-            for (int b = 0; b < 8; ++b) {
-                std::snprintf(buf, sizeof(buf), "%s%llu",
-                              b ? ", " : "",
-                              static_cast<unsigned long long>(
-                                  o.res.fates.lifetimeHist[b]));
-                out += buf;
-            }
-            out += "]";
+            out += ", \"vreg_lifetime_hist\": ";
+            out += bucketArrayJson(o.res.fates.lifetimeHist, 8);
         }
         if (o.cfg.engine.fault.armed()) {
             std::snprintf(
@@ -662,9 +749,98 @@ resultsJson(const std::vector<RunOutcome> &outcomes)
                     o.res.engine.faultChainReenables));
             out += buf;
         }
+        // Interval telemetry rides along only when it was sampled
+        // (--telemetry): default-mode records stay byte-identical.
+        if (!o.telemetryJson.empty() && o.telemetryJson != "[]") {
+            out += ", \"telemetry\": ";
+            out += o.telemetryJson;
+        }
         out += i + 1 < outcomes.size() ? "},\n" : "}\n";
     }
     out += "]";
+    return out;
+}
+
+std::vector<obs::TraceSource>
+traceSources(const std::vector<RunOutcome> &outcomes)
+{
+    std::vector<obs::TraceSource> sources;
+    for (const RunOutcome &o : outcomes)
+        if (o.trace)
+            sources.push_back(
+                {o.trace.get(), o.workload + "/" + o.configKey});
+    return sources;
+}
+
+std::string
+ExecMetrics::toJson() const
+{
+    char buf[256];
+    std::string out = "{";
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"workers\": %u, \"pool_wall_seconds\": %.6f, "
+        "\"busy_seconds\": %.6f, \"utilization\": %.4f, "
+        "\"collate_seconds\": %.6f",
+        workers, poolWallSeconds, busySeconds, utilization(),
+        collateSeconds);
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        ", \"checkpoint_captures\": %llu, "
+        "\"checkpoint_capture_bytes\": %llu, "
+        "\"checkpoint_restores\": %llu, "
+        "\"checkpoint_restore_bytes\": %llu",
+        static_cast<unsigned long long>(checkpointCaptures),
+        static_cast<unsigned long long>(checkpointCaptureBytes),
+        static_cast<unsigned long long>(checkpointRestores),
+        static_cast<unsigned long long>(checkpointRestoreBytes));
+    out += buf;
+    out += ", \"jobs\": [";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const JobMetrics &j = jobs[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"workload\": \"%s\", \"config\": \"%s\", "
+                      "\"queue_wait_seconds\": %.6f, "
+                      "\"run_seconds\": %.6f}",
+                      i ? ", " : "", j.workload.c_str(),
+                      j.configKey.c_str(), j.queueWaitSeconds,
+                      j.runSeconds);
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+ExecMetrics::summaryTable() const
+{
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "executor: %u worker%s, pool %.2fs, busy %.2fs "
+                  "(%.0f%% utilization), collate %.3fs\n",
+                  workers, workers == 1 ? "" : "s", poolWallSeconds,
+                  busySeconds, utilization() * 100.0, collateSeconds);
+    out += buf;
+    if (checkpointCaptures || checkpointRestores) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "checkpoints: %llu captured (%llu bytes), %llu restored "
+            "(%llu bytes)\n",
+            static_cast<unsigned long long>(checkpointCaptures),
+            static_cast<unsigned long long>(checkpointCaptureBytes),
+            static_cast<unsigned long long>(checkpointRestores),
+            static_cast<unsigned long long>(checkpointRestoreBytes));
+        out += buf;
+    }
+    out += "  queue-wait      run  job\n";
+    for (const JobMetrics &j : jobs) {
+        std::snprintf(buf, sizeof(buf), "  %9.3fs %7.2fs  %s/%s\n",
+                      j.queueWaitSeconds, j.runSeconds,
+                      j.workload.c_str(), j.configKey.c_str());
+        out += buf;
+    }
     return out;
 }
 
@@ -672,7 +848,7 @@ bool
 writeJsonFile(const std::string &path, const SweepPlan &plan,
               const ExecOptions &opt,
               const std::vector<RunOutcome> &outcomes,
-              double wall_seconds)
+              double wall_seconds, const ExecMetrics *metrics)
 {
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
@@ -692,17 +868,25 @@ writeJsonFile(const std::string &path, const SweepPlan &plan,
                           opt.sample.measureInsts));
         extra += buf;
     }
+    // Host-side executor metrics appear only when collected
+    // (--metrics-summary / --metrics): the default-mode document stays
+    // byte-identical to the checked-in baselines.
+    std::string exec_metrics;
+    if (metrics && metrics->enabled)
+        exec_metrics =
+            "\"exec_metrics\": " + metrics->toJson() + ",\n";
     std::fprintf(
         f,
         "{\n\"sweep\": {\"plan\": \"%s\", \"scale\": %u, "
         "\"event_skip\": %s, \"trace\": %s, \"checkpoint\": %s, "
         "\"warmup_insts\": %llu%s, \"wall_seconds\": %.6f},\n"
-        "\"results\": %s\n}\n",
+        "%s\"results\": %s\n}\n",
         plan.name.c_str(), plan.scale, opt.eventSkip ? "true" : "false",
         opt.trace ? "true" : "false",
         opt.checkpoint ? "true" : "false",
         static_cast<unsigned long long>(opt.warmupInsts), extra.c_str(),
-        wall_seconds, resultsJson(outcomes).c_str());
+        wall_seconds, exec_metrics.c_str(),
+        resultsJson(outcomes).c_str());
     std::fclose(f);
     return true;
 }

@@ -17,9 +17,11 @@
 #define SDV_SWEEP_EXECUTOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 #include "sweep/plan.hh"
 #include "sweep/sampling.hh"
@@ -66,6 +68,64 @@ struct ExecOptions
      *  invocations; cached files are validated against the current
      *  program and geometry and recaptured when stale. */
     std::string checkpointDir;
+
+    // --- observability (all default-off: the default-mode JSON stays
+    // byte-identical to the checked-in baselines; docs/observability.md)
+    /** Attach a flight recorder to every full-run job (--trace-events).
+     *  Needs an SDV_OBS build (the default) to record anything; the
+     *  recorders come back in RunOutcome::trace for plan-ordered
+     *  serialization. Sampled jobs are not traced. */
+    bool traceEvents = false;
+    /** Event-category mask for the recorders (--trace-filter). */
+    unsigned traceCategories = obs::CatAll;
+    /** Ring capacity: keep only the last N events per job
+     *  (--trace-last; 0 = unbounded append). */
+    std::size_t traceLast = 0;
+    /** Interval telemetry: sample CoreStats/EngineStats deltas every N
+     *  cycles per full-run job (--telemetry; 0 = off). Emitted as the
+     *  per-record "telemetry" array. Sampled jobs ignore it. */
+    std::uint64_t telemetryInterval = 0;
+};
+
+/** Host-side execution metrics (--metrics-summary / "exec_metrics"):
+ *  wall-clock observations of the pool itself, deliberately kept out
+ *  of resultsJson() — they vary run to run and must never perturb the
+ *  deterministic payload. */
+struct ExecMetrics
+{
+    bool enabled = false;       ///< collected this run
+    unsigned workers = 0;       ///< pool threads actually used
+    double poolWallSeconds = 0.0; ///< pool start to join
+    double busySeconds = 0.0;   ///< sum of unit run times
+    double collateSeconds = 0.0; ///< plan-ordered aggregation/serialization
+    std::uint64_t checkpointCaptures = 0;    ///< warm snapshots taken
+    std::uint64_t checkpointCaptureBytes = 0;
+    std::uint64_t checkpointRestores = 0;    ///< forks from snapshots
+    std::uint64_t checkpointRestoreBytes = 0;
+
+    /** Per-job host timing, plan order. */
+    struct JobMetrics
+    {
+        std::string workload;
+        std::string configKey;
+        double queueWaitSeconds = 0.0; ///< pool start -> job start
+        double runSeconds = 0.0;       ///< job simulation time
+    };
+    std::vector<JobMetrics> jobs;
+
+    /** @return busySeconds / (workers * poolWallSeconds), in [0, 1]. */
+    double
+    utilization() const
+    {
+        const double cap = double(workers) * poolWallSeconds;
+        return cap <= 0.0 ? 0.0 : busySeconds / cap;
+    }
+
+    /** @return the "exec_metrics" JSON object. */
+    std::string toJson() const;
+
+    /** @return a human-readable summary table (--metrics-summary). */
+    std::string summaryTable() const;
 };
 
 /** One job's outcome (self-contained: carries the job identity). */
@@ -96,6 +156,14 @@ struct RunOutcome
     bool retried = false;
     double wallSeconds = 0.0; ///< host timing; kept out of the
                               ///< deterministic JSON payload
+
+    /** Flight recorder this job filled (ExecOptions::traceEvents;
+     *  null otherwise). shared_ptr because outcomes are copied during
+     *  the watchdog retry pass. */
+    std::shared_ptr<obs::TraceRecorder> trace;
+    /** Interval-telemetry JSON array ("[...]") for this job
+     *  (ExecOptions::telemetryInterval; empty otherwise). */
+    std::string telemetryJson;
 };
 
 /**
@@ -105,7 +173,8 @@ struct RunOutcome
  * before the pool starts.
  */
 std::vector<RunOutcome> runPlan(const SweepPlan &plan,
-                                const ExecOptions &opt);
+                                const ExecOptions &opt,
+                                ExecMetrics *metrics = nullptr);
 
 /**
  * @return the deterministic JSON results array for @p outcomes: one
@@ -122,7 +191,16 @@ std::string resultsJson(const std::vector<RunOutcome> &outcomes);
 bool writeJsonFile(const std::string &path, const SweepPlan &plan,
                    const ExecOptions &opt,
                    const std::vector<RunOutcome> &outcomes,
-                   double wall_seconds);
+                   double wall_seconds,
+                   const ExecMetrics *metrics = nullptr);
+
+/**
+ * @return the outcomes' recorders as plan-ordered trace sources
+ * (labels "<workload>/<config>", pid = plan index): the argument for
+ * obs::writeTraceFile, byte-identical across --jobs settings.
+ */
+std::vector<obs::TraceSource>
+traceSources(const std::vector<RunOutcome> &outcomes);
 
 } // namespace sweep
 } // namespace sdv

@@ -1,8 +1,21 @@
 #include "vector/vreg_file.hh"
 
 #include "common/log.hh"
+#include "obs/hooks.hh"
 
 namespace sdv {
+
+namespace {
+
+/** Pack reg/gen (and release cause) into one trace-event argument. */
+std::uint64_t
+packVregArg(VecRegId reg, std::uint32_t gen, unsigned cause = 0)
+{
+    return std::uint64_t(reg) | (std::uint64_t(gen & 0xffffu) << 16) |
+           (std::uint64_t(cause) << 32);
+}
+
+} // namespace
 
 VecRegFile::VecRegFile(unsigned num_regs, unsigned vlen)
     : numRegs_(num_regs), vlen_(vlen), freeCount_(num_regs),
@@ -87,6 +100,8 @@ VecRegFile::allocate(Addr mrbb)
     setMaskBit(freeMask_, id, false);
     setMaskBit(liveMask_, id, true);
     markSweepCandidate(id); // a degenerate incarnation may free at once
+    SDV_OBS_EVENT(recorder_, obs::EventKind::VregAlloc, mrbb,
+                  packVregArg(id, r.gen));
     return VecRegRef{id, r.gen};
 }
 
@@ -316,6 +331,8 @@ VecRegFile::release(Reg &reg, ReleaseCause cause)
     const VecRegId id = VecRegId(unsigned(&reg - regs_.data()));
     setMaskBit(freeMask_, id, true);
     setMaskBit(liveMask_, id, false);
+    SDV_OBS_EVENT(recorder_, obs::EventKind::VregRelease, 0,
+                  packVregArg(id, reg.gen, unsigned(cause)), age);
 }
 
 bool
@@ -404,6 +421,9 @@ VecRegFile::releaseSquashed(VecRegRef ref)
     ++version_;
     setMaskBit(freeMask_, ref.reg, true);
     setMaskBit(liveMask_, ref.reg, false);
+    SDV_OBS_EVENT(recorder_, obs::EventKind::VregRelease, 0,
+                  packVregArg(ref.reg, r.gen, /*cause=*/4),
+                  clock_ - r.allocCycle);
 }
 
 } // namespace sdv

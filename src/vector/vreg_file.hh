@@ -40,6 +40,10 @@
 
 namespace sdv {
 
+namespace obs {
+class TraceRecorder;
+} // namespace obs
+
 /** Reference to a vector register incarnation (id + generation). */
 struct VecRegRef
 {
@@ -477,6 +481,10 @@ class VecRegFile
      *  element at release (direct call, no type erasure). */
     void setElemLedger(DCachePorts *ports) { ports_ = ports; }
 
+    /** Attach a flight recorder for vreg alloc/release events (null
+     *  detaches; pure observation, never mutates file state). */
+    void setRecorder(obs::TraceRecorder *rec) { recorder_ = rec; }
+
     /** Advance the file's notion of time (set once per cycle by the
      *  engine tick; allocate() stamps it into the register so release
      *  can attribute lifetimes). */
@@ -604,6 +612,7 @@ class VecRegFile
     std::uint64_t allocations_ = 0;
     std::uint64_t allocFailures_ = 0;
     DCachePorts *ports_ = nullptr;
+    obs::TraceRecorder *recorder_ = nullptr;
 };
 
 } // namespace sdv

@@ -29,6 +29,15 @@ engine's validation value self-check): any non-zero value in the NEW
 results is an error regardless of the baseline — a mismatch means
 speculative values diverged from architectural ones.
 
+Observability fields are optional riders (like "timed_out"/"retried"):
+records produced under --telemetry carry a "telemetry" interval array,
+and sweep documents produced under --metrics-summary carry a top-level
+"exec_metrics" object. Both are tolerated on either side and excluded
+from comparison (telemetry values still go through the non-finite
+scan). --forbid-obs turns their *presence in the new results* into an
+error — the CI guard that default-mode regenerations stay observability
+-free and byte-comparable to the checked-in baselines.
+
 Both record schemas also print a per-plan wall-time delta summary
 table (aggregated by the record's "bench" field) so the perf
 trajectory is visible in CI logs, not just the warn-on-regression
@@ -132,6 +141,27 @@ def check_stat_fields(new):
     return errors
 
 
+def check_no_obs(new_records, new_doc=None):
+    """--forbid-obs: observability riders in the new results are errors.
+
+    Default-mode regenerations must stay byte-comparable to the
+    checked-in baselines, which predate the observability layer; a
+    "telemetry" array or "exec_metrics" object appearing without the
+    flags that request them means a default changed somewhere.
+    """
+    errors = []
+    for r in new_records:
+        if "telemetry" in r:
+            errors.append(
+                f"({r.get('bench', '')}, {r.get('workload', '')}, "
+                f"{r.get('config', '')}): unexpected 'telemetry' field "
+                f"(--forbid-obs)")
+    if isinstance(new_doc, dict) and "exec_metrics" in new_doc:
+        errors.append(
+            "unexpected top-level 'exec_metrics' object (--forbid-obs)")
+    return errors
+
+
 def check_val_mismatches(new):
     """Non-zero validation self-check counters are always errors."""
     errors = []
@@ -195,13 +225,15 @@ def compare_records(base, new, base_wall, new_wall):
     return errors, warnings
 
 
-def compare_harness(base, new):
+def compare_harness(base, new, forbid_obs=False):
     errors, warnings = compare_records(
         base, new,
         sum(r.get("wall_seconds", 0.0) for r in base),
         sum(r.get("wall_seconds", 0.0) for r in new))
     errors += check_val_mismatches(new)
     errors += check_stat_fields(new)
+    if forbid_obs:
+        errors += check_no_obs(new)
     wall_summary(base, new)
     return errors, warnings
 
@@ -211,7 +243,7 @@ SWEEP_META_KEYS = ("plan", "scale", "event_skip", "checkpoint",
                    "measure_insts")
 
 
-def compare_sweep(base, new):
+def compare_sweep(base, new, forbid_obs=False):
     errors = []
     bmeta, nmeta = base.get("sweep", {}), new.get("sweep", {})
     for key in SWEEP_META_KEYS:
@@ -224,6 +256,8 @@ def compare_sweep(base, new):
         sweep_wall(base), sweep_wall(new))
     rec_errors += check_val_mismatches(sweep_records(new))
     rec_errors += check_stat_fields(sweep_records(new))
+    if forbid_obs:
+        rec_errors += check_no_obs(sweep_records(new), new)
     wall_summary(sweep_records(base), sweep_records(new),
                  sweep_wall(base), sweep_wall(new))
     return errors + rec_errors, warnings
@@ -260,6 +294,10 @@ def main():
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline with the new results "
                          "when no stats drifted")
+    ap.add_argument("--forbid-obs", action="store_true",
+                    help="error if the new results carry observability "
+                         "fields (telemetry/exec_metrics): guards that "
+                         "default-mode output stays baseline-shaped")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -270,9 +308,9 @@ def main():
 
     schema = schema_of(base)
     if schema == "harness":
-        errors, warnings = compare_harness(base, new)
+        errors, warnings = compare_harness(base, new, args.forbid_obs)
     elif schema == "sweep":
-        errors, warnings = compare_sweep(base, new)
+        errors, warnings = compare_sweep(base, new, args.forbid_obs)
     else:
         errors, warnings = compare_google_benchmark(base, new)
 

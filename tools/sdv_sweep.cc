@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/log.hh"
+#include "obs/hooks.hh"
 #include "sweep/executor.hh"
 #include "sweep/fuzz.hh"
 #include "sweep/plan.hh"
@@ -75,6 +76,18 @@ usage(const char *argv0)
         "per million landings (adversarial robustness runs)\n"
         "  --fault-vrmt-ppm N  corrupt VRMT installs at N per million\n"
         "  --json PATH       write machine-readable results\n"
+        "observability (docs/observability.md):\n"
+        "  --trace-events F  record per-job flight-recorder traces and "
+        "write Chrome/Perfetto trace-event JSON to F\n"
+        "  --trace-filter C  comma list of event categories to record: "
+        "sdv, mem, core (default all)\n"
+        "  --trace-last N    bound each job's trace to the last N "
+        "events (ring buffer; default unbounded)\n"
+        "  --telemetry N     sample interval telemetry every N cycles, "
+        "emitted per record in the JSON\n"
+        "  --metrics-summary print executor metrics (queue wait, run "
+        "time, utilization, checkpoint traffic) and record them in the "
+        "JSON as \"exec_metrics\"\n"
         "fuzzing (instead of --plan):\n"
         "  --fuzz-speculation  run the speculation fuzz campaign: "
         "every workload x N fuzzed samples, each checked against a "
@@ -125,6 +138,8 @@ main(int argc, char **argv)
     std::string json_path;
     sweep::PlanOptions popt;
     sweep::ExecOptions eopt;
+    std::string trace_path;
+    bool metrics_summary = false;
     bool list = false;
     bool fuzz = false;
     unsigned fuzz_samples = 8;
@@ -212,6 +227,24 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--json") == 0 &&
                    i + 1 < argc) {
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace-events") == 0 &&
+                   i + 1 < argc) {
+            trace_path = argv[++i];
+            eopt.traceEvents = true;
+        } else if (std::strcmp(argv[i], "--trace-filter") == 0 &&
+                   i + 1 < argc) {
+            if (!obs::parseCategoryMask(argv[++i],
+                                        eopt.traceCategories))
+                fatal("--trace-filter: unknown category in '", argv[i],
+                      "' (use a comma list of sdv, mem, core)");
+        } else if (std::strcmp(argv[i], "--trace-last") == 0) {
+            eopt.traceLast = std::size_t(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+            eopt.telemetryInterval = numArg(argc, argv, i);
+            if (eopt.telemetryInterval == 0)
+                fatal("--telemetry needs an interval >= 1 cycle");
+        } else if (std::strcmp(argv[i], "--metrics-summary") == 0) {
+            metrics_summary = true;
         } else {
             usage(argv[0]);
         }
@@ -313,6 +346,13 @@ main(int argc, char **argv)
     if (eopt.sample.enabled() && !eopt.checkpointDir.empty())
         warn("--checkpoint-dir is not used with --samples: sample "
              "snapshots are recaptured per invocation");
+    if (eopt.sample.enabled() &&
+        (eopt.traceEvents || eopt.telemetryInterval))
+        warn("--trace-events/--telemetry only observe full runs; "
+             "sampled jobs are not instrumented");
+    if (eopt.traceEvents && !SDV_OBS_ENABLED)
+        warn("this build has SDV_OBS off: the trace file will contain "
+             "no events");
 
     // Warnings stay on: checkpoint fallbacks (stale snapshot, cold
     // run on geometry mismatch, no warm-up boundary) must be visible.
@@ -332,8 +372,9 @@ main(int argc, char **argv)
     std::printf("\n");
 
     const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<sweep::RunOutcome> outcomes =
-        sweep::runPlan(plan, eopt);
+    sweep::ExecMetrics metrics;
+    const std::vector<sweep::RunOutcome> outcomes = sweep::runPlan(
+        plan, eopt, metrics_summary ? &metrics : nullptr);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
@@ -372,9 +413,27 @@ main(int argc, char **argv)
         std::printf("warning: %u job(s) hit the cycle budget\n",
                     unfinished);
 
+    if (metrics_summary)
+        std::fputs(metrics.summaryTable().c_str(), stdout);
+
+    if (!trace_path.empty()) {
+        // Serialize in plan order (pid = plan index): serial and
+        // parallel sweeps write byte-identical trace files.
+        const std::vector<obs::TraceSource> sources =
+            sweep::traceSources(outcomes);
+        if (!obs::writeTraceFile(trace_path, sources))
+            fatal("cannot write ", trace_path);
+        std::size_t recorded = 0;
+        for (const obs::TraceSource &s : sources)
+            recorded += s.recorder->size();
+        std::printf("trace: %zu events from %zu jobs written to %s\n",
+                    recorded, sources.size(), trace_path.c_str());
+    }
+
     if (!json_path.empty()) {
         if (!sweep::writeJsonFile(json_path, plan, eopt, outcomes,
-                                  wall))
+                                  wall,
+                                  metrics_summary ? &metrics : nullptr))
             fatal("cannot write ", json_path);
         std::printf("results written to %s\n", json_path.c_str());
     }
