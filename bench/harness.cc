@@ -149,8 +149,10 @@ parseArgs(int argc, char **argv, bool json_supported)
             opt.trace = false;
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             opt.jobs = unsigned(std::atoi(argv[++i]));
-            if (opt.jobs == 0)
-                opt.jobs = 1;
+            if (opt.jobs == 0) {
+                opt.jobs = sweep::resolveJobs(0);
+                opt.jobsAuto = true;
+            }
         } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
             opt.checkpoint = true;
         } else if (std::strcmp(argv[i], "--warmup") == 0 &&
@@ -433,6 +435,7 @@ runGrid(const Options &opt, const std::string &plan_name)
 
     sweep::ExecOptions eopt;
     eopt.jobs = opt.jobs;
+    eopt.jobsAutoDetected = opt.jobsAuto;
     eopt.eventSkip = opt.eventSkip;
     eopt.trace = opt.trace;
     eopt.checkpoint = opt.checkpoint;

@@ -29,6 +29,8 @@ struct Options
     bool eventSkip = true; ///< --no-event-skip: tick every cycle
     bool trace = true; ///< --no-trace: interpreter dispatch reference
     unsigned jobs = 1;  ///< --jobs N: worker threads for grid benches
+                        ///< (0 on the command line = auto-detect)
+    bool jobsAuto = false; ///< jobs came from --jobs 0 auto-detection
     bool checkpoint = false; ///< --checkpoint: fork from warm snapshots
     std::uint64_t warmupInsts = 10'000; ///< --warmup N
     unsigned samples = 0; ///< --samples N: interval sampling (grids)

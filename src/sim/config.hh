@@ -60,6 +60,17 @@ StorageCost storageCost(const CoreConfig &cfg);
  *  used by logs and fuzz repro files. */
 std::string describeFaultPlan(const FaultPlan &plan);
 
+/**
+ * Canonical identity hash of a full machine configuration: FNV-1a over
+ * a field-by-field serialization of every CoreConfig member (widths,
+ * FUs, ports, predictors, memory hierarchy, engine geometry and policy
+ * flags, fault plan). Two configs hash equal iff they describe the
+ * same machine — the hash never reads raw struct bytes, so padding
+ * can't leak in. The sweep server keys its snapshot cache on this
+ * (docs/sweep.md, "cache key").
+ */
+std::uint64_t configIdentityHash(const CoreConfig &cfg);
+
 } // namespace sdv
 
 #endif // SDV_SIM_CONFIG_HH

@@ -1,7 +1,10 @@
 #include "sweep/checkpoint.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include <unistd.h>
 
 #include "common/log.hh"
 #include "common/serialize.hh"
@@ -77,11 +80,13 @@ setError(std::string *error, const char *msg)
 
 namespace {
 
-/** Shared header walk: checksum, magic, version, program identity and
- *  geometry. On success @p des is positioned at the warm-state
- *  payload. */
+/** Shared header walk: checksum, magic, version and geometry; the
+ *  image's program identity hash comes back via @p imageProgram for
+ *  the caller to judge. On success @p des is positioned at the
+ *  warm-state payload. */
 bool
-checkHeader(Deserializer &des, Simulator &sim, std::string *error)
+walkHeader(Deserializer &des, const CoreConfig &cfg,
+           std::uint64_t *imageProgram, std::string *error)
 {
     if (!des.verifyChecksum())
         return setError(error,
@@ -94,14 +99,28 @@ checkHeader(Deserializer &des, Simulator &sim, std::string *error)
         return setError(error, "not a checkpoint image (bad magic)");
     if (des.u32() != version)
         return setError(error, "unsupported checkpoint version");
-    if (des.u64() != sim.program().identityHash())
-        return setError(error,
-                        "checkpoint was captured from a different "
-                        "program");
-    if (!geometryMatches(des, sim.core().config()))
+    const std::uint64_t prog = des.u64();
+    if (imageProgram)
+        *imageProgram = prog;
+    if (!geometryMatches(des, cfg))
         return setError(error,
                         "checkpoint geometry does not match the target "
                         "configuration (caches/predictors/TL shape)");
+    return true;
+}
+
+/** Header walk bound to a concrete simulator: adds the program
+ *  identity check on top of walkHeader(). */
+bool
+checkHeader(Deserializer &des, Simulator &sim, std::string *error)
+{
+    std::uint64_t prog = 0;
+    if (!walkHeader(des, sim.core().config(), &prog, error))
+        return false;
+    if (prog != sim.program().identityHash())
+        return setError(error,
+                        "checkpoint was captured from a different "
+                        "program");
     return true;
 }
 
@@ -141,36 +160,67 @@ Checkpoint::validate(Simulator &sim,
 }
 
 bool
-Checkpoint::save(const std::string &path,
-                 const std::vector<std::uint8_t> &bytes)
+Checkpoint::validateImage(const CoreConfig &cfg,
+                          const std::vector<std::uint8_t> &bytes,
+                          std::uint64_t *programHash, std::string *error)
 {
-    FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        return false;
-    const bool ok =
-        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-    std::fclose(f);
-    return ok;
+    Deserializer des(bytes);
+    return walkHeader(des, cfg, programHash, error);
 }
 
 bool
+Checkpoint::save(const std::string &path,
+                 const std::vector<std::uint8_t> &bytes)
+{
+    // Concurrent writers (the snapshot cache serves many clients) and
+    // crashes must never publish a partial image: write to a
+    // same-directory temp file, then rename() it into place — atomic
+    // on POSIX, so readers see either the old file or the complete
+    // new one, never a prefix.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    ok &= std::fflush(f) == 0;
+    std::fclose(f);
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+Checkpoint::LoadStatus
 Checkpoint::load(const std::string &path, std::vector<std::uint8_t> &out)
 {
     FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        return false;
+        return errno == ENOENT ? LoadStatus::Missing
+                               : LoadStatus::Corrupt;
     std::fseek(f, 0, SEEK_END);
     const long size = std::ftell(f);
     std::fseek(f, 0, SEEK_SET);
     if (size < 0) {
         std::fclose(f);
-        return false;
+        return LoadStatus::Corrupt;
     }
     out.resize(size_t(size));
     const bool ok =
         std::fread(out.data(), 1, out.size(), f) == out.size();
     std::fclose(f);
-    return ok;
+    if (!ok)
+        return LoadStatus::Corrupt;
+    // A short or bit-rotted image fails its trailing FNV-1a checksum;
+    // report it as corruption here so callers can tell poisoning from
+    // a plain cold cache (atomic save() makes torn files unreachable
+    // through this API, so a Corrupt result is worth a warning).
+    Deserializer des(out);
+    if (!des.verifyChecksum())
+        return LoadStatus::Corrupt;
+    return LoadStatus::Ok;
 }
 
 } // namespace sweep

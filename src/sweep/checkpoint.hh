@@ -67,14 +67,40 @@ class Checkpoint
     static bool validate(Simulator &sim,
                          const std::vector<std::uint8_t> &bytes);
 
-    /** Write a checkpoint image to @p path. @retval false on I/O error. */
+    /**
+     * Like validate(), but without a Simulator: checks integrity
+     * (checksum, magic, version) and geometry compatibility against
+     * @p cfg, and reports the image's program identity hash via
+     * @p programHash for the caller to compare. The sweep server vets
+     * cached snapshots this way — it never builds programs itself.
+     */
+    static bool validateImage(const CoreConfig &cfg,
+                              const std::vector<std::uint8_t> &bytes,
+                              std::uint64_t *programHash = nullptr,
+                              std::string *error = nullptr);
+
+    /**
+     * Write a checkpoint image to @p path atomically: the bytes land
+     * in a same-directory temp file first and are rename()d into
+     * place, so a reader racing a writer (or a crash mid-write) can
+     * never observe a torn image at @p path. @retval false on I/O
+     * error (the temp file is removed).
+     */
     static bool save(const std::string &path,
                      const std::vector<std::uint8_t> &bytes);
 
-    /** Read a checkpoint image from @p path. @retval false on I/O
-     *  error (integrity is checked later, by restore()). */
-    static bool load(const std::string &path,
-                     std::vector<std::uint8_t> &out);
+    /** Outcome of load(): distinguishes an absent cache file (normal
+     *  cold-cache path) from a present-but-damaged one (torn write,
+     *  truncation, bit rot) so poisoning is visible to callers. */
+    enum class LoadStatus { Ok, Missing, Corrupt };
+
+    /** Read a checkpoint image from @p path and verify its trailing
+     *  checksum. @retval Missing when the file does not exist,
+     *  Corrupt when it exists but cannot be read back as an intact
+     *  image (header/program/geometry checks still happen later, in
+     *  restore()/validate()). */
+    static LoadStatus load(const std::string &path,
+                           std::vector<std::uint8_t> &out);
 };
 
 } // namespace sweep

@@ -1,0 +1,208 @@
+#include "sweep/client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/serialize.hh"
+
+namespace sdv {
+namespace sweep {
+
+std::string
+ClientResult::resultsArray() const
+{
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        out += records[i];
+        out += i + 1 < records.size() ? ",\n" : "\n";
+    }
+    out += "]";
+    return out;
+}
+
+bool
+submitSweep(const std::string &socketPath,
+            const proto::SweepRequest &req, ClientResult &out,
+            std::string *err,
+            const std::function<void(std::uint32_t,
+                                     const std::string &)> &onRecord)
+{
+    const int fd = proto::connectUnix(socketPath, err);
+    if (fd < 0)
+        return false;
+    proto::Framed link(fd);
+
+    proto::Hello hello;
+    hello.pid = ::getpid();
+    if (!link.send(proto::MsgType::HelloClient, hello.encode()) ||
+        !link.send(proto::MsgType::Submit, req.encode())) {
+        if (err)
+            *err = "could not send request (daemon gone?)";
+        return false;
+    }
+
+    out = ClientResult{};
+    proto::MsgType t;
+    std::vector<std::uint8_t> payload;
+    while (link.recv(t, payload)) {
+        switch (t) {
+        case proto::MsgType::ResultRecord: {
+            proto::ResultRecord rec;
+            if (!proto::ResultRecord::decode(payload, rec)) {
+                if (err)
+                    *err = "malformed record frame";
+                return false;
+            }
+            // Records stream in plan order; hold the invariant rather
+            // than trusting it (a hole would silently mis-collate).
+            if (rec.index != out.records.size()) {
+                if (err)
+                    *err = "record stream out of order";
+                return false;
+            }
+            if (onRecord)
+                onRecord(rec.index, rec.json);
+            out.records.push_back(std::move(rec.json));
+            break;
+        }
+        case proto::MsgType::RequestDone: {
+            proto::RequestDone done;
+            if (!proto::RequestDone::decode(payload, done)) {
+                if (err)
+                    *err = "malformed completion frame";
+                return false;
+            }
+            if (done.records != out.records.size()) {
+                if (err)
+                    *err = "record stream truncated";
+                return false;
+            }
+            out.metricsJson = std::move(done.metricsJson);
+            out.cacheHits = done.cacheHits;
+            out.cacheMisses = done.cacheMisses;
+            return true;
+        }
+        case proto::MsgType::Error: {
+            proto::ErrorMsg e;
+            if (err)
+                *err = proto::ErrorMsg::decode(payload, e)
+                           ? e.message
+                           : std::string("malformed error frame");
+            return false;
+        }
+        default:
+            if (err)
+                *err = "unexpected frame from server";
+            return false;
+        }
+    }
+    if (err)
+        *err = "connection closed mid-request";
+    return false;
+}
+
+bool
+requestShutdown(const std::string &socketPath, std::string *err)
+{
+    const int fd = proto::connectUnix(socketPath, err);
+    if (fd < 0)
+        return false;
+    proto::Framed link(fd);
+    proto::Hello hello;
+    hello.pid = ::getpid();
+    Serializer empty; // sealed zero-field payload (recv checksums all)
+    return link.send(proto::MsgType::HelloClient, hello.encode()) &&
+           link.send(proto::MsgType::Shutdown, empty.finish());
+}
+
+double
+LoadTestResult::hitRate() const
+{
+    const double total = double(cacheHits + cacheMisses);
+    return total <= 0.0 ? 0.0 : double(cacheHits) / total;
+}
+
+bool
+runLoadTest(const std::string &socketPath,
+            const proto::SweepRequest &req,
+            const LoadTestOptions &lopt, LoadTestResult &out,
+            std::string *err)
+{
+    out = LoadTestResult{};
+    const unsigned total = std::max(1u, lopt.requests);
+    const unsigned conc =
+        std::min(std::max(1u, lopt.concurrency), total);
+
+    std::mutex m;
+    std::vector<double> latencies;
+    latencies.reserve(total);
+    std::string firstErr;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < conc; ++c) {
+        // Each connection submits its share back-to-back: the daemon
+        // sees `conc` live clients and a standing queue of requests.
+        const unsigned share = total / conc + (c < total % conc);
+        threads.emplace_back([&, share] {
+            for (unsigned i = 0; i < share; ++i) {
+                ClientResult res;
+                std::string e;
+                const auto r0 = std::chrono::steady_clock::now();
+                const bool ok =
+                    submitSweep(socketPath, req, res, &e);
+                const double secs =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - r0)
+                        .count();
+                std::lock_guard<std::mutex> lk(m);
+                if (ok) {
+                    ++out.completed;
+                    latencies.push_back(secs);
+                    out.cacheHits += res.cacheHits;
+                    out.cacheMisses += res.cacheMisses;
+                } else {
+                    ++out.failed;
+                    if (firstErr.empty())
+                        firstErr = e;
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    out.requestsPerSecond =
+        out.wallSeconds > 0.0 ? out.completed / out.wallSeconds : 0.0;
+
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+        if (latencies.empty())
+            return 0.0;
+        const std::size_t idx = std::min(
+            latencies.size() - 1,
+            std::size_t(p * double(latencies.size())));
+        return latencies[idx];
+    };
+    out.p50 = pct(0.50);
+    out.p95 = pct(0.95);
+    out.p99 = pct(0.99);
+
+    if (out.failed) {
+        if (err)
+            *err = std::to_string(out.failed) +
+                   " request(s) failed; first error: " + firstErr;
+        return false;
+    }
+    return true;
+}
+
+} // namespace sweep
+} // namespace sdv

@@ -18,6 +18,19 @@
 namespace sdv {
 namespace sweep {
 
+void
+stampOutcome(RunOutcome &out, const SweepJob &job)
+{
+    out.figure = job.figure;
+    out.workload = job.workload;
+    out.isFp = job.isFp;
+    out.group = job.group;
+    out.column = job.column;
+    out.configKey = job.configKey;
+    out.cfg = job.cfg;
+    out.seed = job.seed;
+}
+
 namespace {
 
 double
@@ -122,18 +135,6 @@ class JobWatchdog
     std::thread thread_;
 };
 
-/** Per-job fault-injection plan: the CLI plan with the injector seed
- *  specialized to the job identity (scheduling-independent). */
-FaultPlan
-jobFaultPlan(const FaultPlan &base, const SweepJob &job)
-{
-    FaultPlan plan = base;
-    if (plan.enabled)
-        plan.seed = deriveSeed(job.workload, "fault:" + job.configKey,
-                               base.seed);
-    return plan;
-}
-
 /** Programs used by a plan, keyed by workload, built once and
  *  pre-decoded so worker threads share them read-only. */
 std::map<std::string, Program>
@@ -175,17 +176,7 @@ captureCheckpoints(const SweepPlan &plan, const ExecOptions &opt,
             continue;
 
         // Deterministic warm-up config for this workload.
-        const SweepJob *warm_job = &job;
-        for (const SweepJob &j : plan.jobs)
-            if (j.workload == job.workload && j.cfg.engine.enabled) {
-                warm_job = &j;
-                break;
-            }
-
-        CoreConfig cfg = warm_job->cfg;
-        cfg.eventSkip = opt.eventSkip;
-        cfg.traceExec = opt.trace;
-        cfg.engine.eagerChainLoads = opt.eagerChain;
+        const CoreConfig cfg = warmConfig(plan, opt, job.workload);
         const Program &prog = programs.at(job.workload);
 
         // The cache key includes every option that shapes the warm-up
@@ -200,14 +191,24 @@ captureCheckpoints(const SweepPlan &plan, const ExecOptions &opt,
                       (opt.eagerChain ? ".eager" : "") + ".ckpt";
 
         std::vector<std::uint8_t> bytes;
-        if (!path.empty() && Checkpoint::load(path, bytes)) {
-            Simulator probe(cfg, prog);
-            if (Checkpoint::validate(probe, bytes)) {
-                checkpoints.emplace(job.workload, std::move(bytes));
-                continue;
+        if (!path.empty()) {
+            const auto st = Checkpoint::load(path, bytes);
+            if (st == Checkpoint::LoadStatus::Ok) {
+                Simulator probe(cfg, prog);
+                if (Checkpoint::validate(probe, bytes)) {
+                    checkpoints.emplace(job.workload, std::move(bytes));
+                    continue;
+                }
+                warn("cached checkpoint ", path,
+                     " is stale; recapturing");
+            } else if (st == Checkpoint::LoadStatus::Corrupt) {
+                // A missing file is the normal cold-cache path; a
+                // present-but-damaged one means something poisoned
+                // the cache and deserves visibility.
+                warn_once("cached checkpoint ", path,
+                          " is corrupt (torn or truncated write?); "
+                          "recapturing");
             }
-            warn("cached checkpoint ", path,
-                 " is stale; recapturing");
             bytes.clear();
         }
 
@@ -252,20 +253,6 @@ runOnPool(unsigned jobs, std::size_t units,
         t.join();
 }
 
-/** Fill the identity fields of @p out from @p job. */
-void
-stampOutcome(RunOutcome &out, const SweepJob &job)
-{
-    out.figure = job.figure;
-    out.workload = job.workload;
-    out.isFp = job.isFp;
-    out.group = job.group;
-    out.column = job.column;
-    out.configKey = job.configKey;
-    out.cfg = job.cfg;
-    out.seed = job.seed;
-}
-
 /**
  * Interval-sampled plan execution: one serial capture pass per
  * workload (under its deterministic warm-up configuration), then a
@@ -286,16 +273,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
     for (const SweepJob &job : plan.jobs) {
         if (sets.count(job.workload))
             continue;
-        const SweepJob *warm_job = &job;
-        for (const SweepJob &j : plan.jobs)
-            if (j.workload == job.workload && j.cfg.engine.enabled) {
-                warm_job = &j;
-                break;
-            }
-        CoreConfig cfg = warm_job->cfg;
-        cfg.eventSkip = opt.eventSkip;
-        cfg.traceExec = opt.trace;
-        cfg.engine.eagerChainLoads = opt.eagerChain;
+        const CoreConfig cfg = warmConfig(plan, opt, job.workload);
         SamplePlan sp = opt.sample;
         sp.warmupInsts = opt.warmupInsts;
         sets.emplace(job.workload,
@@ -320,9 +298,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
         auto it = configOk.find(key);
         if (it == configOk.end()) {
             CoreConfig cfg = job.cfg;
-            cfg.eventSkip = opt.eventSkip;
-            cfg.traceExec = opt.trace;
-            cfg.engine.eagerChainLoads = opt.eagerChain;
+            applyExecOverlay(cfg, opt);
             Simulator probe(cfg, programs.at(job.workload));
             // samples[0] is the cold region (no image); the first
             // warm snapshot decides whether this config can fork.
@@ -392,9 +368,7 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
         const Unit unit = units[u];
         const SweepJob &job = plan.jobs[unit.job];
         CoreConfig cfg = job.cfg;
-        cfg.eventSkip = opt.eventSkip;
-        cfg.traceExec = opt.trace;
-        cfg.engine.eagerChainLoads = opt.eagerChain;
+        applyExecOverlay(cfg, opt);
         const Program &prog = programs.at(job.workload);
         unitQueueWait[u] = secondsSince(poolStart);
         const auto t0 = std::chrono::steady_clock::now();
@@ -520,6 +494,54 @@ runPlanSampled(const SweepPlan &plan, const ExecOptions &opt,
 
 } // namespace
 
+FaultPlan
+jobFaultPlan(const FaultPlan &base, const SweepJob &job)
+{
+    FaultPlan plan = base;
+    if (plan.enabled)
+        plan.seed = deriveSeed(job.workload, "fault:" + job.configKey,
+                               base.seed);
+    return plan;
+}
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 1;
+}
+
+void
+applyExecOverlay(CoreConfig &cfg, const ExecOptions &opt)
+{
+    cfg.eventSkip = opt.eventSkip;
+    cfg.traceExec = opt.trace;
+    cfg.engine.eagerChainLoads = opt.eagerChain;
+}
+
+CoreConfig
+warmConfig(const SweepPlan &plan, const ExecOptions &opt,
+           const std::string &workload)
+{
+    const SweepJob *warm_job = nullptr;
+    for (const SweepJob &j : plan.jobs) {
+        if (j.workload != workload)
+            continue;
+        if (!warm_job)
+            warm_job = &j;
+        if (j.cfg.engine.enabled) {
+            warm_job = &j;
+            break;
+        }
+    }
+    sdv_assert(warm_job, "warmConfig: workload not in plan");
+    CoreConfig cfg = warm_job->cfg;
+    applyExecOverlay(cfg, opt);
+    return cfg;
+}
+
 std::vector<RunOutcome>
 runPlan(const SweepPlan &plan, const ExecOptions &opt,
         ExecMetrics *metrics)
@@ -527,6 +549,7 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt,
     if (metrics) {
         *metrics = ExecMetrics{};
         metrics->enabled = true;
+        metrics->jobsAuto = opt.jobsAutoDetected;
     }
     const std::map<std::string, Program> programs = buildPrograms(plan);
 
@@ -561,9 +584,7 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt,
         jobQueueWait[i] = secondsSince(poolStart);
         const auto t0 = std::chrono::steady_clock::now();
         CoreConfig cfg = job.cfg;
-        cfg.eventSkip = opt.eventSkip;
-        cfg.traceExec = opt.trace;
-        cfg.engine.eagerChainLoads = opt.eagerChain;
+        applyExecOverlay(cfg, opt);
         cfg.engine.fault = jobFaultPlan(opt.fault, job);
         out.cfg = cfg; ///< resolved config (fault plan, chaining mode)
         const Program &prog = programs.at(job.workload);
@@ -660,102 +681,112 @@ runPlan(const SweepPlan &plan, const ExecOptions &opt,
 }
 
 std::string
-resultsJson(const std::vector<RunOutcome> &outcomes)
+resultRecordJson(const RunOutcome &o)
 {
-    std::string out = "[\n";
+    std::string out;
     char buf[512];
-    for (std::size_t i = 0; i < outcomes.size(); ++i) {
-        const RunOutcome &o = outcomes[i];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"bench\": \"sweep:%s\", \"workload\": \"%s\", "
+        "\"config\": \"%s\", \"cycles\": %llu, \"insts\": %llu, "
+        "\"ipc\": %.4f, \"commit_hash\": \"0x%016llx\", "
+        "\"finished\": %s, \"from_checkpoint\": %s, "
+        "\"seed\": %llu, \"val_mismatches\": %llu",
+        o.figure.c_str(), o.workload.c_str(), o.configKey.c_str(),
+        static_cast<unsigned long long>(o.res.cycles),
+        static_cast<unsigned long long>(o.res.insts), o.res.ipc,
+        static_cast<unsigned long long>(o.commitHash),
+        o.res.finished ? "true" : "false",
+        o.fromCheckpoint ? "true" : "false",
+        static_cast<unsigned long long>(o.seed),
+        static_cast<unsigned long long>(
+            o.res.engine.validationValueMismatches));
+    out += buf;
+    // Sampled estimates carry their sample count; exact runs keep
+    // the pre-sampling record layout byte for byte.
+    if (o.samples > 0) {
+        std::snprintf(buf, sizeof(buf), ", \"samples\": %u",
+                      o.samples);
+        out += buf;
+    }
+    // Every field below appears only when its mode was active, so
+    // default-mode documents stay byte-identical to the checked-in
+    // baselines.
+    if (o.timedOut || o.retried) {
+        std::snprintf(buf, sizeof(buf),
+                      ", \"timed_out\": %s, \"retried\": %s",
+                      o.timedOut ? "true" : "false",
+                      o.retried ? "true" : "false");
+        out += buf;
+    }
+    if (o.res.core.quiesceEvents > 0) {
+        // Transient-exposure report of the timing-channel
+        // experiments (--quiesce-interval): speculative state
+        // alive at each boundary plus the register lifetime
+        // histogram (ascending 4x buckets from < 8 cycles).
         std::snprintf(
             buf, sizeof(buf),
-            "  {\"bench\": \"sweep:%s\", \"workload\": \"%s\", "
-            "\"config\": \"%s\", \"cycles\": %llu, \"insts\": %llu, "
-            "\"ipc\": %.4f, \"commit_hash\": \"0x%016llx\", "
-            "\"finished\": %s, \"from_checkpoint\": %s, "
-            "\"seed\": %llu, \"val_mismatches\": %llu",
-            o.figure.c_str(), o.workload.c_str(), o.configKey.c_str(),
-            static_cast<unsigned long long>(o.res.cycles),
-            static_cast<unsigned long long>(o.res.insts), o.res.ipc,
-            static_cast<unsigned long long>(o.commitHash),
-            o.res.finished ? "true" : "false",
-            o.fromCheckpoint ? "true" : "false",
-            static_cast<unsigned long long>(o.seed),
+            ", \"quiesce_events\": %llu, "
+            "\"quiesce_live_vregs\": %llu, "
+            "\"quiesce_transient_elems\": %llu",
             static_cast<unsigned long long>(
-                o.res.engine.validationValueMismatches));
+                o.res.core.quiesceEvents),
+            static_cast<unsigned long long>(
+                o.res.core.quiesceLiveVregs),
+            static_cast<unsigned long long>(
+                o.res.core.quiesceTransientElems));
         out += buf;
-        // Sampled estimates carry their sample count; exact runs keep
-        // the pre-sampling record layout byte for byte.
-        if (o.samples > 0) {
-            std::snprintf(buf, sizeof(buf), ", \"samples\": %u",
-                          o.samples);
-            out += buf;
-        }
-        // Every field below appears only when its mode was active, so
-        // default-mode documents stay byte-identical to the checked-in
-        // baselines.
-        if (o.timedOut || o.retried) {
-            std::snprintf(buf, sizeof(buf),
-                          ", \"timed_out\": %s, \"retried\": %s",
-                          o.timedOut ? "true" : "false",
-                          o.retried ? "true" : "false");
-            out += buf;
-        }
-        if (o.res.core.quiesceEvents > 0) {
-            // Transient-exposure report of the timing-channel
-            // experiments (--quiesce-interval): speculative state
-            // alive at each boundary plus the register lifetime
-            // histogram (ascending 4x buckets from < 8 cycles).
-            std::snprintf(
-                buf, sizeof(buf),
-                ", \"quiesce_events\": %llu, "
-                "\"quiesce_live_vregs\": %llu, "
-                "\"quiesce_transient_elems\": %llu",
-                static_cast<unsigned long long>(
-                    o.res.core.quiesceEvents),
-                static_cast<unsigned long long>(
-                    o.res.core.quiesceLiveVregs),
-                static_cast<unsigned long long>(
-                    o.res.core.quiesceTransientElems));
-            out += buf;
-            out += ", \"vreg_lifetime_hist\": ";
-            out += bucketArrayJson(o.res.fates.lifetimeHist, 8);
-        }
-        if (o.cfg.engine.fault.armed()) {
-            std::snprintf(
-                buf, sizeof(buf),
-                ", \"fault_elem_flips\": %llu, "
-                "\"fault_vrmt_flips\": %llu, "
-                "\"faults_detected\": %llu, "
-                "\"faults_benign\": %llu, "
-                "\"faults_vanished\": %llu, "
-                "\"chain_demotions\": %llu, "
-                "\"chain_reenables\": %llu",
-                static_cast<unsigned long long>(
-                    o.res.engine.faultElemFlips),
-                static_cast<unsigned long long>(
-                    o.res.engine.faultVrmtFlips),
-                static_cast<unsigned long long>(
-                    o.res.engine.faultValidationDetects +
-                    o.res.engine.faultTaintDetects +
-                    o.res.engine.faultVrmtDetects),
-                static_cast<unsigned long long>(
-                    o.res.engine.faultValidationBenign),
-                static_cast<unsigned long long>(
-                    o.res.fates.faultInjectedVanished +
-                    o.res.fates.faultTaintVanished),
-                static_cast<unsigned long long>(
-                    o.res.engine.faultChainDemotions),
-                static_cast<unsigned long long>(
-                    o.res.engine.faultChainReenables));
-            out += buf;
-        }
-        // Interval telemetry rides along only when it was sampled
-        // (--telemetry): default-mode records stay byte-identical.
-        if (!o.telemetryJson.empty() && o.telemetryJson != "[]") {
-            out += ", \"telemetry\": ";
-            out += o.telemetryJson;
-        }
-        out += i + 1 < outcomes.size() ? "},\n" : "}\n";
+        out += ", \"vreg_lifetime_hist\": ";
+        out += bucketArrayJson(o.res.fates.lifetimeHist, 8);
+    }
+    if (o.cfg.engine.fault.armed()) {
+        std::snprintf(
+            buf, sizeof(buf),
+            ", \"fault_elem_flips\": %llu, "
+            "\"fault_vrmt_flips\": %llu, "
+            "\"faults_detected\": %llu, "
+            "\"faults_benign\": %llu, "
+            "\"faults_vanished\": %llu, "
+            "\"chain_demotions\": %llu, "
+            "\"chain_reenables\": %llu",
+            static_cast<unsigned long long>(
+                o.res.engine.faultElemFlips),
+            static_cast<unsigned long long>(
+                o.res.engine.faultVrmtFlips),
+            static_cast<unsigned long long>(
+                o.res.engine.faultValidationDetects +
+                o.res.engine.faultTaintDetects +
+                o.res.engine.faultVrmtDetects),
+            static_cast<unsigned long long>(
+                o.res.engine.faultValidationBenign),
+            static_cast<unsigned long long>(
+                o.res.fates.faultInjectedVanished +
+                o.res.fates.faultTaintVanished),
+            static_cast<unsigned long long>(
+                o.res.engine.faultChainDemotions),
+            static_cast<unsigned long long>(
+                o.res.engine.faultChainReenables));
+        out += buf;
+    }
+    // Interval telemetry rides along only when it was sampled
+    // (--telemetry): default-mode records stay byte-identical.
+    if (!o.telemetryJson.empty() && o.telemetryJson != "[]") {
+        out += ", \"telemetry\": ";
+        out += o.telemetryJson;
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+resultsJson(const std::vector<RunOutcome> &outcomes)
+{
+    // Assembled from the same per-record serializer the server streams
+    // over the wire, so served and in-process output cannot diverge.
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        out += resultRecordJson(outcomes[i]);
+        out += i + 1 < outcomes.size() ? ",\n" : "\n";
     }
     out += "]";
     return out;
@@ -779,12 +810,42 @@ ExecMetrics::toJson() const
     std::string out = "{";
     std::snprintf(
         buf, sizeof(buf),
-        "\"workers\": %u, \"pool_wall_seconds\": %.6f, "
+        "\"workers\": %u, \"jobs_auto\": %s, "
+        "\"pool_wall_seconds\": %.6f, "
         "\"busy_seconds\": %.6f, \"utilization\": %.4f, "
         "\"collate_seconds\": %.6f",
-        workers, poolWallSeconds, busySeconds, utilization(),
-        collateSeconds);
+        workers, jobsAuto ? "true" : "false", poolWallSeconds,
+        busySeconds, utilization(), collateSeconds);
     out += buf;
+    if (serve) {
+        std::snprintf(
+            buf, sizeof(buf),
+            ", \"serve\": {\"cache_hits\": %llu, "
+            "\"cache_misses\": %llu, \"cache_waits\": %llu, "
+            "\"units_dispatched\": %llu, \"unit_retries\": %llu, "
+            "\"worker_restarts\": %llu, \"queue_depth_peak\": %llu, "
+            "\"request_seconds\": %.6f, \"worker_loads\": [",
+            static_cast<unsigned long long>(cacheHits),
+            static_cast<unsigned long long>(cacheMisses),
+            static_cast<unsigned long long>(cacheWaits),
+            static_cast<unsigned long long>(unitsDispatched),
+            static_cast<unsigned long long>(unitRetries),
+            static_cast<unsigned long long>(workerRestarts),
+            static_cast<unsigned long long>(queueDepthPeak),
+            requestSeconds);
+        out += buf;
+        for (std::size_t i = 0; i < workerLoads.size(); ++i) {
+            const WorkerLoad &w = workerLoads[i];
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"pid\": %d, \"units\": %llu, "
+                          "\"busy_seconds\": %.6f}",
+                          i ? ", " : "", w.pid,
+                          static_cast<unsigned long long>(w.units),
+                          w.busySeconds);
+            out += buf;
+        }
+        out += "]}";
+    }
     std::snprintf(
         buf, sizeof(buf),
         ", \"checkpoint_captures\": %llu, "
@@ -818,11 +879,28 @@ ExecMetrics::summaryTable() const
     char buf[256];
     std::string out;
     std::snprintf(buf, sizeof(buf),
-                  "executor: %u worker%s, pool %.2fs, busy %.2fs "
+                  "executor: %u worker%s%s, pool %.2fs, busy %.2fs "
                   "(%.0f%% utilization), collate %.3fs\n",
-                  workers, workers == 1 ? "" : "s", poolWallSeconds,
+                  workers, workers == 1 ? "" : "s",
+                  jobsAuto ? " (auto)" : "", poolWallSeconds,
                   busySeconds, utilization() * 100.0, collateSeconds);
     out += buf;
+    if (serve) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "serve: cache %llu hit / %llu miss / %llu wait, "
+            "%llu units (%llu retried), %llu worker restarts, "
+            "queue peak %llu, request %.2fs\n",
+            static_cast<unsigned long long>(cacheHits),
+            static_cast<unsigned long long>(cacheMisses),
+            static_cast<unsigned long long>(cacheWaits),
+            static_cast<unsigned long long>(unitsDispatched),
+            static_cast<unsigned long long>(unitRetries),
+            static_cast<unsigned long long>(workerRestarts),
+            static_cast<unsigned long long>(queueDepthPeak),
+            requestSeconds);
+        out += buf;
+    }
     if (checkpointCaptures || checkpointRestores) {
         std::snprintf(
             buf, sizeof(buf),
@@ -845,10 +923,10 @@ ExecMetrics::summaryTable() const
 }
 
 bool
-writeJsonFile(const std::string &path, const SweepPlan &plan,
-              const ExecOptions &opt,
-              const std::vector<RunOutcome> &outcomes,
-              double wall_seconds, const ExecMetrics *metrics)
+writeJsonDoc(const std::string &path, const std::string &planName,
+             unsigned scale, Footprint footprint,
+             const ExecOptions &opt, const std::string &resultsArray,
+             double wall_seconds, const std::string &execMetricsJson)
 {
     FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
@@ -856,9 +934,9 @@ writeJsonFile(const std::string &path, const SweepPlan &plan,
     // Footprint and sampling metadata appear only when used, so the
     // default-mode document stays byte-identical to pre-sampling runs.
     std::string extra;
-    if (plan.footprint != Footprint::Base)
+    if (footprint != Footprint::Base)
         extra += std::string(", \"footprint\": \"") +
-                 footprintName(plan.footprint) + "\"";
+                 footprintName(footprint) + "\"";
     if (opt.sample.enabled()) {
         char buf[96];
         std::snprintf(buf, sizeof(buf),
@@ -872,23 +950,33 @@ writeJsonFile(const std::string &path, const SweepPlan &plan,
     // (--metrics-summary / --metrics): the default-mode document stays
     // byte-identical to the checked-in baselines.
     std::string exec_metrics;
-    if (metrics && metrics->enabled)
-        exec_metrics =
-            "\"exec_metrics\": " + metrics->toJson() + ",\n";
+    if (!execMetricsJson.empty())
+        exec_metrics = "\"exec_metrics\": " + execMetricsJson + ",\n";
     std::fprintf(
         f,
         "{\n\"sweep\": {\"plan\": \"%s\", \"scale\": %u, "
         "\"event_skip\": %s, \"trace\": %s, \"checkpoint\": %s, "
         "\"warmup_insts\": %llu%s, \"wall_seconds\": %.6f},\n"
         "%s\"results\": %s\n}\n",
-        plan.name.c_str(), plan.scale, opt.eventSkip ? "true" : "false",
+        planName.c_str(), scale, opt.eventSkip ? "true" : "false",
         opt.trace ? "true" : "false",
         opt.checkpoint ? "true" : "false",
         static_cast<unsigned long long>(opt.warmupInsts), extra.c_str(),
-        wall_seconds, exec_metrics.c_str(),
-        resultsJson(outcomes).c_str());
+        wall_seconds, exec_metrics.c_str(), resultsArray.c_str());
     std::fclose(f);
     return true;
+}
+
+bool
+writeJsonFile(const std::string &path, const SweepPlan &plan,
+              const ExecOptions &opt,
+              const std::vector<RunOutcome> &outcomes,
+              double wall_seconds, const ExecMetrics *metrics)
+{
+    return writeJsonDoc(path, plan.name, plan.scale, plan.footprint,
+                        opt, resultsJson(outcomes), wall_seconds,
+                        metrics && metrics->enabled ? metrics->toJson()
+                                                    : std::string());
 }
 
 } // namespace sweep

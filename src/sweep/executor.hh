@@ -33,6 +33,9 @@ namespace sweep {
 struct ExecOptions
 {
     unsigned jobs = 1;          ///< worker threads
+    /** True when jobs was resolved by --jobs 0 auto-detection
+     *  (resolveJobs); reported in exec_metrics as "jobs_auto". */
+    bool jobsAutoDetected = false;
     bool eventSkip = true;      ///< event-skipping clock
     bool trace = true;          ///< trace-compiled dispatch (--no-trace)
     bool checkpoint = false;    ///< fork configs from warmed snapshots
@@ -95,6 +98,7 @@ struct ExecMetrics
 {
     bool enabled = false;       ///< collected this run
     unsigned workers = 0;       ///< pool threads actually used
+    bool jobsAuto = false;      ///< workers came from --jobs 0 auto-detect
     double poolWallSeconds = 0.0; ///< pool start to join
     double busySeconds = 0.0;   ///< sum of unit run times
     double collateSeconds = 0.0; ///< plan-ordered aggregation/serialization
@@ -112,6 +116,28 @@ struct ExecMetrics
         double runSeconds = 0.0;       ///< job simulation time
     };
     std::vector<JobMetrics> jobs;
+
+    // --- serve-mode rider (sdv_sweep --serve): per-request server
+    // observations, populated by SweepServer instead of runPlan.
+    bool serve = false;             ///< request went through the daemon
+    std::uint64_t cacheHits = 0;    ///< snapshot-cache hits (memory or disk)
+    std::uint64_t cacheMisses = 0;  ///< captures this request triggered
+    std::uint64_t cacheWaits = 0;   ///< single-flight waits on another
+                                    ///< client's in-flight capture
+    std::uint64_t unitsDispatched = 0; ///< work units sent to workers
+    std::uint64_t unitRetries = 0;  ///< units re-queued after a worker died
+    std::uint64_t workerRestarts = 0; ///< crashed workers respawned (lifetime)
+    std::uint64_t queueDepthPeak = 0; ///< max queued units while enqueuing
+    double requestSeconds = 0.0;    ///< submit to final record streamed
+
+    /** Per worker-process load (lifetime totals, pid-ordered). */
+    struct WorkerLoad
+    {
+        int pid = 0;
+        std::uint64_t units = 0;    ///< units completed
+        double busySeconds = 0.0;   ///< sum of unit wall times
+    };
+    std::vector<WorkerLoad> workerLoads;
 
     /** @return busySeconds / (workers * poolWallSeconds), in [0, 1]. */
     double
@@ -184,6 +210,14 @@ std::vector<RunOutcome> runPlan(const SweepPlan &plan,
 std::string resultsJson(const std::vector<RunOutcome> &outcomes);
 
 /**
+ * @return one complete record of the resultsJson() array ("  {...}",
+ * no trailing separator). The sweep server streams records to clients
+ * with this exact function, which is what makes a served, sharded
+ * sweep byte-identical to the serial path by construction.
+ */
+std::string resultRecordJson(const RunOutcome &o);
+
+/**
  * Write the full sweep JSON document: a "sweep" metadata object (plan,
  * scale, options, total wall time) plus the resultsJson() array under
  * "results". tools/compare_bench.py understands this schema.
@@ -193,6 +227,50 @@ bool writeJsonFile(const std::string &path, const SweepPlan &plan,
                    const std::vector<RunOutcome> &outcomes,
                    double wall_seconds,
                    const ExecMetrics *metrics = nullptr);
+
+/**
+ * writeJsonFile() with the deterministic results array (and optional
+ * "exec_metrics" object) already serialized — the serve-mode client
+ * writes documents from streamed record text without ever holding
+ * RunOutcomes. Byte-identical to writeJsonFile() given the same
+ * inputs.
+ */
+bool writeJsonDoc(const std::string &path, const std::string &planName,
+                  unsigned scale, Footprint footprint,
+                  const ExecOptions &opt,
+                  const std::string &resultsArray, double wall_seconds,
+                  const std::string &execMetricsJson = std::string());
+
+/**
+ * Resolve an ExecOptions::jobs request: 0 means auto-detect — the
+ * host's hardware_concurrency minus one (for the collator/driver
+ * thread), never below 1.
+ */
+unsigned resolveJobs(unsigned requested);
+
+/** Apply the option overlay every execution path puts on a job's
+ *  machine config (clocking, dispatch mechanism, chaining mode). */
+void applyExecOverlay(CoreConfig &cfg, const ExecOptions &opt);
+
+/**
+ * @return the deterministic warm-up configuration for @p workload
+ * under @p plan: its first engine-enabled job (falling back to its
+ * first job), with the exec overlay applied. This is the machine the
+ * capture pass runs — both the in-process executor and the sweep
+ * server's snapshot cache derive it from here, so a cached snapshot
+ * set is exactly what the serial path would have captured.
+ */
+CoreConfig warmConfig(const SweepPlan &plan, const ExecOptions &opt,
+                      const std::string &workload);
+
+/** Per-job fault-injection plan: @p base with the injector seed
+ *  specialized to the job identity (scheduling-independent). */
+FaultPlan jobFaultPlan(const FaultPlan &base, const SweepJob &job);
+
+/** Fill the identity fields of @p out from @p job (figure, workload,
+ *  group/column, config, seed) — the common prologue of every
+ *  execution path, including the sweep server's collator. */
+void stampOutcome(RunOutcome &out, const SweepJob &job);
 
 /**
  * @return the outcomes' recorders as plan-ordered trace sources

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Wire protocol of the sweep work-server (`sdv_sweep --serve`):
+ * length-prefixed frames over a stream socket, each carrying one typed
+ * message serialized with the checkpoint layer's Serializer (so every
+ * payload ends in an FNV-1a checksum and truncated or corrupted frames
+ * are rejected before any field is trusted).
+ *
+ * Frame layout: u32 payload length (little-endian) | u8 message type |
+ * payload bytes. The transport is deliberately address-agnostic — the
+ * daemon listens on a Unix domain socket today, but nothing in the
+ * framing or the messages assumes same-host peers, so multi-machine
+ * sharding is a connect-call change, not a protocol redesign.
+ *
+ * Two kinds of peers speak it (distinguished by their hello):
+ *  - clients: Submit a sweep request, then read a stream of
+ *    plan-ordered ResultRecord frames followed by one RequestDone.
+ *  - workers: receive UnitRequest frames (one self-contained
+ *    (config × sample) unit or one capture pass each) and answer each
+ *    with a UnitResult.
+ *
+ * Full message reference: docs/sweep.md, "The sweep service".
+ */
+
+#ifndef SDV_SWEEP_PROTO_HH
+#define SDV_SWEEP_PROTO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "sweep/executor.hh"
+#include "sweep/plan.hh"
+
+namespace sdv {
+namespace sweep {
+namespace proto {
+
+/** Protocol version; bumped on any frame or message layout change.
+ *  Peers with mismatched versions are rejected at hello time. */
+constexpr std::uint32_t kVersion = 1;
+
+/** Upper bound on a single frame's payload (sanity guard against
+ *  garbage length prefixes from malformed peers). */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class MsgType : std::uint8_t
+{
+    HelloClient = 1,  ///< client -> server: version handshake
+    HelloWorker = 2,  ///< worker -> server: version handshake + pid
+    Submit = 3,       ///< client -> server: one sweep request
+    Error = 4,        ///< server -> client: request rejected / failed
+    ResultRecord = 5, ///< server -> client: one plan-ordered record
+    RequestDone = 6,  ///< server -> client: stream complete + metrics
+    UnitRequest = 7,  ///< server -> worker: run one work unit
+    UnitResult = 8,   ///< worker -> server: unit outcome
+    Shutdown = 9,     ///< client -> server: stop serving
+};
+
+/** Blocking framed-message transport over a connected socket fd.
+ *  Owns the fd. Send/recv are not internally synchronized — callers
+ *  serialize access per direction (the server does: one reader and
+ *  one writer thread per connection at most). */
+class Framed
+{
+  public:
+    explicit Framed(int fd) : fd_(fd) {}
+    ~Framed() { close(); }
+    Framed(const Framed &) = delete;
+    Framed &operator=(const Framed &) = delete;
+
+    /** Send one frame; @p payload must already be sealed
+     *  (Serializer::finish). @retval false on a write error or a
+     *  closed peer. */
+    bool send(MsgType t, const std::vector<std::uint8_t> &payload);
+
+    /** Receive one frame and verify its payload checksum.
+     *  @retval false on EOF, a read error, an oversized length prefix
+     *  or a checksum mismatch (the connection is unusable then). */
+    bool recv(MsgType &t, std::vector<std::uint8_t> &payload);
+
+    int fd() const { return fd_; }
+    void close();
+
+  private:
+    int fd_;
+};
+
+/** @return a connected stream-socket fd for the Unix socket at
+ *  @p path, or -1 (with @p err set) on failure. */
+int connectUnix(const std::string &path, std::string *err);
+
+/** @return a listening stream-socket fd bound to @p path (any stale
+ *  socket file is replaced), or -1 (with @p err set) on failure. */
+int listenUnix(const std::string &path, std::string *err);
+
+/** Simple hello payload (both peer kinds). */
+struct Hello
+{
+    std::uint32_t version = kVersion;
+    std::int32_t pid = 0;
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       Hello &out);
+};
+
+/**
+ * One sweep request: the plan identity plus the deterministic subset
+ * of ExecOptions (everything that shapes simulated results; host-side
+ * knobs like jobs or the observability sinks are not part of a
+ * request — the server owns its worker pool, and serve mode is for
+ * deterministic result production).
+ */
+struct SweepRequest
+{
+    std::string plan;     ///< registered plan name
+    PlanOptions popt;     ///< scale / footprint / quick / baseSeed
+    ExecOptions eopt;     ///< deterministic fields only (see encode)
+
+    /** Test hook (worker-crash recovery): the first N units of this
+     *  request make their worker _exit(1) before simulating, once per
+     *  unit — the retry path must recover deterministically. */
+    std::uint32_t chaosExitUnits = 0;
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       SweepRequest &out, std::string *err);
+};
+
+/** What a worker should do with one unit. */
+enum class UnitKind : std::uint8_t
+{
+    Run = 0,     ///< one (job × sample) measurement (sample < 0: full)
+    Capture = 1, ///< one workload's snapshot-set capture pass
+};
+
+/** Server -> worker: one self-contained work unit. Carries the full
+ *  request context — workers memoize plans and programs per context,
+ *  so repeated units of one request pay the build cost once. */
+struct UnitRequest
+{
+    std::uint64_t id = 0;
+    UnitKind kind = UnitKind::Run;
+    SweepRequest req;         ///< plan + options context
+    std::uint32_t jobIndex = 0; ///< Run: index into the built plan
+    std::int32_t sample = -1; ///< Run: sample index (-1 = full run)
+    std::string workload;     ///< Capture: workload to warm
+    std::string snapshotPath; ///< snapshot-set file ("" = none)
+    bool chaosExit = false;   ///< test hook: _exit(1) before running
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       UnitRequest &out);
+};
+
+/** Worker -> server: one unit's outcome. SimResult is transported as
+ *  raw object bytes: server and workers are the same binary (the
+ *  daemon spawns its own executable), and the struct is trivially
+ *  copyable — asserted at compile time in proto.cc. */
+struct UnitResult
+{
+    std::uint64_t id = 0;
+    bool ok = false;
+    std::string message;      ///< failure description when !ok
+
+    // Run payload
+    SimResult res{};
+    std::uint64_t commitHash = 0;
+    bool fromCheckpoint = false;
+
+    // Capture payload
+    bool captured = false;    ///< false: no usable boundary (negative
+                              ///< result, still cached)
+    std::uint64_t programHash = 0;
+
+    double wallSeconds = 0.0; ///< host-side metrics only
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       UnitResult &out);
+};
+
+/** Server -> client: one plan-ordered result record (the exact
+ *  resultRecordJson text) plus its index. */
+struct ResultRecord
+{
+    std::uint32_t index = 0;
+    std::string json;
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       ResultRecord &out);
+};
+
+/** Server -> client: the request completed. Carries the per-request
+ *  exec-metrics JSON (host-side; the deterministic payload is the
+ *  record stream) plus the headline cache counters for callers that
+ *  don't want to parse JSON (the load-test harness). */
+struct RequestDone
+{
+    std::uint32_t records = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::string metricsJson;
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       RequestDone &out);
+};
+
+/** Server -> client: request rejected or failed; also the reply to a
+ *  malformed frame. */
+struct ErrorMsg
+{
+    std::string message;
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       ErrorMsg &out);
+};
+
+} // namespace proto
+} // namespace sweep
+} // namespace sdv
+
+#endif // SDV_SWEEP_PROTO_HH

@@ -1,0 +1,745 @@
+#include "sweep/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "common/serialize.hh"
+#include "sim/config.hh"
+#include "sweep/checkpoint.hh"
+#include "sweep/sampling.hh"
+#include "sweep/worker.hh"
+
+namespace sdv {
+namespace sweep {
+
+namespace {
+
+/** A unit that crashes this many workers is abandoned (its request
+ *  fails with context) instead of cycling the pool forever. */
+constexpr unsigned kMaxUnitAttempts = 3;
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Identity of the worker binary (size, mtime, inode): a snapshot
+ *  captured by a different build must never be reused, so this folds
+ *  into every cache key. */
+std::uint64_t
+binaryFingerprint(const struct stat &st)
+{
+    Serializer ser;
+    ser.u64(std::uint64_t(st.st_size));
+    ser.i64(st.st_mtime);
+    ser.u64(std::uint64_t(st.st_ino));
+    const std::vector<std::uint8_t> buf = ser.finish();
+    return fnv1a(buf.data(), buf.size());
+}
+
+/** Per-request collation state, shared between the client handler
+ *  (which streams records) and the unit continuations (which complete
+ *  on worker threads). shared_ptr-held by every continuation, so a
+ *  client that disconnects mid-request cannot dangle late units. */
+struct RequestState
+{
+    SweepPlan plan;
+    std::map<std::string, std::shared_ptr<const SnapshotSet>> sets;
+    std::map<std::string, std::string> snapshotPaths;
+    std::vector<RunOutcome> outcomes;
+    std::vector<std::vector<SimResult>> sampleResults;
+    std::vector<std::vector<std::uint64_t>> sampleHashes;
+    std::vector<unsigned> unitsLeft;
+    std::vector<char> jobDone;
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool failed = false;
+    std::string failMsg;
+    double busySeconds = 0.0;
+
+    void
+    fail(std::string why)
+    {
+        failed = true;
+        if (failMsg.empty())
+            failMsg = std::move(why);
+    }
+};
+
+} // namespace
+
+SweepServer::SweepServer(Options opt)
+    : opt_(std::move(opt)), cache_(opt_.cacheDir)
+{
+}
+
+SweepServer::~SweepServer()
+{
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+bool
+SweepServer::start(std::string *err)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+
+    ::mkdir(opt_.cacheDir.c_str(), 0755); // EEXIST: reuse
+    struct stat st{};
+    if (::stat(opt_.cacheDir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        if (err)
+            *err = "cache directory unavailable: " + opt_.cacheDir;
+        return false;
+    }
+    if (::stat(opt_.workerExe.c_str(), &st) != 0) {
+        if (err)
+            *err = "worker binary not found: " + opt_.workerExe;
+        return false;
+    }
+    binFingerprint_ = binaryFingerprint(st);
+
+    listenFd_ = proto::listenUnix(opt_.socketPath, err);
+    if (listenFd_ < 0)
+        return false;
+
+    numWorkers_ = resolveJobs(opt_.workers);
+    for (unsigned i = 0; i < numWorkers_; ++i) {
+        const pid_t pid =
+            spawnWorkerProcess(opt_.workerExe, opt_.socketPath);
+        if (pid < 0) {
+            if (err)
+                *err = "could not spawn worker process";
+            return false;
+        }
+        workerPids_.push_back(int(pid));
+    }
+    if (opt_.verbose)
+        std::fprintf(stderr,
+                     "sdv_sweep: serving on %s (%u workers, cache %s)\n",
+                     opt_.socketPath.c_str(), numWorkers_,
+                     opt_.cacheDir.c_str());
+    return true;
+}
+
+void
+SweepServer::stop()
+{
+    stop_.store(true);
+    qcv_.notify_all();
+}
+
+void
+SweepServer::enqueue(const std::shared_ptr<PendingUnit> &u, bool front)
+{
+    {
+        std::lock_guard<std::mutex> lk(qm_);
+        if (front)
+            queue_.push_front(u);
+        else
+            queue_.push_back(u);
+        queueDepthPeak_ = std::max<std::uint64_t>(queueDepthPeak_,
+                                                  queue_.size());
+    }
+    qcv_.notify_one();
+}
+
+std::shared_ptr<SweepServer::PendingUnit>
+SweepServer::popUnit()
+{
+    std::unique_lock<std::mutex> lk(qm_);
+    qcv_.wait(lk, [&] { return stop_.load() || !queue_.empty(); });
+    if (queue_.empty())
+        return nullptr;
+    auto u = queue_.front();
+    queue_.pop_front();
+    return u;
+}
+
+void
+SweepServer::requeueAfterCrash(const std::shared_ptr<PendingUnit> &u)
+{
+    ++u->attempts;
+    // The chaos hook fires at most once per unit: the whole point of
+    // the retry is that the re-run succeeds.
+    u->msg.chaosExit = false;
+    if (u->attempts >= kMaxUnitAttempts) {
+        proto::UnitResult r;
+        r.id = u->msg.id;
+        r.message = "unit abandoned after " +
+                    std::to_string(u->attempts) + " worker crashes";
+        auto done = std::move(u->done);
+        done(std::move(r));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(sm_);
+        ++unitRetries_;
+    }
+    // Front of the queue: the crashed unit's request is the oldest
+    // work in flight; don't let newer requests starve its retry.
+    enqueue(u, true);
+}
+
+void
+SweepServer::failPendingUnits(const char *why)
+{
+    std::deque<std::shared_ptr<PendingUnit>> drained;
+    {
+        std::lock_guard<std::mutex> lk(qm_);
+        drained.swap(queue_);
+    }
+    for (auto &u : drained) {
+        proto::UnitResult r;
+        r.id = u->msg.id;
+        r.message = why;
+        auto done = std::move(u->done);
+        done(std::move(r));
+    }
+}
+
+void
+SweepServer::workerLoop(const std::shared_ptr<proto::Framed> &link,
+                        int pid)
+{
+    {
+        std::lock_guard<std::mutex> lk(sm_);
+        workers_[pid]; // register (zero load) even before work arrives
+    }
+    bool died = false;
+    std::shared_ptr<PendingUnit> u;
+    while (!stop_.load()) {
+        u = popUnit();
+        if (!u)
+            break;
+        if (!link->send(proto::MsgType::UnitRequest, u->msg.encode())) {
+            died = true;
+            break;
+        }
+        proto::MsgType t;
+        std::vector<std::uint8_t> payload;
+        proto::UnitResult r;
+        if (!link->recv(t, payload) ||
+            t != proto::MsgType::UnitResult ||
+            !proto::UnitResult::decode(payload, r)) {
+            died = true;
+            break;
+        }
+        {
+            std::lock_guard<std::mutex> lk(sm_);
+            WorkerState &ws = workers_[pid];
+            ++ws.units;
+            ws.busySeconds += r.wallSeconds;
+        }
+        auto done = std::move(u->done);
+        u.reset();
+        done(std::move(r));
+    }
+    if (died) {
+        link->close();
+        if (u)
+            requeueAfterCrash(u);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        if (!stop_.load()) {
+            warn("sweep worker ", pid, " died; respawning");
+            {
+                std::lock_guard<std::mutex> lk(sm_);
+                ++workerRestarts_;
+            }
+            const pid_t np =
+                spawnWorkerProcess(opt_.workerExe, opt_.socketPath);
+            if (np > 0) {
+                std::lock_guard<std::mutex> lk(sm_);
+                workerPids_.push_back(int(np));
+            } else {
+                warn("sweep server: could not respawn a worker");
+            }
+        }
+    }
+}
+
+void
+SweepServer::handleSubmit(proto::Framed &link,
+                          const std::vector<std::uint8_t> &payload)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    auto reject = [&](const std::string &why) {
+        proto::ErrorMsg e;
+        e.message = why;
+        link.send(proto::MsgType::Error, e.encode());
+        if (opt_.verbose)
+            std::fprintf(stderr, "sdv_sweep: rejected request: %s\n",
+                         why.c_str());
+    };
+
+    proto::SweepRequest req;
+    std::string err;
+    if (!proto::SweepRequest::decode(payload, req, &err)) {
+        reject("malformed request: " + err);
+        return;
+    }
+    if (!havePlan(req.plan)) {
+        reject("unknown plan '" + req.plan + "'");
+        return;
+    }
+    if (req.popt.scale == 0) {
+        reject("scale must be >= 1");
+        return;
+    }
+    if (req.eopt.sample.enabled() && req.eopt.verify) {
+        // The in-process executor asserts on this combination; a
+        // daemon rejects it instead of dying.
+        reject("interval sampling produces estimates that cannot be "
+               "functionally verified; drop --verify");
+        return;
+    }
+
+    const ExecOptions &eopt = req.eopt;
+    auto st = std::make_shared<RequestState>();
+    st->plan = buildPlan(req.plan, req.popt);
+    const std::size_t nJobs = st->plan.jobs.size();
+    st->outcomes.resize(nJobs);
+    st->sampleResults.resize(nJobs);
+    st->sampleHashes.resize(nJobs);
+    st->unitsLeft.assign(nJobs, 0);
+    st->jobDone.assign(nJobs, 0);
+
+    // Chaos budget (worker-crash recovery tests): the first N units
+    // dispatched for this request take their worker down once each.
+    std::uint32_t chaosLeft = req.chaosExitUnits;
+    auto takeChaos = [&chaosLeft]() {
+        if (chaosLeft == 0)
+            return false;
+        --chaosLeft;
+        return true;
+    };
+
+    std::uint64_t unitsDispatched = 0;
+    std::uint64_t reqHits = 0, reqMisses = 0, reqWaits = 0;
+
+    // --- Snapshot acquisition (sampled and one-boundary checkpoint
+    // modes): one single-flight cache acquire per distinct workload;
+    // a miss dispatches the capture pass to the worker pool.
+    const bool sampled = eopt.sample.enabled();
+    if (sampled || eopt.checkpoint) {
+        for (const SweepJob &job : st->plan.jobs) {
+            if (st->sets.count(job.workload))
+                continue;
+            const std::uint64_t warmHash =
+                configIdentityHash(warmConfig(st->plan, eopt,
+                                              job.workload));
+            const std::string key = snapshotKey(req, job.workload,
+                                                warmHash,
+                                                binFingerprint_);
+            auto capture = [&](const std::string &path,
+                               std::string *cerr) {
+                auto pu = std::make_shared<PendingUnit>();
+                pu->msg.id = nextUnitId_.fetch_add(1);
+                pu->msg.kind = proto::UnitKind::Capture;
+                pu->msg.req = req;
+                pu->msg.workload = job.workload;
+                pu->msg.snapshotPath = path;
+                pu->msg.chaosExit = takeChaos();
+                std::promise<proto::UnitResult> prom;
+                auto fut = prom.get_future();
+                pu->done = [&prom](proto::UnitResult &&r) {
+                    prom.set_value(std::move(r));
+                };
+                enqueue(pu, false);
+                ++unitsDispatched;
+                proto::UnitResult r = fut.get();
+                if (!r.ok && cerr)
+                    *cerr = r.message;
+                return r.ok;
+            };
+            SnapshotCache::Outcome oc = SnapshotCache::Outcome::Hit;
+            auto set = cache_.acquire(key, capture, &err, &oc);
+            if (!set) {
+                reject("snapshot capture failed for '" + job.workload +
+                       "': " + err);
+                return;
+            }
+            switch (oc) {
+            case SnapshotCache::Outcome::Hit: ++reqHits; break;
+            case SnapshotCache::Outcome::Miss: ++reqMisses; break;
+            case SnapshotCache::Outcome::Wait: ++reqWaits; break;
+            }
+            st->sets.emplace(job.workload, std::move(set));
+            st->snapshotPaths.emplace(job.workload, cache_.pathFor(key));
+        }
+    }
+
+    // --- Decide each job's execution shape and seed its outcome,
+    // exactly as the corresponding in-process path would (serially,
+    // before any unit runs: fallbacks never depend on scheduling).
+    std::map<std::pair<std::string, std::string>, bool> configOk;
+    auto jobSampled = [&](const SweepJob &job) {
+        const auto &set = st->sets.at(job.workload);
+        if (!set->captured || !set->sampled || !set->set.usable())
+            return false;
+        const auto key = std::make_pair(job.workload, job.configKey);
+        auto it = configOk.find(key);
+        if (it == configOk.end()) {
+            CoreConfig cfg = job.cfg;
+            applyExecOverlay(cfg, eopt);
+            // samples[0] is the cold region (no image); the first warm
+            // snapshot decides whether this config can fork. Geometry
+            // is checked Simulator-free (the daemon never builds
+            // programs); program identity holds by construction — the
+            // set was captured from this workload's own build.
+            const bool ok = Checkpoint::validateImage(
+                cfg, set->set.samples[1].bytes);
+            if (!ok)
+                warn("running ", job.workload, "/", job.configKey,
+                     " as a full run (snapshot geometry mismatch)");
+            it = configOk.emplace(key, ok).first;
+        }
+        return it->second;
+    };
+
+    for (std::size_t i = 0; i < nJobs; ++i) {
+        const SweepJob &job = st->plan.jobs[i];
+        stampOutcome(st->outcomes[i], job);
+        if (sampled) {
+            st->unitsLeft[i] =
+                jobSampled(job)
+                    ? unsigned(st->sets.at(job.workload)
+                                   ->set.samples.size())
+                    : 1;
+            if (st->unitsLeft[i] > 1) {
+                st->sampleResults[i].resize(st->unitsLeft[i]);
+                st->sampleHashes[i].assign(st->unitsLeft[i], 0);
+            }
+        } else {
+            // The full-run path resolves the job's machine config up
+            // front (overlay + per-job fault plan) — the record
+            // serializer reads fault state from it.
+            CoreConfig cfg = job.cfg;
+            applyExecOverlay(cfg, eopt);
+            cfg.engine.fault = jobFaultPlan(eopt.fault, job);
+            st->outcomes[i].cfg = cfg;
+            st->unitsLeft[i] = 1;
+        }
+    }
+
+    // --- Enqueue every unit in serial order, each completing into the
+    // shared request state from whichever worker thread finishes it.
+    auto makeUnit = [&](std::uint32_t jobIndex, std::int32_t sample) {
+        auto pu = std::make_shared<PendingUnit>();
+        pu->msg.id = nextUnitId_.fetch_add(1);
+        pu->msg.kind = proto::UnitKind::Run;
+        pu->msg.req = req;
+        pu->msg.jobIndex = jobIndex;
+        pu->msg.sample = sample;
+        const std::string &wl = st->plan.jobs[jobIndex].workload;
+        if (st->snapshotPaths.count(wl))
+            pu->msg.snapshotPath = st->snapshotPaths.at(wl);
+        pu->msg.chaosExit = takeChaos();
+        return pu;
+    };
+
+    for (std::size_t i = 0; i < nJobs; ++i) {
+        const bool jobIsSampled = sampled && st->unitsLeft[i] > 1;
+        const unsigned n = st->unitsLeft[i];
+        for (unsigned k = 0; k < n; ++k) {
+            auto pu = makeUnit(std::uint32_t(i),
+                               jobIsSampled ? std::int32_t(k) : -1);
+            const bool fullRunMode = !sampled;
+            pu->done = [st, i, k, jobIsSampled,
+                        fullRunMode](proto::UnitResult &&r) {
+                std::lock_guard<std::mutex> lk(st->m);
+                RunOutcome &o = st->outcomes[i];
+                if (!r.ok) {
+                    st->fail(r.message);
+                } else if (jobIsSampled) {
+                    st->sampleResults[i][k] = r.res;
+                    st->sampleHashes[i][k] = r.commitHash;
+                    o.wallSeconds += r.wallSeconds;
+                    st->busySeconds += r.wallSeconds;
+                } else {
+                    o.res = r.res;
+                    o.commitHash = r.commitHash;
+                    o.wallSeconds = r.wallSeconds;
+                    st->busySeconds += r.wallSeconds;
+                    if (fullRunMode) {
+                        o.fromCheckpoint = r.fromCheckpoint;
+                        o.timedOut = r.res.timedOut;
+                    }
+                    // Sampled-mode full-run fallback: fromCheckpoint
+                    // and timedOut stay false, as in runPlanSampled.
+                }
+                if (--st->unitsLeft[i] == 0) {
+                    if (jobIsSampled) {
+                        // Plan-ordered aggregation: a pure integer
+                        // fold, independent of worker scheduling.
+                        const auto &set =
+                            st->sets.at(o.workload)->set;
+                        o.res = aggregateSamples(set,
+                                                 st->sampleResults[i]);
+                        o.commitHash =
+                            foldSampleHashes(st->sampleHashes[i]);
+                        o.fromCheckpoint = true;
+                        o.samples = unsigned(set.samples.size());
+                    }
+                    st->jobDone[i] = 1;
+                }
+                st->cv.notify_all();
+            };
+            enqueue(pu, false);
+            ++unitsDispatched;
+        }
+    }
+
+    // --- Stream the plan-ordered record prefix as it completes.
+    const auto collate0 = std::chrono::steady_clock::now();
+    bool clientGone = false;
+    for (std::size_t i = 0; i < nJobs; ++i) {
+        std::string json;
+        {
+            std::unique_lock<std::mutex> lk(st->m);
+            st->cv.wait(lk,
+                        [&] { return st->jobDone[i] || st->failed; });
+            if (st->failed) {
+                const std::string why = st->failMsg;
+                lk.unlock();
+                reject("request failed: " + why);
+                return;
+            }
+            json = resultRecordJson(st->outcomes[i]);
+        }
+        proto::ResultRecord rec;
+        rec.index = std::uint32_t(i);
+        rec.json = std::move(json);
+        if (!link.send(proto::MsgType::ResultRecord, rec.encode())) {
+            // Client went away; late continuations hold st alive, so
+            // just stop streaming.
+            clientGone = true;
+            break;
+        }
+    }
+    if (clientGone)
+        return;
+
+    // --- Request metrics (host-side rider; the deterministic payload
+    // is the record stream above).
+    ExecMetrics m;
+    m.enabled = true;
+    m.serve = true;
+    m.workers = numWorkers_;
+    m.jobsAuto = opt_.workers == 0;
+    m.poolWallSeconds = secondsSince(t0);
+    m.requestSeconds = m.poolWallSeconds;
+    m.collateSeconds = secondsSince(collate0);
+    m.cacheHits = reqHits;
+    m.cacheMisses = reqMisses;
+    m.cacheWaits = reqWaits;
+    m.checkpointCaptures = reqMisses;
+    m.unitsDispatched = unitsDispatched;
+    {
+        std::lock_guard<std::mutex> lk(st->m);
+        m.busySeconds = st->busySeconds;
+        m.jobs.resize(nJobs);
+        for (std::size_t i = 0; i < nJobs; ++i) {
+            ExecMetrics::JobMetrics &jm = m.jobs[i];
+            jm.workload = st->plan.jobs[i].workload;
+            jm.configKey = st->plan.jobs[i].configKey;
+            jm.queueWaitSeconds = -1.0; // units, not jobs, queue here
+            jm.runSeconds = st->outcomes[i].wallSeconds;
+        }
+        for (std::size_t i = 0; i < nJobs; ++i) {
+            const RunOutcome &o = st->outcomes[i];
+            if (!o.fromCheckpoint)
+                continue;
+            const auto &set = st->sets.at(o.workload)->set;
+            if (o.samples > 0) {
+                for (const SampleCheckpoint &sc : set.samples) {
+                    if (sc.bytes.empty())
+                        continue;
+                    ++m.checkpointRestores;
+                    m.checkpointRestoreBytes += sc.bytes.size();
+                }
+            } else if (!set.samples.empty()) {
+                ++m.checkpointRestores;
+                m.checkpointRestoreBytes +=
+                    set.samples[0].bytes.size();
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(sm_);
+        m.unitRetries = unitRetries_;
+        m.workerRestarts = workerRestarts_;
+        for (const auto &kv : workers_) {
+            ExecMetrics::WorkerLoad wl;
+            wl.pid = kv.first;
+            wl.units = kv.second.units;
+            wl.busySeconds = kv.second.busySeconds;
+            m.workerLoads.push_back(wl);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(qm_);
+        m.queueDepthPeak = queueDepthPeak_;
+    }
+
+    proto::RequestDone done;
+    done.records = std::uint32_t(nJobs);
+    done.cacheHits = reqHits;
+    done.cacheMisses = reqMisses;
+    done.metricsJson = m.toJson();
+    link.send(proto::MsgType::RequestDone, done.encode());
+    if (opt_.verbose)
+        std::fprintf(stderr,
+                     "sdv_sweep: served %s (%zu records, %.2fs, "
+                     "cache %llu hit / %llu miss)\n",
+                     req.plan.c_str(), nJobs, m.requestSeconds,
+                     static_cast<unsigned long long>(reqHits),
+                     static_cast<unsigned long long>(reqMisses));
+}
+
+void
+SweepServer::clientLoop(const std::shared_ptr<proto::Framed> &link)
+{
+    proto::MsgType t;
+    std::vector<std::uint8_t> payload;
+    while (!stop_.load() && link->recv(t, payload)) {
+        if (t == proto::MsgType::Shutdown) {
+            if (opt_.verbose)
+                std::fprintf(stderr,
+                             "sdv_sweep: shutdown requested\n");
+            stop();
+            break;
+        }
+        if (t == proto::MsgType::Submit) {
+            handleSubmit(*link, payload);
+            continue;
+        }
+        proto::ErrorMsg e;
+        e.message = "unexpected frame type";
+        link->send(proto::MsgType::Error, e.encode());
+        break;
+    }
+}
+
+void
+SweepServer::handleConnection(int fd)
+{
+    auto link = std::make_shared<proto::Framed>(fd);
+    {
+        std::lock_guard<std::mutex> lk(sm_);
+        conns_.push_back(link);
+    }
+    proto::MsgType t;
+    std::vector<std::uint8_t> payload;
+    if (!link->recv(t, payload))
+        return;
+
+    proto::Hello hello;
+    if (t == proto::MsgType::HelloWorker) {
+        if (proto::Hello::decode(payload, hello) &&
+            hello.version == proto::kVersion)
+            workerLoop(link, hello.pid);
+        return;
+    }
+    if (t == proto::MsgType::HelloClient) {
+        if (!proto::Hello::decode(payload, hello) ||
+            hello.version != proto::kVersion) {
+            proto::ErrorMsg e;
+            e.message = "protocol version mismatch (server speaks v" +
+                        std::to_string(proto::kVersion) + ")";
+            link->send(proto::MsgType::Error, e.encode());
+            return;
+        }
+        clientLoop(link);
+        return;
+    }
+    proto::ErrorMsg e;
+    e.message = "expected a hello frame";
+    link->send(proto::MsgType::Error, e.encode());
+}
+
+void
+SweepServer::acceptLoop(int listenFd)
+{
+    while (!stop_.load()) {
+        struct pollfd pfd{};
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        const int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("sweep server: poll failed; shutting down");
+            stop();
+            break;
+        }
+        if (rc == 0 || !(pfd.revents & POLLIN))
+            continue;
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lk(sm_);
+        threads_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+SweepServer::run()
+{
+    acceptLoop(listenFd_);
+
+    // Wind-down: no new connections (accept loop done); unblock every
+    // handler, fail whatever work is still queued, reap the pool.
+    stop_.store(true);
+    qcv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lk(sm_);
+        for (auto &w : conns_)
+            if (auto c = w.lock())
+                ::shutdown(c->fd(), SHUT_RDWR);
+    }
+    for (;;) {
+        std::vector<std::thread> batch;
+        {
+            std::lock_guard<std::mutex> lk(sm_);
+            batch.swap(threads_);
+        }
+        if (batch.empty())
+            break;
+        for (std::thread &t : batch)
+            t.join();
+    }
+    failPendingUnits("server shutting down");
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(opt_.socketPath.c_str());
+    std::vector<int> pids;
+    {
+        std::lock_guard<std::mutex> lk(sm_);
+        pids = workerPids_;
+    }
+    for (int pid : pids) {
+        int status = 0;
+        ::waitpid(pid, &status, 0); // ECHILD for already-reaped: fine
+    }
+}
+
+} // namespace sweep
+} // namespace sdv

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The sweep work-server (`sdv_sweep --serve`): a long-lived daemon
+ * that listens on a Unix domain socket, decomposes incoming sweep
+ * requests into the executor's self-contained (config × sample) work
+ * units, dispatches them to a pool of worker *processes* (one crash
+ * cannot take down the service or other requests), and streams each
+ * client its plan-ordered result records as the completed prefix
+ * grows — collation never waits for the whole request.
+ *
+ * Determinism contract: the served record stream is byte-identical to
+ * what the in-process executor (runPlan) serializes for the same
+ * request. The server builds the identical plan, derives the identical
+ * per-job configurations/seeds/fault plans, shares the executor's
+ * record serializer (resultRecordJson), and the workers mirror the
+ * executor's per-unit simulation paths — so sharding across N workers
+ * (or machines; the protocol is address-agnostic) changes wall-clock
+ * only.
+ *
+ * Capture passes are deduplicated across requests by the process-wide
+ * SnapshotCache: concurrent clients asking for the same grid share one
+ * warmup (single-flight), and the resulting snapshot sets persist in
+ * the cache directory across daemon restarts.
+ *
+ * Serve-mode deviations from the in-process executor (documented in
+ * docs/sweep.md): ExecOptions host-side knobs are not part of a
+ * request — `jobs` (the daemon owns its pool size), `jobTimeout` (no
+ * watchdog; a wedged unit wedges its worker, not the daemon) and the
+ * observability sinks (serve mode produces deterministic records).
+ */
+
+#ifndef SDV_SWEEP_SERVER_HH
+#define SDV_SWEEP_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sweep/proto.hh"
+#include "sweep/snapshot_cache.hh"
+
+namespace sdv {
+namespace sweep {
+
+class SweepServer
+{
+  public:
+    struct Options
+    {
+        std::string socketPath; ///< Unix socket to listen on
+        /** Worker processes (0 = auto: hardware_concurrency - 1, the
+         *  same resolveJobs rule as `--jobs 0`). */
+        unsigned workers = 0;
+        std::string cacheDir;   ///< snapshot-cache directory
+        std::string workerExe;  ///< binary to spawn as `--worker`
+        bool verbose = false;   ///< per-request log lines on stderr
+    };
+
+    explicit SweepServer(Options opt);
+    ~SweepServer();
+
+    /** Bind the socket, fingerprint the worker binary and spawn the
+     *  worker pool. @retval false (with @p err) when the socket or
+     *  cache directory cannot be set up. */
+    bool start(std::string *err);
+
+    /** Accept/serve until stop(); joins every connection handler and
+     *  reaps every worker before returning. */
+    void run();
+
+    /** Ask run() to wind down (safe from any thread, including
+     *  connection handlers — a client Shutdown frame lands here). */
+    void stop();
+
+    unsigned workerCount() const { return numWorkers_; }
+
+  private:
+    /** One queued work unit with its completion continuation. */
+    struct PendingUnit
+    {
+        proto::UnitRequest msg;
+        std::function<void(proto::UnitResult &&)> done;
+        unsigned attempts = 0;
+    };
+
+    /** Lifetime load tally of one worker process. */
+    struct WorkerState
+    {
+        std::uint64_t units = 0;
+        double busySeconds = 0.0;
+    };
+
+    void acceptLoop(int listenFd);
+    void handleConnection(int fd);
+    void workerLoop(const std::shared_ptr<proto::Framed> &link,
+                    int pid);
+    void clientLoop(const std::shared_ptr<proto::Framed> &link);
+    void handleSubmit(proto::Framed &link,
+                      const std::vector<std::uint8_t> &payload);
+
+    void enqueue(const std::shared_ptr<PendingUnit> &u, bool front);
+    std::shared_ptr<PendingUnit> popUnit();
+    /** A worker died holding @p u: retry it (chaos hook cleared) or,
+     *  past the attempt cap, fail it to its continuation. */
+    void requeueAfterCrash(const std::shared_ptr<PendingUnit> &u);
+    void failPendingUnits(const char *why);
+
+    const Options opt_;
+    unsigned numWorkers_ = 0;
+    std::uint64_t binFingerprint_ = 0;
+    int listenFd_ = -1;
+    SnapshotCache cache_;
+
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> nextUnitId_{1};
+
+    std::mutex qm_;
+    std::condition_variable qcv_;
+    std::deque<std::shared_ptr<PendingUnit>> queue_;
+    std::uint64_t queueDepthPeak_ = 0;
+
+    std::mutex sm_; ///< guards threads_, conns_, workers_, counters
+    std::vector<std::thread> threads_;
+    std::vector<std::weak_ptr<proto::Framed>> conns_;
+    std::map<int, WorkerState> workers_; ///< pid -> lifetime load
+    std::vector<int> workerPids_;
+    std::uint64_t unitRetries_ = 0;
+    std::uint64_t workerRestarts_ = 0;
+};
+
+} // namespace sweep
+} // namespace sdv
+
+#endif // SDV_SWEEP_SERVER_HH

@@ -1,0 +1,225 @@
+#include "sweep/snapshot_cache.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+#include "common/serialize.hh"
+
+namespace sdv {
+namespace sweep {
+
+namespace {
+
+constexpr char magic[8] = {'S', 'D', 'V', 'S', 'N', 'A', 'P', '1'};
+constexpr std::uint32_t version = 1;
+
+} // namespace
+
+bool
+saveSnapshotSet(const std::string &path, const SnapshotSet &s)
+{
+    Serializer ser;
+    ser.bytes(magic, sizeof(magic));
+    ser.u32(version);
+    ser.u64(s.programHash);
+    ser.b(s.sampled);
+    ser.b(s.captured);
+    ser.u64(s.set.totalInsts);
+    ser.u64(s.set.periodInsts);
+    ser.u64(s.set.samples.size());
+    for (const SampleCheckpoint &sc : s.set.samples) {
+        ser.u64(sc.startInst);
+        ser.u64(sc.regionInsts);
+        ser.u64(sc.measureInsts);
+        ser.u64(sc.bytes.size());
+        ser.bytes(sc.bytes.data(), sc.bytes.size());
+    }
+    // Checkpoint::save publishes atomically (temp + rename) and the
+    // Serializer seals with the FNV-1a trailer Checkpoint::load
+    // verifies — the container rides the same torn-write guarantees
+    // as the images it holds.
+    return Checkpoint::save(path, ser.finish());
+}
+
+Checkpoint::LoadStatus
+loadSnapshotSet(const std::string &path, SnapshotSet &out)
+{
+    std::vector<std::uint8_t> bytes;
+    const auto st = Checkpoint::load(path, bytes);
+    if (st != Checkpoint::LoadStatus::Ok)
+        return st;
+
+    Deserializer des(bytes);
+    if (!des.verifyChecksum())
+        return Checkpoint::LoadStatus::Corrupt;
+    char m[sizeof(magic)];
+    if (!des.bytes(m, sizeof(m)) ||
+        std::memcmp(m, magic, sizeof(magic)) != 0 ||
+        des.u32() != version)
+        return Checkpoint::LoadStatus::Corrupt;
+    out.programHash = des.u64();
+    out.sampled = des.b();
+    out.captured = des.b();
+    out.set.totalInsts = des.u64();
+    out.set.periodInsts = des.u64();
+    const std::uint64_t n = des.u64();
+    if (!des.ok() || n > (1u << 20))
+        return Checkpoint::LoadStatus::Corrupt;
+    out.set.samples.assign(std::size_t(n), SampleCheckpoint{});
+    for (SampleCheckpoint &sc : out.set.samples) {
+        sc.startInst = des.u64();
+        sc.regionInsts = des.u64();
+        sc.measureInsts = des.u64();
+        const std::uint64_t len = des.u64();
+        if (!des.ok() || len > bytes.size())
+            return Checkpoint::LoadStatus::Corrupt;
+        sc.bytes.resize(std::size_t(len));
+        if (!des.bytes(sc.bytes.data(), sc.bytes.size()))
+            return Checkpoint::LoadStatus::Corrupt;
+    }
+    return des.atEnd() ? Checkpoint::LoadStatus::Ok
+                       : Checkpoint::LoadStatus::Corrupt;
+}
+
+std::string
+snapshotKey(const proto::SweepRequest &req, const std::string &workload,
+            std::uint64_t warmCfgHash, std::uint64_t binFingerprint)
+{
+    char buf[160];
+    const ExecOptions &o = req.eopt;
+    std::string key = workload;
+    key += ".s" + std::to_string(req.popt.scale);
+    key += ".";
+    key += footprintName(req.popt.footprint);
+    key += ".w" + std::to_string(o.warmupInsts);
+    if (o.sample.enabled()) {
+        std::snprintf(buf, sizeof(buf), ".S%u.m%llu.p%llu",
+                      o.sample.samples,
+                      static_cast<unsigned long long>(
+                          o.sample.measureInsts),
+                      static_cast<unsigned long long>(
+                          o.sample.periodInsts));
+        key += buf;
+    } else {
+        key += ".one";
+    }
+    // The cycle budget shapes capture *failure* (a boundary that was
+    // unreachable within the budget is a cached negative), so a bigger
+    // budget must not reuse a smaller budget's verdict.
+    std::snprintf(buf, sizeof(buf), ".mc%llu.c%016llx.b%016llx",
+                  static_cast<unsigned long long>(o.maxCycles),
+                  static_cast<unsigned long long>(warmCfgHash),
+                  static_cast<unsigned long long>(binFingerprint));
+    key += buf;
+    return key;
+}
+
+SnapshotCache::SnapshotCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+SnapshotCache::pathFor(const std::string &key) const
+{
+    return dir_ + "/" + key + ".snap";
+}
+
+std::shared_ptr<const SnapshotSet>
+SnapshotCache::acquire(
+    const std::string &key,
+    const std::function<bool(const std::string &path, std::string *err)>
+        &capture,
+    std::string *err, Outcome *outcome)
+{
+    std::shared_ptr<Entry> e;
+    bool leader = false;
+    {
+        std::unique_lock<std::mutex> lk(m_);
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+            e = std::make_shared<Entry>();
+            entries_.emplace(key, e);
+            leader = true;
+        } else {
+            e = it->second;
+            if (e->ready) {
+                ++stats_.hits;
+                if (outcome)
+                    *outcome = Outcome::Hit;
+                return e->set;
+            }
+            // Single-flight: someone else is capturing this key right
+            // now; wait for their verdict instead of racing a
+            // redundant warm-up.
+            ++stats_.waits;
+            if (outcome)
+                *outcome = Outcome::Wait;
+            cv_.wait(lk, [&] { return e->ready || e->failed; });
+            if (e->ready) {
+                return e->set;
+            }
+            if (err)
+                *err = e->error;
+            return nullptr;
+        }
+    }
+
+    (void)leader; // from here on this thread owns the key's capture
+    const std::string path = pathFor(key);
+    auto set = std::make_shared<SnapshotSet>();
+    std::string localErr;
+    bool ok = false;
+    bool miss = false;
+
+    const auto st = loadSnapshotSet(path, *set);
+    if (st == Checkpoint::LoadStatus::Ok) {
+        ok = true; // disk hit from an earlier server run
+    } else {
+        if (st == Checkpoint::LoadStatus::Corrupt)
+            warn_once("cached snapshot set ", path,
+                      " is corrupt (torn or truncated write?); "
+                      "recapturing");
+        miss = true;
+        ok = capture(path, &localErr);
+        if (ok) {
+            const auto st2 = loadSnapshotSet(path, *set);
+            if (st2 != Checkpoint::LoadStatus::Ok) {
+                ok = false;
+                localErr = "capture produced no readable snapshot "
+                           "set at " +
+                           path;
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lk(m_);
+    if (ok) {
+        if (miss)
+            ++stats_.misses;
+        else
+            ++stats_.hits;
+        if (outcome)
+            *outcome = miss ? Outcome::Miss : Outcome::Hit;
+        e->set = std::move(set);
+        e->ready = true;
+    } else {
+        // Failures are not cached: drop the entry so a later acquire
+        // retries the capture from scratch.
+        e->failed = true;
+        e->error = localErr;
+        entries_.erase(key);
+        if (err)
+            *err = localErr;
+    }
+    cv_.notify_all();
+    return ok ? e->set : nullptr;
+}
+
+SnapshotCache::Stats
+SnapshotCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return stats_;
+}
+
+} // namespace sweep
+} // namespace sdv

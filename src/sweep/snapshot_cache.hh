@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Process-shared snapshot cache for the sweep work-server: capture-pass
+ * results (one-boundary checkpoints and interval-sample sets) keyed by
+ * everything that shapes the capture — workload, scale, footprint,
+ * warm-up length, sampling parameters, the canonical warm-config hash
+ * (sim/config.hh: configIdentityHash) and a fingerprint of the worker
+ * binary — persisted as one container file per key under the cache
+ * directory, published atomically (Checkpoint::save's temp + rename)
+ * and integrity-checked on load (FNV-1a trailer).
+ *
+ * Concurrent clients requesting the same grid share one warmup via
+ * single-flight deduplication: the first acquire() of a key runs the
+ * capture callback; every concurrent acquire() of the same key blocks
+ * on that one capture instead of racing N redundant passes. Negative
+ * results (a workload with no usable boundary) are cached too, so
+ * hopeless captures are not retried per request.
+ */
+
+#ifndef SDV_SWEEP_SNAPSHOT_CACHE_HH
+#define SDV_SWEEP_SNAPSHOT_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sweep/checkpoint.hh"
+#include "sweep/proto.hh"
+#include "sweep/sampling.hh"
+
+namespace sdv {
+namespace sweep {
+
+/** One cached capture-pass result. For a sampled request the embedded
+ *  SampleSet is exactly what captureSamples() returned; for the
+ *  one-boundary checkpoint mode it is degenerate — samples[0].bytes
+ *  holds the single warm image (empty when the warm-up found no
+ *  boundary, i.e. captured == false). */
+struct SnapshotSet
+{
+    std::uint64_t programHash = 0; ///< identity of the captured program
+    bool sampled = false;          ///< sample set vs one-boundary image
+    bool captured = false;         ///< false: negative result (cached)
+    SampleSet set;
+};
+
+/** Serialize + atomically publish @p s at @p path. */
+bool saveSnapshotSet(const std::string &path, const SnapshotSet &s);
+
+/** Load @p path (Missing / Corrupt exactly as Checkpoint::load). */
+Checkpoint::LoadStatus loadSnapshotSet(const std::string &path,
+                                       SnapshotSet &out);
+
+/**
+ * @return the cache key for @p req's workload @p workload: every
+ * capture-shaping parameter plus the warm-config identity hash and
+ * the server's binary fingerprint (a snapshot captured by a different
+ * build of the simulator must never be trusted — deterministic ≠
+ * version-stable).
+ */
+std::string snapshotKey(const proto::SweepRequest &req,
+                        const std::string &workload,
+                        std::uint64_t warmCfgHash,
+                        std::uint64_t binFingerprint);
+
+/** The single-flight, memory + disk snapshot cache (server-side). */
+class SnapshotCache
+{
+  public:
+    explicit SnapshotCache(std::string dir);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;   ///< served from memory or disk
+        std::uint64_t misses = 0; ///< captures actually run
+        std::uint64_t waits = 0;  ///< blocked on another's capture
+    };
+
+    /** How one acquire() call was satisfied (per-request metrics). */
+    enum class Outcome
+    {
+        Hit,  ///< served from memory or disk
+        Miss, ///< this call ran the capture
+        Wait, ///< blocked on another caller's in-flight capture
+    };
+
+    /**
+     * Get the snapshot set for @p key, running @p capture (which must
+     * produce the file at the given path, e.g. by dispatching a
+     * capture unit to a worker) at most once per key across all
+     * concurrent callers.
+     *
+     * @retval nullptr (and sets @p err) when the capture failed; the
+     * failure is not cached — a later acquire retries.
+     */
+    std::shared_ptr<const SnapshotSet>
+    acquire(const std::string &key,
+            const std::function<bool(const std::string &path,
+                                     std::string *err)> &capture,
+            std::string *err, Outcome *outcome = nullptr);
+
+    /** @return the container-file path for @p key. */
+    std::string pathFor(const std::string &key) const;
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        bool ready = false;  ///< set is valid (capture done or loaded)
+        bool failed = false; ///< capture failed; waiters get the error
+        std::string error;
+        std::shared_ptr<const SnapshotSet> set;
+    };
+
+    const std::string dir_;
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::map<std::string, std::shared_ptr<Entry>> entries_;
+    Stats stats_;
+};
+
+} // namespace sweep
+} // namespace sdv
+
+#endif // SDV_SWEEP_SNAPSHOT_CACHE_HH

@@ -1,0 +1,293 @@
+#include "sweep/worker.hh"
+
+#include <csignal>
+#include <map>
+#include <optional>
+
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "sweep/checkpoint.hh"
+#include "sweep/executor.hh"
+#include "sweep/proto.hh"
+#include "sweep/snapshot_cache.hh"
+#include "workloads/workload.hh"
+
+namespace sdv {
+namespace sweep {
+
+namespace {
+
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Per-worker memoization: requests of one grid reuse the built plan,
+ *  the pre-decoded programs and the loaded snapshot sets across all
+ *  the units this worker runs. */
+struct WorkerCaches
+{
+    std::map<std::string, SweepPlan> plans;
+    std::map<std::string, Program> programs;
+    std::map<std::string, std::shared_ptr<const SnapshotSet>> sets;
+
+    const SweepPlan &
+    plan(const proto::SweepRequest &req)
+    {
+        const std::string key =
+            req.plan + "|" + std::to_string(req.popt.scale) + "|" +
+            footprintName(req.popt.footprint) + "|" +
+            (req.popt.quick ? "q" : "f") + "|" +
+            std::to_string(req.popt.baseSeed);
+        auto it = plans.find(key);
+        if (it == plans.end())
+            it = plans.emplace(key, buildPlan(req.plan, req.popt))
+                     .first;
+        return it->second;
+    }
+
+    const Program &
+    program(const std::string &workload, const PlanOptions &popt)
+    {
+        const std::string key = workload + "|" +
+                                std::to_string(popt.scale) + "|" +
+                                footprintName(popt.footprint);
+        auto it = programs.find(key);
+        if (it == programs.end()) {
+            Program prog =
+                buildWorkload(workload, popt.scale, popt.footprint);
+            prog.predecodeAll();
+            it = programs.emplace(key, std::move(prog)).first;
+        }
+        return it->second;
+    }
+
+    /** @return the snapshot set at @p path, or nullptr when it cannot
+     *  be read (the server only names paths it just published). */
+    const SnapshotSet *
+    snapshot(const std::string &path)
+    {
+        auto it = sets.find(path);
+        if (it == sets.end()) {
+            auto s = std::make_shared<SnapshotSet>();
+            if (loadSnapshotSet(path, *s) !=
+                Checkpoint::LoadStatus::Ok)
+                return nullptr;
+            it = sets.emplace(path,
+                              std::shared_ptr<const SnapshotSet>(
+                                  std::move(s)))
+                     .first;
+        }
+        return it->second.get();
+    }
+};
+
+/** Capture unit: run the workload's capture pass under its
+ *  deterministic warm-up configuration and publish the snapshot set
+ *  atomically at the requested path. */
+proto::UnitResult
+runCaptureUnit(const proto::UnitRequest &u, WorkerCaches &caches)
+{
+    proto::UnitResult res;
+    res.id = u.id;
+
+    const SweepPlan &plan = caches.plan(u.req);
+    const Program &prog = caches.program(u.workload, u.req.popt);
+    const CoreConfig cfg = warmConfig(plan, u.req.eopt, u.workload);
+
+    SnapshotSet s;
+    s.programHash = prog.identityHash();
+    if (u.req.eopt.sample.enabled()) {
+        SamplePlan sp = u.req.eopt.sample;
+        sp.warmupInsts = u.req.eopt.warmupInsts;
+        s.sampled = true;
+        s.set = captureSamples(cfg, prog, sp, u.req.eopt.maxCycles);
+        s.captured = s.set.usable();
+    } else {
+        s.sampled = false;
+        s.set.samples.resize(1);
+        Simulator sim(cfg, prog);
+        if (sim.warmup(u.req.eopt.warmupInsts, u.req.eopt.maxCycles)) {
+            s.captured = true;
+            s.set.samples[0].bytes = Checkpoint::capture(sim);
+        }
+        // else: captured == false, empty image — a cached negative,
+        // exactly the serial path's "run this workload cold" verdict.
+    }
+
+    if (!saveSnapshotSet(u.snapshotPath, s)) {
+        res.message = "could not publish snapshot set at " +
+                      u.snapshotPath;
+        return res;
+    }
+    res.ok = true;
+    res.captured = s.captured;
+    res.programHash = s.programHash;
+    return res;
+}
+
+/** Run unit: one job (full) or one (job, sample) fork, mirroring the
+ *  corresponding in-process executor path statement for statement. */
+proto::UnitResult
+runRunUnit(const proto::UnitRequest &u, WorkerCaches &caches)
+{
+    proto::UnitResult res;
+    res.id = u.id;
+
+    const ExecOptions &opt = u.req.eopt;
+    const SweepPlan &plan = caches.plan(u.req);
+    if (u.jobIndex >= plan.jobs.size()) {
+        res.message = "job index out of range";
+        return res;
+    }
+    const SweepJob &job = plan.jobs[u.jobIndex];
+    const Program &prog = caches.program(job.workload, u.req.popt);
+
+    CoreConfig cfg = job.cfg;
+    applyExecOverlay(cfg, opt);
+
+    if (u.sample < 0 && !opt.sample.enabled()) {
+        // Exact full run (runPlan's runJob): fault plan applied, one
+        // optional checkpoint restore, quiesce interval honored on
+        // non-checkpointed runs.
+        cfg.engine.fault = jobFaultPlan(opt.fault, job);
+        std::optional<Simulator> sim;
+        sim.emplace(cfg, prog);
+        if (opt.checkpoint && !u.snapshotPath.empty()) {
+            const SnapshotSet *s = caches.snapshot(u.snapshotPath);
+            if (!s) {
+                res.message = "could not load snapshot set " +
+                              u.snapshotPath;
+                return res;
+            }
+            const std::vector<std::uint8_t> &bytes =
+                s->set.samples.at(0).bytes;
+            std::string err;
+            if (!bytes.empty() &&
+                Checkpoint::validate(*sim, bytes) &&
+                Checkpoint::restore(*sim, bytes, &err)) {
+                res.fromCheckpoint = true;
+            } else if (!bytes.empty()) {
+                warn("running ", job.workload, "/", job.configKey,
+                     " cold", err.empty() ? "" : ": ", err);
+                sim.emplace(cfg, prog);
+            }
+        }
+        res.res = sim->run(opt.maxCycles, opt.verify,
+                           opt.checkpoint ? 0 : opt.quiesceInterval);
+        res.commitHash = sim->core().commitPcHash();
+        res.ok = true;
+        return res;
+    }
+
+    if (u.sample < 0) {
+        // Sampled-mode full-run fallback (runPlanSampled's runUnit,
+        // sample < 0 branch): no fault plan, verify off.
+        Simulator sim(cfg, prog);
+        res.res = sim.run(opt.maxCycles, false, opt.quiesceInterval);
+        res.commitHash = sim.core().commitPcHash();
+        res.ok = true;
+        return res;
+    }
+
+    // Per-sample fork: restore (or fork from reset for the cold
+    // region) and measure. Failed restores and aborted measurements
+    // contribute zeroed results — exactly the serial path's
+    // deterministic drop-out-of-the-weighting semantics.
+    const SnapshotSet *s = caches.snapshot(u.snapshotPath);
+    if (!s) {
+        res.message = "could not load snapshot set " + u.snapshotPath;
+        return res;
+    }
+    if (std::size_t(u.sample) >= s->set.samples.size()) {
+        res.message = "sample index out of range";
+        return res;
+    }
+    const SampleCheckpoint &sc = s->set.samples[std::size_t(u.sample)];
+    Simulator sim(cfg, prog);
+    std::string err;
+    if (!sc.bytes.empty() && !Checkpoint::restore(sim, sc.bytes, &err)) {
+        warn("sample restore failed for ", job.workload, "/",
+             job.configKey, ": ", err);
+        res.ok = true; // zero contribution, like the serial path
+        return res;
+    }
+    const SimResult r = sim.runInsts(sc.measureInsts, opt.maxCycles);
+    if (r.timedOut) {
+        res.ok = true; // zero contribution
+        return res;
+    }
+    res.res = r;
+    res.commitHash = sim.core().commitPcHash();
+    res.ok = true;
+    return res;
+}
+
+} // namespace
+
+int
+workerMain(const std::string &socketPath)
+{
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::string err;
+    const int fd = proto::connectUnix(socketPath, &err);
+    if (fd < 0) {
+        warn("sweep worker: ", err);
+        return 1;
+    }
+    proto::Framed link(fd);
+    proto::Hello hello;
+    hello.pid = ::getpid();
+    if (!link.send(proto::MsgType::HelloWorker, hello.encode()))
+        return 1;
+
+    WorkerCaches caches;
+    proto::MsgType type;
+    std::vector<std::uint8_t> payload;
+    while (link.recv(type, payload)) {
+        if (type == proto::MsgType::Shutdown)
+            break;
+        if (type != proto::MsgType::UnitRequest)
+            continue;
+        proto::UnitRequest u;
+        if (!proto::UnitRequest::decode(payload, u)) {
+            warn("sweep worker: malformed unit request; exiting");
+            return 1;
+        }
+        // Crash-recovery test hook: die before touching the unit, so
+        // the server's requeue path is exercised deterministically.
+        if (u.chaosExit)
+            ::_exit(1);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        proto::UnitResult res = u.kind == proto::UnitKind::Capture
+                                    ? runCaptureUnit(u, caches)
+                                    : runRunUnit(u, caches);
+        res.wallSeconds = secondsSince(t0);
+        if (!link.send(proto::MsgType::UnitResult, res.encode()))
+            break;
+    }
+    return 0;
+}
+
+pid_t
+spawnWorkerProcess(const std::string &exe,
+                   const std::string &socketPath)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    // Child: exec immediately — nothing but async-signal-safe calls
+    // between fork and exec (the parent is threaded).
+    ::execl(exe.c_str(), exe.c_str(), "--worker", "--socket",
+            socketPath.c_str(), static_cast<char *>(nullptr));
+    ::_exit(127);
+}
+
+} // namespace sweep
+} // namespace sdv

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Sweep work-server worker process (`sdv_sweep --worker`): connects to
+ * the daemon's socket, announces itself, and executes UnitRequest
+ * frames until the connection closes — one self-contained
+ * (config × sample) measurement or one capture pass per unit, each
+ * answered with a UnitResult.
+ *
+ * Execution mirrors the in-process executor path for path (cold full
+ * runs, checkpoint restore-or-cold, per-sample forks with
+ * zero-contribution semantics for failed restores), which is what
+ * makes a served sweep byte-identical to `runPlan` on one machine.
+ * Plans, programs and loaded snapshot sets are memoized per worker, so
+ * the per-unit cost is the simulation itself.
+ */
+
+#ifndef SDV_SWEEP_WORKER_HH
+#define SDV_SWEEP_WORKER_HH
+
+#include <string>
+
+#include <sys/types.h>
+
+namespace sdv {
+namespace sweep {
+
+/** Run the worker loop against the daemon at @p socketPath.
+ *  @return process exit code (0 on orderly shutdown). */
+int workerMain(const std::string &socketPath);
+
+/** fork+exec @p exe as `--worker --socket @p socketPath`.
+ *  fork+exec (not plain fork): the server is threaded by the time it
+ *  spawns replacements, and a forked child could inherit a held
+ *  malloc lock — exec resets the world. @return child pid, or -1. */
+pid_t spawnWorkerProcess(const std::string &exe,
+                         const std::string &socketPath);
+
+} // namespace sweep
+} // namespace sdv
+
+#endif // SDV_SWEEP_WORKER_HH

@@ -175,7 +175,8 @@ TEST(Checkpoint, FileRoundTrip)
     const std::string path = ::testing::TempDir() + "sdv_test.ckpt";
     ASSERT_TRUE(sweep::Checkpoint::save(path, bytes));
     std::vector<std::uint8_t> loaded;
-    ASSERT_TRUE(sweep::Checkpoint::load(path, loaded));
+    ASSERT_EQ(sweep::Checkpoint::LoadStatus::Ok,
+              sweep::Checkpoint::load(path, loaded));
     EXPECT_EQ(bytes, loaded);
     std::remove(path.c_str());
 

@@ -12,6 +12,17 @@
  *   sdv_sweep --plan all --quick --jobs 2
  *   sdv_sweep --fuzz-speculation --fuzz-samples 8 --jobs 4
  *   sdv_sweep --fuzz-replay fuzz_repro.json
+ *
+ * Service mode (docs/sweep.md, "The sweep service"): a long-lived
+ * daemon owns a pool of worker processes and a shared snapshot cache;
+ * clients submit plans over the socket and stream back the same
+ * plan-ordered records the in-process executor would have produced.
+ *
+ *   sdv_sweep --serve --socket /tmp/sdv.sock --workers 4
+ *   sdv_sweep --plan fig11 --connect /tmp/sdv.sock --json fig11.json
+ *   sdv_sweep --loadtest 1000 --loadtest-concurrency 4 \
+ *             --plan fig11 --samples 3 --connect /tmp/sdv.sock
+ *   sdv_sweep --shutdown --connect /tmp/sdv.sock
  */
 
 #include <chrono>
@@ -20,11 +31,16 @@
 #include <cstring>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/log.hh"
 #include "obs/hooks.hh"
+#include "sweep/client.hh"
 #include "sweep/executor.hh"
 #include "sweep/fuzz.hh"
 #include "sweep/plan.hh"
+#include "sweep/server.hh"
+#include "sweep/worker.hh"
 
 using namespace sdv;
 
@@ -41,7 +57,8 @@ usage(const char *argv0)
         "  --plan NAME       plan to run (see --list; 'all' runs "
         "everything)\n"
         "  --list            list registered plans and exit\n"
-        "  --jobs N          worker threads (default 1)\n"
+        "  --jobs N          worker threads (default 1; 0 = auto: "
+        "hardware threads minus one)\n"
         "  --scale N         workload scale factor (default 1, >= 1)\n"
         "  --footprint M     working-set regime: base, l2 or mem "
         "(default base)\n"
@@ -88,6 +105,22 @@ usage(const char *argv0)
         "  --metrics-summary print executor metrics (queue wait, run "
         "time, utilization, checkpoint traffic) and record them in the "
         "JSON as \"exec_metrics\"\n"
+        "service mode (docs/sweep.md):\n"
+        "  --serve           run as the sweep daemon (needs --socket)\n"
+        "  --socket PATH     Unix socket the daemon listens on\n"
+        "  --workers N       daemon worker processes (default 0 = "
+        "auto)\n"
+        "  --cache-dir D     daemon snapshot-cache directory (default: "
+        "<socket>.cache)\n"
+        "  --connect PATH    submit --plan to the daemon at PATH "
+        "instead of running in-process\n"
+        "  --shutdown        ask the daemon at --connect to wind down\n"
+        "  --loadtest N      submit N copies of --plan through "
+        "--connect and report throughput/latency\n"
+        "  --loadtest-concurrency C  client connections for --loadtest "
+        "(default 4)\n"
+        "  --chaos-exit-units N  test hook: the first N units of this "
+        "request crash their worker once each\n"
         "fuzzing (instead of --plan):\n"
         "  --fuzz-speculation  run the speculation fuzz campaign: "
         "every workload x N fuzzed samples, each checked against a "
@@ -129,6 +162,21 @@ numArg(int argc, char **argv, int &i)
     return std::strtoull(argv[++i], nullptr, 0);
 }
 
+/** @return this process's own executable path (the daemon spawns it
+ *  again as --worker), falling back to argv[0]. */
+std::string
+selfExecutable(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
 } // namespace
 
 int
@@ -146,6 +194,16 @@ main(int argc, char **argv)
     bool fuzz_faults = true;
     std::string fuzz_repro = "fuzz_repro.json";
     std::string fuzz_replay;
+    bool serve = false;
+    bool worker = false;
+    bool shutdown = false;
+    std::string socket_path;
+    std::string connect_path;
+    std::string cache_dir;
+    unsigned serve_workers = 0;
+    unsigned loadtest = 0;
+    unsigned loadtest_concurrency = 4;
+    std::uint32_t chaos_exit_units = 0;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
@@ -154,8 +212,38 @@ main(int argc, char **argv)
             list = true;
         } else if (std::strcmp(argv[i], "--jobs") == 0) {
             eopt.jobs = unsigned(numArg(argc, argv, i));
-            if (eopt.jobs == 0)
-                eopt.jobs = 1;
+            if (eopt.jobs == 0) {
+                eopt.jobs = sweep::resolveJobs(0);
+                eopt.jobsAutoDetected = true;
+            }
+        } else if (std::strcmp(argv[i], "--serve") == 0) {
+            serve = true;
+        } else if (std::strcmp(argv[i], "--worker") == 0) {
+            worker = true;
+        } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+            shutdown = true;
+        } else if (std::strcmp(argv[i], "--socket") == 0 &&
+                   i + 1 < argc) {
+            socket_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--connect") == 0 &&
+                   i + 1 < argc) {
+            connect_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--cache-dir") == 0 &&
+                   i + 1 < argc) {
+            cache_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "--workers") == 0) {
+            serve_workers = unsigned(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--loadtest") == 0) {
+            loadtest = unsigned(numArg(argc, argv, i));
+            if (loadtest == 0)
+                fatal("--loadtest needs a request count >= 1");
+        } else if (std::strcmp(argv[i], "--loadtest-concurrency") ==
+                   0) {
+            loadtest_concurrency = unsigned(numArg(argc, argv, i));
+            if (loadtest_concurrency == 0)
+                fatal("--loadtest-concurrency must be >= 1");
+        } else if (std::strcmp(argv[i], "--chaos-exit-units") == 0) {
+            chaos_exit_units = std::uint32_t(numArg(argc, argv, i));
         } else if (std::strcmp(argv[i], "--scale") == 0) {
             popt.scale = unsigned(numArg(argc, argv, i));
             if (popt.scale == 0)
@@ -248,6 +336,110 @@ main(int argc, char **argv)
         } else {
             usage(argv[0]);
         }
+    }
+
+    if (worker) {
+        if (socket_path.empty())
+            fatal("--worker needs --socket PATH");
+        return sweep::workerMain(socket_path);
+    }
+
+    if (serve) {
+        if (socket_path.empty())
+            fatal("--serve needs --socket PATH");
+        sweep::SweepServer::Options sopt;
+        sopt.socketPath = socket_path;
+        sopt.workers = serve_workers;
+        sopt.cacheDir =
+            cache_dir.empty() ? socket_path + ".cache" : cache_dir;
+        sopt.workerExe = selfExecutable(argv[0]);
+        sopt.verbose = true;
+        sweep::SweepServer server(sopt);
+        std::string err;
+        if (!server.start(&err))
+            fatal("--serve: ", err);
+        server.run();
+        return 0;
+    }
+
+    if (shutdown) {
+        if (connect_path.empty())
+            fatal("--shutdown needs --connect PATH");
+        std::string err;
+        if (!sweep::requestShutdown(connect_path, &err))
+            fatal("--shutdown: ", err);
+        std::printf("shutdown requested on %s\n",
+                    connect_path.c_str());
+        return 0;
+    }
+
+    if (!connect_path.empty() || loadtest) {
+        if (connect_path.empty())
+            fatal("--loadtest needs --connect PATH");
+        if (plan_name.empty())
+            usage(argv[0]);
+        if (!sweep::havePlan(plan_name))
+            fatal("unknown plan '", plan_name, "' (try --list)");
+        sweep::proto::SweepRequest req;
+        req.plan = plan_name;
+        req.popt = popt;
+        req.eopt = eopt;
+        req.chaosExitUnits = chaos_exit_units;
+
+        if (loadtest) {
+            sweep::LoadTestOptions lopt;
+            lopt.requests = loadtest;
+            lopt.concurrency = loadtest_concurrency;
+            std::printf("load test: %u requests of plan %s over %u "
+                        "connection(s) via %s\n",
+                        lopt.requests, plan_name.c_str(),
+                        lopt.concurrency, connect_path.c_str());
+            sweep::LoadTestResult res;
+            std::string err;
+            const bool ok =
+                sweep::runLoadTest(connect_path, req, lopt, res, &err);
+            std::printf(
+                "completed %u/%u requests in %.2fs: %.1f req/s, "
+                "latency p50 %.3fs p95 %.3fs p99 %.3fs\n"
+                "snapshot cache: %llu hits, %llu misses "
+                "(%.1f%% hit rate)\n",
+                res.completed, res.completed + res.failed,
+                res.wallSeconds, res.requestsPerSecond, res.p50,
+                res.p95, res.p99,
+                static_cast<unsigned long long>(res.cacheHits),
+                static_cast<unsigned long long>(res.cacheMisses),
+                100.0 * res.hitRate());
+            if (!ok)
+                fatal("load test: ", err);
+            return 0;
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        sweep::ClientResult res;
+        std::string err;
+        if (!sweep::submitSweep(connect_path, req, res, &err))
+            fatal("request failed: ", err);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::printf("served %zu records in %.2fs (cache: %llu hits, "
+                    "%llu misses)\n",
+                    res.records.size(), wall,
+                    static_cast<unsigned long long>(res.cacheHits),
+                    static_cast<unsigned long long>(res.cacheMisses));
+        if (metrics_summary)
+            std::printf("exec_metrics: %s\n", res.metricsJson.c_str());
+        if (!json_path.empty()) {
+            if (!sweep::writeJsonDoc(json_path, plan_name, popt.scale,
+                                     popt.footprint, eopt,
+                                     res.resultsArray(), wall,
+                                     metrics_summary ? res.metricsJson
+                                                     : std::string()))
+                fatal("cannot write ", json_path);
+            std::printf("results written to %s\n", json_path.c_str());
+        }
+        return 0;
     }
 
     if (!fuzz_replay.empty()) {
