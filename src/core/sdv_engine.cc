@@ -96,6 +96,16 @@ SdvEngine::decodeLoad(DynInst &d, RenameTable &rt)
         d.tlSnap = tl_.snapshot(pc);
     }
     const TlObservation obs = tl_.observe(pc, d.rec.addr);
+    if (finj_.armed()) {
+        // TL fault site: corrupt the just-trained entry's stride or
+        // last address. d.tlSnap predates the flip, so squash undo
+        // reverses it along with the training — faults stay committed-
+        // path deterministic. The corruption mistrains future spawns
+        // only; wrong spawns die on the expected-address check.
+        const TlFault f = finj_.drawTlFault();
+        if (f.fire)
+            tl_.applyFault(pc, f.strideField, f.mask);
+    }
 
     VrmtEntry *ve = vrmt_.lookup(pc);
 
@@ -928,8 +938,16 @@ SdvEngine::onStoreCommit(const DynInst &d)
 void
 SdvEngine::onControlCommit(const DynInst &d)
 {
-    if (d.rec.taken && d.rec.nextPc < d.pc())
+    if (d.rec.taken && d.rec.nextPc < d.pc()) {
         gmrbb_ = d.pc();
+        if (finj_.armed()) {
+            // GMRBB fault site: flip a low bit of the recorded region
+            // tag. Control commits are never squashed, so the draw is
+            // deterministic; the tag only labels release regions, so a
+            // wrong tag delays sweeps but cannot corrupt values.
+            gmrbb_ ^= finj_.drawGmrbbFlip();
+        }
+    }
 }
 
 // --- squash undo ----------------------------------------------------------------
@@ -979,6 +997,8 @@ SdvEngine::tick(Cycle now, DCachePorts &ports, MemHierarchy &mem)
         // block every tick so interval samples see current values.
         stats_.faultElemFlips = finj_.elemFlips();
         stats_.faultVrmtFlips = finj_.vrmtFlips();
+        stats_.faultTlFlips = finj_.tlFlips();
+        stats_.faultGmrbbFlips = finj_.gmrbbFlips();
     }
 }
 
@@ -989,6 +1009,8 @@ SdvEngine::finalize()
     vrf_.releaseAll();
     stats_.faultElemFlips = finj_.elemFlips();
     stats_.faultVrmtFlips = finj_.vrmtFlips();
+    stats_.faultTlFlips = finj_.tlFlips();
+    stats_.faultGmrbbFlips = finj_.gmrbbFlips();
 }
 
 void

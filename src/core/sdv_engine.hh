@@ -101,6 +101,8 @@ struct EngineStats
     std::uint64_t faultVrmtDetects = 0;   ///< address check caught entry
     std::uint64_t faultChainDemotions = 0; ///< chains demoted to scalar
     std::uint64_t faultChainReenables = 0; ///< chains re-enabled
+    std::uint64_t faultTlFlips = 0;    ///< TL entry corruptions applied
+    std::uint64_t faultGmrbbFlips = 0; ///< shadow-GMRBB tag corruptions
 };
 
 /** What a validation commit reported back to the core (fault ledger). */

@@ -60,6 +60,20 @@ struct FaultPlan
      *  reject every corrupted image). */
     std::uint32_t imageFlipPpm = 0;
 
+    /** Per TL observation (train/promote at decode): probability (ppm)
+     *  of flipping one low bit of the entry's stride or last address.
+     *  A corrupted entry misleads *future* spawns only — any wrong
+     *  spawn is caught by the expected-address check, so the site
+     *  attacks confidence/stride training, not committed state. */
+    std::uint32_t tlFlipPpm = 0;
+
+    /** Per shadow-GMRBB update (backward-branch commit): probability
+     *  (ppm) of flipping one low bit of the recorded region tag. The
+     *  GMRBB is only a release-region label, so a corrupted tag can
+     *  delay or misgroup vector-register sweeps but never corrupt an
+     *  architectural value. */
+    std::uint32_t gmrbbFlipPpm = 0;
+
     /** Graceful degradation: after this many consecutive detected
      *  faults on one chain (static PC), demote the chain to scalar
      *  execution instead of re-speculating. */
@@ -73,7 +87,8 @@ struct FaultPlan
     bool
     armed() const
     {
-        return enabled && (elemFlipPpm != 0 || vrmtFlipPpm != 0);
+        return enabled && (elemFlipPpm != 0 || vrmtFlipPpm != 0 ||
+                           tlFlipPpm != 0 || gmrbbFlipPpm != 0);
     }
 };
 
@@ -82,6 +97,15 @@ struct VrmtFault
 {
     bool fire = false;        ///< corrupt this install
     bool strideField = false; ///< flip in stride (else base address)
+    std::uint64_t mask = 0;   ///< single-bit XOR mask
+};
+
+/** One TL-entry corruption decision (same shape as VrmtFault: the TL
+ *  entry's stride or last-address field takes a single-bit flip). */
+struct TlFault
+{
+    bool fire = false;        ///< corrupt this observation's entry
+    bool strideField = false; ///< flip in stride (else last address)
     std::uint64_t mask = 0;   ///< single-bit XOR mask
 };
 
@@ -101,6 +125,8 @@ class FaultInjector
         rng_ = Random(plan.seed);
         elemFlips_ = 0;
         vrmtFlips_ = 0;
+        tlFlips_ = 0;
+        gmrbbFlips_ = 0;
     }
 
     /** @return true when any in-engine site can fire (hot-path guard;
@@ -143,11 +169,53 @@ class FaultInjector
         return f;
     }
 
+    /** Draw at a TL observe (train/promote at decode). The ppm == 0
+     *  early-out consumes no rng, so arming only the classic sites
+     *  leaves their established fault streams untouched. */
+    TlFault
+    drawTlFault()
+    {
+        TlFault f;
+        if (plan_.tlFlipPpm == 0 ||
+            rng_.below(1'000'000) >= plan_.tlFlipPpm)
+            return f;
+        f.fire = true;
+        f.strideField = rng_.below(2) == 0;
+        // Low bits only, same rationale as drawVrmtFault: the attack is
+        // a plausibly-wrong stride/address, not a wild pointer.
+        f.mask = std::uint64_t(1) << rng_.below(20);
+        ++tlFlips_;
+        return f;
+    }
+
+    /**
+     * Draw at a shadow-GMRBB update (backward-branch commit).
+     * @return a low-bit XOR mask for the recorded region tag, or 0.
+     */
+    std::uint64_t
+    drawGmrbbFlip()
+    {
+        if (plan_.gmrbbFlipPpm == 0 ||
+            rng_.below(1'000'000) >= plan_.gmrbbFlipPpm)
+            return 0;
+        ++gmrbbFlips_;
+        // Instruction addresses are word-ish aligned; flip above bit 1
+        // so the corrupted tag is a *different plausible PC*, and keep
+        // it low so it stays inside the code region.
+        return std::uint64_t(1) << (2 + rng_.below(10));
+    }
+
     /** @return element bit flips applied so far. */
     std::uint64_t elemFlips() const { return elemFlips_; }
 
     /** @return VRMT corruptions applied so far. */
     std::uint64_t vrmtFlips() const { return vrmtFlips_; }
+
+    /** @return TL-entry corruptions applied so far. */
+    std::uint64_t tlFlips() const { return tlFlips_; }
+
+    /** @return shadow-GMRBB tag corruptions applied so far. */
+    std::uint64_t gmrbbFlips() const { return gmrbbFlips_; }
 
     /** Zero the applied-fault counters (measurement rebase; the
      *  stream position is deliberately left alone). */
@@ -156,6 +224,8 @@ class FaultInjector
     {
         elemFlips_ = 0;
         vrmtFlips_ = 0;
+        tlFlips_ = 0;
+        gmrbbFlips_ = 0;
     }
 
   private:
@@ -163,6 +233,8 @@ class FaultInjector
     Random rng_{0};
     std::uint64_t elemFlips_ = 0;
     std::uint64_t vrmtFlips_ = 0;
+    std::uint64_t tlFlips_ = 0;
+    std::uint64_t gmrbbFlips_ = 0;
 };
 
 /**

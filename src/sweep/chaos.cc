@@ -1,0 +1,343 @@
+#include "sweep/chaos.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/random.hh"
+#include "common/serialize.hh"
+#include "sweep/client.hh"
+#include "sweep/executor.hh"
+#include "sweep/plan.hh"
+
+namespace sdv {
+namespace sweep {
+
+namespace {
+
+/** The campaign's oracle: the in-process serial executor's record
+ *  strings for @p req — every surviving served stream must equal this
+ *  vector element for element, byte for byte. */
+std::vector<std::string>
+serialReference(const proto::SweepRequest &req)
+{
+    const SweepPlan plan = buildPlan(req.plan, req.popt);
+    ExecOptions eopt = req.eopt;
+    eopt.jobs = 1;
+    const std::vector<RunOutcome> outs = runPlan(plan, eopt, nullptr);
+    std::vector<std::string> recs;
+    recs.reserve(outs.size());
+    for (const RunOutcome &o : outs)
+        recs.push_back(resultRecordJson(o));
+    return recs;
+}
+
+/** Cut a connection after @p keepRecords streamed records: the server
+ *  must notice the dead peer, stop streaming, and keep serving
+ *  everyone else. Uses the raw protocol — the point is the torn
+ *  stream, not the client library. */
+void
+disconnectMidStream(const std::string &socketPath,
+                    const proto::SweepRequest &req,
+                    unsigned keepRecords)
+{
+    std::string err;
+    const int fd = proto::connectUnix(socketPath, &err);
+    if (fd < 0)
+        return;
+    proto::Framed link(fd);
+    proto::Hello hello;
+    hello.pid = ::getpid();
+    if (!link.send(proto::MsgType::HelloClient, hello.encode()) ||
+        !link.send(proto::MsgType::Submit, req.encode()))
+        return;
+    proto::MsgType t;
+    std::vector<std::uint8_t> payload;
+    unsigned seen = 0;
+    while (seen < keepRecords && link.recv(t, payload)) {
+        if (t != proto::MsgType::ResultRecord)
+            break; // rejected before streaming — still a torn close
+        ++seen;
+    }
+    // Framed's destructor closes the fd mid-stream.
+}
+
+/** Throw protocol garbage at a fresh connection: an oversized length
+ *  prefix, then an unsealed payload on another. The daemon must drop
+ *  both without dying. */
+void
+sendBadFrames(const std::string &socketPath, unsigned which)
+{
+    std::string err;
+    const int fd = proto::connectUnix(socketPath, &err);
+    if (fd < 0)
+        return;
+    if (which % 2 == 0) {
+        // A header promising a frame larger than kMaxFrameBytes: the
+        // server must refuse to allocate and drop the connection.
+        const std::uint32_t len = proto::kMaxFrameBytes + 1;
+        std::uint8_t hdr[5];
+        hdr[0] = std::uint8_t(len);
+        hdr[1] = std::uint8_t(len >> 8);
+        hdr[2] = std::uint8_t(len >> 16);
+        hdr[3] = std::uint8_t(len >> 24);
+        hdr[4] = std::uint8_t(proto::MsgType::Submit);
+        (void)!::send(fd, hdr, sizeof(hdr), MSG_NOSIGNAL);
+        ::close(fd);
+        return;
+    }
+    // An unsealed (checksum-less) payload behind a valid header.
+    proto::Framed link(fd);
+    proto::Hello hello;
+    hello.pid = ::getpid();
+    link.send(proto::MsgType::HelloClient, hello.encode());
+    std::vector<std::uint8_t> junk = {0xde, 0xad, 0xbe, 0xef};
+    link.send(proto::MsgType::Submit, junk);
+}
+
+/** Poll the daemon's stats until the unit accounting is balanced and
+ *  stable (idle), or @p timeout elapses. */
+bool
+awaitQuiescent(const std::string &socketPath, proto::ServerStats &out,
+               std::chrono::seconds timeout)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    proto::ServerStats prev{};
+    bool havePrev = false;
+    while (std::chrono::steady_clock::now() - t0 < timeout) {
+        proto::ServerStats s;
+        std::string err;
+        if (queryStats(socketPath, s, &err)) {
+            const bool balanced =
+                s.unitsEnqueued == s.unitsCompleted + s.unitsFailed;
+            const bool stable =
+                havePrev &&
+                s.unitsCompleted == prev.unitsCompleted &&
+                s.unitsFailed == prev.unitsFailed;
+            if (balanced && stable) {
+                out = s;
+                return true;
+            }
+            prev = s;
+            havePrev = true;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+ChaosReport::summary() const
+{
+    char buf[512];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "chaos: %u requests (%u ok, %u failed, %u deadline), "
+                  "%u disconnects, %u bad frames\n",
+                  requestsSent, requestsOk, requestsFailed,
+                  deadlineErrors, disconnectsDone, badFramesSent);
+    out += buf;
+    const auto d = [&](std::uint64_t a, std::uint64_t b) {
+        return static_cast<unsigned long long>(a - b);
+    };
+    std::snprintf(
+        buf, sizeof(buf),
+        "chaos: units %llu enqueued = %llu done + %llu failed; "
+        "%llu retries, %llu restarts, %llu hang kills, "
+        "%llu deadline failures\n",
+        d(statsAfter.unitsEnqueued, statsBefore.unitsEnqueued),
+        d(statsAfter.unitsCompleted, statsBefore.unitsCompleted),
+        d(statsAfter.unitsFailed, statsBefore.unitsFailed),
+        d(statsAfter.unitRetries, statsBefore.unitRetries),
+        d(statsAfter.workerRestarts, statsBefore.workerRestarts),
+        d(statsAfter.hangKills, statsBefore.hangKills),
+        d(statsAfter.deadlineFailures, statsBefore.deadlineFailures));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "chaos: verdict %s (records %s, errors %s, daemon %s, "
+                  "accounting %s)%s%s\n",
+                  ok() ? "PASS" : "FAIL",
+                  recordsMatch ? "match" : "DIVERGE",
+                  errorsStructured ? "structured" : "UNSTRUCTURED",
+                  daemonAlive ? "alive" : "DEAD",
+                  accountingBalanced ? "balanced" : "UNBALANCED",
+                  firstProblem.empty() ? "" : ": ",
+                  firstProblem.c_str());
+    out += buf;
+    return out;
+}
+
+ChaosReport
+runChaosCampaign(const std::string &socketPath,
+                 const proto::SweepRequest &baseReq,
+                 const ChaosOptions &copt)
+{
+    ChaosReport rep;
+    const auto problem = [&rep](const std::string &why) {
+        if (rep.firstProblem.empty())
+            rep.firstProblem = why;
+    };
+
+    std::string err;
+    if (!queryStats(socketPath, rep.statsBefore, &err)) {
+        problem("stats query failed before campaign: " + err);
+        return rep;
+    }
+
+    rep.records = serialReference(baseReq);
+
+    // Seeded fault placement: the same seed always builds the same
+    // per-request ChaosSpec assignment (and the server assigns modes
+    // to units in creation order), so a failing campaign replays.
+    const unsigned nReq = std::max(1u, copt.requests);
+    std::vector<proto::SweepRequest> reqs(nReq, baseReq);
+    Random rng(copt.seed ^ 0xc4a05c4a05ULL);
+    const auto place = [&](unsigned count,
+                           std::uint32_t proto::ChaosSpec::*field) {
+        // Round-robin from a seeded start: spreads each category as
+        // evenly as possible, so no single request is ever assigned
+        // more chaos units than it has work units.
+        unsigned at = unsigned(rng.below(nReq));
+        for (unsigned k = 0; k < count; ++k) {
+            reqs[at].chaos.*field += 1;
+            at = (at + 1) % nReq;
+        }
+    };
+    place(copt.workerExits, &proto::ChaosSpec::exitUnits);
+    place(copt.workerHangs, &proto::ChaosSpec::hangUnits);
+    place(copt.corruptFrames, &proto::ChaosSpec::corruptUnits);
+    place(copt.truncFrames, &proto::ChaosSpec::truncUnits);
+    place(copt.delayedUnits, &proto::ChaosSpec::delayUnits);
+    place(copt.dribbledUnits, &proto::ChaosSpec::dribbleUnits);
+    for (proto::SweepRequest &r : reqs)
+        r.chaos.delayMs = copt.delayMs;
+
+    // Wave 1: the chaos requests, concurrently, with the disconnect
+    // clients tearing their own streams alongside.
+    struct Verdict
+    {
+        SubmitStatus status = SubmitStatus::TransportError;
+        ClientResult res;
+        std::string err;
+    };
+    std::vector<Verdict> verdicts(nReq);
+    std::vector<std::thread> threads;
+    threads.reserve(nReq + copt.clientDisconnects);
+    for (unsigned i = 0; i < nReq; ++i)
+        threads.emplace_back([&, i] {
+            verdicts[i].status =
+                submitSweepOnce(socketPath, reqs[i], 1,
+                                verdicts[i].res, &verdicts[i].err);
+        });
+    for (unsigned k = 0; k < copt.clientDisconnects; ++k)
+        threads.emplace_back([&, k] {
+            disconnectMidStream(socketPath, baseReq, 1 + k);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    rep.requestsSent += nReq;
+    rep.disconnectsDone = copt.clientDisconnects;
+
+    // Wave 2: deadline victims, serially (the snapshot cache is warm
+    // now, so the deadline — not a poisoned shared capture — is the
+    // only thing that can fail them).
+    for (unsigned k = 0; k < copt.deadlineVictims; ++k) {
+        proto::SweepRequest dr = baseReq;
+        dr.deadlineMs = 1;
+        Verdict v;
+        v.status = submitSweepOnce(socketPath, dr, 1, v.res, &v.err);
+        ++rep.requestsSent;
+        verdicts.push_back(std::move(v));
+    }
+
+    // Wave 3: protocol garbage on raw connections.
+    for (unsigned k = 0; k < copt.badFrameProbes; ++k)
+        sendBadFrames(socketPath, k);
+    rep.badFramesSent = copt.badFrameProbes;
+
+    // Judge every request: survivors must be byte-identical to the
+    // serial reference, failures must carry a structured verdict.
+    rep.recordsMatch = true;
+    rep.errorsStructured = true;
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+        const Verdict &v = verdicts[i];
+        if (v.status == SubmitStatus::Ok) {
+            ++rep.requestsOk;
+            if (v.res.records != rep.records) {
+                rep.recordsMatch = false;
+                problem("request " + std::to_string(i) +
+                        " records diverge from serial");
+            }
+            continue;
+        }
+        ++rep.requestsFailed;
+        if (v.status == SubmitStatus::DeadlineExpired) {
+            ++rep.deadlineErrors;
+        } else {
+            rep.errorsStructured = false;
+            problem("request " + std::to_string(i) +
+                    " failed without a structured verdict: " +
+                    std::string(submitStatusName(v.status)) + " (" +
+                    v.err + ")");
+        }
+        if (copt.verbose)
+            std::fprintf(stderr, "chaos: request %zu -> %s: %s\n", i,
+                         submitStatusName(v.status), v.err.c_str());
+    }
+    if (rep.deadlineErrors != copt.deadlineVictims) {
+        rep.errorsStructured = false;
+        problem("expected " + std::to_string(copt.deadlineVictims) +
+                " deadline verdicts, saw " +
+                std::to_string(rep.deadlineErrors));
+    }
+
+    // Quiescence + the exact-accounting invariant.
+    if (!awaitQuiescent(socketPath, rep.statsAfter,
+                        std::chrono::seconds(60))) {
+        problem("daemon did not quiesce (units unaccounted for)");
+        return rep;
+    }
+    const proto::ServerStats &a = rep.statsAfter;
+    const proto::ServerStats &b = rep.statsBefore;
+    const std::uint64_t dEnq = a.unitsEnqueued - b.unitsEnqueued;
+    const std::uint64_t dDone = a.unitsCompleted - b.unitsCompleted;
+    const std::uint64_t dFail = a.unitsFailed - b.unitsFailed;
+    rep.accountingBalanced = dEnq == dDone + dFail;
+    if (!rep.accountingBalanced)
+        problem("unit accounting does not balance");
+    const std::uint64_t dRetry = a.unitRetries - b.unitRetries;
+    const unsigned crashes = copt.workerExits + copt.workerHangs +
+                             copt.corruptFrames + copt.truncFrames;
+    if (dRetry < crashes) {
+        rep.accountingBalanced = false;
+        problem("fewer unit retries than injected worker deaths");
+    }
+    if (a.hangKills - b.hangKills != copt.workerHangs) {
+        rep.accountingBalanced = false;
+        problem("hang-kill count does not match the injected hangs");
+    }
+    if (copt.deadlineVictims > 0 &&
+        a.deadlineFailures == b.deadlineFailures) {
+        rep.accountingBalanced = false;
+        problem("no deadline failures recorded despite victims");
+    }
+
+    // The daemon must still serve — and still serve *correctly*.
+    ClientResult fin;
+    const SubmitStatus fs =
+        submitSweepOnce(socketPath, baseReq, 1, fin, &err);
+    rep.daemonAlive =
+        fs == SubmitStatus::Ok && fin.records == rep.records;
+    if (!rep.daemonAlive)
+        problem("post-campaign clean request failed: " + err);
+
+    return rep;
+}
+
+} // namespace sweep
+} // namespace sdv

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Chaos harness for the sweep work-server (`sdv_sweep --chaos N`):
+ * a deterministic, seed-replayable fault-injection campaign at the
+ * protocol/process boundary of a *running* daemon.
+ *
+ * One campaign submits N concurrent copies of a base request and
+ * assigns a budget of faults across them from a seeded stream:
+ *
+ *  - worker exits mid-unit (pre-work `_exit`, crash-requeue path),
+ *  - worker hangs (heartbeat suppressed; the server must SIGKILL and
+ *    requeue),
+ *  - corrupted result frames (payload byte flipped after sealing; the
+ *    frame checksum must reject it),
+ *  - truncated result frames (header promises more than arrives),
+ *  - delayed workers (slow-but-alive: heartbeats flow, no false kill),
+ *  - dribbled frames (64-byte slices; reassembly must be exact),
+ *  - client disconnects mid-stream (the server must not wedge),
+ *  - bad-frame probes on raw connections (oversized length prefixes,
+ *    unsealed payloads),
+ *  - deadline victims (deadline_ms = 1; the verdict must be the
+ *    structured Deadline error, not a generic failure).
+ *
+ * The oracle is exact, not statistical: every surviving request's
+ * record stream must be byte-identical to the in-process serial
+ * executor's output; every failed request must carry a structured
+ * error; the daemon must still serve a clean request afterwards; and
+ * the daemon's accounting must balance exactly — units enqueued ==
+ * units completed + units failed, with the hang-kill / restart /
+ * retry counters consistent with the injected budget. Same seed, same
+ * campaign: replay a failure with the seed the report names.
+ */
+
+#ifndef SDV_SWEEP_CHAOS_HH
+#define SDV_SWEEP_CHAOS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/proto.hh"
+
+namespace sdv {
+namespace sweep {
+
+/** Campaign shape: fault budgets and the seed that places them. */
+struct ChaosOptions
+{
+    unsigned requests = 8;     ///< concurrent request submissions
+    std::uint64_t seed = 1;    ///< placement stream (replay key)
+    bool verbose = false;      ///< per-event narration on stderr
+
+    // Fault budgets, distributed across the requests by the seed.
+    unsigned workerExits = 3;
+    unsigned workerHangs = 2;
+    unsigned corruptFrames = 2;
+    unsigned truncFrames = 1;
+    unsigned delayedUnits = 2;
+    unsigned dribbledUnits = 1;
+    unsigned clientDisconnects = 1; ///< extra streams cut mid-record
+    unsigned badFrameProbes = 2;    ///< raw garbage connections
+    unsigned deadlineVictims = 1;   ///< requests with deadline_ms = 1
+    unsigned delayMs = 300;         ///< stall per delayed unit
+};
+
+/** Campaign verdicts plus the evidence behind them. */
+struct ChaosReport
+{
+    unsigned requestsSent = 0;
+    unsigned requestsOk = 0;
+    unsigned requestsFailed = 0;
+    unsigned deadlineErrors = 0;  ///< failures with the Deadline kind
+    unsigned disconnectsDone = 0;
+    unsigned badFramesSent = 0;
+
+    bool recordsMatch = false;    ///< every survivor == serial, bytewise
+    bool errorsStructured = false; ///< every failure carried a kind
+    bool daemonAlive = false;     ///< final clean request served
+    bool accountingBalanced = false; ///< enqueued == completed + failed
+
+    std::string firstProblem;     ///< first assertion that failed
+
+    /** The serial reference records (what every survivor matched) —
+     *  reusable as a bench payload by the caller. */
+    std::vector<std::string> records;
+
+    proto::ServerStats statsBefore;
+    proto::ServerStats statsAfter;
+
+    bool
+    ok() const
+    {
+        return recordsMatch && errorsStructured && daemonAlive &&
+               accountingBalanced;
+    }
+
+    /** Human-readable multi-line summary. */
+    std::string summary() const;
+};
+
+/**
+ * Run one campaign against the daemon at @p socketPath using copies
+ * of @p baseReq (the request must be chaos-free; the campaign owns
+ * the chaos fields). The daemon must be idle when the campaign
+ * starts — the accounting delta is asserted against a quiescent
+ * before/after pair.
+ */
+ChaosReport runChaosCampaign(const std::string &socketPath,
+                             const proto::SweepRequest &baseReq,
+                             const ChaosOptions &copt);
+
+} // namespace sweep
+} // namespace sdv
+
+#endif // SDV_SWEEP_CHAOS_HH

@@ -1,12 +1,14 @@
 #include "sweep/client.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <mutex>
 #include <thread>
 
 #include <unistd.h>
 
+#include "common/random.hh"
 #include "common/serialize.hh"
 
 namespace sdv {
@@ -24,28 +26,89 @@ ClientResult::resultsArray() const
     return out;
 }
 
-bool
-submitSweep(const std::string &socketPath,
-            const proto::SweepRequest &req, ClientResult &out,
-            std::string *err,
-            const std::function<void(std::uint32_t,
-                                     const std::string &)> &onRecord)
+const char *
+submitStatusName(SubmitStatus s)
 {
-    const int fd = proto::connectUnix(socketPath, err);
-    if (fd < 0)
-        return false;
+    switch (s) {
+    case SubmitStatus::Ok: return "ok";
+    case SubmitStatus::DaemonAbsent: return "daemon-absent";
+    case SubmitStatus::ProtocolMismatch: return "protocol-mismatch";
+    case SubmitStatus::Rejected: return "rejected";
+    case SubmitStatus::DeadlineExpired: return "deadline-expired";
+    case SubmitStatus::TransportError: return "transport-error";
+    case SubmitStatus::ServerError: return "server-error";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/** Map a daemon ErrorMsg to the client verdict, composing the
+ *  human-readable reason. A protocol mismatch quotes both versions —
+ *  "present but incompatible" must read differently from "absent". */
+SubmitStatus
+classifyError(const proto::ErrorMsg &e, std::string *err)
+{
+    switch (e.kind) {
+    case proto::ErrKind::Protocol:
+        if (err)
+            *err = "daemon refused: " + e.message + " (client speaks v" +
+                   std::to_string(proto::kVersion) + ")";
+        return SubmitStatus::ProtocolMismatch;
+    case proto::ErrKind::Rejected:
+        if (err)
+            *err = e.message;
+        return SubmitStatus::Rejected;
+    case proto::ErrKind::Deadline:
+        if (err)
+            *err = e.message;
+        return SubmitStatus::DeadlineExpired;
+    case proto::ErrKind::Shutdown:
+    case proto::ErrKind::Generic:
+        break;
+    }
+    if (err)
+        *err = e.message;
+    return SubmitStatus::ServerError;
+}
+
+} // namespace
+
+SubmitStatus
+submitSweepOnce(const std::string &socketPath,
+                const proto::SweepRequest &req, std::uint32_t priority,
+                ClientResult &out, std::string *err,
+                const std::function<void(std::uint32_t,
+                                         const std::string &)> &onRecord)
+{
+    auto verdict = [&](SubmitStatus s) {
+        out.status = s;
+        return s;
+    };
+
+    out = ClientResult{};
+    int connErrno = 0;
+    const int fd = proto::connectUnix(socketPath, err, &connErrno);
+    if (fd < 0) {
+        // ENOENT / ECONNREFUSED: nothing is listening — the caller can
+        // fall back to in-process execution. Anything else is a daemon
+        // that exists but cannot be talked to.
+        return verdict(connErrno == ENOENT || connErrno == ECONNREFUSED
+                           ? SubmitStatus::DaemonAbsent
+                           : SubmitStatus::TransportError);
+    }
     proto::Framed link(fd);
 
     proto::Hello hello;
     hello.pid = ::getpid();
+    hello.priority = priority;
     if (!link.send(proto::MsgType::HelloClient, hello.encode()) ||
         !link.send(proto::MsgType::Submit, req.encode())) {
         if (err)
             *err = "could not send request (daemon gone?)";
-        return false;
+        return verdict(SubmitStatus::TransportError);
     }
 
-    out = ClientResult{};
     proto::MsgType t;
     std::vector<std::uint8_t> payload;
     while (link.recv(t, payload)) {
@@ -55,14 +118,14 @@ submitSweep(const std::string &socketPath,
             if (!proto::ResultRecord::decode(payload, rec)) {
                 if (err)
                     *err = "malformed record frame";
-                return false;
+                return verdict(SubmitStatus::TransportError);
             }
             // Records stream in plan order; hold the invariant rather
             // than trusting it (a hole would silently mis-collate).
             if (rec.index != out.records.size()) {
                 if (err)
                     *err = "record stream out of order";
-                return false;
+                return verdict(SubmitStatus::TransportError);
             }
             if (onRecord)
                 onRecord(rec.index, rec.json);
@@ -74,35 +137,108 @@ submitSweep(const std::string &socketPath,
             if (!proto::RequestDone::decode(payload, done)) {
                 if (err)
                     *err = "malformed completion frame";
-                return false;
+                return verdict(SubmitStatus::TransportError);
             }
             if (done.records != out.records.size()) {
                 if (err)
                     *err = "record stream truncated";
-                return false;
+                return verdict(SubmitStatus::TransportError);
             }
             out.metricsJson = std::move(done.metricsJson);
             out.cacheHits = done.cacheHits;
             out.cacheMisses = done.cacheMisses;
-            return true;
+            return verdict(SubmitStatus::Ok);
         }
         case proto::MsgType::Error: {
             proto::ErrorMsg e;
-            if (err)
-                *err = proto::ErrorMsg::decode(payload, e)
-                           ? e.message
-                           : std::string("malformed error frame");
-            return false;
+            if (!proto::ErrorMsg::decode(payload, e)) {
+                if (err)
+                    *err = "malformed error frame";
+                return verdict(SubmitStatus::TransportError);
+            }
+            return verdict(classifyError(e, err));
         }
         default:
             if (err)
                 *err = "unexpected frame from server";
-            return false;
+            return verdict(SubmitStatus::TransportError);
         }
     }
     if (err)
         *err = "connection closed mid-request";
-    return false;
+    return verdict(SubmitStatus::TransportError);
+}
+
+SubmitStatus
+submitSweepRetry(const std::string &socketPath,
+                 const proto::SweepRequest &req,
+                 const ClientOptions &copt, ClientResult &out,
+                 std::string *err,
+                 const std::function<void(std::uint32_t,
+                                          const std::string &)> &onRecord)
+{
+    Random rng(copt.retrySeed ^ 0x5dbac1b0ff5ULL);
+    SubmitStatus s = SubmitStatus::TransportError;
+    unsigned attempts = 0;
+    std::uint64_t backoff = std::max(1u, copt.backoffMs);
+    for (unsigned a = 0; a <= copt.retries; ++a) {
+        s = submitSweepOnce(socketPath, req, copt.priority, out, err,
+                            onRecord);
+        ++attempts;
+        if (s != SubmitStatus::DaemonAbsent &&
+            s != SubmitStatus::TransportError)
+            break; // Ok or a daemon verdict — retrying cannot help
+        if (a == copt.retries)
+            break;
+        // Jittered exponential backoff: [backoff/2, backoff]ms, then
+        // double. Safe to resubmit: the served stream is deterministic,
+        // so a duplicate attempt yields byte-identical records.
+        const std::uint64_t sleepMs =
+            backoff / 2 + rng.below(backoff / 2 + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleepMs));
+        backoff *= 2;
+    }
+    out.attempts = attempts;
+    return s;
+}
+
+bool
+submitSweep(const std::string &socketPath,
+            const proto::SweepRequest &req, ClientResult &out,
+            std::string *err,
+            const std::function<void(std::uint32_t,
+                                     const std::string &)> &onRecord)
+{
+    return submitSweepOnce(socketPath, req, 1, out, err, onRecord) ==
+           SubmitStatus::Ok;
+}
+
+bool
+queryStats(const std::string &socketPath, proto::ServerStats &out,
+           std::string *err)
+{
+    const int fd = proto::connectUnix(socketPath, err);
+    if (fd < 0)
+        return false;
+    proto::Framed link(fd);
+    proto::Hello hello;
+    hello.pid = ::getpid();
+    Serializer empty;
+    if (!link.send(proto::MsgType::HelloClient, hello.encode()) ||
+        !link.send(proto::MsgType::StatsQuery, empty.finish())) {
+        if (err)
+            *err = "could not send stats query";
+        return false;
+    }
+    proto::MsgType t;
+    std::vector<std::uint8_t> payload;
+    if (!link.recv(t, payload) || t != proto::MsgType::StatsReply ||
+        !proto::ServerStats::decode(payload, out)) {
+        if (err)
+            *err = "malformed stats reply";
+        return false;
+    }
+    return true;
 }
 
 bool

@@ -20,6 +20,33 @@
 namespace sdv {
 namespace sweep {
 
+/** How a submit attempt ended — the client's decision surface. Only
+ *  DaemonAbsent and TransportError are retryable (the served stream
+ *  is deterministic, so a resubmission is idempotent); the rest are
+ *  verdicts the daemon itself issued. */
+enum class SubmitStatus
+{
+    Ok = 0,
+    DaemonAbsent,     ///< nothing listening (ENOENT/ECONNREFUSED)
+    ProtocolMismatch, ///< daemon present but speaks another version
+    Rejected,         ///< request invalid (daemon said so)
+    DeadlineExpired,  ///< request deadline expired server-side
+    TransportError,   ///< connection died mid-exchange
+    ServerError,      ///< daemon reported a request failure
+};
+
+/** @return a short stable name for @p s ("ok", "daemon-absent", ...). */
+const char *submitStatusName(SubmitStatus s);
+
+/** Client-side submission knobs. */
+struct ClientOptions
+{
+    std::uint32_t priority = 1; ///< fair-share weight sent in the hello
+    unsigned retries = 0;       ///< extra attempts on retryable failures
+    unsigned backoffMs = 100;   ///< base backoff (doubles, jittered)
+    std::uint64_t retrySeed = 0; ///< jitter stream seed
+};
+
 /** One served request's collected stream. */
 struct ClientResult
 {
@@ -27,6 +54,8 @@ struct ClientResult
     std::string metricsJson;          ///< per-request exec_metrics
     std::uint64_t cacheHits = 0;      ///< snapshot-cache hits
     std::uint64_t cacheMisses = 0;    ///< captures this request ran
+    SubmitStatus status = SubmitStatus::TransportError;
+    unsigned attempts = 0;            ///< connection attempts made
 
     /** @return the records as the executor's results array — the
      *  exact text resultsJson() would have produced in-process. */
@@ -34,9 +63,34 @@ struct ClientResult
 };
 
 /**
- * Submit @p req to the daemon at @p socketPath and stream the reply.
- * @p onRecord (optional) observes each record as it arrives — the
- * streaming interface; the full set is also collected into @p out.
+ * Submit @p req to the daemon at @p socketPath once and stream the
+ * reply. @p onRecord (optional) observes each record as it arrives —
+ * the streaming interface; the full set is also collected into
+ * @p out. @return the classified outcome (also left in out.status);
+ * @p err carries the human-readable reason on anything but Ok.
+ */
+SubmitStatus submitSweepOnce(
+    const std::string &socketPath, const proto::SweepRequest &req,
+    std::uint32_t priority, ClientResult &out, std::string *err,
+    const std::function<void(std::uint32_t, const std::string &)>
+        &onRecord = nullptr);
+
+/**
+ * submitSweepOnce plus retry policy: retryable failures (daemon
+ * absent, transport died) are reattempted up to @p copt.retries times
+ * with jittered exponential backoff. Daemon verdicts (rejection,
+ * deadline, protocol mismatch) are never retried — resubmitting an
+ * invalid request cannot help.
+ */
+SubmitStatus submitSweepRetry(
+    const std::string &socketPath, const proto::SweepRequest &req,
+    const ClientOptions &copt, ClientResult &out, std::string *err,
+    const std::function<void(std::uint32_t, const std::string &)>
+        &onRecord = nullptr);
+
+/**
+ * Submit @p req to the daemon at @p socketPath and stream the reply
+ * (single attempt, default priority — the original interface).
  * @retval false (with @p err) on connection failure, rejection or a
  * mid-stream error.
  */
@@ -46,6 +100,10 @@ bool submitSweep(const std::string &socketPath,
                  const std::function<void(std::uint32_t,
                                           const std::string &)>
                      &onRecord = nullptr);
+
+/** Fetch the daemon's accounting snapshot (StatsQuery round trip). */
+bool queryStats(const std::string &socketPath, proto::ServerStats &out,
+                std::string *err);
 
 /** Ask the daemon at @p socketPath to wind down. */
 bool requestShutdown(const std::string &socketPath, std::string *err);

@@ -748,7 +748,9 @@ resultRecordJson(const RunOutcome &o)
             "\"faults_benign\": %llu, "
             "\"faults_vanished\": %llu, "
             "\"chain_demotions\": %llu, "
-            "\"chain_reenables\": %llu",
+            "\"chain_reenables\": %llu, "
+            "\"fault_tl_flips\": %llu, "
+            "\"fault_gmrbb_flips\": %llu",
             static_cast<unsigned long long>(
                 o.res.engine.faultElemFlips),
             static_cast<unsigned long long>(
@@ -765,7 +767,11 @@ resultRecordJson(const RunOutcome &o)
             static_cast<unsigned long long>(
                 o.res.engine.faultChainDemotions),
             static_cast<unsigned long long>(
-                o.res.engine.faultChainReenables));
+                o.res.engine.faultChainReenables),
+            static_cast<unsigned long long>(
+                o.res.engine.faultTlFlips),
+            static_cast<unsigned long long>(
+                o.res.engine.faultGmrbbFlips));
         out += buf;
     }
     // Interval telemetry rides along only when it was sampled
@@ -844,6 +850,35 @@ ExecMetrics::toJson() const
                           w.busySeconds);
             out += buf;
         }
+        out += "]";
+        std::snprintf(
+            buf, sizeof(buf),
+            ", \"hang_kills\": %llu, \"deadline_failures\": %llu, "
+            "\"cache_evictions\": %llu, \"cache_gc_removed\": %llu, "
+            "\"cache_disk_bytes\": %llu, "
+            "\"queue_wait_avg_seconds\": %.6f, "
+            "\"queue_wait_max_seconds\": %.6f, \"client_waits\": [",
+            static_cast<unsigned long long>(hangKills),
+            static_cast<unsigned long long>(deadlineFailures),
+            static_cast<unsigned long long>(cacheEvictions),
+            static_cast<unsigned long long>(cacheGcRemoved),
+            static_cast<unsigned long long>(cacheDiskBytes),
+            queueWaitAvgSeconds, queueWaitMaxSeconds);
+        out += buf;
+        for (std::size_t i = 0; i < clientWaits.size(); ++i) {
+            const ClientWait &c = clientWaits[i];
+            std::snprintf(
+                buf, sizeof(buf),
+                "%s{\"client\": %llu, \"priority\": %u, "
+                "\"units\": %llu, \"wait_avg_seconds\": %.6f, "
+                "\"wait_max_seconds\": %.6f}",
+                i ? ", " : "",
+                static_cast<unsigned long long>(c.clientId),
+                c.priority,
+                static_cast<unsigned long long>(c.units),
+                c.waitAvgSeconds, c.waitMaxSeconds);
+            out += buf;
+        }
         out += "]}";
     }
     std::snprintf(
@@ -899,6 +934,18 @@ ExecMetrics::summaryTable() const
             static_cast<unsigned long long>(workerRestarts),
             static_cast<unsigned long long>(queueDepthPeak),
             requestSeconds);
+        out += buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "serve: %llu hang kills, %llu deadline failures, "
+            "cache %llu evicted / %llu GCed (%llu bytes on disk), "
+            "queue wait avg %.3fs max %.3fs\n",
+            static_cast<unsigned long long>(hangKills),
+            static_cast<unsigned long long>(deadlineFailures),
+            static_cast<unsigned long long>(cacheEvictions),
+            static_cast<unsigned long long>(cacheGcRemoved),
+            static_cast<unsigned long long>(cacheDiskBytes),
+            queueWaitAvgSeconds, queueWaitMaxSeconds);
         out += buf;
     }
     if (checkpointCaptures || checkpointRestores) {

@@ -129,6 +129,13 @@ struct ExecMetrics
     std::uint64_t workerRestarts = 0; ///< crashed workers respawned (lifetime)
     std::uint64_t queueDepthPeak = 0; ///< max queued units while enqueuing
     double requestSeconds = 0.0;    ///< submit to final record streamed
+    std::uint64_t hangKills = 0;    ///< hung workers SIGKILLed (lifetime)
+    std::uint64_t deadlineFailures = 0; ///< units failed past a deadline
+    std::uint64_t cacheEvictions = 0; ///< snapshots evicted for the budget
+    std::uint64_t cacheGcRemoved = 0; ///< stale snapshots GCed at startup
+    std::uint64_t cacheDiskBytes = 0; ///< cache-directory payload now
+    double queueWaitAvgSeconds = 0.0; ///< this request's mean queue wait
+    double queueWaitMaxSeconds = 0.0; ///< this request's worst queue wait
 
     /** Per worker-process load (lifetime totals, pid-ordered). */
     struct WorkerLoad
@@ -138,6 +145,17 @@ struct ExecMetrics
         double busySeconds = 0.0;   ///< sum of unit wall times
     };
     std::vector<WorkerLoad> workerLoads;
+
+    /** Per-client fair-share tally (lifetime, client-id-ordered). */
+    struct ClientWait
+    {
+        std::uint64_t clientId = 0;
+        std::uint32_t priority = 1;
+        std::uint64_t units = 0;     ///< units dispatched for this client
+        double waitAvgSeconds = 0.0; ///< mean enqueue-to-dispatch wait
+        double waitMaxSeconds = 0.0; ///< worst enqueue-to-dispatch wait
+    };
+    std::vector<ClientWait> clientWaits;
 
     /** @return busySeconds / (workers * poolWallSeconds), in [0, 1]. */
     double

@@ -62,6 +62,18 @@ drawFuzzCase(const std::string &workload, unsigned scale, Footprint fp,
         c.fault.elemFlipPpm = elem_ppm;
         c.fault.vrmtFlipPpm = vrmt_ppm;
     }
+
+    // Speculative-metadata faults (TL stride table, shadow GMRBB) on
+    // half of the armed samples. Drawn unconditionally and *appended*
+    // after every pre-existing draw: earlier campaigns replay
+    // bit-identically from the same seeds.
+    const std::uint32_t tl_ppm = 100 + std::uint32_t(rng.below(900));
+    const std::uint32_t gmrbb_ppm = 50 + std::uint32_t(rng.below(450));
+    const bool arm_meta = rng.below(2) == 1;
+    if (with_faults && arm && arm_meta) {
+        c.fault.tlFlipPpm = tl_ppm;
+        c.fault.gmrbbFlipPpm = gmrbb_ppm;
+    }
     return c;
 }
 
@@ -103,7 +115,9 @@ sameCase(const FuzzCase &a, const FuzzCase &b)
            a.fault.enabled == b.fault.enabled &&
            a.fault.seed == b.fault.seed &&
            a.fault.elemFlipPpm == b.fault.elemFlipPpm &&
-           a.fault.vrmtFlipPpm == b.fault.vrmtFlipPpm;
+           a.fault.vrmtFlipPpm == b.fault.vrmtFlipPpm &&
+           a.fault.tlFlipPpm == b.fault.tlFlipPpm &&
+           a.fault.gmrbbFlipPpm == b.fault.gmrbbFlipPpm;
 }
 
 } // namespace
@@ -132,6 +146,8 @@ runFuzzCase(const FuzzCase &c, bool event_skip,
 
     out.elemFlips = sres.engine.faultElemFlips;
     out.vrmtFlips = sres.engine.faultVrmtFlips;
+    out.tlFlips = sres.engine.faultTlFlips;
+    out.gmrbbFlips = sres.engine.faultGmrbbFlips;
     out.faultsDetected = sres.engine.faultValidationDetects +
                          sres.engine.faultTaintDetects +
                          sres.engine.faultVrmtDetects;
@@ -173,27 +189,33 @@ runFuzzCase(const FuzzCase &c, bool event_skip,
     return out;
 }
 
+namespace {
+
+/** The knob resets minimization explores, most-complex first, so the
+ *  surviving repro names the smallest set of perturbations that still
+ *  fails. */
+const std::function<void(FuzzCase &)> kKnobResets[] = {
+    [](FuzzCase &t) { t.fault = FaultPlan{}; },
+    [](FuzzCase &t) { t.fault.tlFlipPpm = 0; },
+    [](FuzzCase &t) { t.fault.gmrbbFlipPpm = 0; },
+    [](FuzzCase &t) { t.quiesceInterval = 0; },
+    [](FuzzCase &t) { t.eagerChain = false; },
+    [](FuzzCase &t) { t.vlen = 4; },
+    [](FuzzCase &t) { t.numVregs = 128; },
+    [](FuzzCase &t) { t.ports = 1; },
+    [](FuzzCase &t) { t.tlConfidence = 2; },
+    [](FuzzCase &t) { t.fuzzSeed = 0; },
+};
+constexpr std::size_t kNumKnobResets =
+    sizeof(kKnobResets) / sizeof(kKnobResets[0]);
+
+} // namespace
+
 FuzzCase
-minimizeFuzzCase(const FuzzCase &c, bool event_skip,
-                 std::uint64_t max_cycles)
+minimizeFuzzCaseGreedy(const FuzzCase &c, const FuzzPredicate &diverges)
 {
     FuzzCase best = c;
-    const auto diverges = [&](const FuzzCase &t) {
-        return runFuzzCase(t, event_skip, max_cycles).diverged;
-    };
-    // Most-complex knobs first, so the surviving repro names the
-    // smallest set of perturbations that still fails.
-    const std::function<void(FuzzCase &)> resets[] = {
-        [](FuzzCase &t) { t.fault = FaultPlan{}; },
-        [](FuzzCase &t) { t.quiesceInterval = 0; },
-        [](FuzzCase &t) { t.eagerChain = false; },
-        [](FuzzCase &t) { t.vlen = 4; },
-        [](FuzzCase &t) { t.numVregs = 128; },
-        [](FuzzCase &t) { t.ports = 1; },
-        [](FuzzCase &t) { t.tlConfidence = 2; },
-        [](FuzzCase &t) { t.fuzzSeed = 0; },
-    };
-    for (const auto &reset : resets) {
+    for (const auto &reset : kKnobResets) {
         FuzzCase trial = best;
         reset(trial);
         if (sameCase(trial, best))
@@ -202,6 +224,46 @@ minimizeFuzzCase(const FuzzCase &c, bool event_skip,
             best = trial;
     }
     return best;
+}
+
+FuzzCase
+minimizeFuzzCase(const FuzzCase &c, const FuzzPredicate &diverges)
+{
+    // Delta-debug over reset *pairs*: a divergence coupled across two
+    // knobs (still fails only when both or neither are reset) defeats
+    // every single reset but falls to the joint one. Each accepted
+    // trial moves at least one more knob to its default, so the loop
+    // reaches a fixpoint in at most kNumKnobResets rounds.
+    FuzzCase best = minimizeFuzzCaseGreedy(c, diverges);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t i = 0; i + 1 < kNumKnobResets && !progress;
+             ++i) {
+            for (std::size_t j = i + 1; j < kNumKnobResets; ++j) {
+                FuzzCase trial = best;
+                kKnobResets[i](trial);
+                kKnobResets[j](trial);
+                if (sameCase(trial, best))
+                    continue; // both knobs already default
+                if (diverges(trial)) {
+                    best = minimizeFuzzCaseGreedy(trial, diverges);
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+    return best;
+}
+
+FuzzCase
+minimizeFuzzCase(const FuzzCase &c, bool event_skip,
+                 std::uint64_t max_cycles)
+{
+    return minimizeFuzzCase(c, [&](const FuzzCase &t) {
+        return runFuzzCase(t, event_skip, max_cycles).diverged;
+    });
 }
 
 FuzzReport
@@ -250,6 +312,8 @@ runFuzzCampaign(const FuzzOptions &opt)
     for (const FuzzOutcome &o : rep.outcomes) {
         rep.totalElemFlips += o.elemFlips;
         rep.totalVrmtFlips += o.vrmtFlips;
+        rep.totalTlFlips += o.tlFlips;
+        rep.totalGmrbbFlips += o.gmrbbFlips;
         rep.totalFaultsDetected += o.faultsDetected;
         if (o.diverged) {
             ++rep.divergences;
@@ -301,6 +365,8 @@ writeFuzzRepro(const std::string &path, const FuzzCase &c,
         "  \"elem_flip_ppm\": %u,\n"
         "  \"vrmt_flip_ppm\": %u,\n"
         "  \"image_flip_ppm\": %u,\n"
+        "  \"tl_flip_ppm\": %u,\n"
+        "  \"gmrbb_flip_ppm\": %u,\n"
         "  \"demote_threshold\": %u,\n"
         "  \"reenable_window\": %llu\n"
         "}\n",
@@ -313,6 +379,7 @@ writeFuzzRepro(const std::string &path, const FuzzCase &c,
         unsigned(c.tlConfidence), c.fault.enabled ? "true" : "false",
         static_cast<unsigned long long>(c.fault.seed),
         c.fault.elemFlipPpm, c.fault.vrmtFlipPpm, c.fault.imageFlipPpm,
+        c.fault.tlFlipPpm, c.fault.gmrbbFlipPpm,
         c.fault.demoteThreshold,
         static_cast<unsigned long long>(c.fault.reenableWindow));
     std::fclose(f);
@@ -435,6 +502,10 @@ loadFuzzRepro(const std::string &path, FuzzCase &c, std::string *err)
         c.fault.vrmtFlipPpm = std::uint32_t(parseU64(v));
     if (jsonField(text, "image_flip_ppm", v))
         c.fault.imageFlipPpm = std::uint32_t(parseU64(v));
+    if (jsonField(text, "tl_flip_ppm", v))
+        c.fault.tlFlipPpm = std::uint32_t(parseU64(v));
+    if (jsonField(text, "gmrbb_flip_ppm", v))
+        c.fault.gmrbbFlipPpm = std::uint32_t(parseU64(v));
     if (jsonField(text, "demote_threshold", v))
         c.fault.demoteThreshold = std::uint32_t(parseU64(v));
     if (jsonField(text, "reenable_window", v))

@@ -35,6 +35,7 @@
 #define SDV_SWEEP_FUZZ_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,8 @@ struct FuzzOutcome
     // Fault-injection accounting (zero when the case injects none).
     std::uint64_t elemFlips = 0;
     std::uint64_t vrmtFlips = 0;
+    std::uint64_t tlFlips = 0;    ///< TL stride-table metadata flips
+    std::uint64_t gmrbbFlips = 0; ///< shadow-GMRBB label flips
     std::uint64_t faultsDetected = 0; ///< validation + VRMT detects
     std::uint64_t chainDemotions = 0;
 };
@@ -109,6 +112,8 @@ struct FuzzReport
     unsigned divergences = 0;
     std::uint64_t totalElemFlips = 0;
     std::uint64_t totalVrmtFlips = 0;
+    std::uint64_t totalTlFlips = 0;
+    std::uint64_t totalGmrbbFlips = 0;
     std::uint64_t totalFaultsDetected = 0;
     std::string reproPath; ///< non-empty when a repro file was written
 };
@@ -149,13 +154,34 @@ bool writeFuzzRepro(const std::string &path, const FuzzCase &c,
 bool loadFuzzRepro(const std::string &path, FuzzCase &c,
                    std::string *err);
 
+/** The minimizer's reproduction check: does this candidate still
+ *  fail? Exposed so minimization is testable against synthetic
+ *  predicates without running the simulator. */
+using FuzzPredicate = std::function<bool(const FuzzCase &)>;
+
 /**
- * Greedy minimization: try resetting each perturbed knob to its
- * default (faults off, no quiesce, default geometry, seed inputs) and
- * keep every reset under which the divergence still reproduces.
- * @return the simplified case (equal to @p c when nothing could be
- * removed). Runs at most one oracle pair per knob.
+ * Greedy one-pass minimization: try resetting each perturbed knob to
+ * its default (faults off, no quiesce, default geometry, seed inputs)
+ * and keep every reset under which @p diverges still holds. @return
+ * the simplified case (equal to @p c when nothing could be removed).
+ * Runs the predicate at most once per knob.
  */
+FuzzCase minimizeFuzzCaseGreedy(const FuzzCase &c,
+                                const FuzzPredicate &diverges);
+
+/**
+ * Delta-debugging minimization: the greedy pass, then every *pair* of
+ * knob resets applied together, re-greedying after each accepted pair
+ * until a fixpoint. Escapes the coupled-knob traps greedy cannot (a
+ * divergence that needs knob A XOR knob B reset survives a pair reset
+ * but defeats every single reset). The result is never larger than
+ * the greedy result.
+ */
+FuzzCase minimizeFuzzCase(const FuzzCase &c,
+                          const FuzzPredicate &diverges);
+
+/** minimizeFuzzCase against the real divergence oracle (the campaign
+ *  entry point: predicate = runFuzzCase(...).diverged). */
 FuzzCase minimizeFuzzCase(const FuzzCase &c, bool event_skip,
                           std::uint64_t max_cycles);
 

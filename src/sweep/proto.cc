@@ -1,5 +1,6 @@
 #include "sweep/proto.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <type_traits>
@@ -80,6 +81,8 @@ encodeExecOptions(Serializer &ser, const ExecOptions &o)
     ser.u32(o.fault.elemFlipPpm);
     ser.u32(o.fault.vrmtFlipPpm);
     ser.u32(o.fault.imageFlipPpm);
+    ser.u32(o.fault.tlFlipPpm);
+    ser.u32(o.fault.gmrbbFlipPpm);
     ser.u32(o.fault.demoteThreshold);
     ser.u64(o.fault.reenableWindow);
     ser.u32(o.sample.samples);
@@ -103,6 +106,8 @@ decodeExecOptions(Deserializer &des, ExecOptions &o)
     o.fault.elemFlipPpm = des.u32();
     o.fault.vrmtFlipPpm = des.u32();
     o.fault.imageFlipPpm = des.u32();
+    o.fault.tlFlipPpm = des.u32();
+    o.fault.gmrbbFlipPpm = des.u32();
     o.fault.demoteThreshold = des.u32();
     o.fault.reenableWindow = des.u64();
     o.sample.samples = des.u32();
@@ -119,7 +124,14 @@ encodeRequest(Serializer &ser, const SweepRequest &r)
     ser.b(r.popt.quick);
     ser.u64(r.popt.baseSeed);
     encodeExecOptions(ser, r.eopt);
-    ser.u32(r.chaosExitUnits);
+    ser.u64(r.deadlineMs);
+    ser.u32(r.chaos.exitUnits);
+    ser.u32(r.chaos.hangUnits);
+    ser.u32(r.chaos.corruptUnits);
+    ser.u32(r.chaos.truncUnits);
+    ser.u32(r.chaos.delayUnits);
+    ser.u32(r.chaos.dribbleUnits);
+    ser.u32(r.chaos.delayMs);
 }
 
 bool
@@ -136,7 +148,14 @@ decodeRequest(Deserializer &des, SweepRequest &r)
     r.popt.quick = des.b();
     r.popt.baseSeed = des.u64();
     decodeExecOptions(des, r.eopt);
-    r.chaosExitUnits = des.u32();
+    r.deadlineMs = des.u64();
+    r.chaos.exitUnits = des.u32();
+    r.chaos.hangUnits = des.u32();
+    r.chaos.corruptUnits = des.u32();
+    r.chaos.truncUnits = des.u32();
+    r.chaos.delayUnits = des.u32();
+    r.chaos.dribbleUnits = des.u32();
+    r.chaos.delayMs = des.u32();
     return des.ok();
 }
 
@@ -182,6 +201,50 @@ Framed::recv(MsgType &t, std::vector<std::uint8_t> &payload)
     return des.verifyChecksum();
 }
 
+bool
+Framed::sendTruncated(MsgType t, const std::vector<std::uint8_t> &payload,
+                      std::size_t bytes)
+{
+    if (fd_ < 0 || payload.size() > kMaxFrameBytes)
+        return false;
+    std::uint8_t hdr[5];
+    const std::uint32_t len = std::uint32_t(payload.size());
+    hdr[0] = std::uint8_t(len);
+    hdr[1] = std::uint8_t(len >> 8);
+    hdr[2] = std::uint8_t(len >> 16);
+    hdr[3] = std::uint8_t(len >> 24);
+    hdr[4] = std::uint8_t(t);
+    if (bytes > payload.size())
+        bytes = payload.size();
+    return writeAll(fd_, hdr, sizeof(hdr)) &&
+           writeAll(fd_, payload.data(), bytes);
+}
+
+bool
+Framed::sendChunked(MsgType t, const std::vector<std::uint8_t> &payload,
+                    std::size_t chunk, unsigned us_delay)
+{
+    if (fd_ < 0 || payload.size() > kMaxFrameBytes || chunk == 0)
+        return false;
+    std::uint8_t hdr[5];
+    const std::uint32_t len = std::uint32_t(payload.size());
+    hdr[0] = std::uint8_t(len);
+    hdr[1] = std::uint8_t(len >> 8);
+    hdr[2] = std::uint8_t(len >> 16);
+    hdr[3] = std::uint8_t(len >> 24);
+    hdr[4] = std::uint8_t(t);
+    if (!writeAll(fd_, hdr, sizeof(hdr)))
+        return false;
+    for (std::size_t off = 0; off < payload.size(); off += chunk) {
+        const std::size_t n = std::min(chunk, payload.size() - off);
+        if (!writeAll(fd_, payload.data() + off, n))
+            return false;
+        if (us_delay)
+            ::usleep(us_delay);
+    }
+    return true;
+}
+
 void
 Framed::close()
 {
@@ -192,8 +255,10 @@ Framed::close()
 }
 
 int
-connectUnix(const std::string &path, std::string *err)
+connectUnix(const std::string &path, std::string *err, int *errno_out)
 {
+    if (errno_out)
+        *errno_out = 0;
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (path.size() >= sizeof(addr.sun_path)) {
@@ -207,12 +272,16 @@ connectUnix(const std::string &path, std::string *err)
     if (fd < 0) {
         if (err)
             *err = std::string("socket: ") + std::strerror(errno);
+        if (errno_out)
+            *errno_out = errno;
         return -1;
     }
     if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
         if (err)
             *err = "connect " + path + ": " + std::strerror(errno);
+        if (errno_out)
+            *errno_out = errno;
         ::close(fd);
         return -1;
     }
@@ -255,6 +324,7 @@ Hello::encode() const
     Serializer ser;
     ser.u32(version);
     ser.u64(std::uint64_t(std::int64_t(pid)));
+    ser.u32(priority);
     return ser.finish();
 }
 
@@ -266,6 +336,9 @@ Hello::decode(const std::vector<std::uint8_t> &payload, Hello &out)
         return false;
     out.version = des.u32();
     out.pid = std::int32_t(std::int64_t(des.u64()));
+    out.priority = des.u32();
+    if (out.priority == 0)
+        out.priority = 1;
     return des.atEnd();
 }
 
@@ -306,7 +379,8 @@ UnitRequest::encode() const
     ser.u64(std::uint64_t(std::int64_t(sample)));
     ser.str(workload);
     ser.str(snapshotPath);
-    ser.b(chaosExit);
+    ser.u8(std::uint8_t(chaosMode));
+    ser.u32(chaosParam);
     return ser.finish();
 }
 
@@ -328,7 +402,11 @@ UnitRequest::decode(const std::vector<std::uint8_t> &payload,
     out.sample = std::int32_t(std::int64_t(des.u64()));
     out.workload = des.str();
     out.snapshotPath = des.str();
-    out.chaosExit = des.b();
+    const std::uint8_t cm = des.u8();
+    if (cm > std::uint8_t(ChaosMode::Dribble))
+        return false;
+    out.chaosMode = ChaosMode(cm);
+    out.chaosParam = des.u32();
     return des.atEnd();
 }
 
@@ -422,6 +500,7 @@ ErrorMsg::encode() const
 {
     Serializer ser;
     ser.str(message);
+    ser.u8(std::uint8_t(kind));
     return ser.finish();
 }
 
@@ -433,6 +512,75 @@ ErrorMsg::decode(const std::vector<std::uint8_t> &payload,
     if (!des.verifyChecksum())
         return false;
     out.message = des.str();
+    out.kind = ErrKind::Generic;
+    // Tolerate a v1 error payload (no kind byte): the one cross-version
+    // exchange is the server's protocol-mismatch reply at hello time,
+    // and it must stay displayable.
+    if (!des.atEnd()) {
+        const std::uint8_t k = des.u8();
+        if (k <= std::uint8_t(ErrKind::Shutdown))
+            out.kind = ErrKind(k);
+    }
+    return des.atEnd();
+}
+
+std::vector<std::uint8_t>
+ProgressMsg::encode() const
+{
+    Serializer ser;
+    ser.u64(unitId);
+    return ser.finish();
+}
+
+bool
+ProgressMsg::decode(const std::vector<std::uint8_t> &payload,
+                    ProgressMsg &out)
+{
+    Deserializer des(payload);
+    if (!des.verifyChecksum())
+        return false;
+    out.unitId = des.u64();
+    return des.atEnd();
+}
+
+std::vector<std::uint8_t>
+ServerStats::encode() const
+{
+    Serializer ser;
+    ser.u64(unitsEnqueued);
+    ser.u64(unitsCompleted);
+    ser.u64(unitsFailed);
+    ser.u64(unitRetries);
+    ser.u64(workerRestarts);
+    ser.u64(hangKills);
+    ser.u64(deadlineFailures);
+    ser.u64(requestsServed);
+    ser.u64(requestsFailed);
+    ser.u64(cacheEvictions);
+    ser.u64(cacheGcRemoved);
+    ser.u64(cacheDiskBytes);
+    return ser.finish();
+}
+
+bool
+ServerStats::decode(const std::vector<std::uint8_t> &payload,
+                    ServerStats &out)
+{
+    Deserializer des(payload);
+    if (!des.verifyChecksum())
+        return false;
+    out.unitsEnqueued = des.u64();
+    out.unitsCompleted = des.u64();
+    out.unitsFailed = des.u64();
+    out.unitRetries = des.u64();
+    out.workerRestarts = des.u64();
+    out.hangKills = des.u64();
+    out.deadlineFailures = des.u64();
+    out.requestsServed = des.u64();
+    out.requestsFailed = des.u64();
+    out.cacheEvictions = des.u64();
+    out.cacheGcRemoved = des.u64();
+    out.cacheDiskBytes = des.u64();
     return des.atEnd();
 }
 

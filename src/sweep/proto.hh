@@ -38,12 +38,19 @@ namespace sweep {
 namespace proto {
 
 /** Protocol version; bumped on any frame or message layout change.
- *  Peers with mismatched versions are rejected at hello time. */
-constexpr std::uint32_t kVersion = 1;
+ *  Peers with mismatched versions are rejected at hello time.
+ *  v2: hello priority, deadline + chaos spec in requests, worker
+ *  Progress heartbeats, typed error kinds, server stats query. */
+constexpr std::uint32_t kVersion = 2;
 
 /** Upper bound on a single frame's payload (sanity guard against
  *  garbage length prefixes from malformed peers). */
 constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Worker heartbeat cadence while a unit is executing. The server's
+ *  hang timeout (Options::hangTimeoutMs) must be a comfortable
+ *  multiple of this. */
+constexpr unsigned kHeartbeatMs = 100;
 
 enum class MsgType : std::uint8_t
 {
@@ -56,6 +63,21 @@ enum class MsgType : std::uint8_t
     UnitRequest = 7,  ///< server -> worker: run one work unit
     UnitResult = 8,   ///< worker -> server: unit outcome
     Shutdown = 9,     ///< client -> server: stop serving
+    Progress = 10,    ///< worker -> server: heartbeat while executing
+    StatsQuery = 11,  ///< client -> server: request accounting stats
+    StatsReply = 12,  ///< server -> client: ServerStats payload
+};
+
+/** Structured error taxonomy (ErrorMsg::kind). Clients use it to
+ *  decide retryability and phrasing; Deadline in particular must be
+ *  distinguishable from a generic failure. */
+enum class ErrKind : std::uint8_t
+{
+    Generic = 0,  ///< request failed (not automatically retryable)
+    Rejected = 1, ///< request invalid (unknown plan, bad options)
+    Deadline = 2, ///< request deadline expired
+    Protocol = 3, ///< version/frame mismatch at hello
+    Shutdown = 4, ///< server is shutting down
 };
 
 /** Blocking framed-message transport over a connected socket fd.
@@ -80,6 +102,19 @@ class Framed
      *  or a checksum mismatch (the connection is unusable then). */
     bool recv(MsgType &t, std::vector<std::uint8_t> &payload);
 
+    /** Chaos helper: send a frame whose header promises the full
+     *  payload but deliver only @p bytes of it (the peer must treat
+     *  the connection as dead, never trust partial fields). */
+    bool sendTruncated(MsgType t, const std::vector<std::uint8_t> &payload,
+                       std::size_t bytes);
+
+    /** Chaos helper: send a complete, valid frame in @p chunk-byte
+     *  slices with @p us_delay microseconds between slices (partial
+     *  writes — the peer's reassembly must produce an identical
+     *  message). */
+    bool sendChunked(MsgType t, const std::vector<std::uint8_t> &payload,
+                     std::size_t chunk, unsigned us_delay);
+
     int fd() const { return fd_; }
     void close();
 
@@ -88,8 +123,12 @@ class Framed
 };
 
 /** @return a connected stream-socket fd for the Unix socket at
- *  @p path, or -1 (with @p err set) on failure. */
-int connectUnix(const std::string &path, std::string *err);
+ *  @p path, or -1 (with @p err set) on failure. @p errno_out (when
+ *  non-null) receives the failing errno so callers can distinguish a
+ *  daemon that is absent (ENOENT/ECONNREFUSED) from one that is
+ *  present but broken. */
+int connectUnix(const std::string &path, std::string *err,
+                int *errno_out = nullptr);
 
 /** @return a listening stream-socket fd bound to @p path (any stale
  *  socket file is replaced), or -1 (with @p err set) on failure. */
@@ -101,9 +140,52 @@ struct Hello
     std::uint32_t version = kVersion;
     std::int32_t pid = 0;
 
+    /** Fair-share weight of this client's units: a priority-P client
+     *  gets P consecutive unit dispatches per round-robin turn.
+     *  Ignored in worker hellos. */
+    std::uint32_t priority = 1;
+
     std::vector<std::uint8_t> encode() const;
     static bool decode(const std::vector<std::uint8_t> &payload,
                        Hello &out);
+};
+
+/**
+ * Deterministic protocol/process-boundary fault injection for one
+ * request (the chaos harness, docs/robustness.md). Units of the
+ * request are assigned modes in creation order: the first exitUnits
+ * units exit, the next hangUnits hang, and so on — replayable without
+ * any randomness on the server. Retried units always run clean.
+ */
+struct ChaosSpec
+{
+    std::uint32_t exitUnits = 0;    ///< worker _exit(1) before running
+    std::uint32_t hangUnits = 0;    ///< worker goes silent (no beats)
+    std::uint32_t corruptUnits = 0; ///< result frame payload bit-flip
+    std::uint32_t truncUnits = 0;   ///< half a result frame, then exit
+    std::uint32_t delayUnits = 0;   ///< result delayed (beats continue)
+    std::uint32_t dribbleUnits = 0; ///< result frame sent byte-trickled
+    std::uint32_t delayMs = 0;      ///< delay for delayUnits
+
+    bool
+    any() const
+    {
+        return exitUnits || hangUnits || corruptUnits || truncUnits ||
+               delayUnits || dribbleUnits;
+    }
+};
+
+/** Per-unit chaos behavior (assigned by the server from the request's
+ *  ChaosSpec; cleared on retry). */
+enum class ChaosMode : std::uint8_t
+{
+    None = 0,
+    Exit = 1,    ///< _exit(1) before simulating
+    Hang = 2,    ///< suppress heartbeats and sleep until killed
+    Corrupt = 3, ///< flip one payload byte of the result frame
+    Trunc = 4,   ///< send half the result frame, then _exit(1)
+    Delay = 5,   ///< sleep chaosParam ms before replying (beats flow)
+    Dribble = 6, ///< send the result frame in tiny delayed chunks
 };
 
 /**
@@ -119,10 +201,15 @@ struct SweepRequest
     PlanOptions popt;     ///< scale / footprint / quick / baseSeed
     ExecOptions eopt;     ///< deterministic fields only (see encode)
 
-    /** Test hook (worker-crash recovery): the first N units of this
-     *  request make their worker _exit(1) before simulating, once per
-     *  unit — the retry path must recover deterministically. */
-    std::uint32_t chaosExitUnits = 0;
+    /** Per-request deadline in milliseconds from submit (0 = none).
+     *  Expired requests fail with Error{kind=Deadline}; their pending
+     *  units are dropped at dispatch and an in-flight unit's worker is
+     *  killed and respawned so other clients are unaffected. */
+    std::uint64_t deadlineMs = 0;
+
+    /** Protocol/process fault injection for this request (tests and
+     *  the chaos harness; an empty spec is the normal case). */
+    ChaosSpec chaos;
 
     std::vector<std::uint8_t> encode() const;
     static bool decode(const std::vector<std::uint8_t> &payload,
@@ -148,7 +235,8 @@ struct UnitRequest
     std::int32_t sample = -1; ///< Run: sample index (-1 = full run)
     std::string workload;     ///< Capture: workload to warm
     std::string snapshotPath; ///< snapshot-set file ("" = none)
-    bool chaosExit = false;   ///< test hook: _exit(1) before running
+    ChaosMode chaosMode = ChaosMode::None; ///< fault-injection behavior
+    std::uint32_t chaosParam = 0; ///< mode parameter (Delay: ms)
 
     std::vector<std::uint8_t> encode() const;
     static bool decode(const std::vector<std::uint8_t> &payload,
@@ -177,9 +265,51 @@ struct UnitResult
 
     double wallSeconds = 0.0; ///< host-side metrics only
 
+    // Server-side annotations, never on the wire: workers always
+    // report Generic failures; the server synthesizes Deadline ones
+    // and stamps the unit's queue wait at dispatch.
+    ErrKind errKind = ErrKind::Generic;
+    double queueWaitSeconds = 0.0;
+
     std::vector<std::uint8_t> encode() const;
     static bool decode(const std::vector<std::uint8_t> &payload,
                        UnitResult &out);
+};
+
+/** Worker -> server: heartbeat emitted every kHeartbeatMs while a
+ *  unit executes. A worker silent past the hang timeout is declared
+ *  hung, killed and respawned. */
+struct ProgressMsg
+{
+    std::uint64_t unitId = 0;
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       ProgressMsg &out);
+};
+
+/** Server -> client: accounting snapshot (StatsReply). The chaos
+ *  harness asserts the balance unitsEnqueued == unitsCompleted +
+ *  unitsFailed on an idle daemon — every unit is accounted exactly
+ *  once no matter how its workers died. */
+struct ServerStats
+{
+    std::uint64_t unitsEnqueued = 0;   ///< fresh units (retries excluded)
+    std::uint64_t unitsCompleted = 0;  ///< units that returned ok
+    std::uint64_t unitsFailed = 0;     ///< units that failed terminally
+    std::uint64_t unitRetries = 0;     ///< crash/hang front-requeues
+    std::uint64_t workerRestarts = 0;  ///< worker processes respawned
+    std::uint64_t hangKills = 0;       ///< workers killed for silence
+    std::uint64_t deadlineFailures = 0; ///< units failed on deadline
+    std::uint64_t requestsServed = 0;  ///< requests fully streamed
+    std::uint64_t requestsFailed = 0;  ///< requests answered with Error
+    std::uint64_t cacheEvictions = 0;  ///< snapshot files evicted (LRU)
+    std::uint64_t cacheGcRemoved = 0;  ///< stale entries GCed at start
+    std::uint64_t cacheDiskBytes = 0;  ///< current cache directory size
+
+    std::vector<std::uint8_t> encode() const;
+    static bool decode(const std::vector<std::uint8_t> &payload,
+                       ServerStats &out);
 };
 
 /** Server -> client: one plan-ordered result record (the exact
@@ -215,6 +345,7 @@ struct RequestDone
 struct ErrorMsg
 {
     std::string message;
+    ErrKind kind = ErrKind::Generic;
 
     std::vector<std::uint8_t> encode() const;
     static bool decode(const std::vector<std::uint8_t> &payload,

@@ -65,16 +65,27 @@ struct RequestState
     std::vector<std::vector<std::uint64_t>> sampleHashes;
     std::vector<unsigned> unitsLeft;
     std::vector<char> jobDone;
+    /** Pins against cache eviction, held for the request's lifetime so
+     *  no worker ever opens an unlinked snapshot file. */
+    std::vector<std::shared_ptr<void>> cachePins;
 
     std::mutex m;
     std::condition_variable cv;
     bool failed = false;
     std::string failMsg;
+    proto::ErrKind failKind = proto::ErrKind::Generic;
     double busySeconds = 0.0;
+    // Queue-age stats of this request's dispatched units.
+    std::uint64_t waitCount = 0;
+    double waitSum = 0.0;
+    double waitMax = 0.0;
 
     void
-    fail(std::string why)
+    fail(std::string why,
+         proto::ErrKind kind = proto::ErrKind::Generic)
     {
+        if (!failed)
+            failKind = kind;
         failed = true;
         if (failMsg.empty())
             failMsg = std::move(why);
@@ -83,8 +94,82 @@ struct RequestState
 
 } // namespace
 
+void
+FairShareQueue::push(const std::shared_ptr<PendingUnit> &u, bool front)
+{
+    ClientBucket &b = buckets_[u->clientId];
+    b.priority = u->priority == 0 ? 1 : u->priority;
+    if (front)
+        b.q.push_front(u);
+    else
+        b.q.push_back(u);
+    ++total_;
+}
+
+std::shared_ptr<PendingUnit>
+FairShareQueue::pop()
+{
+    if (total_ == 0)
+        return nullptr;
+
+    // Continue the current client's burst if it has one left and still
+    // has work; otherwise rotate to the next client with work (wrapping
+    // once) and grant it a fresh burst of `priority` dispatches.
+    auto usable = [](const ClientBucket &b) { return !b.q.empty(); };
+    std::map<std::uint64_t, ClientBucket>::iterator pick =
+        buckets_.end();
+    if (cursorValid_) {
+        auto cur = buckets_.find(cursor_);
+        if (cur != buckets_.end() && cur->second.burstLeft > 0 &&
+            usable(cur->second))
+            pick = cur;
+    }
+    if (pick == buckets_.end()) {
+        auto it = cursorValid_ ? buckets_.upper_bound(cursor_)
+                               : buckets_.begin();
+        for (std::size_t scanned = 0; scanned <= buckets_.size();
+             ++scanned) {
+            if (it == buckets_.end())
+                it = buckets_.begin();
+            if (usable(it->second)) {
+                pick = it;
+                pick->second.burstLeft = pick->second.priority;
+                break;
+            }
+            ++it;
+        }
+    }
+    if (pick == buckets_.end())
+        return nullptr; // unreachable while total_ > 0
+
+    auto u = pick->second.q.front();
+    pick->second.q.pop_front();
+    --total_;
+    --pick->second.burstLeft;
+    cursor_ = pick->first;
+    cursorValid_ = true;
+    if (pick->second.q.empty())
+        buckets_.erase(pick);
+    return u;
+}
+
+std::vector<std::shared_ptr<PendingUnit>>
+FairShareQueue::drain()
+{
+    std::vector<std::shared_ptr<PendingUnit>> out;
+    out.reserve(total_);
+    for (auto &kv : buckets_)
+        for (auto &u : kv.second.q)
+            out.push_back(std::move(u));
+    buckets_.clear();
+    total_ = 0;
+    cursorValid_ = false;
+    return out;
+}
+
 SweepServer::SweepServer(Options opt)
-    : opt_(std::move(opt)), cache_(opt_.cacheDir)
+    : opt_(std::move(opt)),
+      cache_(opt_.cacheDir, opt_.cacheLimitMb << 20)
 {
 }
 
@@ -112,6 +197,15 @@ SweepServer::start(std::string *err)
         return false;
     }
     binFingerprint_ = binaryFingerprint(st);
+
+    // Startup GC: drop cache entries captured by a different build of
+    // the worker binary (stale-but-present) and seed the LRU index.
+    const unsigned gcRemoved = cache_.gcStale(binFingerprint_);
+    if (gcRemoved > 0 && opt_.verbose)
+        std::fprintf(stderr,
+                     "sdv_sweep: cache GC removed %u stale snapshot "
+                     "container(s)\n",
+                     gcRemoved);
 
     listenFd_ = proto::listenUnix(opt_.socketPath, err);
     if (listenFd_ < 0)
@@ -148,26 +242,44 @@ SweepServer::enqueue(const std::shared_ptr<PendingUnit> &u, bool front)
 {
     {
         std::lock_guard<std::mutex> lk(qm_);
-        if (front)
-            queue_.push_front(u);
-        else
-            queue_.push_back(u);
+        u->enqueuedAt = std::chrono::steady_clock::now();
+        queue_.push(u, front);
         queueDepthPeak_ = std::max<std::uint64_t>(queueDepthPeak_,
                                                   queue_.size());
+    }
+    if (!front) {
+        // Fresh unit (retries re-enter via front=true and were
+        // already counted): one entry in the exact-balance ledger.
+        std::lock_guard<std::mutex> lk(sm_);
+        ++unitsEnqueued_;
     }
     qcv_.notify_one();
 }
 
-std::shared_ptr<SweepServer::PendingUnit>
+std::shared_ptr<PendingUnit>
 SweepServer::popUnit()
 {
     std::unique_lock<std::mutex> lk(qm_);
     qcv_.wait(lk, [&] { return stop_.load() || !queue_.empty(); });
-    if (queue_.empty())
-        return nullptr;
-    auto u = queue_.front();
-    queue_.pop_front();
-    return u;
+    return queue_.pop();
+}
+
+void
+SweepServer::finishUnit(std::shared_ptr<PendingUnit> &u,
+                        proto::UnitResult &&r)
+{
+    {
+        std::lock_guard<std::mutex> lk(sm_);
+        if (r.ok)
+            ++unitsCompleted_;
+        else
+            ++unitsFailed_;
+        if (!r.ok && r.errKind == proto::ErrKind::Deadline)
+            ++deadlineFailures_;
+    }
+    auto done = std::move(u->done);
+    u.reset();
+    done(std::move(r));
 }
 
 void
@@ -176,40 +288,64 @@ SweepServer::requeueAfterCrash(const std::shared_ptr<PendingUnit> &u)
     ++u->attempts;
     // The chaos hook fires at most once per unit: the whole point of
     // the retry is that the re-run succeeds.
-    u->msg.chaosExit = false;
+    u->msg.chaosMode = proto::ChaosMode::None;
+    u->msg.chaosParam = 0;
     if (u->attempts >= kMaxUnitAttempts) {
         proto::UnitResult r;
         r.id = u->msg.id;
         r.message = "unit abandoned after " +
                     std::to_string(u->attempts) + " worker crashes";
-        auto done = std::move(u->done);
-        done(std::move(r));
+        auto uu = u;
+        finishUnit(uu, std::move(r));
         return;
     }
     {
         std::lock_guard<std::mutex> lk(sm_);
         ++unitRetries_;
     }
-    // Front of the queue: the crashed unit's request is the oldest
-    // work in flight; don't let newer requests starve its retry.
+    // Front of its client's bucket: the crashed unit's request is the
+    // oldest work in flight; don't let newer requests starve its retry.
     enqueue(u, true);
 }
 
 void
 SweepServer::failPendingUnits(const char *why)
 {
-    std::deque<std::shared_ptr<PendingUnit>> drained;
+    std::vector<std::shared_ptr<PendingUnit>> drained;
     {
         std::lock_guard<std::mutex> lk(qm_);
-        drained.swap(queue_);
+        drained = queue_.drain();
     }
     for (auto &u : drained) {
         proto::UnitResult r;
         r.id = u->msg.id;
         r.message = why;
-        auto done = std::move(u->done);
-        done(std::move(r));
+        r.errKind = proto::ErrKind::Shutdown;
+        finishUnit(u, std::move(r));
     }
+}
+
+proto::ServerStats
+SweepServer::snapshotStats()
+{
+    proto::ServerStats s;
+    {
+        std::lock_guard<std::mutex> lk(sm_);
+        s.unitsEnqueued = unitsEnqueued_;
+        s.unitsCompleted = unitsCompleted_;
+        s.unitsFailed = unitsFailed_;
+        s.unitRetries = unitRetries_;
+        s.workerRestarts = workerRestarts_;
+        s.hangKills = hangKills_;
+        s.deadlineFailures = deadlineFailures_;
+        s.requestsServed = requestsServed_;
+        s.requestsFailed = requestsFailed_;
+    }
+    const SnapshotCache::Stats cs = cache_.stats();
+    s.cacheEvictions = cs.evictions;
+    s.cacheGcRemoved = cs.gcRemoved;
+    s.cacheDiskBytes = cs.diskBytes;
+    return s;
 }
 
 void
@@ -220,39 +356,147 @@ SweepServer::workerLoop(const std::shared_ptr<proto::Framed> &link,
         std::lock_guard<std::mutex> lk(sm_);
         workers_[pid]; // register (zero load) even before work arrives
     }
+    using clock = std::chrono::steady_clock;
     bool died = false;
+    bool deadlineKill = false;
     std::shared_ptr<PendingUnit> u;
     while (!stop_.load()) {
         u = popUnit();
         if (!u)
             break;
+
+        const auto dispatchedAt = clock::now();
+        u->waitSeconds = std::chrono::duration<double>(
+                             dispatchedAt - u->enqueuedAt)
+                             .count();
+        {
+            std::lock_guard<std::mutex> lk(sm_);
+            ClientStat &cs = clientStats_[u->clientId];
+            cs.priority = u->priority;
+            ++cs.units;
+            cs.waitSum += u->waitSeconds;
+            cs.waitMax = std::max(cs.waitMax, u->waitSeconds);
+        }
+
+        // Dispatch-time deadline check: units of an expired request
+        // fail instantly instead of burning worker time on a result
+        // nobody is waiting for.
+        if (u->hasDeadline && dispatchedAt >= u->deadline) {
+            proto::UnitResult r;
+            r.id = u->msg.id;
+            r.message = "request deadline expired";
+            r.errKind = proto::ErrKind::Deadline;
+            r.queueWaitSeconds = u->waitSeconds;
+            finishUnit(u, std::move(r));
+            continue;
+        }
+
         if (!link->send(proto::MsgType::UnitRequest, u->msg.encode())) {
             died = true;
             break;
         }
-        proto::MsgType t;
-        std::vector<std::uint8_t> payload;
+
+        // Heartbeat-aware receive: the worker sends Progress every
+        // kHeartbeatMs while executing. Silence past the hang timeout
+        // means the worker is wedged (not merely slow) — SIGKILL it so
+        // the respawn/retry path recovers the unit; a passed deadline
+        // likewise kills the worker so one slow request cannot occupy
+        // the pool past its budget.
         proto::UnitResult r;
-        if (!link->recv(t, payload) ||
-            t != proto::MsgType::UnitResult ||
-            !proto::UnitResult::decode(payload, r)) {
-            died = true;
-            break;
+        bool gotResult = false;
+        auto lastBeat = clock::now();
+        while (!gotResult && !died) {
+            const auto now = clock::now();
+            auto wake =
+                lastBeat +
+                std::chrono::milliseconds(opt_.hangTimeoutMs);
+            if (u->hasDeadline && u->deadline < wake)
+                wake = u->deadline;
+            long timeoutMs =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    wake - now)
+                    .count() +
+                1;
+            if (timeoutMs < 0)
+                timeoutMs = 0;
+            if (timeoutMs > 500)
+                timeoutMs = 500; // bounded: observe stop_ regularly
+            struct pollfd pfd{};
+            pfd.fd = link->fd();
+            pfd.events = POLLIN;
+            const int rc = ::poll(&pfd, 1, int(timeoutMs));
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                died = true;
+                break;
+            }
+            if (rc > 0 &&
+                (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+                proto::MsgType t;
+                std::vector<std::uint8_t> payload;
+                if (!link->recv(t, payload)) {
+                    died = true; // EOF, read error or corrupt frame
+                    break;
+                }
+                if (t == proto::MsgType::Progress) {
+                    lastBeat = clock::now();
+                    continue;
+                }
+                if (t == proto::MsgType::UnitResult &&
+                    proto::UnitResult::decode(payload, r)) {
+                    gotResult = true;
+                    break;
+                }
+                died = true;
+                break;
+            }
+            const auto tnow = clock::now();
+            if (u->hasDeadline && tnow >= u->deadline) {
+                ::kill(pid, SIGKILL);
+                died = true;
+                deadlineKill = true;
+                break;
+            }
+            if (tnow - lastBeat >=
+                std::chrono::milliseconds(opt_.hangTimeoutMs)) {
+                warn("sweep worker ", pid,
+                     " went silent mid-unit; killing");
+                ::kill(pid, SIGKILL);
+                died = true;
+                {
+                    std::lock_guard<std::mutex> lk(sm_);
+                    ++hangKills_;
+                }
+                break;
+            }
         }
+        if (died)
+            break;
+
         {
             std::lock_guard<std::mutex> lk(sm_);
             WorkerState &ws = workers_[pid];
             ++ws.units;
             ws.busySeconds += r.wallSeconds;
         }
-        auto done = std::move(u->done);
-        u.reset();
-        done(std::move(r));
+        r.queueWaitSeconds = u->waitSeconds;
+        finishUnit(u, std::move(r));
     }
     if (died) {
         link->close();
-        if (u)
-            requeueAfterCrash(u);
+        if (u) {
+            if (deadlineKill) {
+                proto::UnitResult r;
+                r.id = u->msg.id;
+                r.message = "unit killed: request deadline expired";
+                r.errKind = proto::ErrKind::Deadline;
+                r.queueWaitSeconds = u->waitSeconds;
+                finishUnit(u, std::move(r));
+            } else {
+                requeueAfterCrash(u);
+            }
+        }
         int status = 0;
         ::waitpid(pid, &status, 0);
         if (!stop_.load()) {
@@ -275,14 +519,21 @@ SweepServer::workerLoop(const std::shared_ptr<proto::Framed> &link,
 
 void
 SweepServer::handleSubmit(proto::Framed &link,
-                          const std::vector<std::uint8_t> &payload)
+                          const std::vector<std::uint8_t> &payload,
+                          std::uint64_t clientId, std::uint32_t priority)
 {
     const auto t0 = std::chrono::steady_clock::now();
 
-    auto reject = [&](const std::string &why) {
+    auto reject = [&](const std::string &why,
+                      proto::ErrKind kind = proto::ErrKind::Rejected) {
         proto::ErrorMsg e;
         e.message = why;
+        e.kind = kind;
         link.send(proto::MsgType::Error, e.encode());
+        {
+            std::lock_guard<std::mutex> lk(sm_);
+            ++requestsFailed_;
+        }
         if (opt_.verbose)
             std::fprintf(stderr, "sdv_sweep: rejected request: %s\n",
                          why.c_str());
@@ -310,6 +561,13 @@ SweepServer::handleSubmit(proto::Framed &link,
         return;
     }
 
+    // Per-request deadline: every unit carries it (enforced at
+    // dispatch and via the heartbeat loop) and the streaming loop
+    // below stops waiting once it passes.
+    const bool hasDeadline = req.deadlineMs > 0;
+    const auto deadlineTp =
+        t0 + std::chrono::milliseconds(req.deadlineMs);
+
     const ExecOptions &eopt = req.eopt;
     auto st = std::make_shared<RequestState>();
     st->plan = buildPlan(req.plan, req.popt);
@@ -320,14 +578,47 @@ SweepServer::handleSubmit(proto::Framed &link,
     st->unitsLeft.assign(nJobs, 0);
     st->jobDone.assign(nJobs, 0);
 
-    // Chaos budget (worker-crash recovery tests): the first N units
-    // dispatched for this request take their worker down once each.
-    std::uint32_t chaosLeft = req.chaosExitUnits;
-    auto takeChaos = [&chaosLeft]() {
-        if (chaosLeft == 0)
-            return false;
-        --chaosLeft;
-        return true;
+    // Chaos budgets: modes are assigned to units in creation order
+    // (exits first, then hangs, corrupts, truncations, delays,
+    // dribbles) so a campaign is replayable without server-side
+    // randomness. Retried units always run clean.
+    proto::ChaosSpec chaosLeft = req.chaos;
+    auto takeChaos = [&chaosLeft](std::uint32_t *param) {
+        *param = 0;
+        if (chaosLeft.exitUnits > 0) {
+            --chaosLeft.exitUnits;
+            return proto::ChaosMode::Exit;
+        }
+        if (chaosLeft.hangUnits > 0) {
+            --chaosLeft.hangUnits;
+            return proto::ChaosMode::Hang;
+        }
+        if (chaosLeft.corruptUnits > 0) {
+            --chaosLeft.corruptUnits;
+            return proto::ChaosMode::Corrupt;
+        }
+        if (chaosLeft.truncUnits > 0) {
+            --chaosLeft.truncUnits;
+            return proto::ChaosMode::Trunc;
+        }
+        if (chaosLeft.delayUnits > 0) {
+            --chaosLeft.delayUnits;
+            *param = chaosLeft.delayMs;
+            return proto::ChaosMode::Delay;
+        }
+        if (chaosLeft.dribbleUnits > 0) {
+            --chaosLeft.dribbleUnits;
+            return proto::ChaosMode::Dribble;
+        }
+        return proto::ChaosMode::None;
+    };
+
+    auto stampScheduling = [&](const std::shared_ptr<PendingUnit> &pu) {
+        pu->clientId = clientId;
+        pu->priority = priority;
+        pu->hasDeadline = hasDeadline;
+        pu->deadline = deadlineTp;
+        pu->msg.chaosMode = takeChaos(&pu->msg.chaosParam);
     };
 
     std::uint64_t unitsDispatched = 0;
@@ -347,6 +638,11 @@ SweepServer::handleSubmit(proto::Framed &link,
             const std::string key = snapshotKey(req, job.workload,
                                                 warmHash,
                                                 binFingerprint_);
+            // Pin before acquiring: from here until the request ends,
+            // eviction must never unlink this key's file under the
+            // units that will read it.
+            st->cachePins.push_back(cache_.pin(key));
+            proto::ErrKind captureKind = proto::ErrKind::Generic;
             auto capture = [&](const std::string &path,
                                std::string *cerr) {
                 auto pu = std::make_shared<PendingUnit>();
@@ -355,7 +651,7 @@ SweepServer::handleSubmit(proto::Framed &link,
                 pu->msg.req = req;
                 pu->msg.workload = job.workload;
                 pu->msg.snapshotPath = path;
-                pu->msg.chaosExit = takeChaos();
+                stampScheduling(pu);
                 std::promise<proto::UnitResult> prom;
                 auto fut = prom.get_future();
                 pu->done = [&prom](proto::UnitResult &&r) {
@@ -364,15 +660,21 @@ SweepServer::handleSubmit(proto::Framed &link,
                 enqueue(pu, false);
                 ++unitsDispatched;
                 proto::UnitResult r = fut.get();
-                if (!r.ok && cerr)
-                    *cerr = r.message;
+                if (!r.ok) {
+                    if (cerr)
+                        *cerr = r.message;
+                    captureKind = r.errKind;
+                }
                 return r.ok;
             };
             SnapshotCache::Outcome oc = SnapshotCache::Outcome::Hit;
             auto set = cache_.acquire(key, capture, &err, &oc);
             if (!set) {
                 reject("snapshot capture failed for '" + job.workload +
-                       "': " + err);
+                       "': " + err,
+                       captureKind == proto::ErrKind::Deadline
+                           ? proto::ErrKind::Deadline
+                           : proto::ErrKind::Generic);
                 return;
             }
             switch (oc) {
@@ -450,7 +752,7 @@ SweepServer::handleSubmit(proto::Framed &link,
         const std::string &wl = st->plan.jobs[jobIndex].workload;
         if (st->snapshotPaths.count(wl))
             pu->msg.snapshotPath = st->snapshotPaths.at(wl);
-        pu->msg.chaosExit = takeChaos();
+        stampScheduling(pu);
         return pu;
     };
 
@@ -465,8 +767,12 @@ SweepServer::handleSubmit(proto::Framed &link,
                         fullRunMode](proto::UnitResult &&r) {
                 std::lock_guard<std::mutex> lk(st->m);
                 RunOutcome &o = st->outcomes[i];
+                ++st->waitCount;
+                st->waitSum += r.queueWaitSeconds;
+                st->waitMax = std::max(st->waitMax,
+                                       r.queueWaitSeconds);
                 if (!r.ok) {
-                    st->fail(r.message);
+                    st->fail(r.message, r.errKind);
                 } else if (jobIsSampled) {
                     st->sampleResults[i][k] = r.res;
                     st->sampleHashes[i][k] = r.commitHash;
@@ -513,12 +819,24 @@ SweepServer::handleSubmit(proto::Framed &link,
         std::string json;
         {
             std::unique_lock<std::mutex> lk(st->m);
-            st->cv.wait(lk,
-                        [&] { return st->jobDone[i] || st->failed; });
+            auto ready = [&] { return st->jobDone[i] || st->failed; };
+            if (hasDeadline) {
+                if (!st->cv.wait_until(lk, deadlineTp, ready))
+                    st->fail("request deadline (" +
+                                 std::to_string(req.deadlineMs) +
+                                 " ms) expired",
+                             proto::ErrKind::Deadline);
+            } else {
+                st->cv.wait(lk, ready);
+            }
             if (st->failed) {
                 const std::string why = st->failMsg;
+                const proto::ErrKind kind = st->failKind;
                 lk.unlock();
-                reject("request failed: " + why);
+                reject("request failed: " + why,
+                       kind == proto::ErrKind::Deadline
+                           ? proto::ErrKind::Deadline
+                           : proto::ErrKind::Generic);
                 return;
             }
             json = resultRecordJson(st->outcomes[i]);
@@ -533,8 +851,11 @@ SweepServer::handleSubmit(proto::Framed &link,
             break;
         }
     }
-    if (clientGone)
+    if (clientGone) {
+        std::lock_guard<std::mutex> lk(sm_);
+        ++requestsFailed_;
         return;
+    }
 
     // --- Request metrics (host-side rider; the deterministic payload
     // is the record stream above).
@@ -582,9 +903,19 @@ SweepServer::handleSubmit(proto::Framed &link,
         }
     }
     {
+        std::lock_guard<std::mutex> lk(st->m);
+        if (st->waitCount > 0)
+            m.queueWaitAvgSeconds =
+                st->waitSum / double(st->waitCount);
+        m.queueWaitMaxSeconds = st->waitMax;
+    }
+    {
         std::lock_guard<std::mutex> lk(sm_);
         m.unitRetries = unitRetries_;
         m.workerRestarts = workerRestarts_;
+        m.hangKills = hangKills_;
+        m.deadlineFailures = deadlineFailures_;
+        ++requestsServed_;
         for (const auto &kv : workers_) {
             ExecMetrics::WorkerLoad wl;
             wl.pid = kv.first;
@@ -592,6 +923,24 @@ SweepServer::handleSubmit(proto::Framed &link,
             wl.busySeconds = kv.second.busySeconds;
             m.workerLoads.push_back(wl);
         }
+        for (const auto &kv : clientStats_) {
+            ExecMetrics::ClientWait cw;
+            cw.clientId = kv.first;
+            cw.priority = kv.second.priority;
+            cw.units = kv.second.units;
+            cw.waitAvgSeconds =
+                kv.second.units
+                    ? kv.second.waitSum / double(kv.second.units)
+                    : 0.0;
+            cw.waitMaxSeconds = kv.second.waitMax;
+            m.clientWaits.push_back(cw);
+        }
+    }
+    {
+        const SnapshotCache::Stats cs = cache_.stats();
+        m.cacheEvictions = cs.evictions;
+        m.cacheGcRemoved = cs.gcRemoved;
+        m.cacheDiskBytes = cs.diskBytes;
     }
     {
         std::lock_guard<std::mutex> lk(qm_);
@@ -614,7 +963,8 @@ SweepServer::handleSubmit(proto::Framed &link,
 }
 
 void
-SweepServer::clientLoop(const std::shared_ptr<proto::Framed> &link)
+SweepServer::clientLoop(const std::shared_ptr<proto::Framed> &link,
+                        std::uint64_t clientId, std::uint32_t priority)
 {
     proto::MsgType t;
     std::vector<std::uint8_t> payload;
@@ -627,11 +977,17 @@ SweepServer::clientLoop(const std::shared_ptr<proto::Framed> &link)
             break;
         }
         if (t == proto::MsgType::Submit) {
-            handleSubmit(*link, payload);
+            handleSubmit(*link, payload, clientId, priority);
+            continue;
+        }
+        if (t == proto::MsgType::StatsQuery) {
+            link->send(proto::MsgType::StatsReply,
+                       snapshotStats().encode());
             continue;
         }
         proto::ErrorMsg e;
         e.message = "unexpected frame type";
+        e.kind = proto::ErrKind::Protocol;
         link->send(proto::MsgType::Error, e.encode());
         break;
     }
@@ -663,14 +1019,17 @@ SweepServer::handleConnection(int fd)
             proto::ErrorMsg e;
             e.message = "protocol version mismatch (server speaks v" +
                         std::to_string(proto::kVersion) + ")";
+            e.kind = proto::ErrKind::Protocol;
             link->send(proto::MsgType::Error, e.encode());
             return;
         }
-        clientLoop(link);
+        const std::uint64_t clientId = nextClientId_.fetch_add(1);
+        clientLoop(link, clientId, hello.priority);
         return;
     }
     proto::ErrorMsg e;
     e.message = "expected a hello frame";
+    e.kind = proto::ErrKind::Protocol;
     link->send(proto::MsgType::Error, e.encode());
 }
 

@@ -33,6 +33,7 @@
 #define SDV_SWEEP_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -50,6 +51,63 @@
 namespace sdv {
 namespace sweep {
 
+/** One queued work unit with its completion continuation plus the
+ *  scheduling context the fair-share queue and the deadline/heartbeat
+ *  machinery need. */
+struct PendingUnit
+{
+    proto::UnitRequest msg;
+    std::function<void(proto::UnitResult &&)> done;
+    unsigned attempts = 0;
+
+    std::uint64_t clientId = 0;  ///< fair-share bucket
+    std::uint32_t priority = 1;  ///< hello priority (dispatch weight)
+    std::chrono::steady_clock::time_point enqueuedAt;
+    double waitSeconds = 0.0;    ///< stamped at dispatch
+
+    bool hasDeadline = false;
+    std::chrono::steady_clock::time_point deadline;
+};
+
+/**
+ * Weighted per-client round-robin unit queue (the fair-share
+ * scheduler): units are bucketed by client, and dispatch rotates
+ * across clients giving each `priority` consecutive units per turn —
+ * a 1000-unit batch client cannot starve an interactive one, and a
+ * priority-4 client drains ~4x faster than a priority-1 one under
+ * contention. Not internally synchronized (the server holds its queue
+ * mutex); standalone so the scheduling policy is unit-testable.
+ */
+class FairShareQueue
+{
+  public:
+    /** Enqueue @p u in its client's bucket (@p front: crash-retry
+     *  priority — the unit goes back to its bucket's head). */
+    void push(const std::shared_ptr<PendingUnit> &u, bool front);
+
+    /** Dispatch the next unit per the rotation, or nullptr. */
+    std::shared_ptr<PendingUnit> pop();
+
+    /** Remove and return every queued unit (shutdown drain). */
+    std::vector<std::shared_ptr<PendingUnit>> drain();
+
+    std::size_t size() const { return total_; }
+    bool empty() const { return total_ == 0; }
+
+  private:
+    struct ClientBucket
+    {
+        std::deque<std::shared_ptr<PendingUnit>> q;
+        std::uint32_t priority = 1;
+        std::uint32_t burstLeft = 0; ///< dispatches left this turn
+    };
+
+    std::map<std::uint64_t, ClientBucket> buckets_;
+    std::uint64_t cursor_ = 0;  ///< client currently holding the turn
+    bool cursorValid_ = false;
+    std::size_t total_ = 0;
+};
+
 class SweepServer
 {
   public:
@@ -62,6 +120,12 @@ class SweepServer
         std::string cacheDir;   ///< snapshot-cache directory
         std::string workerExe;  ///< binary to spawn as `--worker`
         bool verbose = false;   ///< per-request log lines on stderr
+        /** Snapshot-cache disk budget in MB (0 = unbounded). */
+        std::uint64_t cacheLimitMb = 0;
+        /** A worker silent for this long while holding a unit is
+         *  declared hung, SIGKILLed and respawned (workers heartbeat
+         *  every proto::kHeartbeatMs while executing). */
+        unsigned hangTimeoutMs = 2000;
     };
 
     explicit SweepServer(Options opt);
@@ -83,14 +147,6 @@ class SweepServer
     unsigned workerCount() const { return numWorkers_; }
 
   private:
-    /** One queued work unit with its completion continuation. */
-    struct PendingUnit
-    {
-        proto::UnitRequest msg;
-        std::function<void(proto::UnitResult &&)> done;
-        unsigned attempts = 0;
-    };
-
     /** Lifetime load tally of one worker process. */
     struct WorkerState
     {
@@ -98,20 +154,36 @@ class SweepServer
         double busySeconds = 0.0;
     };
 
+    /** Lifetime wait/dispatch tally of one client connection. */
+    struct ClientStat
+    {
+        std::uint32_t priority = 1;
+        std::uint64_t units = 0;
+        double waitSum = 0.0;
+        double waitMax = 0.0;
+    };
+
     void acceptLoop(int listenFd);
     void handleConnection(int fd);
     void workerLoop(const std::shared_ptr<proto::Framed> &link,
                     int pid);
-    void clientLoop(const std::shared_ptr<proto::Framed> &link);
+    void clientLoop(const std::shared_ptr<proto::Framed> &link,
+                    std::uint64_t clientId, std::uint32_t priority);
     void handleSubmit(proto::Framed &link,
-                      const std::vector<std::uint8_t> &payload);
+                      const std::vector<std::uint8_t> &payload,
+                      std::uint64_t clientId, std::uint32_t priority);
 
     void enqueue(const std::shared_ptr<PendingUnit> &u, bool front);
     std::shared_ptr<PendingUnit> popUnit();
+    /** Deliver @p r to @p u's continuation, counting the unit exactly
+     *  once in the completed/failed accounting. */
+    void finishUnit(std::shared_ptr<PendingUnit> &u,
+                    proto::UnitResult &&r);
     /** A worker died holding @p u: retry it (chaos hook cleared) or,
      *  past the attempt cap, fail it to its continuation. */
     void requeueAfterCrash(const std::shared_ptr<PendingUnit> &u);
     void failPendingUnits(const char *why);
+    proto::ServerStats snapshotStats();
 
     const Options opt_;
     unsigned numWorkers_ = 0;
@@ -121,19 +193,28 @@ class SweepServer
 
     std::atomic<bool> stop_{false};
     std::atomic<std::uint64_t> nextUnitId_{1};
+    std::atomic<std::uint64_t> nextClientId_{1};
 
     std::mutex qm_;
     std::condition_variable qcv_;
-    std::deque<std::shared_ptr<PendingUnit>> queue_;
+    FairShareQueue queue_;
     std::uint64_t queueDepthPeak_ = 0;
 
     std::mutex sm_; ///< guards threads_, conns_, workers_, counters
     std::vector<std::thread> threads_;
     std::vector<std::weak_ptr<proto::Framed>> conns_;
     std::map<int, WorkerState> workers_; ///< pid -> lifetime load
+    std::map<std::uint64_t, ClientStat> clientStats_;
     std::vector<int> workerPids_;
     std::uint64_t unitRetries_ = 0;
     std::uint64_t workerRestarts_ = 0;
+    std::uint64_t hangKills_ = 0;
+    std::uint64_t deadlineFailures_ = 0;
+    std::uint64_t unitsEnqueued_ = 0;
+    std::uint64_t unitsCompleted_ = 0;
+    std::uint64_t unitsFailed_ = 0;
+    std::uint64_t requestsServed_ = 0;
+    std::uint64_t requestsFailed_ = 0;
 };
 
 } // namespace sweep

@@ -1,7 +1,13 @@
 #include "sweep/snapshot_cache.hh"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "common/log.hh"
 #include "common/serialize.hh"
@@ -115,12 +121,189 @@ snapshotKey(const proto::SweepRequest &req, const std::string &workload,
     return key;
 }
 
-SnapshotCache::SnapshotCache(std::string dir) : dir_(std::move(dir)) {}
+namespace {
+
+/** Parse the binary-fingerprint component out of a cache file name
+ *  (`<key>.b<hex16>.snap`). @retval false for files that are not
+ *  snapshot containers (left alone by the GC). */
+bool
+parseFingerprint(const std::string &name, std::uint64_t *fp)
+{
+    constexpr char suffix[] = ".snap";
+    constexpr std::size_t hexLen = 16;
+    const std::size_t sufLen = sizeof(suffix) - 1;
+    if (name.size() < sufLen + hexLen + 2)
+        return false;
+    if (name.compare(name.size() - sufLen, sufLen, suffix) != 0)
+        return false;
+    const std::size_t hexStart = name.size() - sufLen - hexLen;
+    if (name[hexStart - 2] != '.' || name[hexStart - 1] != 'b')
+        return false;
+    std::uint64_t v = 0;
+    for (std::size_t i = hexStart; i < hexStart + hexLen; ++i) {
+        const char c = name[i];
+        v <<= 4;
+        if (c >= '0' && c <= '9')
+            v |= std::uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            v |= std::uint64_t(c - 'a' + 10);
+        else
+            return false;
+    }
+    *fp = v;
+    return true;
+}
+
+} // namespace
+
+SnapshotCache::SnapshotCache(std::string dir, std::uint64_t limit_bytes)
+    : dir_(std::move(dir)), limit_(limit_bytes)
+{
+}
 
 std::string
 SnapshotCache::pathFor(const std::string &key) const
 {
     return dir_ + "/" + key + ".snap";
+}
+
+unsigned
+SnapshotCache::gcStale(std::uint64_t bin_fingerprint)
+{
+    DIR *d = ::opendir(dir_.c_str());
+    if (!d)
+        return 0;
+    unsigned removed = 0;
+    std::lock_guard<std::mutex> lk(m_);
+    while (dirent *de = ::readdir(d)) {
+        const std::string name = de->d_name;
+        std::uint64_t fp = 0;
+        if (!parseFingerprint(name, &fp))
+            continue;
+        const std::string path = dir_ + "/" + name;
+        if (fp != bin_fingerprint) {
+            // Stale-but-present: captured by a different build of the
+            // simulator binary; it would never be keyed again, so it
+            // would otherwise sit in the directory forever.
+            if (::unlink(path.c_str()) == 0) {
+                ++removed;
+                ++stats_.gcRemoved;
+            }
+            continue;
+        }
+        struct stat st{};
+        if (::stat(path.c_str(), &st) != 0)
+            continue;
+        FileInfo fi;
+        fi.size = std::uint64_t(st.st_size);
+        // Seed the LRU clock from on-disk atime so recency survives a
+        // server restart; the in-memory clock takes over afterwards.
+        fi.lastUse = std::uint64_t(st.st_atime);
+        const std::string key = name.substr(0, name.size() - 5);
+        diskBytes_ += fi.size;
+        files_[key] = fi;
+        if (useClock_ <= fi.lastUse)
+            useClock_ = fi.lastUse + 1;
+    }
+    ::closedir(d);
+    stats_.diskBytes = diskBytes_;
+    evictToLimitLocked("");
+    return removed;
+}
+
+std::shared_ptr<void>
+SnapshotCache::pin(const std::string &key)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        ++pins_[key];
+    }
+    return std::shared_ptr<void>(nullptr, [this, key](void *) {
+        std::lock_guard<std::mutex> lk(m_);
+        auto it = pins_.find(key);
+        if (it != pins_.end() && --it->second == 0) {
+            pins_.erase(it);
+            // A pinned file may have kept the directory over budget;
+            // shrink as soon as the pin drops.
+            evictToLimitLocked("");
+        }
+    });
+}
+
+std::uint64_t
+SnapshotCache::diskBytes() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return diskBytes_;
+}
+
+void
+SnapshotCache::noteFileLocked(const std::string &key)
+{
+    struct stat st{};
+    if (::stat(pathFor(key).c_str(), &st) != 0)
+        return;
+    auto it = files_.find(key);
+    if (it != files_.end())
+        diskBytes_ -= it->second.size;
+    FileInfo fi;
+    fi.size = std::uint64_t(st.st_size);
+    fi.lastUse = ++useClock_;
+    diskBytes_ += fi.size;
+    files_[key] = fi;
+    stats_.diskBytes = diskBytes_;
+}
+
+void
+SnapshotCache::touchLocked(const std::string &key)
+{
+    auto it = files_.find(key);
+    if (it == files_.end())
+        return;
+    it->second.lastUse = ++useClock_;
+    // Mirror recency to the filesystem (atime only) so a restarted
+    // server's GC scan reconstructs the same LRU order.
+    struct timespec ts[2];
+    ts[0].tv_sec = 0;
+    ts[0].tv_nsec = UTIME_NOW;
+    ts[1].tv_sec = 0;
+    ts[1].tv_nsec = UTIME_OMIT;
+    ::utimensat(AT_FDCWD, pathFor(key).c_str(), ts, 0);
+}
+
+void
+SnapshotCache::evictToLimitLocked(const std::string &protect)
+{
+    if (limit_ == 0)
+        return;
+    while (diskBytes_ > limit_) {
+        const std::string *victim = nullptr;
+        std::uint64_t oldest = 0;
+        for (const auto &kv : files_) {
+            if (kv.first == protect || pins_.count(kv.first))
+                continue;
+            // Never evict a key someone is capturing right now: its
+            // waiters would load a vanished file.
+            auto eit = entries_.find(kv.first);
+            if (eit != entries_.end() && !eit->second->ready)
+                continue;
+            if (!victim || kv.second.lastUse < oldest) {
+                victim = &kv.first;
+                oldest = kv.second.lastUse;
+            }
+        }
+        if (!victim)
+            return; // everything left is pinned or in flight
+        const std::string key = *victim;
+        ::unlink(pathFor(key).c_str());
+        diskBytes_ -= files_[key].size;
+        files_.erase(key);
+        // Drop the memory entry too: a memory hit whose file was
+        // unlinked would hand workers a dead snapshot path.
+        entries_.erase(key);
+        ++stats_.evictions;
+        stats_.diskBytes = diskBytes_;
+    }
 }
 
 std::shared_ptr<const SnapshotSet>
@@ -143,6 +326,7 @@ SnapshotCache::acquire(
             e = it->second;
             if (e->ready) {
                 ++stats_.hits;
+                touchLocked(key);
                 if (outcome)
                     *outcome = Outcome::Hit;
                 return e->set;
@@ -201,6 +385,12 @@ SnapshotCache::acquire(
             *outcome = miss ? Outcome::Miss : Outcome::Hit;
         e->set = std::move(set);
         e->ready = true;
+        // Account the published (or rediscovered) container file and
+        // shrink back under the byte budget, preferring any key over
+        // the one just produced.
+        noteFileLocked(key);
+        touchLocked(key);
+        evictToLimitLocked(key);
     } else {
         // Failures are not cached: drop the entry so a later acquire
         // retries the capture from scratch.

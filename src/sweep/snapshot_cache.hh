@@ -68,17 +68,26 @@ std::string snapshotKey(const proto::SweepRequest &req,
                         std::uint64_t warmCfgHash,
                         std::uint64_t binFingerprint);
 
-/** The single-flight, memory + disk snapshot cache (server-side). */
+/** The single-flight, memory + disk snapshot cache (server-side).
+ *  Optionally disk-bounded: with a nonzero byte limit, publishing a
+ *  new snapshot evicts least-recently-used unpinned entries (and
+ *  their files) until the directory fits the budget again. Requests
+ *  pin() the keys they are executing against so a running request's
+ *  snapshot file can never be unlinked under its workers. */
 class SnapshotCache
 {
   public:
-    explicit SnapshotCache(std::string dir);
+    explicit SnapshotCache(std::string dir,
+                           std::uint64_t limit_bytes = 0);
 
     struct Stats
     {
         std::uint64_t hits = 0;   ///< served from memory or disk
         std::uint64_t misses = 0; ///< captures actually run
         std::uint64_t waits = 0;  ///< blocked on another's capture
+        std::uint64_t evictions = 0; ///< entries evicted for the budget
+        std::uint64_t gcRemoved = 0; ///< stale entries GCed at startup
+        std::uint64_t diskBytes = 0; ///< tracked bytes on disk now
     };
 
     /** How one acquire() call was satisfied (per-request metrics). */
@@ -107,6 +116,27 @@ class SnapshotCache
     /** @return the container-file path for @p key. */
     std::string pathFor(const std::string &key) const;
 
+    /**
+     * Startup GC: scan the cache directory and unlink every snapshot
+     * container whose embedded binary fingerprint (the `.b<hex16>`
+     * key component) does not match @p bin_fingerprint — entries left
+     * behind by a previous build are stale-but-present and must never
+     * be served. Surviving files seed the LRU index (ordered by
+     * on-disk atime). @return the number of files removed.
+     */
+    unsigned gcStale(std::uint64_t bin_fingerprint);
+
+    /**
+     * Pin @p key against eviction for the lifetime of the returned
+     * guard (requests hold one per snapshot they dispatch units
+     * against). Releasing the last pin re-runs eviction, so a
+     * temporarily over-budget directory shrinks as soon as it can.
+     */
+    std::shared_ptr<void> pin(const std::string &key);
+
+    /** @return tracked cache-directory payload bytes. */
+    std::uint64_t diskBytes() const;
+
     Stats stats() const;
 
   private:
@@ -118,10 +148,26 @@ class SnapshotCache
         std::shared_ptr<const SnapshotSet> set;
     };
 
+    /** One on-disk container file tracked for the byte budget. */
+    struct FileInfo
+    {
+        std::uint64_t size = 0;
+        std::uint64_t lastUse = 0; ///< LRU clock (seeded from atime)
+    };
+
+    void noteFileLocked(const std::string &key);
+    void touchLocked(const std::string &key);
+    void evictToLimitLocked(const std::string &protect);
+
     const std::string dir_;
+    const std::uint64_t limit_;
     mutable std::mutex m_;
     std::condition_variable cv_;
     std::map<std::string, std::shared_ptr<Entry>> entries_;
+    std::map<std::string, FileInfo> files_;
+    std::map<std::string, unsigned> pins_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t diskBytes_ = 0;
     Stats stats_;
 };
 

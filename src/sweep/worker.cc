@@ -1,8 +1,11 @@
 #include "sweep/worker.hh"
 
+#include <atomic>
 #include <csignal>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <thread>
 
 #include <unistd.h>
 
@@ -246,6 +249,27 @@ workerMain(const std::string &socketPath)
     if (!link.send(proto::MsgType::HelloWorker, hello.encode()))
         return 1;
 
+    // Heartbeat thread: while a unit executes, a Progress frame every
+    // kHeartbeatMs tells the server this worker is alive. The send
+    // mutex serializes it against result writes (Framed is not
+    // internally synchronized).
+    std::mutex sendMu;
+    std::atomic<bool> beatActive{false};
+    std::atomic<bool> beatStop{false};
+    std::atomic<std::uint64_t> beatUnit{0};
+    std::thread beater([&] {
+        while (!beatStop.load()) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(proto::kHeartbeatMs));
+            if (!beatActive.load())
+                continue;
+            proto::ProgressMsg p;
+            p.unitId = beatUnit.load();
+            std::lock_guard<std::mutex> lk(sendMu);
+            link.send(proto::MsgType::Progress, p.encode());
+        }
+    });
+
     WorkerCaches caches;
     proto::MsgType type;
     std::vector<std::uint8_t> payload;
@@ -257,21 +281,72 @@ workerMain(const std::string &socketPath)
         proto::UnitRequest u;
         if (!proto::UnitRequest::decode(payload, u)) {
             warn("sweep worker: malformed unit request; exiting");
+            beatStop.store(true);
+            beater.join();
             return 1;
         }
-        // Crash-recovery test hook: die before touching the unit, so
-        // the server's requeue path is exercised deterministically.
-        if (u.chaosExit)
+        // Chaos hooks fired before work: die or go silent, so the
+        // server's crash-requeue and hang-detection paths are
+        // exercised deterministically.
+        if (u.chaosMode == proto::ChaosMode::Exit)
             ::_exit(1);
+        if (u.chaosMode == proto::ChaosMode::Hang) {
+            // Hold the unit, never heartbeat: the server must declare
+            // us hung, SIGKILL us and requeue the unit elsewhere.
+            for (;;)
+                ::usleep(100000);
+        }
 
+        beatUnit.store(u.id);
+        beatActive.store(true);
         const auto t0 = std::chrono::steady_clock::now();
         proto::UnitResult res = u.kind == proto::UnitKind::Capture
                                     ? runCaptureUnit(u, caches)
                                     : runRunUnit(u, caches);
         res.wallSeconds = secondsSince(t0);
-        if (!link.send(proto::MsgType::UnitResult, res.encode()))
+
+        if (u.chaosMode == proto::ChaosMode::Delay) {
+            // Slow-but-alive: heartbeats keep flowing through the
+            // stall, so the server must NOT mistake us for hung.
+            ::usleep(useconds_t(u.chaosParam) * 1000);
+        }
+        beatActive.store(false);
+
+        if (u.chaosMode == proto::ChaosMode::Corrupt) {
+            // Flip one payload byte after sealing: the server's frame
+            // checksum must reject it and treat this worker as dead.
+            std::vector<std::uint8_t> p = res.encode();
+            p[p.size() / 2] ^= 0x01;
+            std::lock_guard<std::mutex> lk(sendMu);
+            link.send(proto::MsgType::UnitResult, p);
+            break;
+        }
+        if (u.chaosMode == proto::ChaosMode::Trunc) {
+            // Promise a full frame, deliver half, die: the server's
+            // read loop must fail cleanly mid-frame.
+            const std::vector<std::uint8_t> p = res.encode();
+            {
+                std::lock_guard<std::mutex> lk(sendMu);
+                link.sendTruncated(proto::MsgType::UnitResult, p,
+                                   p.size() / 2);
+            }
+            ::_exit(1);
+        }
+
+        bool sent;
+        {
+            std::lock_guard<std::mutex> lk(sendMu);
+            sent = u.chaosMode == proto::ChaosMode::Dribble
+                       ? link.sendChunked(proto::MsgType::UnitResult,
+                                          res.encode(), 64, 500)
+                       : link.send(proto::MsgType::UnitResult,
+                                   res.encode());
+        }
+        if (!sent)
             break;
     }
+    beatStop.store(true);
+    beater.join();
     return 0;
 }
 

@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Service-grade fault-tolerance tests for the sweep work-server:
+ * fair-share scheduling (no client starves, priorities weight
+ * dispatch), the bounded snapshot cache (LRU eviction to a byte
+ * budget, startup GC of stale-fingerprint entries), worker-hang
+ * detection (silent workers are killed and their units retried with
+ * byte-identical results), request deadlines (structured Deadline
+ * verdicts, daemon unharmed), client verdict classification
+ * (daemon-absent vs protocol-mismatch), the TL/shadow-GMRBB fault
+ * sites under the divergence oracle, the delta-debugging repro
+ * minimizer, and a small end-to-end chaos campaign.
+ *
+ * Server-spawning tests use the real sdv_sweep binary (SDV_SWEEP_BIN)
+ * as the worker pool, exactly as production `--serve` does.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "sweep/chaos.hh"
+#include "sweep/client.hh"
+#include "sweep/executor.hh"
+#include "sweep/fuzz.hh"
+#include "sweep/plan.hh"
+#include "sweep/proto.hh"
+#include "sweep/server.hh"
+#include "sweep/snapshot_cache.hh"
+#include "workloads/workload.hh"
+
+namespace sdv {
+namespace {
+
+/** One in-process daemon over a fresh temp directory, with the
+ *  robustness knobs (hang timeout, cache budget) configurable. */
+class ServerFixture
+{
+  public:
+    explicit ServerFixture(unsigned workers, unsigned hangTimeoutMs = 0,
+                           std::uint64_t cacheLimitMb = 0)
+    {
+        char tmpl[] = "/tmp/sdvrobXXXXXX";
+        const char *dir = ::mkdtemp(tmpl);
+        EXPECT_NE(dir, nullptr);
+        dir_ = dir;
+        sweep::SweepServer::Options opt;
+        opt.socketPath = dir_ + "/sock";
+        opt.cacheDir = dir_ + "/cache";
+        opt.workerExe = SDV_SWEEP_BIN;
+        opt.workers = workers;
+        if (hangTimeoutMs)
+            opt.hangTimeoutMs = hangTimeoutMs;
+        opt.cacheLimitMb = cacheLimitMb;
+        server_ = std::make_unique<sweep::SweepServer>(opt);
+        std::string err;
+        started_ = server_->start(&err);
+        EXPECT_TRUE(started_) << err;
+        if (started_)
+            thread_ = std::thread([this] { server_->run(); });
+    }
+
+    ~ServerFixture()
+    {
+        if (started_) {
+            server_->stop();
+            thread_.join();
+        }
+        const std::string cmd = "rm -rf " + dir_;
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+
+    std::string socketPath() const { return dir_ + "/sock"; }
+    std::string cacheDir() const { return dir_ + "/cache"; }
+
+  private:
+    std::string dir_;
+    std::unique_ptr<sweep::SweepServer> server_;
+    std::thread thread_;
+    bool started_ = false;
+};
+
+std::string
+serialResults(const sweep::proto::SweepRequest &req)
+{
+    const sweep::SweepPlan plan = sweep::buildPlan(req.plan, req.popt);
+    sweep::ExecOptions eopt = req.eopt;
+    eopt.jobs = 1;
+    return sweep::resultsJson(sweep::runPlan(plan, eopt, nullptr));
+}
+
+sweep::proto::SweepRequest
+sampledRequest()
+{
+    sweep::proto::SweepRequest req;
+    req.plan = "fig11";
+    req.popt.quick = true;
+    req.eopt.sample.samples = 3;
+    req.eopt.sample.measureInsts = 2'000;
+    req.eopt.warmupInsts = 5'000;
+    return req;
+}
+
+long long
+metricsField(const std::string &json, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const std::size_t pos = json.find(needle);
+    if (pos == std::string::npos)
+        return -1;
+    return std::atoll(json.c_str() + pos + needle.size());
+}
+
+/** Sum of regular-file sizes directly inside @p dir. */
+std::uint64_t
+dirBytes(const std::string &dir)
+{
+    std::uint64_t total = 0;
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return 0;
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name == "." || name == "..")
+            continue;
+        struct stat st{};
+        if (::stat((dir + "/" + name).c_str(), &st) == 0 &&
+            S_ISREG(st.st_mode))
+            total += std::uint64_t(st.st_size);
+    }
+    ::closedir(d);
+    return total;
+}
+
+std::shared_ptr<sweep::PendingUnit>
+makeUnit(std::uint64_t clientId, std::uint32_t priority,
+         std::uint64_t id)
+{
+    auto u = std::make_shared<sweep::PendingUnit>();
+    u->clientId = clientId;
+    u->priority = priority;
+    u->msg.id = id;
+    u->done = [](sweep::proto::UnitResult &&) {};
+    return u;
+}
+
+TEST(FairShareQueue, SmallClientIsNotStarvedByBatchFlood)
+{
+    sweep::FairShareQueue q;
+    // A batch client floods 50 units, then an interactive client adds
+    // 3. FIFO would serve the interactive units at positions 51-53;
+    // fair-share must interleave them near the front.
+    for (std::uint64_t i = 0; i < 50; ++i)
+        q.push(makeUnit(/*client=*/1, 1, i), false);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        q.push(makeUnit(/*client=*/2, 1, 100 + i), false);
+
+    unsigned lastInteractivePop = 0;
+    for (unsigned pop = 1; !q.empty(); ++pop) {
+        const auto u = q.pop();
+        ASSERT_NE(u, nullptr);
+        if (u->clientId == 2)
+            lastInteractivePop = pop;
+    }
+    // Equal priorities alternate, so the third interactive unit is
+    // dispatched by the ~6th pop — bounded regardless of queue depth.
+    EXPECT_LE(lastInteractivePop, 7u);
+}
+
+TEST(FairShareQueue, PriorityWeightsDispatchProportionally)
+{
+    sweep::FairShareQueue q;
+    for (std::uint64_t i = 0; i < 30; ++i)
+        q.push(makeUnit(/*client=*/1, /*priority=*/3, i), false);
+    for (std::uint64_t i = 0; i < 30; ++i)
+        q.push(makeUnit(/*client=*/2, /*priority=*/1, 100 + i), false);
+
+    // Every full rotation is 3 units of client 1 + 1 of client 2, so
+    // the first 12 pops split exactly 9 / 3.
+    unsigned fromHigh = 0;
+    for (unsigned pop = 0; pop < 12; ++pop) {
+        const auto u = q.pop();
+        ASSERT_NE(u, nullptr);
+        if (u->clientId == 1)
+            ++fromHigh;
+    }
+    EXPECT_EQ(9u, fromHigh);
+    EXPECT_EQ(48u, q.size());
+
+    // Crash-retries go to the *front* of their client's bucket.
+    auto retry = makeUnit(/*client=*/2, 1, 999);
+    q.push(retry, true);
+    while (!q.empty()) {
+        const auto u = q.pop();
+        if (u->clientId == 2) {
+            EXPECT_EQ(999u, u->msg.id);
+            break;
+        }
+    }
+    const auto rest = q.drain();
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(rest.empty());
+}
+
+TEST(SnapshotCacheUnit, EvictsLeastRecentlyUsedToByteBudget)
+{
+    char tmpl[] = "/tmp/sdvlruXXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+
+    // Each container is ~10 KB; a 25 KB budget holds two.
+    const auto capture = [](const std::string &path, std::string *) {
+        sweep::SnapshotSet s;
+        s.captured = true;
+        s.set.samples.resize(1);
+        s.set.samples[0].bytes.assign(10'000, 0x5a);
+        return sweep::saveSnapshotSet(path, s);
+    };
+    sweep::SnapshotCache cache(dir, 25'000);
+
+    std::string err;
+    sweep::SnapshotCache::Outcome out;
+    ASSERT_NE(nullptr, cache.acquire("k1.b0000000000000001", capture,
+                                     &err, &out));
+    ASSERT_NE(nullptr, cache.acquire("k2.b0000000000000001", capture,
+                                     &err, &out));
+    ASSERT_NE(nullptr, cache.acquire("k3.b0000000000000001", capture,
+                                     &err, &out));
+
+    // Publishing k3 overflowed the budget: k1 (least recently used)
+    // must be gone — from disk *and* from memory.
+    EXPECT_GE(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.diskBytes(), 25'000u);
+    EXPECT_LE(dirBytes(dir), 25'000u);
+
+    ASSERT_NE(nullptr, cache.acquire("k2.b0000000000000001", capture,
+                                     &err, &out));
+    EXPECT_EQ(sweep::SnapshotCache::Outcome::Hit, out);
+    ASSERT_NE(nullptr, cache.acquire("k1.b0000000000000001", capture,
+                                     &err, &out));
+    EXPECT_EQ(sweep::SnapshotCache::Outcome::Miss, out)
+        << "an evicted key must re-capture, not hit a dead entry";
+
+    const std::string cleanup = "rm -rf " + std::string(dir);
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+}
+
+TEST(SnapshotCacheUnit, StartupGcRemovesStaleFingerprints)
+{
+    char tmpl[] = "/tmp/sdvgcXXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+
+    const auto capture = [](const std::string &path, std::string *) {
+        sweep::SnapshotSet s;
+        s.captured = false;
+        s.set.samples.resize(1);
+        return sweep::saveSnapshotSet(path, s);
+    };
+    const std::string fresh = "w1.b00000000000000aa";
+    const std::string stale = "w2.b00000000000000bb";
+    std::string err;
+    {
+        sweep::SnapshotCache writer(dir);
+        ASSERT_NE(nullptr, writer.acquire(fresh, capture, &err));
+        ASSERT_NE(nullptr, writer.acquire(stale, capture, &err));
+    }
+
+    // A restarted daemon (new fingerprint 0xaa) must GC the 0xbb
+    // entry: stale-but-present snapshots must never be served.
+    sweep::SnapshotCache reborn(dir);
+    EXPECT_EQ(1u, reborn.gcStale(0xaa));
+    EXPECT_EQ(0, ::access(reborn.pathFor(fresh).c_str(), F_OK));
+    EXPECT_NE(0, ::access(reborn.pathFor(stale).c_str(), F_OK));
+    EXPECT_EQ(1u, reborn.stats().gcRemoved);
+
+    const std::string cleanup = "rm -rf " + std::string(dir);
+    [[maybe_unused]] const int rc = std::system(cleanup.c_str());
+}
+
+TEST(SweepServerRobustness, HungWorkerIsKilledAndUnitRetried)
+{
+    ServerFixture srv(2, /*hangTimeoutMs=*/400);
+    sweep::proto::SweepRequest req = sampledRequest();
+    req.chaos.hangUnits = 1; // one unit's worker goes silent mid-hold
+
+    sweep::ClientResult res;
+    std::string err;
+    ASSERT_TRUE(sweep::submitSweep(srv.socketPath(), req, res, &err))
+        << err;
+    EXPECT_EQ(serialResults(req), res.resultsArray());
+    EXPECT_GE(metricsField(res.metricsJson, "hang_kills"), 1);
+    EXPECT_GE(metricsField(res.metricsJson, "unit_retries"), 1);
+    EXPECT_GE(metricsField(res.metricsJson, "worker_restarts"), 1);
+}
+
+TEST(SweepServerRobustness, DeadlineExpiryIsStructuredAndNonFatal)
+{
+    ServerFixture srv(1);
+    sweep::proto::SweepRequest doomed = sampledRequest();
+    doomed.deadlineMs = 1;
+
+    sweep::ClientResult res;
+    std::string err;
+    const sweep::SubmitStatus st = sweep::submitSweepOnce(
+        srv.socketPath(), doomed, 1, res, &err);
+    EXPECT_EQ(sweep::SubmitStatus::DeadlineExpired, st)
+        << sweep::submitStatusName(st) << ": " << err;
+    EXPECT_NE(err.find("deadline"), std::string::npos) << err;
+
+    // The daemon is unharmed and still serves correctly.
+    const sweep::proto::SweepRequest good = sampledRequest();
+    ASSERT_TRUE(sweep::submitSweep(srv.socketPath(), good, res, &err))
+        << err;
+    EXPECT_EQ(serialResults(good), res.resultsArray());
+}
+
+TEST(SweepServerRobustness, AbsentAndMismatchedDaemonsAreDistinct)
+{
+    // Nothing listening: the retryable, fallback-friendly verdict.
+    sweep::ClientResult res;
+    std::string err;
+    EXPECT_EQ(sweep::SubmitStatus::DaemonAbsent,
+              sweep::submitSweepOnce("/tmp/sdv_no_such_daemon.sock",
+                                     sampledRequest(), 1, res, &err));
+
+    // A live daemon speaking another protocol version: a hard error
+    // that quotes the server's version.
+    ServerFixture srv(1);
+    const int fd = sweep::proto::connectUnix(srv.socketPath(), &err);
+    ASSERT_GE(fd, 0) << err;
+    sweep::proto::Framed link(fd);
+    sweep::proto::Hello hello;
+    hello.version = 99;
+    hello.pid = ::getpid();
+    ASSERT_TRUE(link.send(sweep::proto::MsgType::HelloClient,
+                          hello.encode()));
+    sweep::proto::MsgType t;
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(link.recv(t, payload));
+    ASSERT_EQ(sweep::proto::MsgType::Error, t);
+    sweep::proto::ErrorMsg e;
+    ASSERT_TRUE(sweep::proto::ErrorMsg::decode(payload, e));
+    EXPECT_EQ(sweep::proto::ErrKind::Protocol, e.kind);
+    EXPECT_NE(e.message.find("version"), std::string::npos);
+}
+
+TEST(SweepServerRobustness, CacheDirectoryRespectsByteBudget)
+{
+    // 2 MB budget; each sampled fig11 capture container is ~1.2 MB,
+    // so one request's three captures (~3.8 MB) already overflow it.
+    // A running request pins its own snapshots (eviction must never
+    // unlink a file under active workers), so the budget is enforced
+    // at publish against *other* requests' entries and again when the
+    // pins drop.
+    ServerFixture srv(2, /*hangTimeoutMs=*/0, /*cacheLimitMb=*/2);
+    sweep::ClientResult res;
+    std::string err;
+
+    sweep::proto::SweepRequest a = sampledRequest();
+    ASSERT_TRUE(sweep::submitSweep(srv.socketPath(), a, res, &err))
+        << err;
+    sweep::proto::SweepRequest b = sampledRequest();
+    b.eopt.warmupInsts = 6'000; // different capture key set
+    ASSERT_TRUE(sweep::submitSweep(srv.socketPath(), b, res, &err))
+        << err;
+
+    // Publishing b's captures had to evict a's unpinned ones.
+    EXPECT_GE(metricsField(res.metricsJson, "cache_evictions"), 1);
+
+    // b's own pins release just after the stream ends; poll briefly
+    // for the final shrink back under the byte budget.
+    std::uint64_t bytes = 0;
+    for (int i = 0; i < 100; ++i) {
+        bytes = dirBytes(srv.cacheDir());
+        if (bytes <= (2u << 20))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_LE(bytes, 2u << 20)
+        << "snapshot cache exceeded --cache-limit-mb after requests";
+}
+
+TEST(FaultInjection, TlAndGmrbbFlipsAreInjectedAndContained)
+{
+    // High ppm so both new fault sites demonstrably fire; the
+    // divergence oracle plus the escape accounting then prove the
+    // corruption is contained: TL faults can only mislead *future*
+    // spawns (caught by the expected-address check) and shadow-GMRBB
+    // flips only mislabel release regions — neither may ever corrupt
+    // architectural state.
+    const auto &workloads = allWorkloads();
+    ASSERT_FALSE(workloads.empty());
+    sweep::FuzzCase c;
+    c.workload = workloads.front().name;
+    c.fault.enabled = true;
+    c.fault.seed = 0x7ab;
+    c.fault.tlFlipPpm = 50'000;
+    c.fault.gmrbbFlipPpm = 50'000;
+
+    const sweep::FuzzOutcome o =
+        sweep::runFuzzCase(c, /*event_skip=*/true, 50'000'000);
+    EXPECT_GT(o.tlFlips, 0u);
+    EXPECT_GT(o.gmrbbFlips, 0u);
+    EXPECT_FALSE(o.diverged) << o.reason;
+}
+
+TEST(FuzzMinimizer, DeltaDebugEscapesCoupledKnobTrap)
+{
+    // Synthetic failure coupled across two knobs: it reproduces iff
+    // (quiesce != 0) == eager — i.e. with both perturbed or neither.
+    // Greedy single resets are stuck (either lone reset breaks the
+    // equality); the pair reset minimizes fully.
+    sweep::FuzzCase c;
+    c.workload = "synthetic";
+    c.quiesceInterval = 500;
+    c.eagerChain = true;
+    const sweep::FuzzPredicate diverges =
+        [](const sweep::FuzzCase &t) {
+            return (t.quiesceInterval != 0) == t.eagerChain;
+        };
+    ASSERT_TRUE(diverges(c));
+
+    const sweep::FuzzCase greedy =
+        sweep::minimizeFuzzCaseGreedy(c, diverges);
+    EXPECT_EQ(500u, greedy.quiesceInterval);
+    EXPECT_TRUE(greedy.eagerChain);
+
+    const sweep::FuzzCase minimized = sweep::minimizeFuzzCase(c, diverges);
+    EXPECT_TRUE(diverges(minimized))
+        << "the minimized case must still reproduce";
+    EXPECT_EQ(0u, minimized.quiesceInterval);
+    EXPECT_FALSE(minimized.eagerChain);
+
+    // Never larger than greedy: count perturbed knobs.
+    const auto perturbed = [](const sweep::FuzzCase &t) {
+        return int(t.quiesceInterval != 0) + int(t.eagerChain) +
+               int(t.fault.enabled) + int(t.vlen != 4) +
+               int(t.numVregs != 128) + int(t.ports != 1) +
+               int(t.tlConfidence != 2) + int(t.fuzzSeed != 0);
+    };
+    EXPECT_LE(perturbed(minimized), perturbed(greedy));
+}
+
+TEST(ChaosCampaign, SurvivesInjectedFaultsWithExactAccounting)
+{
+    ServerFixture srv(2, /*hangTimeoutMs=*/500);
+    sweep::ChaosOptions copt;
+    copt.requests = 3;
+    copt.seed = 42;
+    copt.workerExits = 1;
+    copt.workerHangs = 1;
+    copt.corruptFrames = 1;
+    copt.truncFrames = 1;
+    copt.delayedUnits = 1;
+    copt.dribbledUnits = 1;
+    copt.clientDisconnects = 1;
+    copt.badFrameProbes = 2;
+    copt.deadlineVictims = 1;
+    copt.delayMs = 150;
+
+    const sweep::ChaosReport rep = sweep::runChaosCampaign(
+        srv.socketPath(), sampledRequest(), copt);
+    EXPECT_TRUE(rep.recordsMatch) << rep.summary();
+    EXPECT_TRUE(rep.errorsStructured) << rep.summary();
+    EXPECT_TRUE(rep.accountingBalanced) << rep.summary();
+    EXPECT_TRUE(rep.daemonAlive) << rep.summary();
+    EXPECT_EQ(3u, rep.requestsOk);
+    EXPECT_EQ(1u, rep.deadlineErrors);
+}
+
+} // namespace
+} // namespace sdv

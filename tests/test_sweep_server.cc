@@ -189,7 +189,7 @@ TEST(SweepServer, WorkerCrashesAreRetriedWithoutChangingResults)
 {
     ServerFixture srv(2);
     sweep::proto::SweepRequest req = sampledRequest();
-    req.chaosExitUnits = 2; // first two units each kill their worker
+    req.chaos.exitUnits = 2; // first two units each kill their worker
 
     sweep::ClientResult res;
     std::string err;

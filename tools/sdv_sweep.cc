@@ -35,6 +35,7 @@
 
 #include "common/log.hh"
 #include "obs/hooks.hh"
+#include "sweep/chaos.hh"
 #include "sweep/client.hh"
 #include "sweep/executor.hh"
 #include "sweep/fuzz.hh"
@@ -112,13 +113,32 @@ usage(const char *argv0)
         "auto)\n"
         "  --cache-dir D     daemon snapshot-cache directory (default: "
         "<socket>.cache)\n"
+        "  --cache-limit-mb N  daemon snapshot-cache disk budget in MB "
+        "(LRU eviction; 0 = unbounded)\n"
+        "  --hang-timeout-ms N  daemon: SIGKILL a worker silent this "
+        "long while holding a unit (default 2000)\n"
         "  --connect PATH    submit --plan to the daemon at PATH "
         "instead of running in-process\n"
+        "  --deadline-ms N   fail the request with a structured "
+        "deadline error after N ms (0 = none)\n"
+        "  --priority N      fair-share weight of this client's units "
+        "(default 1)\n"
+        "  --retries N       reattempts on connect/transport failures "
+        "(jittered exponential backoff)\n"
+        "  --backoff-ms N    base retry backoff in ms (default 100; "
+        "doubles per attempt)\n"
         "  --shutdown        ask the daemon at --connect to wind down\n"
         "  --loadtest N      submit N copies of --plan through "
         "--connect and report throughput/latency\n"
         "  --loadtest-concurrency C  client connections for --loadtest "
         "(default 4)\n"
+        "  --chaos N         run a seeded chaos campaign: N concurrent "
+        "copies of --plan with injected worker exits/hangs, corrupted "
+        "and truncated frames, slow workers, client disconnects and "
+        "deadline victims; asserts byte-exact survivors and balanced "
+        "daemon accounting\n"
+        "  --chaos-seed S    chaos placement seed (same seed replays "
+        "the same campaign; default 1)\n"
         "  --chaos-exit-units N  test hook: the first N units of this "
         "request crash their worker once each\n"
         "fuzzing (instead of --plan):\n"
@@ -204,6 +224,14 @@ main(int argc, char **argv)
     unsigned loadtest = 0;
     unsigned loadtest_concurrency = 4;
     std::uint32_t chaos_exit_units = 0;
+    std::uint64_t deadline_ms = 0;
+    std::uint32_t client_priority = 1;
+    unsigned client_retries = 0;
+    unsigned backoff_ms = 100;
+    std::uint64_t cache_limit_mb = 0;
+    unsigned hang_timeout_ms = 2000;
+    unsigned chaos_requests = 0;
+    std::uint64_t chaos_seed = 1;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--plan") == 0 && i + 1 < argc) {
@@ -244,6 +272,30 @@ main(int argc, char **argv)
                 fatal("--loadtest-concurrency must be >= 1");
         } else if (std::strcmp(argv[i], "--chaos-exit-units") == 0) {
             chaos_exit_units = std::uint32_t(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+            deadline_ms = numArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--priority") == 0) {
+            client_priority = std::uint32_t(numArg(argc, argv, i));
+            if (client_priority == 0)
+                fatal("--priority must be >= 1");
+        } else if (std::strcmp(argv[i], "--retries") == 0) {
+            client_retries = unsigned(numArg(argc, argv, i));
+        } else if (std::strcmp(argv[i], "--backoff-ms") == 0) {
+            backoff_ms = unsigned(numArg(argc, argv, i));
+            if (backoff_ms == 0)
+                fatal("--backoff-ms must be >= 1");
+        } else if (std::strcmp(argv[i], "--cache-limit-mb") == 0) {
+            cache_limit_mb = numArg(argc, argv, i);
+        } else if (std::strcmp(argv[i], "--hang-timeout-ms") == 0) {
+            hang_timeout_ms = unsigned(numArg(argc, argv, i));
+            if (hang_timeout_ms == 0)
+                fatal("--hang-timeout-ms must be >= 1");
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            chaos_requests = unsigned(numArg(argc, argv, i));
+            if (chaos_requests == 0)
+                fatal("--chaos needs a request count >= 1");
+        } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
+            chaos_seed = numArg(argc, argv, i);
         } else if (std::strcmp(argv[i], "--scale") == 0) {
             popt.scale = unsigned(numArg(argc, argv, i));
             if (popt.scale == 0)
@@ -354,6 +406,8 @@ main(int argc, char **argv)
             cache_dir.empty() ? socket_path + ".cache" : cache_dir;
         sopt.workerExe = selfExecutable(argv[0]);
         sopt.verbose = true;
+        sopt.cacheLimitMb = cache_limit_mb;
+        sopt.hangTimeoutMs = hang_timeout_ms;
         sweep::SweepServer server(sopt);
         std::string err;
         if (!server.start(&err))
@@ -373,9 +427,10 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (!connect_path.empty() || loadtest) {
+    if (!connect_path.empty() || loadtest || chaos_requests) {
         if (connect_path.empty())
-            fatal("--loadtest needs --connect PATH");
+            fatal(loadtest ? "--loadtest needs --connect PATH"
+                           : "--chaos needs --connect PATH");
         if (plan_name.empty())
             usage(argv[0]);
         if (!sweep::havePlan(plan_name))
@@ -384,7 +439,41 @@ main(int argc, char **argv)
         req.plan = plan_name;
         req.popt = popt;
         req.eopt = eopt;
-        req.chaosExitUnits = chaos_exit_units;
+        req.deadlineMs = deadline_ms;
+        req.chaos.exitUnits = chaos_exit_units;
+
+        if (chaos_requests) {
+            sweep::ChaosOptions copt;
+            copt.requests = chaos_requests;
+            copt.seed = chaos_seed;
+            copt.verbose = true;
+            // The campaign owns the chaos/deadline fields.
+            req.deadlineMs = 0;
+            req.chaos = sweep::proto::ChaosSpec{};
+            std::printf("chaos campaign: %u requests of plan %s via "
+                        "%s, seed %llu\n",
+                        copt.requests, plan_name.c_str(),
+                        connect_path.c_str(),
+                        static_cast<unsigned long long>(copt.seed));
+            const sweep::ChaosReport rep =
+                sweep::runChaosCampaign(connect_path, req, copt);
+            std::fputs(rep.summary().c_str(), stdout);
+            if (!json_path.empty() && rep.ok()) {
+                std::string arr = "[\n";
+                for (std::size_t i = 0; i < rep.records.size(); ++i) {
+                    arr += rep.records[i];
+                    arr += i + 1 < rep.records.size() ? ",\n" : "\n";
+                }
+                arr += "]";
+                if (!sweep::writeJsonDoc(json_path, plan_name,
+                                         popt.scale, popt.footprint,
+                                         eopt, arr, 0.0, std::string()))
+                    fatal("cannot write ", json_path);
+                std::printf("surviving records written to %s\n",
+                            json_path.c_str());
+            }
+            return rep.ok() ? 0 : 1;
+        }
 
         if (loadtest) {
             sweep::LoadTestOptions lopt;
@@ -415,10 +504,38 @@ main(int argc, char **argv)
         }
 
         const auto t0 = std::chrono::steady_clock::now();
+        sweep::ClientOptions copt;
+        copt.priority = client_priority;
+        copt.retries = client_retries;
+        copt.backoffMs = backoff_ms;
+        copt.retrySeed = popt.baseSeed ^ std::uint64_t(::getpid());
         sweep::ClientResult res;
         std::string err;
-        if (!sweep::submitSweep(connect_path, req, res, &err))
-            fatal("request failed: ", err);
+        const sweep::SubmitStatus st = sweep::submitSweepRetry(
+            connect_path, req, copt, res, &err);
+        switch (st) {
+        case sweep::SubmitStatus::Ok:
+            break;
+        case sweep::SubmitStatus::DaemonAbsent:
+            // Clean, actionable verdict: nothing is listening — this
+            // is not a daemon malfunction.
+            fatal("no sweep daemon at ", connect_path, " (start one "
+                  "with --serve --socket ", connect_path,
+                  ", or drop --connect to run in-process)");
+        case sweep::SubmitStatus::ProtocolMismatch:
+            // Present-but-incompatible is a hard error: err already
+            // quotes both hello versions.
+            fatal("daemon at ", connect_path,
+                  " is incompatible: ", err);
+        case sweep::SubmitStatus::DeadlineExpired:
+            fatal("request deadline expired: ", err);
+        default:
+            fatal("request failed (", sweep::submitStatusName(st),
+                  "): ", err);
+        }
+        if (res.attempts > 1)
+            std::printf("request succeeded after %u attempts\n",
+                        res.attempts);
         const double wall =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - t0)
